@@ -1,0 +1,209 @@
+//! An XDFS-style cache kept consistent with server→client callbacks (§5.4).
+//!
+//! XDFS "uses 'unsolicited messages' to tell clients to unlock cached data when it is
+//! going to be modified.  This makes their caching strategy efficient only for data
+//! that is rarely modified."  The Amoeba paper rejects this design because an active
+//! client / passive server model should not require clients to be prepared for
+//! messages they never asked for.
+//!
+//! This module implements the rejected design so experiment E3 can compare it against
+//! Amoeba's validate-on-use cache: a [`CallbackCacheServer`] stores flat pages and
+//! remembers which client caches which page; every write pushes an invalidation
+//! message into the mailbox of every registered client, and clients must drain their
+//! mailbox before they may trust their cache.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// Identifies a client at the callback server.
+pub type ClientId = u64;
+
+#[derive(Debug, Default)]
+struct ServerState {
+    /// Flat page store: (file, page) → contents.
+    pages: HashMap<(u64, u32), Bytes>,
+    /// Which clients hold which page in their cache.
+    registrations: HashMap<(u64, u32), HashSet<ClientId>>,
+    /// Per-client mailbox of invalidation messages (the "unsolicited messages").
+    mailboxes: HashMap<ClientId, Vec<(u64, u32)>>,
+    next_client: ClientId,
+}
+
+/// Statistics for the cache-strategy comparison (experiment E3).
+#[derive(Debug, Default)]
+pub struct CallbackStats {
+    /// Unsolicited invalidation messages sent by the server.
+    pub callbacks_sent: AtomicU64,
+    /// Page fetches served to clients.
+    pub fetches: AtomicU64,
+    /// Writes processed.
+    pub writes: AtomicU64,
+}
+
+/// The server half of the XDFS-style design.
+#[derive(Default)]
+pub struct CallbackCacheServer {
+    state: Mutex<ServerState>,
+    /// Statistics.
+    pub stats: CallbackStats,
+}
+
+impl CallbackCacheServer {
+    /// Creates an empty server.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Creates a file with `pages` zero-filled pages of `size` bytes.
+    pub fn create_file(self: &Arc<Self>, file: u64, pages: u32, size: usize) {
+        let mut state = self.state.lock();
+        for page in 0..pages {
+            state.pages.insert((file, page), Bytes::from(vec![0u8; size]));
+        }
+    }
+
+    /// Registers a new client and returns its handle.
+    pub fn connect(self: &Arc<Self>) -> CallbackClient {
+        let id = {
+            let mut state = self.state.lock();
+            state.next_client += 1;
+            let id = state.next_client;
+            state.mailboxes.insert(id, Vec::new());
+            id
+        };
+        CallbackClient {
+            id,
+            server: Arc::clone(self),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Writes a page directly at the server (e.g. on behalf of some other client) and
+    /// sends invalidation callbacks to every client that caches it.
+    pub fn write(&self, file: u64, page: u32, data: Bytes) {
+        let mut state = self.state.lock();
+        state.pages.insert((file, page), data);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let holders: Vec<ClientId> = state
+            .registrations
+            .get(&(file, page))
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        for client in holders {
+            state
+                .mailboxes
+                .entry(client)
+                .or_default()
+                .push((file, page));
+            self.stats.callbacks_sent.fetch_add(1, Ordering::Relaxed);
+        }
+        // The registrations are dropped: clients must re-register when they re-fetch.
+        state.registrations.remove(&(file, page));
+    }
+
+    fn fetch(&self, client: ClientId, file: u64, page: u32) -> Option<Bytes> {
+        let mut state = self.state.lock();
+        let data = state.pages.get(&(file, page)).cloned()?;
+        state
+            .registrations
+            .entry((file, page))
+            .or_default()
+            .insert(client);
+        self.stats.fetches.fetch_add(1, Ordering::Relaxed);
+        Some(data)
+    }
+
+    fn drain_mailbox(&self, client: ClientId) -> Vec<(u64, u32)> {
+        let mut state = self.state.lock();
+        state
+            .mailboxes
+            .get_mut(&client)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+}
+
+/// The client half: a cache that must process unsolicited invalidations.
+pub struct CallbackClient {
+    id: ClientId,
+    server: Arc<CallbackCacheServer>,
+    cache: Mutex<HashMap<(u64, u32), Bytes>>,
+}
+
+impl CallbackClient {
+    /// Reads a page, using the local cache when it is valid.  Before trusting the
+    /// cache the client must drain its mailbox of invalidations — the complexity the
+    /// Amoeba design avoids.
+    pub fn read(&self, file: u64, page: u32) -> Option<Bytes> {
+        for (inv_file, inv_page) in self.server.drain_mailbox(self.id) {
+            self.cache.lock().remove(&(inv_file, inv_page));
+        }
+        if let Some(hit) = self.cache.lock().get(&(file, page)).cloned() {
+            return Some(hit);
+        }
+        let data = self.server.fetch(self.id, file, page)?;
+        self.cache.lock().insert((file, page), data.clone());
+        Some(data)
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_reads_avoid_fetches_until_invalidated() {
+        let server = CallbackCacheServer::new();
+        server.create_file(1, 4, 8);
+        let client = server.connect();
+        assert_eq!(client.read(1, 0).unwrap(), Bytes::from(vec![0u8; 8]));
+        for _ in 0..5 {
+            client.read(1, 0).unwrap();
+        }
+        assert_eq!(server.stats.fetches.load(Ordering::Relaxed), 1);
+
+        // A write by somebody else triggers an unsolicited callback; the next read
+        // must re-fetch.
+        server.write(1, 0, Bytes::from_static(b"changed"));
+        assert_eq!(server.stats.callbacks_sent.load(Ordering::Relaxed), 1);
+        assert_eq!(client.read(1, 0).unwrap(), Bytes::from_static(b"changed"));
+        assert_eq!(server.stats.fetches.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn every_caching_client_receives_a_callback() {
+        let server = CallbackCacheServer::new();
+        server.create_file(7, 1, 4);
+        let clients: Vec<CallbackClient> = (0..10).map(|_| server.connect()).collect();
+        for client in &clients {
+            client.read(7, 0).unwrap();
+        }
+        server.write(7, 0, Bytes::from_static(b"new"));
+        // One unsolicited message per caching client — the cost the paper objects to.
+        assert_eq!(server.stats.callbacks_sent.load(Ordering::Relaxed), 10);
+        for client in &clients {
+            assert_eq!(client.read(7, 0).unwrap(), Bytes::from_static(b"new"));
+        }
+    }
+
+    #[test]
+    fn uncached_pages_generate_no_callbacks() {
+        let server = CallbackCacheServer::new();
+        server.create_file(1, 2, 4);
+        let client = server.connect();
+        client.read(1, 0).unwrap();
+        // Writing a page nobody caches sends no messages.
+        server.write(1, 1, Bytes::from_static(b"quiet"));
+        assert_eq!(server.stats.callbacks_sent.load(Ordering::Relaxed), 0);
+        assert_eq!(client.cached_pages(), 1);
+    }
+}

@@ -1,0 +1,527 @@
+//! A two-phase-locking file server with intentions lists (the XDFS / FELIX /
+//! Cambridge File Server style of §3).
+//!
+//! Transactions acquire per-page read and write locks as they go (growing phase),
+//! record their updates in an *intentions list*, and at commit apply the intentions
+//! to the block store and release every lock (shrinking phase).  Deadlocks are broken
+//! with the wait-die rule: an older transaction waits for a younger lock holder, a
+//! younger one is killed and must retry.
+//!
+//! The crash behaviour is the part the paper cares about: a transaction that dies
+//! mid-flight leaves locks held and a dangling intentions list, and the server must
+//! run a recovery pass — clear the locks, throw away the intentions — before the
+//! affected pages are usable again.  Experiment E4 measures exactly that work, which
+//! the optimistic design does not have.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use amoeba_block::{BlockNr, BlockServer, MemStore};
+use amoeba_capability::Capability;
+
+use crate::interface::{ConcurrencyControl, TxAbort, TxProfile, TxStats};
+
+/// Transaction identifier; doubles as the age for the wait-die rule (smaller = older).
+pub type TxId = u64;
+
+/// Lock table entry for one page.
+#[derive(Debug, Default)]
+struct PageLock {
+    readers: HashSet<TxId>,
+    writer: Option<TxId>,
+}
+
+impl PageLock {
+    fn is_free_for_read(&self, me: TxId) -> bool {
+        self.writer.is_none() || self.writer == Some(me)
+    }
+    fn is_free_for_write(&self, me: TxId) -> bool {
+        (self.writer.is_none() || self.writer == Some(me))
+            && self.readers.iter().all(|&r| r == me)
+    }
+    fn blockers(&self, me: TxId) -> Vec<TxId> {
+        let mut out: Vec<TxId> = self.readers.iter().copied().filter(|&r| r != me).collect();
+        if let Some(w) = self.writer {
+            if w != me {
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct FileState {
+    /// Page table: page index → block number.
+    pages: Vec<BlockNr>,
+    /// Lock table: page index → lock state.
+    locks: HashMap<u32, PageLock>,
+}
+
+/// Counters describing locking activity (for the comparison tables).
+#[derive(Debug, Default)]
+pub struct LockingStats {
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions aborted by the wait-die rule.
+    pub deadlock_aborts: AtomicU64,
+    /// Times any transaction had to wait for a lock.
+    pub lock_waits: AtomicU64,
+    /// Locks cleared by crash recovery.
+    pub recovery_locks_cleared: AtomicU64,
+    /// Intentions lists discarded by crash recovery.
+    pub recovery_intentions_discarded: AtomicU64,
+}
+
+/// The two-phase-locking baseline server.
+pub struct TwoPhaseLockingServer {
+    block_server: Arc<BlockServer>,
+    account: Capability,
+    files: RwLock<HashMap<u64, Arc<(Mutex<FileState>, Condvar)>>>,
+    next_file: AtomicU64,
+    next_tx: AtomicU64,
+    /// Intentions lists of in-flight transactions (tx → (file, page, data)).
+    intentions: Mutex<HashMap<TxId, Vec<(u64, u32, Bytes)>>>,
+    /// Statistics.
+    pub stats: LockingStats,
+}
+
+impl TwoPhaseLockingServer {
+    /// Creates a 2PL server over the given block server.
+    pub fn new(block_server: Arc<BlockServer>) -> Self {
+        let account = block_server.create_account();
+        TwoPhaseLockingServer {
+            block_server,
+            account,
+            files: RwLock::new(HashMap::new()),
+            next_file: AtomicU64::new(1),
+            next_tx: AtomicU64::new(1),
+            intentions: Mutex::new(HashMap::new()),
+            stats: LockingStats::default(),
+        }
+    }
+
+    /// Creates a 2PL server over a fresh in-memory block store.
+    pub fn in_memory() -> Self {
+        Self::new(Arc::new(BlockServer::new(Arc::new(MemStore::new()))))
+    }
+
+    fn file(&self, file: u64) -> Result<Arc<(Mutex<FileState>, Condvar)>, TxAbort> {
+        self.files
+            .read()
+            .get(&file)
+            .cloned()
+            .ok_or_else(|| TxAbort::Fault("unknown file handle".into()))
+    }
+
+    /// Begins an explicit transaction (used by the crash-recovery experiment; the
+    /// [`ConcurrencyControl`] implementation drives the same object internally).
+    pub fn begin(&self, file: u64) -> Transaction<'_> {
+        let id = self.next_tx.fetch_add(1, Ordering::Relaxed);
+        self.intentions.lock().insert(id, Vec::new());
+        Transaction {
+            server: self,
+            file,
+            id,
+            held: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Acquires a lock on (file, page) in the requested mode for transaction `tx`,
+    /// applying wait-die.  Returns the number of times it had to wait.
+    fn acquire(&self, file: u64, page: u32, tx: TxId, write: bool) -> Result<usize, TxAbort> {
+        let entry = self.file(file)?;
+        let (state, condvar) = &*entry;
+        let mut guard = state.lock();
+        let mut waits = 0usize;
+        loop {
+            let lock = guard.locks.entry(page).or_default();
+            let free = if write {
+                lock.is_free_for_write(tx)
+            } else {
+                lock.is_free_for_read(tx)
+            };
+            if free {
+                if write {
+                    lock.writer = Some(tx);
+                } else {
+                    lock.readers.insert(tx);
+                }
+                return Ok(waits);
+            }
+            // Wait-die: we may only wait for *younger* (larger id) holders; if any
+            // holder is older than us, we die and retry later.
+            if lock.blockers(tx).iter().any(|&holder| holder < tx) {
+                self.stats.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+                return Err(TxAbort::DeadlockVictim);
+            }
+            waits += 1;
+            self.stats.lock_waits.fetch_add(1, Ordering::Relaxed);
+            condvar.wait(&mut guard);
+        }
+    }
+
+    fn release_all(&self, file: u64, tx: TxId) {
+        if let Ok(entry) = self.file(file) {
+            let (state, condvar) = &*entry;
+            let mut guard = state.lock();
+            for lock in guard.locks.values_mut() {
+                lock.readers.remove(&tx);
+                if lock.writer == Some(tx) {
+                    lock.writer = None;
+                }
+            }
+            drop(guard);
+            condvar.notify_all();
+        }
+    }
+
+    /// Simulates the server-side recovery pass after clients crashed mid-transaction:
+    /// every lock held by a transaction in `crashed` is cleared and its intentions
+    /// list is discarded.  Returns (locks cleared, intentions entries discarded).
+    pub fn recover_after_crash(&self, crashed: &[TxId]) -> (usize, usize) {
+        let crashed: HashSet<TxId> = crashed.iter().copied().collect();
+        let mut locks_cleared = 0usize;
+        for entry in self.files.read().values() {
+            let (state, condvar) = &**entry;
+            let mut guard = state.lock();
+            for lock in guard.locks.values_mut() {
+                let before = lock.readers.len() + usize::from(lock.writer.is_some());
+                lock.readers.retain(|r| !crashed.contains(r));
+                if lock.writer.is_some_and(|w| crashed.contains(&w)) {
+                    lock.writer = None;
+                }
+                let after = lock.readers.len() + usize::from(lock.writer.is_some());
+                locks_cleared += before - after;
+            }
+            drop(guard);
+            condvar.notify_all();
+        }
+        let mut discarded = 0usize;
+        let mut intentions = self.intentions.lock();
+        for tx in &crashed {
+            if let Some(list) = intentions.remove(tx) {
+                discarded += list.len();
+            }
+        }
+        self.stats
+            .recovery_locks_cleared
+            .fetch_add(locks_cleared as u64, Ordering::Relaxed);
+        self.stats
+            .recovery_intentions_discarded
+            .fetch_add(discarded as u64, Ordering::Relaxed);
+        (locks_cleared, discarded)
+    }
+
+    /// Returns the pages of `file` currently blocked behind a lock (inaccessible to
+    /// new transactions), used by the crash experiments.
+    pub fn locked_pages(&self, file: u64) -> usize {
+        match self.file(file) {
+            Ok(entry) => {
+                let (state, _) = &*entry;
+                let guard = state.lock();
+                guard
+                    .locks
+                    .values()
+                    .filter(|l| l.writer.is_some() || !l.readers.is_empty())
+                    .count()
+            }
+            Err(_) => 0,
+        }
+    }
+}
+
+/// An explicit 2PL transaction.
+pub struct Transaction<'a> {
+    server: &'a TwoPhaseLockingServer,
+    file: u64,
+    id: TxId,
+    held: Vec<u32>,
+    finished: bool,
+}
+
+impl Transaction<'_> {
+    /// The transaction identifier.
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// Reads a page under a read lock.
+    pub fn read(&mut self, page: u32) -> Result<Bytes, TxAbort> {
+        let waits = self.server.acquire(self.file, page, self.id, false)?;
+        let _ = waits;
+        self.held.push(page);
+        let entry = self.server.file(self.file)?;
+        let block = {
+            let (state, _) = &*entry;
+            let guard = state.lock();
+            *guard
+                .pages
+                .get(page as usize)
+                .ok_or_else(|| TxAbort::Fault(format!("no page {page}")))?
+        };
+        self.server
+            .block_server
+            .read(&self.server.account, block)
+            .map_err(|e| TxAbort::Fault(e.to_string()))
+    }
+
+    /// Records a write in the intentions list under a write lock.
+    pub fn write(&mut self, page: u32, data: Bytes) -> Result<(), TxAbort> {
+        self.server.acquire(self.file, page, self.id, true)?;
+        self.held.push(page);
+        self.server
+            .intentions
+            .lock()
+            .entry(self.id)
+            .or_default()
+            .push((self.file, page, data));
+        Ok(())
+    }
+
+    /// Applies the intentions list and releases all locks.
+    pub fn commit(mut self) -> Result<TxStats, TxAbort> {
+        let intentions = self
+            .server
+            .intentions
+            .lock()
+            .remove(&self.id)
+            .unwrap_or_default();
+        let mut stats = TxStats {
+            pages_written: intentions.len(),
+            ..TxStats::default()
+        };
+        for (file, page, data) in intentions {
+            let entry = self.server.file(file)?;
+            let block = {
+                let (state, _) = &*entry;
+                let guard = state.lock();
+                *guard
+                    .pages
+                    .get(page as usize)
+                    .ok_or_else(|| TxAbort::Fault(format!("no page {page}")))?
+            };
+            self.server
+                .block_server
+                .write(&self.server.account, block, data)
+                .map_err(|e| TxAbort::Fault(e.to_string()))?;
+        }
+        stats.pages_read = self.held.len().saturating_sub(stats.pages_written);
+        self.server.release_all(self.file, self.id);
+        self.server.stats.commits.fetch_add(1, Ordering::Relaxed);
+        self.finished = true;
+        Ok(stats)
+    }
+
+    /// Discards the intentions list and releases all locks.
+    pub fn abort(mut self) {
+        self.server.intentions.lock().remove(&self.id);
+        self.server.release_all(self.file, self.id);
+        self.finished = true;
+    }
+
+    /// Simulates the owning client crashing: locks stay held, the intentions list
+    /// stays dangling, and only [`TwoPhaseLockingServer::recover_after_crash`] makes
+    /// the pages accessible again.
+    pub fn crash(mut self) -> TxId {
+        self.finished = true;
+        self.id
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.server.intentions.lock().remove(&self.id);
+            self.server.release_all(self.file, self.id);
+        }
+    }
+}
+
+impl ConcurrencyControl for TwoPhaseLockingServer {
+    fn name(&self) -> &'static str {
+        "two-phase-locking"
+    }
+
+    fn create_file(&self, pages: u32, initial: usize) -> u64 {
+        let mut table = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            let block = self
+                .block_server
+                .allocate_and_write(&self.account, Bytes::from(vec![0u8; initial]))
+                .expect("allocate page");
+            table.push(block);
+        }
+        let handle = self.next_file.fetch_add(1, Ordering::Relaxed);
+        self.files.write().insert(
+            handle,
+            Arc::new((
+                Mutex::new(FileState {
+                    pages: table,
+                    locks: HashMap::new(),
+                }),
+                Condvar::new(),
+            )),
+        );
+        handle
+    }
+
+    fn run_transaction(&self, file: u64, profile: &TxProfile) -> Result<TxStats, TxAbort> {
+        let mut tx = self.begin(file);
+        let mut stats = TxStats::default();
+        for &page in &profile.reads {
+            tx.read(page)?;
+            stats.pages_read += 1;
+        }
+        for (page, data) in &profile.writes {
+            tx.write(*page, data.clone())?;
+            stats.pages_written += 1;
+        }
+        let commit_stats = tx.commit()?;
+        stats.lock_waits = commit_stats.lock_waits;
+        Ok(stats)
+    }
+
+    fn read_page(&self, file: u64, page: u32) -> Result<Bytes, TxAbort> {
+        let entry = self.file(file)?;
+        let block = {
+            let (state, _) = &*entry;
+            let guard = state.lock();
+            *guard
+                .pages
+                .get(page as usize)
+                .ok_or_else(|| TxAbort::Fault(format!("no page {page}")))?
+        };
+        self.block_server
+            .read(&self.account, block)
+            .map_err(|e| TxAbort::Fault(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transactions_read_and_write_pages() {
+        let server = TwoPhaseLockingServer::in_memory();
+        let file = server.create_file(4, 8);
+        let stats = server
+            .run_transaction(
+                file,
+                &TxProfile {
+                    reads: vec![0],
+                    writes: vec![(1, Bytes::from_static(b"locked write"))],
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.pages_written, 1);
+        assert_eq!(server.read_page(file, 1).unwrap(), Bytes::from_static(b"locked write"));
+    }
+
+    #[test]
+    fn writes_are_invisible_until_commit() {
+        let server = TwoPhaseLockingServer::in_memory();
+        let file = server.create_file(1, 4);
+        let mut tx = server.begin(file);
+        tx.write(0, Bytes::from_static(b"pending")).unwrap();
+        // Another (non-transactional) read still sees the old contents: the write is
+        // only an intention so far.
+        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from(vec![0u8; 4]));
+        tx.commit().unwrap();
+        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from_static(b"pending"));
+    }
+
+    #[test]
+    fn abort_discards_intentions_and_releases_locks() {
+        let server = TwoPhaseLockingServer::in_memory();
+        let file = server.create_file(1, 4);
+        let mut tx = server.begin(file);
+        tx.write(0, Bytes::from_static(b"nope")).unwrap();
+        tx.abort();
+        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from(vec![0u8; 4]));
+        assert_eq!(server.locked_pages(file), 0);
+    }
+
+    #[test]
+    fn wait_die_kills_the_younger_transaction() {
+        let server = TwoPhaseLockingServer::in_memory();
+        let file = server.create_file(1, 4);
+        let mut older = server.begin(file);
+        let mut younger = server.begin(file);
+        assert!(older.id() < younger.id());
+        older.write(0, Bytes::from_static(b"older")).unwrap();
+        // The younger transaction wants the same page and must die, not wait.
+        assert_eq!(
+            younger.write(0, Bytes::from_static(b"younger")).unwrap_err(),
+            TxAbort::DeadlockVictim
+        );
+        younger.abort();
+        older.commit().unwrap();
+    }
+
+    #[test]
+    fn concurrent_disjoint_transactions_proceed_in_parallel() {
+        let server = Arc::new(TwoPhaseLockingServer::in_memory());
+        let file = server.create_file(8, 8);
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let server = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..20u32 {
+                    let page = (t * 2 + round % 2) % 8;
+                    let result = server.run_transaction(
+                        file,
+                        &TxProfile {
+                            reads: vec![page],
+                            writes: vec![(page, Bytes::from(vec![t as u8; 4]))],
+                        },
+                    );
+                    // Wait-die may abort us; retrying is the client's job.
+                    if result.is_err() {
+                        continue;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(server.stats.commits.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn crashed_transactions_leave_locks_until_recovery() {
+        let server = TwoPhaseLockingServer::in_memory();
+        let file = server.create_file(2, 4);
+        let mut tx = server.begin(file);
+        tx.write(0, Bytes::from_static(b"half done")).unwrap();
+        tx.read(1).unwrap();
+        let crashed_id = tx.crash();
+
+        // The pages are stuck: a new writer to page 0 dies or waits forever.
+        assert!(server.locked_pages(file) >= 2);
+        let mut blocked = server.begin(file);
+        assert!(blocked.write(0, Bytes::from_static(b"blocked")).is_err());
+        blocked.abort();
+
+        // Recovery clears the locks and discards the intentions list; the write that
+        // was in flight never becomes visible.
+        let (locks, intents) = server.recover_after_crash(&[crashed_id]);
+        assert!(locks >= 2);
+        assert_eq!(intents, 1);
+        assert_eq!(server.locked_pages(file), 0);
+        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from(vec![0u8; 4]));
+        server
+            .run_transaction(
+                file,
+                &TxProfile::write_only(vec![(0, Bytes::from_static(b"post-recovery"))]),
+            )
+            .unwrap();
+    }
+}

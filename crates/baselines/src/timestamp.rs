@@ -1,0 +1,265 @@
+//! A timestamp-ordering (pseudo-time) file server, in the style of SWALLOW / Reed
+//! (§3 of the paper).
+//!
+//! Every transaction receives a timestamp when it begins.  Every page carries the
+//! timestamp of the youngest transaction that read it and the youngest that wrote it.
+//! A read that arrives "too late" (the page was already written by a younger
+//! transaction) or a write that arrives too late (the page was already read or
+//! written by a younger transaction) aborts the transaction, which must retry with a
+//! new, younger timestamp.  Writes are buffered and applied atomically at commit so a
+//! failed transaction leaves no partial state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use amoeba_block::{BlockNr, BlockServer, MemStore};
+use amoeba_capability::Capability;
+
+use crate::interface::{ConcurrencyControl, TxAbort, TxProfile, TxStats};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PageTimestamps {
+    read_ts: u64,
+    write_ts: u64,
+}
+
+#[derive(Debug)]
+struct FileState {
+    pages: Vec<BlockNr>,
+    timestamps: Vec<PageTimestamps>,
+}
+
+/// Counters describing timestamp-ordering activity.
+#[derive(Debug, Default)]
+pub struct TimestampStats {
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions aborted by a timestamp-ordering violation.
+    pub aborts: AtomicU64,
+}
+
+/// The timestamp-ordering baseline server.
+pub struct TimestampOrderingServer {
+    block_server: Arc<BlockServer>,
+    account: Capability,
+    files: RwLock<HashMap<u64, Arc<Mutex<FileState>>>>,
+    next_file: AtomicU64,
+    clock: AtomicU64,
+    /// Statistics.
+    pub stats: TimestampStats,
+}
+
+impl TimestampOrderingServer {
+    /// Creates a timestamp-ordering server over the given block server.
+    pub fn new(block_server: Arc<BlockServer>) -> Self {
+        let account = block_server.create_account();
+        TimestampOrderingServer {
+            block_server,
+            account,
+            files: RwLock::new(HashMap::new()),
+            next_file: AtomicU64::new(1),
+            clock: AtomicU64::new(1),
+            stats: TimestampStats::default(),
+        }
+    }
+
+    /// Creates a server over a fresh in-memory block store.
+    pub fn in_memory() -> Self {
+        Self::new(Arc::new(BlockServer::new(Arc::new(MemStore::new()))))
+    }
+
+    fn file(&self, file: u64) -> Result<Arc<Mutex<FileState>>, TxAbort> {
+        self.files
+            .read()
+            .get(&file)
+            .cloned()
+            .ok_or_else(|| TxAbort::Fault("unknown file handle".into()))
+    }
+
+    /// Draws a fresh pseudo-time timestamp.
+    pub fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl ConcurrencyControl for TimestampOrderingServer {
+    fn name(&self) -> &'static str {
+        "timestamp-ordering"
+    }
+
+    fn create_file(&self, pages: u32, initial: usize) -> u64 {
+        let mut table = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            let block = self
+                .block_server
+                .allocate_and_write(&self.account, Bytes::from(vec![0u8; initial]))
+                .expect("allocate page");
+            table.push(block);
+        }
+        let handle = self.next_file.fetch_add(1, Ordering::Relaxed);
+        self.files.write().insert(
+            handle,
+            Arc::new(Mutex::new(FileState {
+                timestamps: vec![PageTimestamps::default(); table.len()],
+                pages: table,
+            })),
+        );
+        handle
+    }
+
+    fn run_transaction(&self, file: u64, profile: &TxProfile) -> Result<TxStats, TxAbort> {
+        let ts = self.now();
+        let entry = self.file(file)?;
+        let mut stats = TxStats::default();
+        // The whole transaction is validated and applied under the file's timestamp
+        // table lock; reads of page contents go to the block server.
+        let mut state = entry.lock();
+
+        // Check every access first so an abort leaves no trace at all.
+        for &page in &profile.reads {
+            let stamps = state
+                .timestamps
+                .get(page as usize)
+                .ok_or_else(|| TxAbort::Fault(format!("no page {page}")))?;
+            if ts < stamps.write_ts {
+                self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                return Err(TxAbort::TimestampViolation);
+            }
+        }
+        for (page, _) in &profile.writes {
+            let stamps = state
+                .timestamps
+                .get(*page as usize)
+                .ok_or_else(|| TxAbort::Fault(format!("no page {page}")))?;
+            if ts < stamps.read_ts || ts < stamps.write_ts {
+                self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                return Err(TxAbort::TimestampViolation);
+            }
+        }
+
+        // All checks passed: perform the reads, apply the writes, advance the clocks.
+        for &page in &profile.reads {
+            let block = state.pages[page as usize];
+            self.block_server
+                .read(&self.account, block)
+                .map_err(|e| TxAbort::Fault(e.to_string()))?;
+            let stamps = &mut state.timestamps[page as usize];
+            stamps.read_ts = stamps.read_ts.max(ts);
+            stats.pages_read += 1;
+        }
+        for (page, data) in &profile.writes {
+            let block = state.pages[*page as usize];
+            self.block_server
+                .write(&self.account, block, data.clone())
+                .map_err(|e| TxAbort::Fault(e.to_string()))?;
+            state.timestamps[*page as usize].write_ts = ts;
+            stats.pages_written += 1;
+        }
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    fn read_page(&self, file: u64, page: u32) -> Result<Bytes, TxAbort> {
+        let entry = self.file(file)?;
+        let block = {
+            let state = entry.lock();
+            *state
+                .pages
+                .get(page as usize)
+                .ok_or_else(|| TxAbort::Fault(format!("no page {page}")))?
+        };
+        self.block_server
+            .read(&self.account, block)
+            .map_err(|e| TxAbort::Fault(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_transactions_commit() {
+        let server = TimestampOrderingServer::in_memory();
+        let file = server.create_file(2, 4);
+        for i in 0..5u8 {
+            server
+                .run_transaction(
+                    file,
+                    &TxProfile {
+                        reads: vec![0],
+                        writes: vec![(1, Bytes::from(vec![i]))],
+                    },
+                )
+                .unwrap();
+        }
+        assert_eq!(server.read_page(file, 1).unwrap(), Bytes::from(vec![4u8]));
+        assert_eq!(server.stats.commits.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn late_writer_is_aborted() {
+        let server = TimestampOrderingServer::in_memory();
+        let file = server.create_file(1, 4);
+        // Take a timestamp now, but let a younger transaction write the page first.
+        let old_ts = server.now();
+        server
+            .run_transaction(file, &TxProfile::write_only(vec![(0, Bytes::from_static(b"young"))]))
+            .unwrap();
+        // Simulate the old transaction arriving late by temporarily winding the clock
+        // back: we re-run its access check through a synthetic profile with the stale
+        // timestamp by setting the clock to the old value for one draw.
+        server.clock.store(old_ts, Ordering::Relaxed);
+        let result = server.run_transaction(
+            file,
+            &TxProfile::write_only(vec![(0, Bytes::from_static(b"stale"))]),
+        );
+        assert_eq!(result.unwrap_err(), TxAbort::TimestampViolation);
+        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from_static(b"young"));
+    }
+
+    #[test]
+    fn late_reader_is_aborted() {
+        let server = TimestampOrderingServer::in_memory();
+        let file = server.create_file(1, 4);
+        let old_ts = server.now();
+        server
+            .run_transaction(file, &TxProfile::write_only(vec![(0, Bytes::from_static(b"new"))]))
+            .unwrap();
+        server.clock.store(old_ts, Ordering::Relaxed);
+        let result = server.run_transaction(
+            file,
+            &TxProfile {
+                reads: vec![0],
+                writes: vec![],
+            },
+        );
+        assert_eq!(result.unwrap_err(), TxAbort::TimestampViolation);
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_partial_writes() {
+        let server = TimestampOrderingServer::in_memory();
+        let file = server.create_file(2, 4);
+        let old_ts = server.now();
+        server
+            .run_transaction(file, &TxProfile::write_only(vec![(1, Bytes::from_static(b"newer"))]))
+            .unwrap();
+        server.clock.store(old_ts, Ordering::Relaxed);
+        // This late transaction writes page 0 (fine on its own) and page 1 (stale):
+        // the whole transaction must abort and page 0 must stay untouched.
+        let result = server.run_transaction(
+            file,
+            &TxProfile::write_only(vec![
+                (0, Bytes::from_static(b"part")),
+                (1, Bytes::from_static(b"ial")),
+            ]),
+        );
+        assert!(result.is_err());
+        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from(vec![0u8; 4]));
+    }
+}

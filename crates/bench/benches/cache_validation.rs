@@ -1,0 +1,48 @@
+//! E3: validating a client cache with the serialisability test.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use afs_bench::committed_file;
+use afs_core::FileService;
+
+fn bench_cache_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_validation");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+
+    // Null operation: the cached version is still current (unshared file).
+    group.bench_function("unshared_null_op", |b| {
+        let service = FileService::in_memory();
+        let (file, _) = committed_file(&service, 64, 128);
+        let cached = service.current_version_block(&file).unwrap();
+        b.iter(|| {
+            let validation = service.validate_cache(&file, cached).unwrap();
+            assert!(validation.up_to_date);
+        });
+    });
+
+    // Shared file: eight updates happened since the cache was filled.
+    group.bench_function("shared_eight_updates_behind", |b| {
+        let service = FileService::in_memory();
+        let (file, paths) = committed_file(&service, 64, 128);
+        let cached = service.current_version_block(&file).unwrap();
+        for i in 0..8usize {
+            let v = service.create_version(&file).unwrap();
+            service
+                .write_page(&v, &paths[i], Bytes::from_static(b"remote"))
+                .unwrap();
+            service.commit(&v).unwrap();
+        }
+        b.iter(|| {
+            let validation = service.validate_cache(&file, cached).unwrap();
+            assert_eq!(validation.discard.len(), 8);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_validation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! F5/F6: the commit fast path (base still current) and the validated path (base
+//! superseded by a concurrent, non-conflicting update).
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use afs_bench::committed_file;
+use afs_core::FileService;
+
+fn bench_commit_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // Fast path: sequential updates, every commit finds its base still current.
+    group.bench_function("fast_path", |b| {
+        let service = FileService::in_memory();
+        let (file, paths) = committed_file(&service, 16, 128);
+        b.iter(|| {
+            let v = service.create_version(&file).unwrap();
+            service.write_page(&v, &paths[0], Bytes::from_static(b"x")).unwrap();
+            let receipt = service.commit(&v).unwrap();
+            assert!(receipt.fast_path);
+        });
+    });
+
+    // Validated path: a disjoint concurrent update committed first, so every commit
+    // runs the serialisability test and merges.
+    group.bench_function("validated_merge", |b| {
+        let service = FileService::in_memory();
+        let (file, paths) = committed_file(&service, 16, 128);
+        b.iter(|| {
+            let loser = service.create_version(&file).unwrap();
+            service.write_page(&loser, &paths[1], Bytes::from_static(b"b")).unwrap();
+            let winner = service.create_version(&file).unwrap();
+            service.write_page(&winner, &paths[0], Bytes::from_static(b"a")).unwrap();
+            service.commit(&winner).unwrap();
+            let receipt = service.commit(&loser).unwrap();
+            assert!(!receipt.fast_path);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_paths);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E8: the copy-on-write bubble-up cost grows with tree depth, not file width.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use afs_core::{FileService, PagePath};
+
+fn build_tree(service: &FileService, file: &afs_core::Capability, depth: usize, fanout: usize) -> PagePath {
+    let v = service.create_version(file).unwrap();
+    let mut frontier = vec![PagePath::root()];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for parent in &frontier {
+            for _ in 0..fanout {
+                next.push(service.append_page(&v, parent, Bytes::from_static(b"node")).unwrap());
+            }
+        }
+        frontier = next;
+    }
+    service.commit(&v).unwrap();
+    frontier.into_iter().next().unwrap()
+}
+
+fn bench_cow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cow_leaf_update");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (depth, fanout) in [(1usize, 8usize), (2, 8), (3, 8), (2, 32)] {
+        group.bench_function(format!("depth{depth}_fanout{fanout}"), |b| {
+            let service = FileService::in_memory();
+            let file = service.create_file().unwrap();
+            let leaf = build_tree(&service, &file, depth, fanout);
+            b.iter(|| {
+                let v = service.create_version(&file).unwrap();
+                service.write_page(&v, &leaf, Bytes::from_static(b"updated")).unwrap();
+                service.commit(&v).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cow);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E1: optimistic concurrency control vs two-phase locking vs timestamp ordering on
+//! the same low-conflict workload.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use afs_baselines::{AmoebaAdapter, ConcurrencyControl, TimestampOrderingServer, TwoPhaseLockingServer};
+use afs_sim::{run_workload, RunConfig};
+use afs_workload::MixConfig;
+
+fn config() -> RunConfig {
+    RunConfig {
+        clients: 4,
+        transactions_per_client: 25,
+        max_retries: 10_000,
+        mix: MixConfig {
+            files: 1,
+            pages_per_file: 128,
+            reads_per_tx: 1,
+            writes_per_tx: 1,
+            payload: 128,
+            ..MixConfig::default()
+        },
+    }
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("occ_vs_locking");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("amoeba_occ", |b| {
+        b.iter(|| {
+            let cc = AmoebaAdapter::in_memory();
+            run_workload(&cc, &config())
+        })
+    });
+    group.bench_function("two_phase_locking", |b| {
+        b.iter(|| {
+            let cc = TwoPhaseLockingServer::in_memory();
+            run_workload(&cc, &config())
+        })
+    });
+    group.bench_function("timestamp_ordering", |b| {
+        b.iter(|| {
+            let cc = TimestampOrderingServer::in_memory();
+            run_workload(&cc, &config())
+        })
+    });
+    group.finish();
+
+    // Print the headline comparison once so `cargo bench` output carries the rows the
+    // paper's argument is about.
+    let occ = run_workload(&AmoebaAdapter::in_memory(), &config());
+    let tpl = run_workload(&TwoPhaseLockingServer::in_memory(), &config());
+    let ts = run_workload(&TimestampOrderingServer::in_memory(), &config());
+    for r in [occ, tpl, ts] {
+        println!(
+            "{:<20} throughput={:>9.1} tx/s aborts/commit={:.3}",
+            r.mechanism,
+            r.throughput(),
+            r.abort_ratio()
+        );
+    }
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E9: the Bauer principle — a one-page temporary file pays (almost) nothing for the
+//! concurrency-control machinery.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use afs_bench::committed_file;
+use afs_core::{FileService, PagePath};
+
+fn bench_one_page(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_page_files");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // The compiler temporary: write one 16 KiB page into a private file and commit.
+    group.bench_function("compiler_temp_write_commit", |b| {
+        let service = FileService::in_memory();
+        let payload = Bytes::from(vec![0x42u8; 16 * 1024]);
+        b.iter(|| {
+            let file = service.create_file().unwrap();
+            let v = service.create_version(&file).unwrap();
+            service.write_page(&v, &PagePath::root(), payload.clone()).unwrap();
+            service.commit(&v).unwrap();
+        });
+    });
+
+    // For contrast: the same data written as a page of a large, long-lived file.
+    group.bench_function("page_update_in_large_file", |b| {
+        let service = FileService::in_memory();
+        let (file, paths) = committed_file(&service, 256, 128);
+        let payload = Bytes::from(vec![0x42u8; 16 * 1024]);
+        b.iter(|| {
+            let v = service.create_version(&file).unwrap();
+            service.write_page(&v, &paths[7], payload.clone()).unwrap();
+            service.commit(&v).unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_page);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! F3: encoding/decoding the page layout of Fig. 3, including the packed 28+4-bit
+//! references.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use afs_core::{Page, PageFlags, PageRef};
+
+fn sample_page(refs: usize, data: usize) -> Page {
+    let mut page = Page::leaf(Bytes::from(vec![0xabu8; data]));
+    for i in 0..refs {
+        page.push_ref(PageRef {
+            block: i as u32,
+            flags: if i % 3 == 0 {
+                PageFlags {
+                    copied: true,
+                    written: true,
+                    ..PageFlags::CLEAR
+                }
+            } else {
+                PageFlags::CLEAR
+            },
+        })
+        .unwrap();
+    }
+    page
+}
+
+fn bench_page_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_codec");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for (refs, data) in [(0usize, 1024usize), (64, 4096), (512, 32 * 1024)] {
+        let page = sample_page(refs, data);
+        let encoded = page.encode().unwrap();
+        group.bench_function(format!("encode_refs{refs}_data{data}"), |b| {
+            b.iter(|| page.encode().unwrap())
+        });
+        group.bench_function(format!("decode_refs{refs}_data{data}"), |b| {
+            b.iter_batched(|| encoded.clone(), |raw| Page::decode(raw).unwrap(), BatchSize::SmallInput)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_page_codec);
+criterion_main!(benches);

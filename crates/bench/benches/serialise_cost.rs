@@ -1,0 +1,42 @@
+//! E2: the serialisability test's cost is proportional to what the updates touched,
+//! not to the size of the file.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use afs_bench::committed_file;
+use afs_core::FileService;
+
+fn bench_serialise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialise_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for file_pages in [64u16, 1024] {
+        for touched in [1usize, 16] {
+            group.bench_function(
+                format!("file{file_pages}_touched{touched}"),
+                |b| {
+                    let service = FileService::in_memory();
+                    let (file, paths) = committed_file(&service, file_pages, 64);
+                    b.iter(|| {
+                        let loser = service.create_version(&file).unwrap();
+                        for p in paths.iter().take(touched) {
+                            service.write_page(&loser, p, Bytes::from_static(b"l")).unwrap();
+                        }
+                        let winner = service.create_version(&file).unwrap();
+                        for p in paths.iter().rev().take(touched) {
+                            service.write_page(&winner, p, Bytes::from_static(b"w")).unwrap();
+                        }
+                        service.commit(&winner).unwrap();
+                        service.commit(&loser).unwrap();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialise);
+criterion_main!(benches);

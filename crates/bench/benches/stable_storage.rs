@@ -1,0 +1,39 @@
+//! E7: write cost of the replicated block-storage schemes of §4.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use amoeba_block::{BlockStore, CompanionPair, MemStore, StableStore};
+
+fn bench_stable_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_storage_write");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    let payload = Bytes::from(vec![0x5au8; 4096]);
+
+    group.bench_function("single_disk", |b| {
+        let disk = MemStore::new();
+        let nr = disk.allocate().unwrap();
+        b.iter(|| disk.write(nr, payload.clone()).unwrap());
+    });
+
+    group.bench_function("lampson_sturgis_two_disks", |b| {
+        let stable = StableStore::new(MemStore::new(), MemStore::new());
+        let nr = stable.allocate().unwrap();
+        b.iter(|| stable.write(nr, payload.clone()).unwrap());
+    });
+
+    group.bench_function("companion_pair_two_servers", |b| {
+        let pair = CompanionPair::new(Arc::new(MemStore::new()), Arc::new(MemStore::new()));
+        let handle = pair.handle(0);
+        let nr = handle.allocate_and_write(payload.clone()).unwrap();
+        b.iter(|| handle.write(nr, payload.clone()).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stable_storage);
+criterion_main!(benches);

@@ -1,0 +1,283 @@
+//! Fault injection for block stores.
+//!
+//! The paper's robustness story (§4, §5.4.1) is about what happens when disks and
+//! servers crash.  We cannot crash 1985 Winchester drives, so [`FaultyStore`] wraps
+//! any [`BlockStore`] and injects the failure modes the paper reasons about:
+//!
+//! * **crash** — the store stops accepting requests ([`BlockError::Crashed`]), as if
+//!   the disk or its server went away;
+//! * **corruption** — a specific block starts failing its integrity check, "magnetic
+//!   disks do not usually lose their information in a crash, but it does happen
+//!   occasionally";
+//! * **torn writes** — a write is acknowledged as failed but the old contents remain
+//!   (the atomicity guarantee holds; the failure is visible);
+//! * **random write failures** — every write fails with a given probability, to test
+//!   retry logic in the stable-storage and file-service layers.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::store::{BlockStore, StoreStats};
+use crate::{BlockError, BlockNr, Result};
+
+/// Probability-driven fault configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability in [0, 1] that any individual write fails (after applying it not at
+    /// all — the block keeps its previous contents).
+    pub write_failure_prob: f64,
+    /// Probability in [0, 1] that any individual read fails transiently.
+    pub read_failure_prob: f64,
+    /// RNG seed so experiments are reproducible.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            write_failure_prob: 0.0,
+            read_failure_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A [`BlockStore`] wrapper that injects crashes, corruption and transient failures.
+#[derive(Debug)]
+pub struct FaultyStore<S> {
+    inner: S,
+    crashed: AtomicBool,
+    corrupted: Mutex<HashSet<BlockNr>>,
+    plan: Mutex<FaultPlan>,
+    rng: Mutex<StdRng>,
+    injected_read_failures: AtomicU64,
+    injected_write_failures: AtomicU64,
+}
+
+impl<S: BlockStore> FaultyStore<S> {
+    /// Wraps `inner` with no faults configured.
+    pub fn new(inner: S) -> Self {
+        Self::with_plan(inner, FaultPlan::default())
+    }
+
+    /// Wraps `inner` with the given fault plan.
+    pub fn with_plan(inner: S, plan: FaultPlan) -> Self {
+        FaultyStore {
+            inner,
+            crashed: AtomicBool::new(false),
+            corrupted: Mutex::new(HashSet::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(plan.seed)),
+            plan: Mutex::new(plan),
+            injected_read_failures: AtomicU64::new(0),
+            injected_write_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Simulates the disk (or its server) crashing: every subsequent operation fails
+    /// with [`BlockError::Crashed`] until [`FaultyStore::recover`] is called.
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+    }
+
+    /// Brings the store back after a crash.  Data written before the crash is intact
+    /// (the paper's model: disks usually keep their contents, they are just
+    /// temporarily inaccessible).
+    pub fn recover(&self) {
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Returns true if the store is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Marks a block as corrupted: reads of it will fail with
+    /// [`BlockError::Corrupted`] until it is rewritten.
+    pub fn corrupt(&self, nr: BlockNr) {
+        self.corrupted.lock().insert(nr);
+    }
+
+    /// Replaces the fault plan.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.rng.lock() = StdRng::seed_from_u64(plan.seed);
+        *self.plan.lock() = plan;
+    }
+
+    /// Number of reads that were failed artificially.
+    pub fn injected_read_failures(&self) -> u64 {
+        self.injected_read_failures.load(Ordering::Relaxed)
+    }
+
+    /// Number of writes that were failed artificially.
+    pub fn injected_write_failures(&self) -> u64 {
+        self.injected_write_failures.load(Ordering::Relaxed)
+    }
+
+    /// Returns a reference to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn check_crashed(&self) -> Result<()> {
+        if self.is_crashed() {
+            Err(BlockError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn roll(&self, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        self.rng.lock().gen_bool(prob.min(1.0))
+    }
+}
+
+impl<S: BlockStore> BlockStore for FaultyStore<S> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn allocate(&self) -> Result<BlockNr> {
+        self.check_crashed()?;
+        self.inner.allocate()
+    }
+
+    fn allocate_at(&self, nr: BlockNr) -> Result<()> {
+        self.check_crashed()?;
+        self.inner.allocate_at(nr)
+    }
+
+    fn free(&self, nr: BlockNr) -> Result<()> {
+        self.check_crashed()?;
+        self.inner.free(nr)
+    }
+
+    fn read(&self, nr: BlockNr) -> Result<Bytes> {
+        self.check_crashed()?;
+        if self.corrupted.lock().contains(&nr) {
+            return Err(BlockError::Corrupted(nr));
+        }
+        let prob = self.plan.lock().read_failure_prob;
+        if self.roll(prob) {
+            self.injected_read_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(BlockError::Io("injected transient read failure".into()));
+        }
+        self.inner.read(nr)
+    }
+
+    fn write(&self, nr: BlockNr, data: Bytes) -> Result<()> {
+        self.check_crashed()?;
+        let prob = self.plan.lock().write_failure_prob;
+        if self.roll(prob) {
+            self.injected_write_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(BlockError::Io("injected transient write failure".into()));
+        }
+        let result = self.inner.write(nr, data);
+        if result.is_ok() {
+            // A successful rewrite heals earlier corruption.
+            self.corrupted.lock().remove(&nr);
+        }
+        result
+    }
+
+    fn is_allocated(&self, nr: BlockNr) -> bool {
+        !self.is_crashed() && self.inner.is_allocated(nr)
+    }
+
+    fn allocated_count(&self) -> usize {
+        self.inner.allocated_count()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn allocated_blocks(&self) -> Vec<BlockNr> {
+        self.inner.allocated_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    #[test]
+    fn crash_blocks_all_operations_until_recovery() {
+        let store = FaultyStore::new(MemStore::new());
+        let nr = store.allocate().unwrap();
+        store.write(nr, Bytes::from_static(b"x")).unwrap();
+        store.crash();
+        assert_eq!(store.read(nr), Err(BlockError::Crashed));
+        assert_eq!(store.allocate(), Err(BlockError::Crashed));
+        assert!(!store.is_allocated(nr));
+        store.recover();
+        // Data survives the crash.
+        assert_eq!(store.read(nr).unwrap(), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn corruption_is_visible_until_rewrite() {
+        let store = FaultyStore::new(MemStore::new());
+        let nr = store.allocate().unwrap();
+        store.write(nr, Bytes::from_static(b"good")).unwrap();
+        store.corrupt(nr);
+        assert_eq!(store.read(nr), Err(BlockError::Corrupted(nr)));
+        store.write(nr, Bytes::from_static(b"fresh")).unwrap();
+        assert_eq!(store.read(nr).unwrap(), Bytes::from_static(b"fresh"));
+    }
+
+    #[test]
+    fn injected_write_failures_leave_old_contents() {
+        let store = FaultyStore::with_plan(
+            MemStore::new(),
+            FaultPlan {
+                write_failure_prob: 1.0,
+                read_failure_prob: 0.0,
+                seed: 1,
+            },
+        );
+        let nr = store.allocate().unwrap();
+        assert!(store.write(nr, Bytes::from_static(b"never lands")).is_err());
+        assert_eq!(store.read(nr).unwrap(), Bytes::new());
+        assert_eq!(store.injected_write_failures(), 1);
+    }
+
+    #[test]
+    fn fault_probabilities_are_respected_roughly() {
+        let store = FaultyStore::with_plan(
+            MemStore::new(),
+            FaultPlan {
+                write_failure_prob: 0.5,
+                read_failure_prob: 0.0,
+                seed: 42,
+            },
+        );
+        let nr = store.allocate().unwrap();
+        let mut failures = 0;
+        for _ in 0..200 {
+            if store.write(nr, Bytes::from_static(b"d")).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 50 && failures < 150, "got {failures} failures out of 200");
+    }
+
+    #[test]
+    fn zero_probability_plan_injects_nothing() {
+        let store = FaultyStore::new(MemStore::new());
+        let nr = store.allocate().unwrap();
+        for _ in 0..100 {
+            store.write(nr, Bytes::from_static(b"d")).unwrap();
+        }
+        assert_eq!(store.injected_write_failures(), 0);
+        assert_eq!(store.injected_read_failures(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Write-once block store: the "optical disk" of §6.
+//!
+//! The paper argues that the version mechanism makes the Amoeba File Service
+//! "eminently suitable for a file system on write-once media, such as optical disks",
+//! because committed pages are never overwritten — only the version page at the very
+//! top is updated in place, and that page lives on magnetic media.
+//!
+//! [`WriteOnceStore`] wraps any [`BlockStore`] and enforces write-once semantics:
+//! a block may be written exactly once after allocation; later writes fail with
+//! [`BlockError::WriteOnce`].  Frees do not reclaim space (the medium cannot be
+//! erased); they only mark the block as logically dead so the space-accounting
+//! experiment (E14) can report how much of the medium is garbage.
+
+use std::collections::HashSet;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::store::{BlockStore, StoreStats};
+use crate::{BlockError, BlockNr, Result};
+
+/// A wrapper enforcing write-once-read-many semantics over an inner store.
+#[derive(Debug)]
+pub struct WriteOnceStore<S> {
+    inner: S,
+    written: Mutex<HashSet<BlockNr>>,
+    dead: Mutex<HashSet<BlockNr>>,
+}
+
+impl<S: BlockStore> WriteOnceStore<S> {
+    /// Wraps `inner` as write-once media.
+    pub fn new(inner: S) -> Self {
+        WriteOnceStore {
+            inner,
+            written: Mutex::new(HashSet::new()),
+            dead: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Number of blocks that were written and later freed: unreclaimable garbage on
+    /// the write-once medium.
+    pub fn dead_blocks(&self) -> usize {
+        self.dead.lock().len()
+    }
+
+    /// Number of blocks ever written to the medium.
+    pub fn written_blocks(&self) -> usize {
+        self.written.lock().len()
+    }
+
+    /// Returns a reference to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: BlockStore> BlockStore for WriteOnceStore<S> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn allocate(&self) -> Result<BlockNr> {
+        self.inner.allocate()
+    }
+
+    fn allocate_at(&self, nr: BlockNr) -> Result<()> {
+        self.inner.allocate_at(nr)
+    }
+
+    fn free(&self, nr: BlockNr) -> Result<()> {
+        // The medium cannot reclaim the space; record the block as dead but keep the
+        // data (a real optical jukebox would too).
+        if self.written.lock().contains(&nr) {
+            self.dead.lock().insert(nr);
+            Ok(())
+        } else {
+            self.inner.free(nr)
+        }
+    }
+
+    fn read(&self, nr: BlockNr) -> Result<Bytes> {
+        self.inner.read(nr)
+    }
+
+    fn write(&self, nr: BlockNr, data: Bytes) -> Result<()> {
+        {
+            let mut written = self.written.lock();
+            if written.contains(&nr) {
+                return Err(BlockError::WriteOnce(nr));
+            }
+            // Reserve the write slot before performing it so concurrent writers to the
+            // same block cannot both succeed.
+            written.insert(nr);
+        }
+        match self.inner.write(nr, data) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.written.lock().remove(&nr);
+                Err(e)
+            }
+        }
+    }
+
+    fn is_allocated(&self, nr: BlockNr) -> bool {
+        self.inner.is_allocated(nr)
+    }
+
+    fn allocated_count(&self) -> usize {
+        self.inner.allocated_count()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn allocated_blocks(&self) -> Vec<BlockNr> {
+        self.inner.allocated_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    #[test]
+    fn first_write_succeeds_second_fails() {
+        let store = WriteOnceStore::new(MemStore::new());
+        let nr = store.allocate().unwrap();
+        store.write(nr, Bytes::from_static(b"burned")).unwrap();
+        assert_eq!(
+            store.write(nr, Bytes::from_static(b"again")),
+            Err(BlockError::WriteOnce(nr))
+        );
+        assert_eq!(store.read(nr).unwrap(), Bytes::from_static(b"burned"));
+    }
+
+    #[test]
+    fn failed_write_does_not_burn_the_slot() {
+        let store = WriteOnceStore::new(MemStore::with_block_size(4));
+        let nr = store.allocate().unwrap();
+        assert!(store.write(nr, Bytes::from(vec![0u8; 10])).is_err());
+        // The oversized write failed, so a correct one may still proceed.
+        store.write(nr, Bytes::from_static(b"ok")).unwrap();
+    }
+
+    #[test]
+    fn free_of_written_block_marks_it_dead_but_keeps_data() {
+        let store = WriteOnceStore::new(MemStore::new());
+        let nr = store.allocate().unwrap();
+        store.write(nr, Bytes::from_static(b"old version")).unwrap();
+        store.free(nr).unwrap();
+        assert_eq!(store.dead_blocks(), 1);
+        // Data is still on the medium.
+        assert_eq!(store.read(nr).unwrap(), Bytes::from_static(b"old version"));
+    }
+
+    #[test]
+    fn free_of_never_written_block_passes_through() {
+        let store = WriteOnceStore::new(MemStore::new());
+        let nr = store.allocate().unwrap();
+        store.free(nr).unwrap();
+        assert!(!store.is_allocated(nr));
+        assert_eq!(store.dead_blocks(), 0);
+    }
+
+    #[test]
+    fn written_block_count_accumulates() {
+        let store = WriteOnceStore::new(MemStore::new());
+        for i in 0..5 {
+            let nr = store.allocate().unwrap();
+            store.write(nr, Bytes::from(vec![i as u8])).unwrap();
+        }
+        assert_eq!(store.written_blocks(), 5);
+    }
+}

@@ -1,0 +1,649 @@
+//! Stable storage (§4).
+//!
+//! Two schemes are implemented:
+//!
+//! 1. [`StableStore`] — Lampson & Sturgis' original design: **one server, two disks**.
+//!    Every logical block has a copy on each disk; a *careful write* updates disk 0
+//!    first and disk 1 second, and a read is served from disk 0 unless it is corrupted
+//!    or missing, in which case disk 1 is consulted.  After a crash, [`StableStore::scrub`]
+//!    compares the two disks and repairs any difference.
+//!
+//! 2. [`CompanionPair`] — the paper's proposed modification: **two servers, each with
+//!    its own disk**.  An allocate-or-write request arriving at server *A* is first
+//!    forwarded to the companion server *B*, which writes the block on its disk and
+//!    acknowledges; only then does *A* write its own copy and acknowledge the client.
+//!    Reads can be served by either server from its local disk.  Because a write
+//!    always lands on the *companion* disk first, two clients that simultaneously
+//!    allocate the same block number (an *allocate collision*) or write the same block
+//!    (a *write collision*) through different servers are detected "before any damage
+//!    is done", and one of them is told to retry.  When one server crashes, the
+//!    survivor keeps an *intentions list* of the writes its companion missed and
+//!    replays it when the companion comes back; the recovering server "compares notes"
+//!    before accepting requests again.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::store::{BlockStore, StoreStats};
+use crate::{BlockError, BlockNr, Result};
+
+// ---------------------------------------------------------------------------
+// Lampson & Sturgis: one server, two disks.
+// ---------------------------------------------------------------------------
+
+/// Stable storage over two disks managed by a single server (Lampson & Sturgis 1979).
+pub struct StableStore<S> {
+    disks: [S; 2],
+    /// Count of reads that had to fall back to the second disk.
+    fallback_reads: AtomicU64,
+    /// Count of blocks repaired by [`StableStore::scrub`].
+    repaired: AtomicU64,
+}
+
+impl<S: BlockStore> StableStore<S> {
+    /// Creates a stable store over two (ideally independent) disks.
+    pub fn new(primary: S, secondary: S) -> Self {
+        StableStore {
+            disks: [primary, secondary],
+            fallback_reads: AtomicU64::new(0),
+            repaired: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of reads served from the secondary disk because the primary failed.
+    pub fn fallback_reads(&self) -> u64 {
+        self.fallback_reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of blocks repaired by scrubbing.
+    pub fn repaired_blocks(&self) -> u64 {
+        self.repaired.load(Ordering::Relaxed)
+    }
+
+    /// Access to the individual disks (for fault injection in tests and benches).
+    pub fn disk(&self, idx: usize) -> &S {
+        &self.disks[idx]
+    }
+
+    /// The crash-recovery pass: for every block allocated on either disk, make both
+    /// disks agree.  The primary's contents win when both copies are readable (it is
+    /// written first, so it is at least as new as the secondary); an unreadable copy
+    /// is replaced by the readable one.
+    pub fn scrub(&self) -> Result<usize> {
+        let mut blocks: HashSet<BlockNr> = self.disks[0].allocated_blocks().into_iter().collect();
+        blocks.extend(self.disks[1].allocated_blocks());
+        let mut repaired = 0usize;
+        for nr in blocks {
+            let primary = self.disks[0].read(nr);
+            let secondary = self.disks[1].read(nr);
+            match (primary, secondary) {
+                (Ok(p), Ok(s)) => {
+                    if p != s {
+                        self.disks[1].write(nr, p)?;
+                        repaired += 1;
+                    }
+                }
+                (Ok(p), Err(_)) => {
+                    if !self.disks[1].is_allocated(nr) {
+                        self.disks[1].allocate_at(nr)?;
+                    }
+                    self.disks[1].write(nr, p)?;
+                    repaired += 1;
+                }
+                (Err(_), Ok(s)) => {
+                    if !self.disks[0].is_allocated(nr) {
+                        self.disks[0].allocate_at(nr)?;
+                    }
+                    self.disks[0].write(nr, s)?;
+                    repaired += 1;
+                }
+                (Err(e), Err(_)) => return Err(e),
+            }
+        }
+        self.repaired.fetch_add(repaired as u64, Ordering::Relaxed);
+        Ok(repaired)
+    }
+}
+
+impl<S: BlockStore> BlockStore for StableStore<S> {
+    fn block_size(&self) -> usize {
+        self.disks[0].block_size()
+    }
+
+    fn allocate(&self) -> Result<BlockNr> {
+        let nr = self.disks[0].allocate()?;
+        match self.disks[1].allocate_at(nr) {
+            Ok(()) => Ok(nr),
+            Err(e) => {
+                let _ = self.disks[0].free(nr);
+                Err(e)
+            }
+        }
+    }
+
+    fn allocate_at(&self, nr: BlockNr) -> Result<()> {
+        self.disks[0].allocate_at(nr)?;
+        match self.disks[1].allocate_at(nr) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = self.disks[0].free(nr);
+                Err(e)
+            }
+        }
+    }
+
+    fn free(&self, nr: BlockNr) -> Result<()> {
+        self.disks[0].free(nr)?;
+        self.disks[1].free(nr)
+    }
+
+    fn read(&self, nr: BlockNr) -> Result<Bytes> {
+        match self.disks[0].read(nr) {
+            Ok(data) => Ok(data),
+            Err(_) => {
+                self.fallback_reads.fetch_add(1, Ordering::Relaxed);
+                self.disks[1].read(nr)
+            }
+        }
+    }
+
+    fn write(&self, nr: BlockNr, data: Bytes) -> Result<()> {
+        // Careful write: primary first, then secondary.
+        self.disks[0].write(nr, data.clone())?;
+        self.disks[1].write(nr, data)
+    }
+
+    fn is_allocated(&self, nr: BlockNr) -> bool {
+        self.disks[0].is_allocated(nr) || self.disks[1].is_allocated(nr)
+    }
+
+    fn allocated_count(&self) -> usize {
+        self.disks[0].allocated_count()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.disks[0].stats()
+    }
+
+    fn allocated_blocks(&self) -> Vec<BlockNr> {
+        self.disks[0].allocated_blocks()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's scheme: two servers, two disks.
+// ---------------------------------------------------------------------------
+
+/// A pending write recorded for a crashed companion.
+#[derive(Debug, Clone)]
+struct Intention {
+    nr: BlockNr,
+    data: Bytes,
+    free: bool,
+}
+
+#[derive(Debug, Default)]
+struct NodeState {
+    /// Writes the other node missed while it was crashed.
+    intentions_for_companion: Vec<Intention>,
+    /// Blocks with a companion-write currently in flight through *this* node,
+    /// used to detect write collisions.
+    in_flight: HashSet<BlockNr>,
+}
+
+struct Node {
+    store: Arc<dyn BlockStore>,
+    crashed: AtomicBool,
+    state: Mutex<NodeState>,
+}
+
+impl Node {
+    fn new(store: Arc<dyn BlockStore>) -> Self {
+        Node {
+            store,
+            crashed: AtomicBool::new(false),
+            state: Mutex::new(NodeState::default()),
+        }
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+}
+
+/// Statistics kept by a [`CompanionPair`] for experiment E7.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CompanionStats {
+    /// Writes that had to be queued on an intentions list because the companion was
+    /// down.
+    pub intentions_recorded: u64,
+    /// Allocate collisions detected.
+    pub allocate_collisions: u64,
+    /// Write collisions detected.
+    pub write_collisions: u64,
+    /// Requests served while running in degraded (single-server) mode.
+    pub degraded_writes: u64,
+}
+
+/// The paper's dual-server stable storage: each block is stored by two servers on two
+/// different disks.
+pub struct CompanionPair {
+    nodes: [Node; 2],
+    stats: Mutex<CompanionStats>,
+}
+
+impl CompanionPair {
+    /// Creates a pair of companion block servers over the two given disks.
+    pub fn new(disk_a: Arc<dyn BlockStore>, disk_b: Arc<dyn BlockStore>) -> Arc<Self> {
+        Arc::new(CompanionPair {
+            nodes: [Node::new(disk_a), Node::new(disk_b)],
+            stats: Mutex::new(CompanionStats::default()),
+        })
+    }
+
+    /// Returns accumulated collision / degraded-mode statistics.
+    pub fn stats(&self) -> CompanionStats {
+        *self.stats.lock()
+    }
+
+    /// Crashes server `idx` (0 or 1).  Its disk keeps its contents but the server
+    /// stops responding; clients fail over to the companion.
+    pub fn crash(&self, idx: usize) {
+        self.nodes[idx].crashed.store(true, Ordering::SeqCst);
+    }
+
+    /// Restarts server `idx`: before accepting requests it "compares notes with its
+    /// companion": the companion's intentions list is replayed onto the recovering
+    /// server's disk.  Returns the number of blocks brought up to date.
+    pub fn recover(&self, idx: usize) -> Result<usize> {
+        let other = 1 - idx;
+        let intentions: Vec<Intention> = {
+            let mut state = self.nodes[other].state.lock();
+            std::mem::take(&mut state.intentions_for_companion)
+        };
+        let mut applied = 0usize;
+        for intent in intentions {
+            let store = &self.nodes[idx].store;
+            if intent.free {
+                if store.is_allocated(intent.nr) {
+                    store.free(intent.nr)?;
+                }
+            } else {
+                if !store.is_allocated(intent.nr) {
+                    store.allocate_at(intent.nr)?;
+                }
+                store.write(intent.nr, intent.data)?;
+            }
+            applied += 1;
+        }
+        self.nodes[idx].crashed.store(false, Ordering::SeqCst);
+        Ok(applied)
+    }
+
+    /// Returns true if server `idx` is currently crashed.
+    pub fn is_crashed(&self, idx: usize) -> bool {
+        self.nodes[idx].is_crashed()
+    }
+
+    /// Client entry point: obtain a handle that talks to `primary` first and fails
+    /// over to the other server when the primary does not respond.
+    pub fn handle(self: &Arc<Self>, primary: usize) -> CompanionHandle {
+        CompanionHandle {
+            pair: Arc::clone(self),
+            primary,
+        }
+    }
+
+    /// Allocate-and-write through server `via`, following the §4 message exchange:
+    /// the receiving server chooses a block number, the *companion* writes first, then
+    /// the receiving server writes locally and acknowledges.
+    pub fn allocate_and_write_via(&self, via: usize, data: Bytes) -> Result<BlockNr> {
+        if self.nodes[via].is_crashed() {
+            return Err(BlockError::Crashed);
+        }
+        let other = 1 - via;
+        let nr = self.nodes[via].store.allocate()?;
+        // Forward to the companion first.
+        if self.nodes[other].is_crashed() {
+            // Degraded mode: remember what the companion missed.
+            let mut state = self.nodes[via].state.lock();
+            state.intentions_for_companion.push(Intention {
+                nr,
+                data: data.clone(),
+                free: false,
+            });
+            let mut stats = self.stats.lock();
+            stats.intentions_recorded += 1;
+            stats.degraded_writes += 1;
+        } else {
+            match self.nodes[other].store.allocate_at(nr) {
+                Ok(()) => {}
+                Err(BlockError::AlreadyAllocated(_)) => {
+                    // Allocate collision: another client allocated the same number via
+                    // the companion.  Undo our local allocation and tell the client to
+                    // retry (after a random wait, per the paper).
+                    self.stats.lock().allocate_collisions += 1;
+                    let _ = self.nodes[via].store.free(nr);
+                    return Err(BlockError::AlreadyAllocated(nr));
+                }
+                Err(e) => {
+                    let _ = self.nodes[via].store.free(nr);
+                    return Err(e);
+                }
+            }
+            self.nodes[other].store.write(nr, data.clone())?;
+        }
+        // Finally write locally and acknowledge.
+        self.nodes[via].store.write(nr, data)?;
+        Ok(nr)
+    }
+
+    /// Write an existing block through server `via` (companion disk first).
+    pub fn write_via(&self, via: usize, nr: BlockNr, data: Bytes) -> Result<()> {
+        if self.nodes[via].is_crashed() {
+            return Err(BlockError::Crashed);
+        }
+        let other = 1 - via;
+        if self.nodes[other].is_crashed() {
+            let mut state = self.nodes[via].state.lock();
+            state.intentions_for_companion.push(Intention {
+                nr,
+                data: data.clone(),
+                free: false,
+            });
+            let mut stats = self.stats.lock();
+            stats.intentions_recorded += 1;
+            stats.degraded_writes += 1;
+        } else {
+            // Write collision detection: if the companion already has an in-flight
+            // write for this block that originated on *its* side, the two writes are
+            // racing through different servers.
+            {
+                let mut other_state = self.nodes[other].state.lock();
+                if other_state.in_flight.contains(&nr) {
+                    self.stats.lock().write_collisions += 1;
+                    return Err(BlockError::WriteCollision(nr));
+                }
+                other_state.in_flight.insert(nr);
+            }
+            let companion_result = if self.nodes[other].store.is_allocated(nr) {
+                self.nodes[other].store.write(nr, data.clone())
+            } else {
+                self.nodes[other]
+                    .store
+                    .allocate_at(nr)
+                    .and_then(|()| self.nodes[other].store.write(nr, data.clone()))
+            };
+            self.nodes[other].state.lock().in_flight.remove(&nr);
+            companion_result?;
+        }
+        if !self.nodes[via].store.is_allocated(nr) {
+            self.nodes[via].store.allocate_at(nr)?;
+        }
+        self.nodes[via].store.write(nr, data)
+    }
+
+    /// Read a block from server `via`'s local disk; the companion is only consulted
+    /// when the local copy is corrupted.
+    pub fn read_via(&self, via: usize, nr: BlockNr) -> Result<Bytes> {
+        if self.nodes[via].is_crashed() {
+            return Err(BlockError::Crashed);
+        }
+        match self.nodes[via].store.read(nr) {
+            Ok(data) => Ok(data),
+            Err(BlockError::Corrupted(_)) | Err(BlockError::NoSuchBlock(_)) => {
+                let other = 1 - via;
+                if self.nodes[other].is_crashed() {
+                    return Err(BlockError::Crashed);
+                }
+                self.nodes[other].store.read(nr)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Free a block through server `via` (applied to both disks, or queued for a
+    /// crashed companion).
+    pub fn free_via(&self, via: usize, nr: BlockNr) -> Result<()> {
+        if self.nodes[via].is_crashed() {
+            return Err(BlockError::Crashed);
+        }
+        let other = 1 - via;
+        if self.nodes[other].is_crashed() {
+            let mut state = self.nodes[via].state.lock();
+            state.intentions_for_companion.push(Intention {
+                nr,
+                data: Bytes::new(),
+                free: true,
+            });
+            self.stats.lock().intentions_recorded += 1;
+        } else if self.nodes[other].store.is_allocated(nr) {
+            self.nodes[other].store.free(nr)?;
+        }
+        self.nodes[via].store.free(nr)
+    }
+
+    /// Direct access to a node's disk for test assertions.
+    pub fn disk(&self, idx: usize) -> &Arc<dyn BlockStore> {
+        &self.nodes[idx].store
+    }
+}
+
+/// A client-side handle to a [`CompanionPair`]: sends requests to its preferred server
+/// and fails over to the alternative when the primary does not respond (§4: "clients
+/// send requests to the alternative block server if the primary fails to respond").
+#[derive(Clone)]
+pub struct CompanionHandle {
+    pair: Arc<CompanionPair>,
+    primary: usize,
+}
+
+impl CompanionHandle {
+    fn order(&self) -> [usize; 2] {
+        [self.primary, 1 - self.primary]
+    }
+
+    /// Allocates a block and writes its initial contents, failing over if needed.
+    pub fn allocate_and_write(&self, data: Bytes) -> Result<BlockNr> {
+        let mut last = BlockError::Crashed;
+        for via in self.order() {
+            match self.pair.allocate_and_write_via(via, data.clone()) {
+                Ok(nr) => return Ok(nr),
+                Err(BlockError::Crashed) => last = BlockError::Crashed,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Writes a block, failing over if needed.
+    pub fn write(&self, nr: BlockNr, data: Bytes) -> Result<()> {
+        let mut last = BlockError::Crashed;
+        for via in self.order() {
+            match self.pair.write_via(via, nr, data.clone()) {
+                Ok(()) => return Ok(()),
+                Err(BlockError::Crashed) => last = BlockError::Crashed,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Reads a block, failing over if needed.
+    pub fn read(&self, nr: BlockNr) -> Result<Bytes> {
+        let mut last = BlockError::Crashed;
+        for via in self.order() {
+            match self.pair.read_via(via, nr) {
+                Ok(data) => return Ok(data),
+                Err(BlockError::Crashed) => last = BlockError::Crashed,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Frees a block, failing over if needed.
+    pub fn free(&self, nr: BlockNr) -> Result<()> {
+        let mut last = BlockError::Crashed;
+        for via in self.order() {
+            match self.pair.free_via(via, nr) {
+                Ok(()) => return Ok(()),
+                Err(BlockError::Crashed) => last = BlockError::Crashed,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultyStore, MemStore};
+
+    fn mem_pair() -> Arc<CompanionPair> {
+        CompanionPair::new(Arc::new(MemStore::new()), Arc::new(MemStore::new()))
+    }
+
+    // --- StableStore (Lampson & Sturgis) ---
+
+    #[test]
+    fn stable_store_writes_to_both_disks() {
+        let stable = StableStore::new(MemStore::new(), MemStore::new());
+        let nr = stable.allocate().unwrap();
+        stable.write(nr, Bytes::from_static(b"both")).unwrap();
+        assert_eq!(stable.disk(0).read(nr).unwrap(), Bytes::from_static(b"both"));
+        assert_eq!(stable.disk(1).read(nr).unwrap(), Bytes::from_static(b"both"));
+    }
+
+    #[test]
+    fn stable_store_read_falls_back_to_second_disk() {
+        let stable = StableStore::new(
+            FaultyStore::new(MemStore::new()),
+            FaultyStore::new(MemStore::new()),
+        );
+        let nr = stable.allocate().unwrap();
+        stable.write(nr, Bytes::from_static(b"safe")).unwrap();
+        stable.disk(0).corrupt(nr);
+        assert_eq!(stable.read(nr).unwrap(), Bytes::from_static(b"safe"));
+        assert_eq!(stable.fallback_reads(), 1);
+    }
+
+    #[test]
+    fn stable_store_scrub_repairs_divergent_copies() {
+        let stable = StableStore::new(MemStore::new(), MemStore::new());
+        let nr = stable.allocate().unwrap();
+        stable.write(nr, Bytes::from_static(b"new")).unwrap();
+        // Simulate a crash between the two careful writes: the secondary is stale.
+        stable.disk(1).write(nr, Bytes::from_static(b"old")).unwrap();
+        let repaired = stable.scrub().unwrap();
+        assert_eq!(repaired, 1);
+        assert_eq!(stable.disk(1).read(nr).unwrap(), Bytes::from_static(b"new"));
+    }
+
+    // --- CompanionPair (the paper's scheme) ---
+
+    #[test]
+    fn companion_write_lands_on_both_disks() {
+        let pair = mem_pair();
+        let nr = pair.allocate_and_write_via(0, Bytes::from_static(b"data")).unwrap();
+        assert_eq!(pair.disk(0).read(nr).unwrap(), Bytes::from_static(b"data"));
+        assert_eq!(pair.disk(1).read(nr).unwrap(), Bytes::from_static(b"data"));
+    }
+
+    #[test]
+    fn reads_are_served_locally_by_either_server() {
+        let pair = mem_pair();
+        let nr = pair.allocate_and_write_via(0, Bytes::from_static(b"shared")).unwrap();
+        assert_eq!(pair.read_via(0, nr).unwrap(), Bytes::from_static(b"shared"));
+        assert_eq!(pair.read_via(1, nr).unwrap(), Bytes::from_static(b"shared"));
+    }
+
+    #[test]
+    fn crashed_primary_fails_over_to_companion() {
+        let pair = mem_pair();
+        let handle = pair.handle(0);
+        let nr = handle.allocate_and_write(Bytes::from_static(b"v1")).unwrap();
+        pair.crash(0);
+        // Reads and writes keep working through server 1.
+        assert_eq!(handle.read(nr).unwrap(), Bytes::from_static(b"v1"));
+        handle.write(nr, Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(handle.read(nr).unwrap(), Bytes::from_static(b"v2"));
+    }
+
+    #[test]
+    fn recovery_replays_the_intentions_list() {
+        let pair = mem_pair();
+        let handle = pair.handle(0);
+        let nr = handle.allocate_and_write(Bytes::from_static(b"before")).unwrap();
+        pair.crash(1);
+        handle.write(nr, Bytes::from_static(b"while-down")).unwrap();
+        let nr2 = handle.allocate_and_write(Bytes::from_static(b"new-block")).unwrap();
+        // Server 1's disk is stale until recovery.
+        assert_ne!(
+            pair.disk(1).read(nr).unwrap(),
+            Bytes::from_static(b"while-down")
+        );
+        let applied = pair.recover(1).unwrap();
+        assert_eq!(applied, 2);
+        assert_eq!(
+            pair.disk(1).read(nr).unwrap(),
+            Bytes::from_static(b"while-down")
+        );
+        assert_eq!(pair.disk(1).read(nr2).unwrap(), Bytes::from_static(b"new-block"));
+        assert!(pair.stats().intentions_recorded >= 2);
+    }
+
+    #[test]
+    fn allocate_collision_is_detected_and_reported() {
+        // Force a collision by pre-allocating the number server 0 will choose on
+        // server 1's disk directly (as if a concurrent client had raced us there).
+        let pair = mem_pair();
+        // Server 0's MemStore will hand out block 0 first.
+        pair.disk(1).allocate_at(0).unwrap();
+        let err = pair
+            .allocate_and_write_via(0, Bytes::from_static(b"clash"))
+            .unwrap_err();
+        assert_eq!(err, BlockError::AlreadyAllocated(0));
+        assert_eq!(pair.stats().allocate_collisions, 1);
+        // The local allocation was rolled back, so a retry picks a different number
+        // and succeeds.
+        let nr = pair
+            .allocate_and_write_via(0, Bytes::from_static(b"retry"))
+            .unwrap();
+        assert_eq!(pair.read_via(0, nr).unwrap(), Bytes::from_static(b"retry"));
+    }
+
+    #[test]
+    fn corrupted_local_copy_is_served_from_companion() {
+        let disk_a = Arc::new(FaultyStore::new(MemStore::new()));
+        let disk_b = Arc::new(FaultyStore::new(MemStore::new()));
+        let pair = CompanionPair::new(disk_a.clone(), disk_b);
+        let nr = pair.allocate_and_write_via(0, Bytes::from_static(b"ok")).unwrap();
+        disk_a.corrupt(nr);
+        assert_eq!(pair.read_via(0, nr).unwrap(), Bytes::from_static(b"ok"));
+    }
+
+    #[test]
+    fn free_through_one_server_frees_both_copies() {
+        let pair = mem_pair();
+        let nr = pair.allocate_and_write_via(0, Bytes::from_static(b"gone")).unwrap();
+        pair.free_via(1, nr).unwrap();
+        assert!(!pair.disk(0).is_allocated(nr));
+        assert!(!pair.disk(1).is_allocated(nr));
+    }
+
+    #[test]
+    fn both_servers_crashed_is_an_error() {
+        let pair = mem_pair();
+        let handle = pair.handle(0);
+        let nr = handle.allocate_and_write(Bytes::from_static(b"x")).unwrap();
+        pair.crash(0);
+        pair.crash(1);
+        assert_eq!(handle.read(nr), Err(BlockError::Crashed));
+    }
+}

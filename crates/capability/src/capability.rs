@@ -1,0 +1,126 @@
+//! The capability structure itself.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+use crate::{Port, Rights};
+
+/// Object number local to the issuing service.
+pub type ObjectId = u64;
+
+/// An Amoeba capability: the name of, and the right to operate on, one object.
+///
+/// Capabilities are handed out by the service that manages the object (see
+/// [`crate::Minter`]) and presented back to it on every request.  They can be copied
+/// and passed around freely; protection comes from the `check` field being
+/// unforgeable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Capability {
+    /// Put-port of the service managing the object.
+    pub port: Port,
+    /// Object number, local to the issuing service.
+    pub object: ObjectId,
+    /// Rights the holder of this capability has on the object.
+    pub rights: Rights,
+    /// Check field: `one_way(object_secret, rights)`.
+    pub check: u64,
+}
+
+/// Size of the wire encoding of a capability, in bytes.
+pub const WIRE_SIZE: usize = 8 + 8 + 1 + 8;
+
+impl Capability {
+    /// A capability that refers to nothing.  Services reject it.
+    pub fn null() -> Self {
+        Capability {
+            port: Port::NULL,
+            object: 0,
+            rights: Rights::NONE,
+            check: 0,
+        }
+    }
+
+    /// Returns true if this is the null capability.
+    pub fn is_null(&self) -> bool {
+        self.port.is_null() && self.object == 0 && self.check == 0
+    }
+
+    /// Serialises the capability into `buf` (fixed [`WIRE_SIZE`] bytes).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u64(self.port.raw());
+        buf.put_u64(self.object);
+        buf.put_u8(self.rights.bits());
+        buf.put_u64(self.check);
+    }
+
+    /// Deserialises a capability previously written by [`Capability::encode`].
+    ///
+    /// Returns `None` if the buffer is too short.
+    pub fn decode(buf: &mut impl Buf) -> Option<Self> {
+        if buf.remaining() < WIRE_SIZE {
+            return None;
+        }
+        let port = Port::from_raw(buf.get_u64());
+        let object = buf.get_u64();
+        let rights = Rights::from_bits(buf.get_u8());
+        let check = buf.get_u64();
+        Some(Capability {
+            port,
+            object,
+            rights,
+            check,
+        })
+    }
+}
+
+impl fmt::Debug for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            return write!(f, "Capability(null)");
+        }
+        write!(
+            f,
+            "Capability(port={}, obj={}, rights={:?})",
+            self.port, self.object, self.rights
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn null_capability_round_trip() {
+        let c = Capability::null();
+        assert!(c.is_null());
+        let mut buf = BytesMut::new();
+        c.encode(&mut buf);
+        assert_eq!(buf.len(), WIRE_SIZE);
+        let d = Capability::decode(&mut buf.freeze()).unwrap();
+        assert!(d.is_null());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = Capability {
+            port: Port::from_raw(0x1234_5678_9abc),
+            object: 77,
+            rights: Rights::READ | Rights::COMMIT,
+            check: 0xdead_beef_cafe_f00d,
+        };
+        let mut buf = BytesMut::new();
+        c.encode(&mut buf);
+        let d = Capability::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        let mut short = &b"too short"[..];
+        assert!(Capability::decode(&mut short).is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! Errors produced when verifying capabilities.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a capability can be rejected by the issuing service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapError {
+    /// The object number does not exist at this service.
+    NoSuchObject,
+    /// The check field does not match the object secret and rights.
+    BadCheckField,
+    /// The capability is genuine but does not carry the required rights.
+    InsufficientRights,
+    /// The capability was addressed to a different service port.
+    WrongPort,
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::NoSuchObject => write!(f, "no such object at this service"),
+            CapError::BadCheckField => write!(f, "capability check field is invalid"),
+            CapError::InsufficientRights => {
+                write!(f, "capability does not carry the required rights")
+            }
+            CapError::WrongPort => write!(f, "capability addressed to a different service"),
+        }
+    }
+}
+
+impl Error for CapError {}

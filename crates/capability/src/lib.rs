@@ -1,0 +1,87 @@
+//! Ports, capabilities and rights: the Amoeba protection substrate.
+//!
+//! The Amoeba File Service (Mullender & Tanenbaum, 1985) relies on the protection
+//! machinery of the Amoeba distributed operating system: every object managed by a
+//! service (a block, a file, a version, …) is named by a *capability*.  A capability
+//! is a sparse, unforgeable ticket consisting of
+//!
+//! * the *port* of the service that manages the object,
+//! * an *object number* local to that service,
+//! * a *rights* field saying which operations the holder may perform, and
+//! * a *check* field that makes the capability unforgeable: it is derived from the
+//!   object's secret random number and the rights field with a one-way function.
+//!
+//! Servers mint capabilities with [`Minter`] and verify presented capabilities with
+//! [`Minter::verify`].  Holders may weaken a capability (give away fewer rights) with
+//! [`Minter::restrict`]; they can never strengthen one because that would require
+//! inverting the one-way function.
+//!
+//! The original Amoeba used a hardware-assisted F-box for the one-way function; this
+//! reproduction uses a small software mixing function ([`one_way`]) which has the same
+//! interface properties (deterministic, practically non-invertible for the purposes of
+//! the experiments) without pulling in a cryptography dependency.
+//!
+//! ```
+//! use amoeba_capability::{Minter, Port, Rights};
+//!
+//! let port = Port::random();
+//! let mut minter = Minter::new(port);
+//! let owner = minter.mint(42, Rights::ALL);
+//! assert!(minter.verify(&owner, Rights::WRITE).is_ok());
+//!
+//! // Hand out a read-only capability to somebody else.
+//! let read_only = minter.restrict(&owner, Rights::READ).unwrap();
+//! assert!(minter.verify(&read_only, Rights::READ).is_ok());
+//! assert!(minter.verify(&read_only, Rights::WRITE).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capability;
+mod error;
+mod minter;
+mod port;
+mod rights;
+
+pub use capability::{Capability, ObjectId};
+pub use error::CapError;
+pub use minter::Minter;
+pub use port::Port;
+pub use rights::Rights;
+
+/// The one-way mixing function used to derive check fields.
+///
+/// It must be infeasible (for the purposes of this reproduction: merely impractical)
+/// to find `secret` given `one_way(secret, rights)`.  The function is a fixed-key
+/// xorshift-multiply construction over the input pair `(secret, rights)`.
+pub fn one_way(secret: u64, rights: u8) -> u64 {
+    // SplitMix64-style finalisation applied twice with the rights folded in between.
+    let mut z = secret ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= u64::from(rights).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z = (z ^ (z >> 31)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^ (z >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_way_is_deterministic() {
+        assert_eq!(one_way(1, 2), one_way(1, 2));
+        assert_ne!(one_way(1, 2), one_way(1, 3));
+        assert_ne!(one_way(1, 2), one_way(2, 2));
+    }
+
+    #[test]
+    fn one_way_spreads_bits() {
+        // A single flipped input bit should change many output bits (sanity check,
+        // not a cryptographic claim).
+        let a = one_way(0, 0);
+        let b = one_way(1, 0);
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

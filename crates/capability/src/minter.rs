@@ -1,0 +1,194 @@
+//! The server side of the capability scheme: minting, restricting and verifying.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{one_way, CapError, Capability, ObjectId, Port, Rights};
+
+/// Per-object secret held by the service.
+#[derive(Debug, Clone, Copy)]
+struct ObjectSecret {
+    secret: u64,
+}
+
+/// The service-side state needed to mint and verify capabilities.
+///
+/// A service creates one `Minter` per (logical) service port.  For every object it
+/// manages it stores a random secret; capabilities for that object embed
+/// `one_way(secret, rights)` as their check field.  A restricted capability for a
+/// rights subset can be produced by anyone holding a capability with a superset of the
+/// rights — but only via the service, which is exactly the Amoeba model where rights
+/// restriction is done by the (trusted) kernel/service combination.
+#[derive(Debug)]
+pub struct Minter {
+    port: Port,
+    secrets: HashMap<ObjectId, ObjectSecret>,
+    rng: StdRng,
+}
+
+impl Minter {
+    /// Creates a minter for the given service port, seeded from the OS RNG.
+    pub fn new(port: Port) -> Self {
+        Minter {
+            port,
+            secrets: HashMap::new(),
+            rng: StdRng::from_entropy(),
+        }
+    }
+
+    /// Creates a minter with a deterministic seed (for reproducible tests).
+    pub fn with_seed(port: Port, seed: u64) -> Self {
+        Minter {
+            port,
+            secrets: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The put-port clients should use to reach this service.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Number of objects this minter currently tracks.
+    pub fn object_count(&self) -> usize {
+        self.secrets.len()
+    }
+
+    /// Mints an owner capability for object `object` with the given rights.
+    ///
+    /// If the object already has a secret the existing secret is reused, so minting is
+    /// idempotent with respect to verification.
+    pub fn mint(&mut self, object: ObjectId, rights: Rights) -> Capability {
+        let rng = &mut self.rng;
+        let entry = self
+            .secrets
+            .entry(object)
+            .or_insert_with(|| ObjectSecret { secret: rng.gen() });
+        Capability {
+            port: self.port,
+            object,
+            rights,
+            check: one_way(entry.secret, rights.bits()),
+        }
+    }
+
+    /// Produces a capability with `rights ⊆ cap.rights` for the same object.
+    ///
+    /// Fails if `cap` is not genuine or does not contain the requested rights.
+    pub fn restrict(&mut self, cap: &Capability, rights: Rights) -> Result<Capability, CapError> {
+        self.verify(cap, rights)?;
+        let secret = self.secrets[&cap.object].secret;
+        Ok(Capability {
+            port: self.port,
+            object: cap.object,
+            rights,
+            check: one_way(secret, rights.bits()),
+        })
+    }
+
+    /// Verifies that `cap` is genuine and carries at least `required` rights.
+    pub fn verify(&self, cap: &Capability, required: Rights) -> Result<(), CapError> {
+        if cap.port != self.port {
+            return Err(CapError::WrongPort);
+        }
+        let entry = self.secrets.get(&cap.object).ok_or(CapError::NoSuchObject)?;
+        if one_way(entry.secret, cap.rights.bits()) != cap.check {
+            return Err(CapError::BadCheckField);
+        }
+        if !cap.rights.contains(required) {
+            return Err(CapError::InsufficientRights);
+        }
+        Ok(())
+    }
+
+    /// Forgets an object (e.g. when it is destroyed); outstanding capabilities for it
+    /// will no longer verify.
+    pub fn revoke(&mut self, object: ObjectId) {
+        self.secrets.remove(&object);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minter() -> Minter {
+        Minter::with_seed(Port::from_raw(0xfeed), 7)
+    }
+
+    #[test]
+    fn minted_capability_verifies() {
+        let mut m = minter();
+        let cap = m.mint(1, Rights::ALL);
+        assert!(m.verify(&cap, Rights::READ).is_ok());
+        assert!(m.verify(&cap, Rights::ALL).is_ok());
+    }
+
+    #[test]
+    fn forged_check_field_is_rejected() {
+        let mut m = minter();
+        let mut cap = m.mint(1, Rights::READ);
+        cap.rights = Rights::ALL; // Try to escalate without the secret.
+        assert_eq!(m.verify(&cap, Rights::WRITE), Err(CapError::BadCheckField));
+        let mut cap2 = m.mint(1, Rights::READ);
+        cap2.check ^= 1;
+        assert_eq!(m.verify(&cap2, Rights::READ), Err(CapError::BadCheckField));
+    }
+
+    #[test]
+    fn restriction_produces_weaker_capability() {
+        let mut m = minter();
+        let all = m.mint(9, Rights::ALL);
+        let ro = m.restrict(&all, Rights::READ).unwrap();
+        assert!(m.verify(&ro, Rights::READ).is_ok());
+        assert_eq!(m.verify(&ro, Rights::WRITE), Err(CapError::InsufficientRights));
+    }
+
+    #[test]
+    fn cannot_restrict_to_more_rights() {
+        let mut m = minter();
+        let ro = m.mint(2, Rights::READ);
+        assert_eq!(
+            m.restrict(&ro, Rights::READ | Rights::WRITE),
+            Err(CapError::InsufficientRights)
+        );
+    }
+
+    #[test]
+    fn unknown_object_is_rejected() {
+        let mut m = minter();
+        let cap = m.mint(1, Rights::ALL);
+        let mut other = cap;
+        other.object = 999;
+        assert_eq!(m.verify(&other, Rights::READ), Err(CapError::NoSuchObject));
+    }
+
+    #[test]
+    fn wrong_port_is_rejected() {
+        let mut m = minter();
+        let mut n = Minter::with_seed(Port::from_raw(0xbeef), 8);
+        let cap = m.mint(1, Rights::ALL);
+        let _ = n.mint(1, Rights::ALL);
+        assert_eq!(n.verify(&cap, Rights::READ), Err(CapError::WrongPort));
+    }
+
+    #[test]
+    fn revocation_invalidates_outstanding_capabilities() {
+        let mut m = minter();
+        let cap = m.mint(3, Rights::ALL);
+        m.revoke(3);
+        assert_eq!(m.verify(&cap, Rights::READ), Err(CapError::NoSuchObject));
+    }
+
+    #[test]
+    fn minting_is_idempotent_per_object() {
+        let mut m = minter();
+        let a = m.mint(5, Rights::ALL);
+        let b = m.mint(5, Rights::ALL);
+        assert_eq!(a, b);
+        assert_eq!(m.object_count(), 1);
+    }
+}

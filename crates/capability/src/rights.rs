@@ -1,0 +1,164 @@
+//! Rights bits carried in a capability.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A set of rights, encoded in one byte exactly as in the Amoeba capability format.
+///
+/// The individual bits are chosen for the storage services in this reproduction:
+/// block servers honour `READ`/`WRITE`/`CREATE`/`DESTROY`, the file service
+/// additionally uses `LOCK` and `COMMIT`, and `ADMIN` covers administrative
+/// operations such as forcing garbage collection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Rights(u8);
+
+impl Rights {
+    /// No rights at all.
+    pub const NONE: Rights = Rights(0);
+    /// Permission to read object data.
+    pub const READ: Rights = Rights(1 << 0);
+    /// Permission to modify object data.
+    pub const WRITE: Rights = Rights(1 << 1);
+    /// Permission to create sub-objects (versions of a file, blocks in an account).
+    pub const CREATE: Rights = Rights(1 << 2);
+    /// Permission to destroy the object.
+    pub const DESTROY: Rights = Rights(1 << 3);
+    /// Permission to take out locks on the object (top/inner/soft locks, §5.3).
+    pub const LOCK: Rights = Rights(1 << 4);
+    /// Permission to commit a version of the object (§5.2).
+    pub const COMMIT: Rights = Rights(1 << 5);
+    /// Administrative rights (garbage collection, recovery listing).
+    pub const ADMIN: Rights = Rights(1 << 6);
+    /// All rights.
+    pub const ALL: Rights = Rights(0x7f);
+
+    /// Builds a rights set from its raw byte encoding.
+    pub fn from_bits(bits: u8) -> Self {
+        Rights(bits & Self::ALL.0)
+    }
+
+    /// Returns the raw byte encoding.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Returns true if `self` contains every right in `other`.
+    pub fn contains(self, other: Rights) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns true if no rights are present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Rights {
+    fn bitor_assign(&mut self, rhs: Rights) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Rights {
+    type Output = Rights;
+    fn bitand(self, rhs: Rights) -> Rights {
+        Rights(self.0 & rhs.0)
+    }
+}
+
+impl Sub for Rights {
+    type Output = Rights;
+    fn sub(self, rhs: Rights) -> Rights {
+        Rights(self.0 & !rhs.0)
+    }
+}
+
+impl Not for Rights {
+    type Output = Rights;
+    fn not(self) -> Rights {
+        Rights(!self.0 & Rights::ALL.0)
+    }
+}
+
+impl fmt::Debug for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Rights::READ, "R"),
+            (Rights::WRITE, "W"),
+            (Rights::CREATE, "C"),
+            (Rights::DESTROY, "D"),
+            (Rights::LOCK, "L"),
+            (Rights::COMMIT, "M"),
+            (Rights::ADMIN, "A"),
+        ];
+        write!(f, "Rights(")?;
+        let mut any = false;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                write!(f, "{name}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, "-")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_everything() {
+        for r in [
+            Rights::READ,
+            Rights::WRITE,
+            Rights::CREATE,
+            Rights::DESTROY,
+            Rights::LOCK,
+            Rights::COMMIT,
+            Rights::ADMIN,
+        ] {
+            assert!(Rights::ALL.contains(r));
+        }
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let rw = Rights::READ | Rights::WRITE;
+        assert!(rw.contains(Rights::READ));
+        assert!(rw.contains(Rights::WRITE));
+        assert!(!rw.contains(Rights::COMMIT));
+        assert_eq!(rw & Rights::READ, Rights::READ);
+    }
+
+    #[test]
+    fn subtraction_removes_rights() {
+        let rw = Rights::READ | Rights::WRITE;
+        assert_eq!(rw - Rights::WRITE, Rights::READ);
+        assert_eq!(rw - rw, Rights::NONE);
+    }
+
+    #[test]
+    fn from_bits_masks_undefined_bits() {
+        let r = Rights::from_bits(0xff);
+        assert_eq!(r, Rights::ALL);
+    }
+
+    #[test]
+    fn debug_formats_compactly() {
+        assert_eq!(format!("{:?}", Rights::READ | Rights::COMMIT), "Rights(RM)");
+        assert_eq!(format!("{:?}", Rights::NONE), "Rights(-)");
+    }
+}

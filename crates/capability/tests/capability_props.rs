@@ -1,0 +1,73 @@
+//! Property-based tests for the capability substrate.
+
+use amoeba_capability::{Capability, Minter, Port, Rights};
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+proptest! {
+    /// Encoding then decoding any capability yields the same capability.
+    #[test]
+    fn capability_codec_round_trips(port in 0u64..(1 << 48), object in any::<u64>(),
+                                    rights in 0u8..=0x7f, check in any::<u64>()) {
+        let cap = Capability {
+            port: Port::from_raw(port),
+            object,
+            rights: Rights::from_bits(rights),
+            check,
+        };
+        let mut buf = BytesMut::new();
+        cap.encode(&mut buf);
+        let decoded = Capability::decode(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(cap, decoded);
+    }
+
+    /// A minted capability always verifies for any subset of its rights.
+    #[test]
+    fn minted_caps_verify_for_rights_subsets(seed in any::<u64>(), object in any::<u64>(),
+                                             bits in 0u8..=0x7f) {
+        let mut minter = Minter::with_seed(Port::from_raw(0xabcd), seed);
+        let rights = Rights::from_bits(bits);
+        let cap = minter.mint(object, rights);
+        prop_assert!(minter.verify(&cap, rights).is_ok());
+        prop_assert!(minter.verify(&cap, Rights::NONE).is_ok());
+        // Every single-bit subset must verify too.
+        for bit in 0..7 {
+            let single = Rights::from_bits(1 << bit);
+            if rights.contains(single) {
+                prop_assert!(minter.verify(&cap, single).is_ok());
+            } else {
+                prop_assert!(minter.verify(&cap, single).is_err());
+            }
+        }
+    }
+
+    /// Tampering with the rights of a capability without re-deriving the check field
+    /// is always detected (unless the tampered rights equal the original).
+    #[test]
+    fn tampered_rights_are_detected(seed in any::<u64>(), object in any::<u64>(),
+                                    bits in 0u8..=0x7f, tampered in 0u8..=0x7f) {
+        prop_assume!(bits != tampered);
+        let mut minter = Minter::with_seed(Port::from_raw(0x1111), seed);
+        let mut cap = minter.mint(object, Rights::from_bits(bits));
+        cap.rights = Rights::from_bits(tampered);
+        prop_assert!(minter.verify(&cap, Rights::NONE).is_err());
+    }
+
+    /// Restriction never grants rights that the source capability lacked.
+    #[test]
+    fn restriction_is_monotone(seed in any::<u64>(), object in any::<u64>(),
+                               have in 0u8..=0x7f, want in 0u8..=0x7f) {
+        let mut minter = Minter::with_seed(Port::from_raw(0x2222), seed);
+        let have_r = Rights::from_bits(have);
+        let want_r = Rights::from_bits(want);
+        let cap = minter.mint(object, have_r);
+        let result = minter.restrict(&cap, want_r);
+        if have_r.contains(want_r) {
+            let restricted = result.unwrap();
+            prop_assert_eq!(restricted.rights, want_r);
+            prop_assert!(minter.verify(&restricted, want_r).is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}

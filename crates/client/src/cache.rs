@@ -1,0 +1,197 @@
+//! The client-side page cache of §5.4.
+//!
+//! A cache entry holds pages of the most recent committed version of a file the
+//! client has seen.  Before the cached pages are used again, the client runs one
+//! `ValidateCache` transaction; the server answers with the list of paths that
+//! changed since, and only those entries are dropped.  For an unshared file the
+//! answer is "up to date" and the whole cache survives — with no unsolicited server
+//! messages in either case.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use afs_core::PagePath;
+use afs_server::ServerError;
+use amoeba_capability::Capability;
+use amoeba_rpc::Transport;
+
+use crate::remote::RemoteFs;
+
+/// Cache statistics for the caching experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from the local cache.
+    pub hits: u64,
+    /// Reads that had to go to the server.
+    pub misses: u64,
+    /// Pages discarded by revalidation.
+    pub invalidated: u64,
+    /// Revalidation round trips performed.
+    pub validations: u64,
+}
+
+#[derive(Debug, Default)]
+struct FileEntry {
+    /// Version-page block the cached pages belong to.
+    version_block: u32,
+    pages: HashMap<PagePath, Bytes>,
+}
+
+/// A per-client page cache over a [`RemoteFs`] connection.
+pub struct ClientCache<T: Transport> {
+    remote: RemoteFs<T>,
+    entries: HashMap<u64, FileEntry>,
+    stats: CacheStats,
+}
+
+impl<T: Transport> ClientCache<T> {
+    /// Wraps a remote connection with a cache.
+    pub fn new(remote: RemoteFs<T>) -> Self {
+        ClientCache {
+            remote,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The underlying connection (for non-cached operations).
+    pub fn remote(&self) -> &RemoteFs<T> {
+        &self.remote
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Revalidates the cache entry for `file` (one transaction) and returns how many
+    /// pages had to be discarded.  Populates the entry's version on first use.
+    pub fn revalidate(&mut self, file: &Capability) -> Result<usize, ServerError> {
+        self.stats.validations += 1;
+        let entry = self.entries.entry(file.object).or_default();
+        let (up_to_date, current_block, changed) =
+            self.remote.validate_cache(file, entry.version_block)?;
+        if up_to_date {
+            return Ok(0);
+        }
+        let before = entry.pages.len();
+        entry
+            .pages
+            .retain(|path, _| !changed.iter().any(|c| c == path || c.is_prefix_of(path)));
+        let dropped = before - entry.pages.len();
+        self.stats.invalidated += dropped as u64;
+        entry.version_block = current_block;
+        Ok(dropped)
+    }
+
+    /// Reads a page of the file's current version through the cache.
+    ///
+    /// The caller is expected to have called [`ClientCache::revalidate`] when it
+    /// (re)opened the file; reads themselves never trigger extra validation traffic.
+    pub fn read(&mut self, file: &Capability, path: &PagePath) -> Result<Bytes, ServerError> {
+        if let Some(entry) = self.entries.get(&file.object) {
+            if let Some(data) = entry.pages.get(path) {
+                self.stats.hits += 1;
+                return Ok(data.clone());
+            }
+        }
+        self.stats.misses += 1;
+        let current = self.remote.current_version(file)?;
+        let data = self.remote.read_committed_page(&current, path)?;
+        let entry = self.entries.entry(file.object).or_default();
+        entry.pages.insert(path.clone(), data.clone());
+        Ok(data)
+    }
+
+    /// Number of pages currently cached for `file`.
+    pub fn cached_pages(&self, file: &Capability) -> usize {
+        self.entries
+            .get(&file.object)
+            .map(|e| e.pages.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_core::FileService;
+    use afs_server::ServerGroup;
+    use amoeba_rpc::LocalNetwork;
+    use std::sync::Arc;
+
+    fn setup() -> (
+        Arc<LocalNetwork>,
+        ServerGroup,
+        ClientCache<Arc<LocalNetwork>>,
+        Capability,
+        Vec<PagePath>,
+    ) {
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let group = ServerGroup::start(&network, &service, 1);
+        let remote = RemoteFs::new(Arc::clone(&network), group.ports());
+        let file = remote.create_file().unwrap();
+        let version = remote.create_version(&file).unwrap();
+        let mut paths = Vec::new();
+        for i in 0..4u8 {
+            paths.push(
+                remote
+                    .append_page(&version, &PagePath::root(), Bytes::from(vec![i]))
+                    .unwrap(),
+            );
+        }
+        remote.commit(&version).unwrap();
+        let cache = ClientCache::new(remote);
+        (network, group, cache, file, paths)
+    }
+
+    #[test]
+    fn repeated_reads_hit_the_cache() {
+        let (_n, _g, mut cache, file, paths) = setup();
+        cache.revalidate(&file).unwrap();
+        for _ in 0..3 {
+            assert_eq!(cache.read(&file, &paths[0]).unwrap(), Bytes::from(vec![0u8]));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn unshared_files_revalidate_as_a_null_operation() {
+        let (_n, _g, mut cache, file, paths) = setup();
+        cache.revalidate(&file).unwrap();
+        cache.read(&file, &paths[0]).unwrap();
+        // Nobody changed the file: revalidation discards nothing.
+        assert_eq!(cache.revalidate(&file).unwrap(), 0);
+        assert_eq!(cache.cached_pages(&file), 1);
+    }
+
+    #[test]
+    fn remote_updates_invalidate_only_the_changed_pages() {
+        let (_n, _g, mut cache, file, paths) = setup();
+        cache.revalidate(&file).unwrap();
+        for path in &paths {
+            cache.read(&file, path).unwrap();
+        }
+        assert_eq!(cache.cached_pages(&file), 4);
+
+        // Another client updates page 2.
+        {
+            let remote = cache.remote();
+            let v = remote.create_version(&file).unwrap();
+            remote.write_page(&v, &paths[2], Bytes::from_static(b"remote update")).unwrap();
+            remote.commit(&v).unwrap();
+        }
+
+        let dropped = cache.revalidate(&file).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(cache.cached_pages(&file), 3);
+        assert_eq!(
+            cache.read(&file, &paths[2]).unwrap(),
+            Bytes::from_static(b"remote update")
+        );
+    }
+}

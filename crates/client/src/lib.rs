@@ -1,0 +1,23 @@
+//! Client library for the Amoeba file service.
+//!
+//! * [`RemoteFs`] — client stubs: every file-service operation as one transaction to
+//!   a (preferred) server port, failing over to replica ports when a server process
+//!   does not answer (§5.4.1: "they can use another server").
+//! * [`ClientCache`] — the §5.4 page cache: pages of the most recently used version
+//!   of each file, revalidated with one `ValidateCache` transaction when the file is
+//!   opened again; no unsolicited messages ever arrive.
+//! * [`retry_update`] — the retry loop the paper expects of clients: when a commit
+//!   reports a serialisability conflict, redo the update on a fresh version.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod remote;
+mod retry;
+
+pub use cache::{CacheStats, ClientCache};
+pub use remote::RemoteFs;
+pub use retry::retry_update;
+
+pub use afs_server::ServerError;

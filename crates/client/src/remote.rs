@@ -1,0 +1,213 @@
+//! Client stubs: one method per file-service operation.
+
+use bytes::{Bytes, BytesMut};
+
+use afs_core::PagePath;
+use afs_server::ops::{
+    decode_capability, decode_error, decode_path, decode_validation, encode_path,
+    encode_path_and_data, FsOp,
+};
+use afs_server::ServerError;
+use amoeba_capability::{Capability, Port};
+use amoeba_rpc::{Reply, Request, RpcError, Transport};
+
+/// A connection to the file service: a transport plus the ports of the server
+/// processes, in preference order.
+pub struct RemoteFs<T: Transport> {
+    transport: T,
+    servers: Vec<Port>,
+}
+
+impl<T: Transport> RemoteFs<T> {
+    /// Creates a client that talks to the given server ports (first is preferred).
+    pub fn new(transport: T, servers: Vec<Port>) -> Self {
+        assert!(!servers.is_empty(), "need at least one server port");
+        RemoteFs { transport, servers }
+    }
+
+    /// Performs one transaction, failing over to the next server when a server does
+    /// not answer.
+    fn transact(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Reply, ServerError> {
+        let mut last = ServerError::Transport("no servers configured".into());
+        for &port in &self.servers {
+            let request = Request::new(op as u32, cap, payload.clone());
+            match self.transport.transact(port, request) {
+                Ok(reply) => return Ok(reply),
+                Err(RpcError::ServerCrashed) | Err(RpcError::NoSuchPort) | Err(RpcError::Timeout)
+                | Err(RpcError::Dropped) => {
+                    last = ServerError::Transport(format!("server {port} unavailable"));
+                    continue;
+                }
+                Err(e) => return Err(ServerError::Transport(e.to_string())),
+            }
+        }
+        Err(last)
+    }
+
+    fn expect_ok(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Bytes, ServerError> {
+        let reply = self.transact(op, cap, payload)?;
+        if reply.is_ok() {
+            Ok(reply.payload)
+        } else {
+            Err(decode_error(reply.payload))
+        }
+    }
+
+    /// Creates a new file and returns its capability.
+    pub fn create_file(&self) -> Result<Capability, ServerError> {
+        let payload = self.expect_ok(FsOp::CreateFile, Capability::null(), Bytes::new())?;
+        decode_capability(payload).ok_or_else(|| ServerError::Protocol("bad capability".into()))
+    }
+
+    /// Creates a new version of a file.
+    pub fn create_version(&self, file: &Capability) -> Result<Capability, ServerError> {
+        let payload = self.expect_ok(FsOp::CreateVersion, *file, Bytes::new())?;
+        decode_capability(payload).ok_or_else(|| ServerError::Protocol("bad capability".into()))
+    }
+
+    /// Reads a page of an uncommitted version.
+    pub fn read_page(&self, version: &Capability, path: &PagePath) -> Result<Bytes, ServerError> {
+        let mut buf = BytesMut::new();
+        encode_path(&mut buf, path);
+        self.expect_ok(FsOp::ReadPage, *version, buf.freeze())
+    }
+
+    /// Writes a page of an uncommitted version.
+    pub fn write_page(
+        &self,
+        version: &Capability,
+        path: &PagePath,
+        data: Bytes,
+    ) -> Result<(), ServerError> {
+        self.expect_ok(FsOp::WritePage, *version, encode_path_and_data(path, &data))?;
+        Ok(())
+    }
+
+    /// Appends a new page under `parent` and returns its path.
+    pub fn append_page(
+        &self,
+        version: &Capability,
+        parent: &PagePath,
+        data: Bytes,
+    ) -> Result<PagePath, ServerError> {
+        let mut payload =
+            self.expect_ok(FsOp::AppendPage, *version, encode_path_and_data(parent, &data))?;
+        decode_path(&mut payload).ok_or_else(|| ServerError::Protocol("bad path".into()))
+    }
+
+    /// Commits a version.
+    pub fn commit(&self, version: &Capability) -> Result<(), ServerError> {
+        self.expect_ok(FsOp::Commit, *version, Bytes::new())?;
+        Ok(())
+    }
+
+    /// Aborts a version.
+    pub fn abort(&self, version: &Capability) -> Result<(), ServerError> {
+        self.expect_ok(FsOp::Abort, *version, Bytes::new())?;
+        Ok(())
+    }
+
+    /// Returns the current (committed) version of a file.
+    pub fn current_version(&self, file: &Capability) -> Result<Capability, ServerError> {
+        let payload = self.expect_ok(FsOp::CurrentVersion, *file, Bytes::new())?;
+        decode_capability(payload).ok_or_else(|| ServerError::Protocol("bad capability".into()))
+    }
+
+    /// Reads a page of a committed version.
+    pub fn read_committed_page(
+        &self,
+        version: &Capability,
+        path: &PagePath,
+    ) -> Result<Bytes, ServerError> {
+        let mut buf = BytesMut::new();
+        encode_path(&mut buf, path);
+        self.expect_ok(FsOp::ReadCommittedPage, *version, buf.freeze())
+    }
+
+    /// Validates a cache entry filled from the version page at `cached_block`.
+    /// Returns (up-to-date, current block, changed paths).
+    pub fn validate_cache(
+        &self,
+        file: &Capability,
+        cached_block: u32,
+    ) -> Result<(bool, u32, Vec<PagePath>), ServerError> {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&cached_block.to_le_bytes());
+        let payload = self.expect_ok(FsOp::ValidateCache, *file, buf.freeze())?;
+        decode_validation(payload).ok_or_else(|| ServerError::Protocol("bad validation reply".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_core::FileService;
+    use afs_server::ServerGroup;
+    use amoeba_rpc::LocalNetwork;
+    use std::sync::Arc;
+
+    fn remote() -> (Arc<LocalNetwork>, ServerGroup, RemoteFs<Arc<LocalNetwork>>) {
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let group = ServerGroup::start(&network, &service, 2);
+        let client = RemoteFs::new(Arc::clone(&network), group.ports());
+        (network, group, client)
+    }
+
+    #[test]
+    fn full_update_cycle_over_rpc() {
+        let (_network, _group, client) = remote();
+        let file = client.create_file().unwrap();
+        let version = client.create_version(&file).unwrap();
+        let page = client
+            .append_page(&version, &PagePath::root(), Bytes::from_static(b"over the wire"))
+            .unwrap();
+        client.commit(&version).unwrap();
+        let current = client.current_version(&file).unwrap();
+        assert_eq!(
+            client.read_committed_page(&current, &page).unwrap(),
+            Bytes::from_static(b"over the wire")
+        );
+    }
+
+    #[test]
+    fn conflicts_surface_as_serialisability_errors() {
+        let (_network, _group, client) = remote();
+        let file = client.create_file().unwrap();
+        let v0 = client.create_version(&file).unwrap();
+        let page = client
+            .append_page(&v0, &PagePath::root(), Bytes::from_static(b"base"))
+            .unwrap();
+        client.commit(&v0).unwrap();
+
+        let loser = client.create_version(&file).unwrap();
+        client.read_page(&loser, &page).unwrap();
+        let winner = client.create_version(&file).unwrap();
+        client.write_page(&winner, &page, Bytes::from_static(b"winner")).unwrap();
+        client.commit(&winner).unwrap();
+        client.write_page(&loser, &PagePath::root(), Bytes::from_static(b"derived")).unwrap();
+        assert_eq!(
+            client.commit(&loser).unwrap_err(),
+            ServerError::SerialisabilityConflict
+        );
+    }
+
+    #[test]
+    fn client_fails_over_to_a_replica_when_the_primary_crashes() {
+        let (_network, group, client) = remote();
+        let file = client.create_file().unwrap();
+        group.process(0).crash();
+        // The client keeps working through the second replica.
+        let version = client.create_version(&file).unwrap();
+        client
+            .write_page(&version, &PagePath::root(), Bytes::from_static(b"via replica"))
+            .unwrap();
+        client.commit(&version).unwrap();
+        group.process(0).restart();
+        let current = client.current_version(&file).unwrap();
+        assert_eq!(
+            client.read_committed_page(&current, &PagePath::root()).unwrap(),
+            Bytes::from_static(b"via replica")
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! The client-side retry loop the optimistic design expects.
+//!
+//! "Some updates will have to be redone when concurrent updates are not serialisable,
+//! but with the unbounded potential of computing power that distributed systems
+//! offer, redoing an operation now and then is acceptable" (§6).  `retry_update`
+//! packages the redo loop: create a version, let the caller's closure perform the
+//! update, commit; on a serialisability conflict, back off randomly and start over.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+use afs_server::ServerError;
+use amoeba_capability::Capability;
+use amoeba_rpc::Transport;
+
+use crate::remote::RemoteFs;
+
+/// Runs `update` inside a fresh version of `file`, committing afterwards; retries the
+/// whole update (on a new version) when the commit reports a serialisability
+/// conflict, up to `max_attempts` times.  Returns the number of attempts used.
+pub fn retry_update<T: Transport>(
+    remote: &RemoteFs<T>,
+    file: &Capability,
+    max_attempts: usize,
+    mut update: impl FnMut(&RemoteFs<T>, &Capability) -> Result<(), ServerError>,
+) -> Result<usize, ServerError> {
+    let mut rng = rand::thread_rng();
+    for attempt in 1..=max_attempts.max(1) {
+        let version = remote.create_version(file)?;
+        update(remote, &version)?;
+        match remote.commit(&version) {
+            Ok(()) => return Ok(attempt),
+            Err(ServerError::SerialisabilityConflict) => {
+                // The version has already been removed by the server; redo the update
+                // after a random wait, as the paper suggests.
+                std::thread::sleep(Duration::from_micros(rng.gen_range(10..500)));
+                continue;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Err(ServerError::SerialisabilityConflict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_core::{FileService, PagePath};
+    use afs_server::ServerGroup;
+    use amoeba_rpc::LocalNetwork;
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    #[test]
+    fn successful_updates_take_one_attempt() {
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let group = ServerGroup::start(&network, &service, 1);
+        let remote = RemoteFs::new(Arc::clone(&network), group.ports());
+        let file = remote.create_file().unwrap();
+        let attempts = retry_update(&remote, &file, 5, |remote, version| {
+            remote.write_page(version, &PagePath::root(), Bytes::from_static(b"one shot"))
+        })
+        .unwrap();
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn conflicting_updates_are_redone_until_they_commit() {
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let group = ServerGroup::start(&network, &service, 1);
+        let remote = Arc::new(RemoteFs::new(Arc::clone(&network), group.ports()));
+        let file = remote.create_file().unwrap();
+        // Initialise one page everybody fights over.
+        let v = remote.create_version(&file).unwrap();
+        let page = remote
+            .append_page(&v, &PagePath::root(), Bytes::from_static(b"counter:0"))
+            .unwrap();
+        remote.commit(&v).unwrap();
+
+        // Several threads perform read-modify-write updates on the same page; every
+        // one of them must eventually succeed thanks to the retry loop.
+        let threads = 4;
+        let per_thread = 5;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let remote = Arc::clone(&remote);
+                let file = file;
+                let page = page.clone();
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        retry_update(&remote, &file, 1000, |remote, version| {
+                            let old = remote.read_page(version, &page)?;
+                            let mut next = old.to_vec();
+                            next.push(b'+');
+                            remote.write_page(version, &page, Bytes::from(next))
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+
+        let current = remote.current_version(&file).unwrap();
+        let final_value = remote.read_committed_page(&current, &page).unwrap();
+        let pluses = final_value.iter().filter(|&&b| b == b'+').count();
+        assert_eq!(pluses, threads * per_thread, "no update may be lost");
+    }
+}

@@ -1,0 +1,242 @@
+//! The C, R, W, S, M page-reference flags and their 4-bit encoding (§5.1).
+//!
+//! Every page reference carries five flags describing how the *referred-to* page has
+//! been used in this version:
+//!
+//! * **C** — the page was *copied* and is no longer shared with the version it was
+//!   based on;
+//! * **R** — the page's data was *read*;
+//! * **W** — the page's data was *written* (changed);
+//! * **S** — the page's references were used (*searched*);
+//! * **M** — the page's references were *modified* (insert page, remove page, make
+//!   hole, remove hole).
+//!
+//! Two structural facts reduce the 32 raw combinations to 13 legal ones, which is what
+//! lets Amoeba encode the flags in four bits next to a 28-bit block number:
+//!
+//! 1. "it is not possible to access a page without copying it" — any of R, W, S, M
+//!    implies C;
+//! 2. "it is not possible to modify the references without looking at them" — M
+//!    implies S.
+
+use crate::types::{FsError, Result};
+
+/// The access flags of one page reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct PageFlags {
+    /// Copied: the page is private to this version.
+    pub copied: bool,
+    /// Read: the page's data has been read.
+    pub read: bool,
+    /// Written: the page's data has been changed.
+    pub written: bool,
+    /// Searched: the page's references have been consulted.
+    pub searched: bool,
+    /// Modified: the page's references have been changed.
+    pub modified: bool,
+}
+
+impl PageFlags {
+    /// All flags clear: the page is still shared with the base version and untouched.
+    pub const CLEAR: PageFlags = PageFlags {
+        copied: false,
+        read: false,
+        written: false,
+        searched: false,
+        modified: false,
+    };
+
+    /// Returns true if the combination satisfies the paper's invariants
+    /// (R|W|S|M ⇒ C, and M ⇒ S).
+    pub fn is_legal(self) -> bool {
+        let accessed = self.read || self.written || self.searched || self.modified;
+        (!accessed || self.copied) && (!self.modified || self.searched)
+    }
+
+    /// Returns true if the referred-to page (and hence its whole subtree) is untouched
+    /// in this version.  An untouched subtree need not be descended by the
+    /// serialisability test.
+    pub fn is_untouched(self) -> bool {
+        !self.copied
+    }
+
+    /// Returns true if the flags record an access that belongs to a version's *read
+    /// set* in the sense of the validation test: the page's data was read or its
+    /// references were searched.
+    pub fn in_read_set(self) -> bool {
+        self.read || self.searched
+    }
+
+    /// Returns true if the flags record an access that belongs to a version's *write
+    /// set*: the page's data was written or its references were modified.
+    pub fn in_write_set(self) -> bool {
+        self.written || self.modified
+    }
+
+    /// Encodes the flags into the 4-bit code stored next to the 28-bit block number.
+    ///
+    /// Code 0 is the all-clear combination; codes 1–12 enumerate the twelve legal
+    /// combinations that have C set: two bits for R and W, and a trit for the
+    /// (S, M) state which can only be (0,0), (1,0) or (1,1).
+    pub fn encode(self) -> Result<u8> {
+        if !self.is_legal() {
+            return Err(FsError::CorruptPage(format!("illegal flag combination {self:?}")));
+        }
+        if !self.copied {
+            return Ok(0);
+        }
+        let rw = (self.read as u8) | ((self.written as u8) << 1);
+        let sm = match (self.searched, self.modified) {
+            (false, false) => 0u8,
+            (true, false) => 1,
+            (true, true) => 2,
+            (false, true) => unreachable!("M implies S was checked by is_legal"),
+        };
+        Ok(1 + rw + 4 * sm)
+    }
+
+    /// Decodes a 4-bit flag code.  Codes 13–15 are invalid.
+    pub fn decode(code: u8) -> Result<PageFlags> {
+        if code == 0 {
+            return Ok(PageFlags::CLEAR);
+        }
+        if code > 12 {
+            return Err(FsError::CorruptPage(format!("invalid flag code {code}")));
+        }
+        let v = code - 1;
+        let rw = v % 4;
+        let sm = v / 4;
+        let (searched, modified) = match sm {
+            0 => (false, false),
+            1 => (true, false),
+            2 => (true, true),
+            _ => unreachable!("code <= 12 bounds sm to 0..=2"),
+        };
+        Ok(PageFlags {
+            copied: true,
+            read: rw & 1 != 0,
+            written: rw & 2 != 0,
+            searched,
+            modified,
+        })
+    }
+
+    /// Enumerates all 13 legal flag combinations (used by tests and the page-codec
+    /// property tests).
+    pub fn all_legal() -> Vec<PageFlags> {
+        let mut combos = Vec::new();
+        for bits in 0u8..32 {
+            let f = PageFlags {
+                copied: bits & 1 != 0,
+                read: bits & 2 != 0,
+                written: bits & 4 != 0,
+                searched: bits & 8 != 0,
+                modified: bits & 16 != 0,
+            };
+            if f.is_legal() {
+                combos.push(f);
+            }
+        }
+        combos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_thirteen_legal_combinations() {
+        assert_eq!(PageFlags::all_legal().len(), 13);
+    }
+
+    #[test]
+    fn every_legal_combination_round_trips_through_four_bits() {
+        for flags in PageFlags::all_legal() {
+            let code = flags.encode().unwrap();
+            assert!(code < 16, "code {code} does not fit in four bits");
+            assert_eq!(PageFlags::decode(code).unwrap(), flags);
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for flags in PageFlags::all_legal() {
+            assert!(seen.insert(flags.encode().unwrap()));
+        }
+    }
+
+    #[test]
+    fn illegal_combinations_are_rejected() {
+        // Read without copy.
+        let f = PageFlags {
+            read: true,
+            ..PageFlags::CLEAR
+        };
+        assert!(!f.is_legal());
+        assert!(f.encode().is_err());
+        // Modified without searched.
+        let f = PageFlags {
+            copied: true,
+            modified: true,
+            ..PageFlags::CLEAR
+        };
+        assert!(!f.is_legal());
+    }
+
+    #[test]
+    fn invalid_codes_are_rejected() {
+        for code in 13u8..=15 {
+            assert!(PageFlags::decode(code).is_err());
+        }
+    }
+
+    #[test]
+    fn read_and_write_set_classification() {
+        let clear = PageFlags::CLEAR;
+        assert!(!clear.in_read_set() && !clear.in_write_set());
+
+        let read = PageFlags {
+            copied: true,
+            read: true,
+            ..PageFlags::CLEAR
+        };
+        assert!(read.in_read_set() && !read.in_write_set());
+
+        let written = PageFlags {
+            copied: true,
+            written: true,
+            ..PageFlags::CLEAR
+        };
+        assert!(written.in_write_set() && !written.in_read_set());
+
+        let searched = PageFlags {
+            copied: true,
+            searched: true,
+            ..PageFlags::CLEAR
+        };
+        assert!(searched.in_read_set());
+
+        let modified = PageFlags {
+            copied: true,
+            searched: true,
+            modified: true,
+            ..PageFlags::CLEAR
+        };
+        assert!(modified.in_write_set());
+        // A modified page is also in the read set, because modifying references
+        // requires consulting them.
+        assert!(modified.in_read_set());
+    }
+
+    #[test]
+    fn untouched_means_not_copied() {
+        assert!(PageFlags::CLEAR.is_untouched());
+        let copied = PageFlags {
+            copied: true,
+            ..PageFlags::CLEAR
+        };
+        assert!(!copied.is_untouched());
+    }
+}

@@ -1,0 +1,94 @@
+//! # afs-core — the Amoeba File Service
+//!
+//! A from-scratch reproduction of the distributed file service described in
+//! S. J. Mullender and A. S. Tanenbaum, *A Distributed File Service Based on
+//! Optimistic Concurrency Control* (1985).
+//!
+//! The service stores every file as a **tree of pages** (§5, Fig. 2/3), gives each
+//! update its own **version** that initially shares its page tree with the current
+//! version and is **copied on write** (§5.1, a differential-file representation), and
+//! enforces serialisability of concurrent updates with **optimistic concurrency
+//! control**: the only critical section in commit is a test-and-set of the base
+//! version's *commit reference*; everything else — including the validation descent
+//! and the merging of non-conflicting concurrent updates — runs in parallel with
+//! other traffic (§5.2).  Super-file updates use the **top/inner locking** scheme of
+//! §5.3, which needs no special crash recovery; a **garbage collector** reclaims
+//! read-path shadow pages and old versions (§5.1); caches are kept consistent with
+//! the same serialisability test and no unsolicited messages (§5.4).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use afs_core::{FileService, PagePath};
+//! use bytes::Bytes;
+//!
+//! let service = FileService::in_memory();
+//! let file = service.create_file().unwrap();
+//!
+//! // Every update happens inside a version: create, modify, commit.
+//! let version = service.create_version(&file).unwrap();
+//! let page = service
+//!     .append_page(&version, &PagePath::root(), Bytes::from_static(b"hello, Amoeba"))
+//!     .unwrap();
+//! service.commit(&version).unwrap();
+//!
+//! // Committed state is read through the current version.
+//! let current = service.current_version(&file).unwrap();
+//! assert_eq!(
+//!     service.read_committed_page(&current, &page).unwrap(),
+//!     Bytes::from_static(b"hello, Amoeba")
+//! );
+//! ```
+//!
+//! ## Module map
+//!
+//! | Module | Paper section | Contents |
+//! |---|---|---|
+//! | [`page`] | Fig. 3 | page layout, reference table, 28+4-bit packed references |
+//! | [`flags`] | §5.1 | the C/R/W/S/M flags and their 4-bit encoding |
+//! | [`path`] | §5 | client-visible page path names |
+//! | [`pageio`] | §4, §5.4 | page I/O over the block service, flag cache, I/O counters |
+//! | [`service`] | §5 | the [`FileService`] façade, files, versions, capabilities |
+//! | [`version`] | §5.1, Fig. 4 | version creation, the family tree, abort |
+//! | [`cow`] | §5.1 | copy-on-write page access and flag maintenance |
+//! | [`commit`] | §5.2 | validation, merge, and the commit-reference critical section |
+//! | [`locking`] | §5.3 | top/inner/soft locks, super-file updates, lock crash recovery |
+//! | [`gc`] | §5.1 | the parallel garbage collector |
+//! | [`cache`] | §5.4 | cache validation via the serialisability test |
+//! | [`recover`] | §4, §5.4.1 | rebuilding the file table from blocks after a crash |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod commit;
+pub mod cow;
+pub mod flags;
+pub mod gc;
+pub mod locking;
+pub mod page;
+pub mod pageio;
+pub mod path;
+pub mod recover;
+pub mod service;
+pub mod types;
+pub mod version;
+
+pub use cache::CacheValidation;
+pub use commit::{CommitReceipt, SerialiseReport};
+pub use cow::PageInfo;
+pub use flags::PageFlags;
+pub use gc::{GarbageCollector, GcReport};
+pub use locking::{LockRecoveryReport, SuperUpdate};
+pub use page::{Page, PageRef, VersionHeader, MAX_PAGE_DATA};
+pub use pageio::PageIoStats;
+pub use path::PagePath;
+pub use recover::RecoveryReport;
+pub use service::{CommitStatsSnapshot, FileService, ServiceConfig, VersionState};
+pub use types::{FileId, FsError, Result, VersionId};
+pub use version::{FamilyTree, VersionOptions};
+
+// Re-export the substrate types callers need to construct a service.
+pub use amoeba_block::{BlockNr, BlockServer, MemStore};
+pub use amoeba_capability::{Capability, Port, Rights};
+pub use bytes::Bytes;

@@ -1,0 +1,423 @@
+//! The page: unit of storage and transfer of the file service (Fig. 3).
+//!
+//! A page is divided into a *header area*, used by the file service, and the *page
+//! itself*, which holds the reference table and the client data:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────┐
+//! │ file capability        (version page only)   │
+//! │ version capability     (version page only)   │
+//! │ commit reference       (version page only)   │
+//! │ top lock               (version page only)   │
+//! │ inner lock             (version page only)   │
+//! │ parent reference       (version page only)   │
+//! │ base reference                               │
+//! │ nrefs                                        │
+//! │ dsize                                        │
+//! ╞══════════════════════════════════════════════╡
+//! │ reference table: nrefs × (block nr | CRWSM)  │
+//! │ client data: dsize bytes                     │
+//! └──────────────────────────────────────────────┘
+//! ```
+//!
+//! Each reference packs a 28-bit block number and the 4-bit flag code of
+//! [`PageFlags`] into 32 bits, exactly as the paper describes.  The client data has
+//! no predefined structure; its maximum size is the 32 KiB transaction bound.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use amoeba_block::BlockNr;
+use amoeba_capability::{Capability, Port};
+
+use crate::flags::PageFlags;
+use crate::types::{decode_block_ref, encode_block_ref, FsError, Result};
+
+/// Maximum number of client data bytes in one page: 32 KiB (§5).
+pub const MAX_PAGE_DATA: usize = 32 * 1024;
+
+/// Maximum number of references a page can hold.
+pub const MAX_REFS: usize = u16::MAX as usize;
+
+/// Magic number identifying an encoded file-service page.
+const PAGE_MAGIC: u16 = 0xaf5e;
+
+/// One entry of a page's reference table: a pointer to a page in the next level of
+/// the page tree, plus the C/R/W/S/M flags describing how that page has been used in
+/// this version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRef {
+    /// Block number of the referred-to page.
+    pub block: BlockNr,
+    /// Access flags for the referred-to page.
+    pub flags: PageFlags,
+}
+
+impl PageRef {
+    /// A reference to `block` with all flags clear (shared with the base version).
+    pub fn shared(block: BlockNr) -> Self {
+        PageRef {
+            block,
+            flags: PageFlags::CLEAR,
+        }
+    }
+
+    /// Packs the reference into its 32-bit on-disk form.
+    pub fn pack(self) -> Result<u32> {
+        let code = self.flags.encode()?;
+        Ok((self.block << 4) | u32::from(code))
+    }
+
+    /// Unpacks a 32-bit on-disk reference.
+    pub fn unpack(raw: u32) -> Result<Self> {
+        let block = raw >> 4;
+        let flags = PageFlags::decode((raw & 0xf) as u8)?;
+        Ok(PageRef { block, flags })
+    }
+}
+
+/// The header fields that exist only in version pages (the root pages of versions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionHeader {
+    /// Capability of the file whose root this page is.
+    pub file_cap: Capability,
+    /// Capability of the version whose root this page is.
+    pub version_cap: Capability,
+    /// Block number of the successor version's version page; `None` while this
+    /// version is current (or uncommitted).
+    pub commit_reference: Option<BlockNr>,
+    /// Port of the update currently holding the top lock; [`Port::NULL`] if unlocked.
+    pub top_lock: Port,
+    /// Port of the enclosing super-file update holding the inner lock; [`Port::NULL`]
+    /// if unlocked.
+    pub inner_lock: Port,
+    /// Block number of the parent version page in the system tree, for super-file
+    /// structure; `None` for files directly under the file-system root.
+    pub parent_reference: Option<BlockNr>,
+    /// Access flags for the version page itself.  The paper notes the root page has
+    /// no parent reference to store its flags in, so "the managing server keeps these
+    /// flags separate"; we persist them in the header so they survive server crashes,
+    /// which the paper requires of flags in general (§5.4).
+    pub root_flags: PageFlags,
+}
+
+impl VersionHeader {
+    /// A fresh version header for an uncommitted version.
+    pub fn new(file_cap: Capability, version_cap: Capability) -> Self {
+        VersionHeader {
+            file_cap,
+            version_cap,
+            commit_reference: None,
+            top_lock: Port::NULL,
+            inner_lock: Port::NULL,
+            parent_reference: None,
+            root_flags: PageFlags::CLEAR,
+        }
+    }
+}
+
+/// An in-memory page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// Version-page header; `None` for ordinary (interior or leaf) pages.
+    pub version: Option<VersionHeader>,
+    /// Block number of the page this page was copied from; `None` for pages created
+    /// from scratch.
+    pub base_reference: Option<BlockNr>,
+    /// The reference table.
+    pub refs: Vec<PageRef>,
+    /// The client data.
+    pub data: Bytes,
+}
+
+impl Page {
+    /// Creates an ordinary page with the given data and no references.
+    pub fn leaf(data: Bytes) -> Self {
+        Page {
+            version: None,
+            base_reference: None,
+            refs: Vec::new(),
+            data,
+        }
+    }
+
+    /// Creates an empty ordinary page.
+    pub fn empty() -> Self {
+        Page::leaf(Bytes::new())
+    }
+
+    /// Creates a version page with the given header.
+    pub fn version_page(header: VersionHeader) -> Self {
+        Page {
+            version: Some(header),
+            base_reference: None,
+            refs: Vec::new(),
+            data: Bytes::new(),
+        }
+    }
+
+    /// True if this is a version page.
+    pub fn is_version_page(&self) -> bool {
+        self.version.is_some()
+    }
+
+    /// Number of references in the reference table (the `nrefs` header field).
+    pub fn nrefs(&self) -> u16 {
+        self.refs.len() as u16
+    }
+
+    /// Number of client data bytes (the `dsize` header field).
+    pub fn dsize(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Returns the reference at `index`.
+    pub fn ref_at(&self, index: u16) -> Result<PageRef> {
+        self.refs
+            .get(index as usize)
+            .copied()
+            .ok_or(FsError::BadReferenceIndex(index))
+    }
+
+    /// Replaces the reference at `index`.
+    pub fn set_ref(&mut self, index: u16, reference: PageRef) -> Result<()> {
+        let slot = self
+            .refs
+            .get_mut(index as usize)
+            .ok_or(FsError::BadReferenceIndex(index))?;
+        *slot = reference;
+        Ok(())
+    }
+
+    /// Appends a reference and returns its index.
+    pub fn push_ref(&mut self, reference: PageRef) -> Result<u16> {
+        if self.refs.len() >= MAX_REFS {
+            return Err(FsError::BadReferenceIndex(u16::MAX));
+        }
+        self.refs.push(reference);
+        Ok((self.refs.len() - 1) as u16)
+    }
+
+    /// Inserts a reference at `index`, shifting later references up ("insert page").
+    pub fn insert_ref(&mut self, index: u16, reference: PageRef) -> Result<()> {
+        if index as usize > self.refs.len() || self.refs.len() >= MAX_REFS {
+            return Err(FsError::BadReferenceIndex(index));
+        }
+        self.refs.insert(index as usize, reference);
+        Ok(())
+    }
+
+    /// Removes the reference at `index`, shifting later references down
+    /// ("remove page").  Returns the removed reference.
+    pub fn remove_ref(&mut self, index: u16) -> Result<PageRef> {
+        if (index as usize) < self.refs.len() {
+            Ok(self.refs.remove(index as usize))
+        } else {
+            Err(FsError::BadReferenceIndex(index))
+        }
+    }
+
+    /// Replaces the client data.
+    pub fn set_data(&mut self, data: Bytes) -> Result<()> {
+        if data.len() > MAX_PAGE_DATA {
+            return Err(FsError::PageTooLarge(data.len()));
+        }
+        self.data = data;
+        Ok(())
+    }
+
+    /// Serialises the page into its on-disk form.
+    pub fn encode(&self) -> Result<Bytes> {
+        if self.data.len() > MAX_PAGE_DATA {
+            return Err(FsError::PageTooLarge(self.data.len()));
+        }
+        let mut buf = BytesMut::with_capacity(64 + self.refs.len() * 4 + self.data.len());
+        buf.put_u16_le(PAGE_MAGIC);
+        buf.put_u8(u8::from(self.version.is_some()));
+        if let Some(v) = &self.version {
+            v.file_cap.encode(&mut buf);
+            v.version_cap.encode(&mut buf);
+            buf.put_u32_le(encode_block_ref(v.commit_reference));
+            buf.put_u64_le(v.top_lock.raw());
+            buf.put_u64_le(v.inner_lock.raw());
+            buf.put_u32_le(encode_block_ref(v.parent_reference));
+            buf.put_u8(v.root_flags.encode()?);
+        }
+        buf.put_u32_le(encode_block_ref(self.base_reference));
+        buf.put_u16_le(self.nrefs());
+        buf.put_u32_le(self.dsize());
+        for r in &self.refs {
+            buf.put_u32_le(r.pack()?);
+        }
+        buf.put_slice(&self.data);
+        Ok(buf.freeze())
+    }
+
+    /// Deserialises a page from its on-disk form.
+    pub fn decode(mut raw: Bytes) -> Result<Page> {
+        let too_short = || FsError::CorruptPage("page truncated".into());
+        if raw.remaining() < 3 {
+            return Err(too_short());
+        }
+        let magic = raw.get_u16_le();
+        if magic != PAGE_MAGIC {
+            return Err(FsError::CorruptPage(format!("bad magic {magic:#06x}")));
+        }
+        let is_version = raw.get_u8() != 0;
+        let version = if is_version {
+            let file_cap = Capability::decode(&mut raw).ok_or_else(too_short)?;
+            let version_cap = Capability::decode(&mut raw).ok_or_else(too_short)?;
+            if raw.remaining() < 4 + 8 + 8 + 4 + 1 {
+                return Err(too_short());
+            }
+            let commit_reference = decode_block_ref(raw.get_u32_le());
+            let top_lock = Port::from_raw(raw.get_u64_le());
+            let inner_lock = Port::from_raw(raw.get_u64_le());
+            let parent_reference = decode_block_ref(raw.get_u32_le());
+            let root_flags = PageFlags::decode(raw.get_u8())?;
+            Some(VersionHeader {
+                file_cap,
+                version_cap,
+                commit_reference,
+                top_lock,
+                inner_lock,
+                parent_reference,
+                root_flags,
+            })
+        } else {
+            None
+        };
+        if raw.remaining() < 4 + 2 + 4 {
+            return Err(too_short());
+        }
+        let base_reference = decode_block_ref(raw.get_u32_le());
+        let nrefs = raw.get_u16_le() as usize;
+        let dsize = raw.get_u32_le() as usize;
+        if raw.remaining() < nrefs * 4 + dsize {
+            return Err(too_short());
+        }
+        let mut refs = Vec::with_capacity(nrefs);
+        for _ in 0..nrefs {
+            refs.push(PageRef::unpack(raw.get_u32_le())?);
+        }
+        let data = raw.split_to(dsize);
+        Ok(Page {
+            version,
+            base_reference,
+            refs,
+            data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_capability::Rights;
+
+    fn sample_cap(object: u64) -> Capability {
+        Capability {
+            port: Port::from_raw(0x1234),
+            object,
+            rights: Rights::ALL,
+            check: 0xfeed,
+        }
+    }
+
+    fn flag(copied: bool, read: bool, written: bool, searched: bool, modified: bool) -> PageFlags {
+        PageFlags {
+            copied,
+            read,
+            written,
+            searched,
+            modified,
+        }
+    }
+
+    #[test]
+    fn leaf_page_round_trips() {
+        let page = Page::leaf(Bytes::from_static(b"client data, no structure"));
+        let decoded = Page::decode(page.encode().unwrap()).unwrap();
+        assert_eq!(decoded, page);
+        assert!(!decoded.is_version_page());
+    }
+
+    #[test]
+    fn version_page_round_trips_with_all_header_fields() {
+        let mut header = VersionHeader::new(sample_cap(1), sample_cap(2));
+        header.commit_reference = Some(1234);
+        header.parent_reference = Some(77);
+        header.top_lock = Port::from_raw(0xaa);
+        header.inner_lock = Port::from_raw(0xbb);
+        header.root_flags = flag(true, true, false, true, false);
+        let mut page = Page::version_page(header);
+        page.base_reference = Some(99);
+        page.refs.push(PageRef {
+            block: 500,
+            flags: flag(true, false, true, false, false),
+        });
+        page.refs.push(PageRef::shared(501));
+        page.data = Bytes::from_static(b"root data");
+
+        let decoded = Page::decode(page.encode().unwrap()).unwrap();
+        assert_eq!(decoded, page);
+        assert!(decoded.is_version_page());
+        assert_eq!(decoded.nrefs(), 2);
+        assert_eq!(decoded.dsize(), 9);
+    }
+
+    #[test]
+    fn page_ref_packing_uses_28_plus_4_bits() {
+        let r = PageRef {
+            block: amoeba_block::MAX_BLOCK_NR - 1,
+            flags: flag(true, true, true, true, true),
+        };
+        let packed = r.pack().unwrap();
+        assert_eq!(PageRef::unpack(packed).unwrap(), r);
+        // The packed form is exactly 32 bits with the block in the top 28.
+        assert_eq!(packed >> 4, amoeba_block::MAX_BLOCK_NR - 1);
+    }
+
+    #[test]
+    fn oversized_data_is_rejected() {
+        let mut page = Page::empty();
+        assert!(page.set_data(Bytes::from(vec![0u8; MAX_PAGE_DATA + 1])).is_err());
+        assert!(page.set_data(Bytes::from(vec![0u8; MAX_PAGE_DATA])).is_ok());
+    }
+
+    #[test]
+    fn reference_table_editing() {
+        let mut page = Page::empty();
+        let i0 = page.push_ref(PageRef::shared(10)).unwrap();
+        let i1 = page.push_ref(PageRef::shared(11)).unwrap();
+        assert_eq!((i0, i1), (0, 1));
+        page.insert_ref(1, PageRef::shared(99)).unwrap();
+        assert_eq!(page.ref_at(1).unwrap().block, 99);
+        assert_eq!(page.ref_at(2).unwrap().block, 11);
+        let removed = page.remove_ref(0).unwrap();
+        assert_eq!(removed.block, 10);
+        assert_eq!(page.nrefs(), 2);
+        assert!(page.ref_at(5).is_err());
+        assert!(page.set_ref(7, PageRef::shared(1)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Page::decode(Bytes::from_static(b"")).is_err());
+        assert!(Page::decode(Bytes::from_static(b"\0\0\0\0\0\0")).is_err());
+        // Valid magic but truncated body.
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(PAGE_MAGIC);
+        buf.put_u8(0);
+        assert!(Page::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_refs() {
+        let mut page = Page::empty();
+        page.push_ref(PageRef::shared(1)).unwrap();
+        let encoded = page.encode().unwrap();
+        // Drop the last two bytes so the reference table is incomplete.
+        let truncated = encoded.slice(..encoded.len() - 2);
+        assert!(Page::decode(truncated).is_err());
+    }
+}

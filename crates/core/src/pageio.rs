@@ -1,0 +1,386 @@
+//! Page I/O: reading and writing pages through the block service.
+//!
+//! All pages of all versions live in blocks of a [`BlockServer`] owned by the file
+//! service's account.  `PageIo` adds:
+//!
+//! * encoding/decoding between [`Page`] and raw block contents,
+//! * an optional *flag cache* (§5.4: "The Amoeba File Servers can also conveniently
+//!   cache the concurrency control administration, the flag bits.  This allows
+//!   serialisability tests without having to read the page tree.") — implemented as a
+//!   bounded cache of decoded pages keyed by block number, and
+//! * counters for physical page reads/writes so the benchmarks can report disk I/O
+//!   rather than wall-clock time alone.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use amoeba_block::{BlockNr, BlockServer};
+use amoeba_capability::Capability;
+
+use crate::page::Page;
+use crate::types::Result;
+
+/// I/O statistics of the file service.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PageIoStats {
+    /// Pages read from the block service (physical reads).
+    pub page_reads: u64,
+    /// Pages written to the block service.
+    pub page_writes: u64,
+    /// Pages newly allocated (copy-on-write copies, fresh pages, version pages).
+    pub pages_allocated: u64,
+    /// Pages freed (aborted versions, garbage collection).
+    pub pages_freed: u64,
+    /// Reads satisfied from the flag cache without touching the block service.
+    pub cache_hits: u64,
+}
+
+impl PageIoStats {
+    /// Field-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &PageIoStats) -> PageIoStats {
+        PageIoStats {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_writes: self.page_writes - earlier.page_writes,
+            pages_allocated: self.pages_allocated - earlier.pages_allocated,
+            pages_freed: self.pages_freed - earlier.pages_freed,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+        }
+    }
+}
+
+/// Page-granularity I/O over a [`BlockServer`] account.
+pub struct PageIo {
+    server: Arc<BlockServer>,
+    account: Capability,
+    cache: Option<Mutex<PageCacheInner>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocated: AtomicU64,
+    freed: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+#[derive(Debug)]
+struct PageCacheInner {
+    capacity: usize,
+    pages: HashMap<BlockNr, Page>,
+    /// Simple FIFO eviction order; good enough for the flag-cache experiments.
+    order: std::collections::VecDeque<BlockNr>,
+}
+
+impl PageCacheInner {
+    fn insert(&mut self, nr: BlockNr, page: Page) {
+        if !self.pages.contains_key(&nr) {
+            self.order.push_back(nr);
+        }
+        self.pages.insert(nr, page);
+        while self.pages.len() > self.capacity {
+            if let Some(evict) = self.order.pop_front() {
+                self.pages.remove(&evict);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl PageIo {
+    /// Creates a page I/O layer with the server-side page/flag cache enabled.
+    pub fn new(server: Arc<BlockServer>, account: Capability) -> Self {
+        Self::with_cache(server, account, Some(4096))
+    }
+
+    /// Creates a page I/O layer; `cache_capacity: None` disables the server-side
+    /// cache entirely (used by experiment E13 to measure its benefit).
+    pub fn with_cache(
+        server: Arc<BlockServer>,
+        account: Capability,
+        cache_capacity: Option<usize>,
+    ) -> Self {
+        PageIo {
+            server,
+            account,
+            cache: cache_capacity.map(|capacity| {
+                Mutex::new(PageCacheInner {
+                    capacity,
+                    pages: HashMap::new(),
+                    order: std::collections::VecDeque::new(),
+                })
+            }),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            allocated: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The block server this page I/O layer writes to.
+    pub fn block_server(&self) -> &Arc<BlockServer> {
+        &self.server
+    }
+
+    /// The account capability under which pages are stored.
+    pub fn account(&self) -> &Capability {
+        &self.account
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PageIoStats {
+        PageIoStats {
+            page_reads: self.reads.load(Ordering::Relaxed),
+            page_writes: self.writes.load(Ordering::Relaxed),
+            pages_allocated: self.allocated.load(Ordering::Relaxed),
+            pages_freed: self.freed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Allocates a block and stores `page` in it.
+    pub fn allocate_page(&self, page: &Page) -> Result<BlockNr> {
+        let encoded = page.encode()?;
+        let nr = self.server.allocate_and_write(&self.account, encoded)?;
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            cache.lock().insert(nr, page.clone());
+        }
+        Ok(nr)
+    }
+
+    /// Reads and decodes the page stored in block `nr`.
+    pub fn read_page(&self, nr: BlockNr) -> Result<Page> {
+        if let Some(cache) = &self.cache {
+            if let Some(page) = cache.lock().pages.get(&nr) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(page.clone());
+            }
+        }
+        let raw = self.server.read(&self.account, nr)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let page = Page::decode(raw)?;
+        if let Some(cache) = &self.cache {
+            cache.lock().insert(nr, page.clone());
+        }
+        Ok(page)
+    }
+
+    /// Reads a page directly from the block service, bypassing the cache.  Used by
+    /// the commit critical section, which must see the on-disk truth.
+    pub fn read_page_uncached(&self, nr: BlockNr) -> Result<Page> {
+        let raw = self.server.read(&self.account, nr)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Page::decode(raw)
+    }
+
+    /// Writes `page` into the existing block `nr` (writing a private copy in place).
+    pub fn write_page(&self, nr: BlockNr, page: &Page) -> Result<()> {
+        let encoded = page.encode()?;
+        self.server.write(&self.account, nr, encoded)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            cache.lock().insert(nr, page.clone());
+        }
+        Ok(())
+    }
+
+    /// Frees the block holding a page.
+    pub fn free_page(&self, nr: BlockNr) -> Result<()> {
+        self.server.free(&self.account, nr)?;
+        self.freed.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock();
+            cache.pages.remove(&nr);
+        }
+        Ok(())
+    }
+
+    /// Invalidates one cache entry (used after another server may have changed the
+    /// block underneath us, e.g. a commit reference written by a companion manager).
+    pub fn invalidate(&self, nr: BlockNr) {
+        if let Some(cache) = &self.cache {
+            cache.lock().pages.remove(&nr);
+        }
+    }
+
+    /// The commit critical section: lock block `nr`, give the closure the decoded
+    /// page, optionally write back the page it returns, unlock.  Mirrors
+    /// [`BlockServer::update_block`] at page granularity.
+    pub fn update_page<R>(
+        &self,
+        nr: BlockNr,
+        f: impl FnOnce(&mut Page) -> Result<(bool, R)>,
+    ) -> Result<R> {
+        let account = self.account;
+        let result = self.server.update_block(&account, nr, |raw| {
+            let mut page = Page::decode(raw).map_err(fs_to_block)?;
+            let (write_back, value) = f(&mut page).map_err(fs_to_block)?;
+            if write_back {
+                let encoded = page.encode().map_err(fs_to_block)?;
+                Ok((Some(encoded), (value, write_back, page)))
+            } else {
+                Ok((None, (value, write_back, page)))
+            }
+        });
+        match result {
+            Ok((value, wrote, page)) => {
+                self.reads.fetch_add(1, Ordering::Relaxed);
+                if wrote {
+                    self.writes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(cache) = &self.cache {
+                        cache.lock().insert(nr, page);
+                    }
+                }
+                Ok(value)
+            }
+            Err(e) => Err(block_to_fs(e)),
+        }
+    }
+}
+
+/// Smuggles an [`crate::types::FsError`] through the block layer's error type so
+/// `update_block` closures can fail with file-service errors.
+fn fs_to_block(e: crate::types::FsError) -> amoeba_block::BlockError {
+    match e {
+        crate::types::FsError::Block(inner) => inner,
+        other => amoeba_block::BlockError::Io(format!("fs:{other}")),
+    }
+}
+
+fn block_to_fs(e: amoeba_block::BlockError) -> crate::types::FsError {
+    if let amoeba_block::BlockError::Io(msg) = &e {
+        if let Some(stripped) = msg.strip_prefix("fs:") {
+            // Reconstruct the common cases; anything else stays a block error.
+            if stripped.starts_with("commit failed") {
+                return crate::types::FsError::SerialisabilityConflict;
+            }
+        }
+    }
+    crate::types::FsError::from(e)
+}
+
+impl std::fmt::Debug for PageIo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageIo")
+            .field("stats", &self.stats())
+            .field("cache_enabled", &self.cache.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_block::MemStore;
+    use bytes::Bytes;
+
+    fn page_io(cache: Option<usize>) -> PageIo {
+        let server = Arc::new(BlockServer::new(Arc::new(MemStore::new())));
+        let account = server.create_account();
+        PageIo::with_cache(server, account, cache)
+    }
+
+    #[test]
+    fn allocate_read_write_free_cycle() {
+        let io = page_io(Some(16));
+        let page = Page::leaf(Bytes::from_static(b"hello"));
+        let nr = io.allocate_page(&page).unwrap();
+        assert_eq!(io.read_page(nr).unwrap(), page);
+        let mut page2 = page.clone();
+        page2.set_data(Bytes::from_static(b"world")).unwrap();
+        io.write_page(nr, &page2).unwrap();
+        assert_eq!(io.read_page(nr).unwrap(), page2);
+        io.free_page(nr).unwrap();
+        assert!(io.read_page(nr).is_err());
+    }
+
+    #[test]
+    fn cache_hits_avoid_physical_reads() {
+        let io = page_io(Some(16));
+        let nr = io.allocate_page(&Page::leaf(Bytes::from_static(b"x"))).unwrap();
+        let before = io.stats();
+        for _ in 0..10 {
+            io.read_page(nr).unwrap();
+        }
+        let delta = io.stats().since(&before);
+        assert_eq!(delta.page_reads, 0);
+        assert_eq!(delta.cache_hits, 10);
+    }
+
+    #[test]
+    fn disabled_cache_always_reads_physically() {
+        let io = page_io(None);
+        let nr = io.allocate_page(&Page::leaf(Bytes::from_static(b"x"))).unwrap();
+        let before = io.stats();
+        for _ in 0..10 {
+            io.read_page(nr).unwrap();
+        }
+        let delta = io.stats().since(&before);
+        assert_eq!(delta.page_reads, 10);
+        assert_eq!(delta.cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_eviction_keeps_capacity_bounded() {
+        let io = page_io(Some(2));
+        let mut blocks = Vec::new();
+        for i in 0..5u8 {
+            blocks.push(io.allocate_page(&Page::leaf(Bytes::from(vec![i]))).unwrap());
+        }
+        // All pages are still readable even though only two fit in the cache.
+        for (i, nr) in blocks.iter().enumerate() {
+            assert_eq!(io.read_page(*nr).unwrap().data, Bytes::from(vec![i as u8]));
+        }
+    }
+
+    #[test]
+    fn update_page_applies_changes_atomically() {
+        let io = Arc::new(page_io(Some(16)));
+        let nr = io
+            .allocate_page(&Page::leaf(Bytes::from(0u64.to_le_bytes().to_vec())))
+            .unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let io = Arc::clone(&io);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    io.update_page(nr, |page| {
+                        let v = u64::from_le_bytes(page.data[..8].try_into().unwrap());
+                        page.set_data(Bytes::from((v + 1).to_le_bytes().to_vec())).unwrap();
+                        Ok((true, ()))
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_page = io.read_page_uncached(nr).unwrap();
+        assert_eq!(u64::from_le_bytes(final_page.data[..8].try_into().unwrap()), 400);
+    }
+
+    #[test]
+    fn update_page_without_write_back_changes_nothing() {
+        let io = page_io(Some(16));
+        let nr = io.allocate_page(&Page::leaf(Bytes::from_static(b"keep"))).unwrap();
+        let observed: Bytes = io
+            .update_page(nr, |page| Ok((false, page.data.clone())))
+            .unwrap();
+        assert_eq!(observed, Bytes::from_static(b"keep"));
+        assert_eq!(io.read_page(nr).unwrap().data, Bytes::from_static(b"keep"));
+    }
+
+    #[test]
+    fn stats_count_allocation_and_free() {
+        let io = page_io(Some(16));
+        let nr = io.allocate_page(&Page::empty()).unwrap();
+        io.free_page(nr).unwrap();
+        let s = io.stats();
+        assert_eq!(s.pages_allocated, 1);
+        assert_eq!(s.pages_freed, 1);
+    }
+}

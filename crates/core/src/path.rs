@@ -1,0 +1,159 @@
+//! Page path names (§5).
+//!
+//! "Pages within a file are referred to by a pathname which is constructed as follows:
+//! The root page has an empty pathname.  The pathname of a page that is not the root,
+//! is the concatenation of the pathname of its parent page with the index of its
+//! reference in the array of references in the parent page."
+//!
+//! Path names are visible to clients and give them explicit control over the shape of
+//! their files: a linear file is a root with N children; a B-tree maps naturally onto
+//! nested reference tables.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A page path: the sequence of reference-table indices leading from the version page
+/// (root) to the page.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct PagePath(Vec<u16>);
+
+impl PagePath {
+    /// The path of the root (version) page.
+    pub const fn root() -> Self {
+        PagePath(Vec::new())
+    }
+
+    /// Builds a path from reference indices.
+    pub fn new(indices: impl Into<Vec<u16>>) -> Self {
+        PagePath(indices.into())
+    }
+
+    /// The reference indices, outermost first.
+    pub fn indices(&self) -> &[u16] {
+        &self.0
+    }
+
+    /// True for the root page's (empty) path.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of components (= depth below the root).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns the path of this page's parent, or `None` for the root.
+    pub fn parent(&self) -> Option<PagePath> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(PagePath(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The index of this page in its parent's reference table, or `None` for the root.
+    pub fn last_index(&self) -> Option<u16> {
+        self.0.last().copied()
+    }
+
+    /// Returns the path of child `index` of this page.
+    pub fn child(&self, index: u16) -> PagePath {
+        let mut v = self.0.clone();
+        v.push(index);
+        PagePath(v)
+    }
+
+    /// True if `self` is `other` or an ancestor of `other`.
+    pub fn is_prefix_of(&self, other: &PagePath) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Parses the textual form produced by `Display`: `/` for the root,
+    /// `/3/0/7` for a nested page.
+    pub fn parse(text: &str) -> Option<PagePath> {
+        let trimmed = text.trim();
+        if trimmed == "/" || trimmed.is_empty() {
+            return Some(PagePath::root());
+        }
+        let mut indices = Vec::new();
+        for part in trimmed.trim_start_matches('/').split('/') {
+            indices.push(part.parse::<u16>().ok()?);
+        }
+        Some(PagePath(indices))
+    }
+}
+
+impl fmt::Display for PagePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "/");
+        }
+        for idx in &self.0 {
+            write!(f, "/{idx}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&[u16]> for PagePath {
+    fn from(indices: &[u16]) -> Self {
+        PagePath(indices.to_vec())
+    }
+}
+
+impl From<Vec<u16>> for PagePath {
+    fn from(indices: Vec<u16>) -> Self {
+        PagePath(indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_path_properties() {
+        let root = PagePath::root();
+        assert!(root.is_root());
+        assert_eq!(root.depth(), 0);
+        assert_eq!(root.parent(), None);
+        assert_eq!(root.last_index(), None);
+        assert_eq!(root.to_string(), "/");
+    }
+
+    #[test]
+    fn child_and_parent_are_inverse() {
+        let p = PagePath::root().child(3).child(0).child(7);
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.to_string(), "/3/0/7");
+        assert_eq!(p.last_index(), Some(7));
+        assert_eq!(p.parent().unwrap().to_string(), "/3/0");
+        assert_eq!(p.parent().unwrap().parent().unwrap().parent().unwrap(), PagePath::root());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = PagePath::new(vec![1, 2]);
+        let b = PagePath::new(vec![1, 2, 3]);
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(PagePath::root().is_prefix_of(&a));
+        let c = PagePath::new(vec![1, 3]);
+        assert!(!a.is_prefix_of(&c));
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for p in [
+            PagePath::root(),
+            PagePath::new(vec![0]),
+            PagePath::new(vec![5, 4, 3, 2, 1]),
+        ] {
+            assert_eq!(PagePath::parse(&p.to_string()).unwrap(), p);
+        }
+        assert_eq!(PagePath::parse("garbage"), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! Identifiers and error types of the file service.
+
+use std::error::Error;
+use std::fmt;
+
+use amoeba_block::{BlockError, BlockNr};
+
+/// Identifies a file at a file service.  Carried as the object number of the file
+/// capability.
+pub type FileId = u64;
+
+/// Identifies a version of a file.  Carried as the object number of the version
+/// capability.
+pub type VersionId = u64;
+
+/// A "nil" block reference.  The paper represents nil base/commit references with a
+/// reserved value; we use the all-ones 28-bit pattern, which the block service never
+/// allocates because [`amoeba_block::MAX_BLOCK_NR`] is its last valid block and the
+/// stores hand numbers out from zero upward.
+pub const NIL_BLOCK: BlockNr = amoeba_block::MAX_BLOCK_NR;
+
+/// Converts an optional block number to its on-page encoding.
+pub fn encode_block_ref(nr: Option<BlockNr>) -> u32 {
+    nr.unwrap_or(NIL_BLOCK)
+}
+
+/// Converts an on-page block reference back to an optional block number.
+pub fn decode_block_ref(raw: u32) -> Option<BlockNr> {
+    if raw == NIL_BLOCK {
+        None
+    } else {
+        Some(raw)
+    }
+}
+
+/// Errors returned by the file service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The presented capability was rejected.
+    PermissionDenied,
+    /// No file with this identity exists.
+    NoSuchFile,
+    /// No version with this identity exists.
+    NoSuchVersion,
+    /// A path component does not refer to an existing page reference.
+    NoSuchPage(String),
+    /// The operation is only valid on an uncommitted version.
+    AlreadyCommitted,
+    /// The operation is only valid on a committed version.
+    NotCommitted,
+    /// Commit failed because the concurrent updates are not serialisable; the client
+    /// must redo the update on a fresh version (§5.2).
+    SerialisabilityConflict,
+    /// The page data exceeds the 32 KiB transaction bound of §5.
+    PageTooLarge(usize),
+    /// A reference index is out of range for the page.
+    BadReferenceIndex(u16),
+    /// The file is locked by another update and the caller asked not to wait.
+    WouldBlock,
+    /// Waiting for a lock was abandoned because the holder appears to have crashed
+    /// and recovery could not proceed.
+    LockTimeout,
+    /// The operation is not valid for this kind of file (small file vs super-file).
+    WrongFileKind,
+    /// The underlying block service failed.
+    Block(BlockError),
+    /// An on-disk page could not be decoded.
+    CorruptPage(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::PermissionDenied => write!(f, "permission denied"),
+            FsError::NoSuchFile => write!(f, "no such file"),
+            FsError::NoSuchVersion => write!(f, "no such version"),
+            FsError::NoSuchPage(path) => write!(f, "no page at path {path}"),
+            FsError::AlreadyCommitted => write!(f, "version is already committed"),
+            FsError::NotCommitted => write!(f, "version is not committed"),
+            FsError::SerialisabilityConflict => {
+                write!(f, "commit failed: concurrent updates are not serialisable")
+            }
+            FsError::PageTooLarge(n) => write!(f, "page data of {n} bytes exceeds 32 KiB"),
+            FsError::BadReferenceIndex(i) => write!(f, "reference index {i} out of range"),
+            FsError::WouldBlock => write!(f, "file is locked by another update"),
+            FsError::LockTimeout => write!(f, "timed out waiting for a lock"),
+            FsError::WrongFileKind => write!(f, "operation not valid for this kind of file"),
+            FsError::Block(e) => write!(f, "block service error: {e}"),
+            FsError::CorruptPage(msg) => write!(f, "corrupt page: {msg}"),
+        }
+    }
+}
+
+impl Error for FsError {}
+
+impl From<BlockError> for FsError {
+    fn from(e: BlockError) -> Self {
+        match e {
+            BlockError::PermissionDenied => FsError::PermissionDenied,
+            other => FsError::Block(other),
+        }
+    }
+}
+
+/// Result alias for file-service operations.
+pub type Result<T> = std::result::Result<T, FsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_block_round_trips() {
+        assert_eq!(decode_block_ref(encode_block_ref(None)), None);
+        assert_eq!(decode_block_ref(encode_block_ref(Some(17))), Some(17));
+    }
+
+    #[test]
+    fn block_error_converts_permission() {
+        assert_eq!(
+            FsError::from(BlockError::PermissionDenied),
+            FsError::PermissionDenied
+        );
+        assert!(matches!(
+            FsError::from(BlockError::Full),
+            FsError::Block(BlockError::Full)
+        ));
+    }
+}

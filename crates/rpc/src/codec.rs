@@ -1,0 +1,127 @@
+//! Length-prefixed binary framing for requests and replies.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! request  := u32 total_len | u32 op | capability (25 bytes) | payload
+//! reply    := u32 total_len | u8 status            | payload
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use amoeba_capability::Capability;
+
+use crate::message::{Reply, Request, Status, MAX_FRAME_PAYLOAD};
+use crate::RpcError;
+
+/// Size of an encoded capability on the wire.
+const CAP_SIZE: usize = 25;
+
+/// Encodes a request into a self-delimiting frame.
+pub fn encode_request(req: &Request) -> Result<Bytes, RpcError> {
+    if req.payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(RpcError::TooLarge(req.payload.len()));
+    }
+    let body_len = 4 + CAP_SIZE + req.payload.len();
+    let mut buf = BytesMut::with_capacity(4 + body_len);
+    buf.put_u32_le(body_len as u32);
+    buf.put_u32_le(req.op);
+    req.cap.encode(&mut buf);
+    buf.put_slice(&req.payload);
+    Ok(buf.freeze())
+}
+
+/// Decodes a request frame previously produced by [`encode_request`] (without the
+/// leading length word, which the transport strips when it reads the frame).
+pub fn decode_request(mut body: Bytes) -> Result<Request, RpcError> {
+    if body.len() < 4 + CAP_SIZE {
+        return Err(RpcError::Decode("request frame too short".into()));
+    }
+    let op = body.get_u32_le();
+    let cap = Capability::decode(&mut body)
+        .ok_or_else(|| RpcError::Decode("truncated capability".into()))?;
+    Ok(Request {
+        op,
+        cap,
+        payload: body,
+    })
+}
+
+/// Encodes a reply into a self-delimiting frame.
+pub fn encode_reply(reply: &Reply) -> Result<Bytes, RpcError> {
+    if reply.payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(RpcError::TooLarge(reply.payload.len()));
+    }
+    let body_len = 1 + reply.payload.len();
+    let mut buf = BytesMut::with_capacity(4 + body_len);
+    buf.put_u32_le(body_len as u32);
+    buf.put_u8(reply.status as u8);
+    buf.put_slice(&reply.payload);
+    Ok(buf.freeze())
+}
+
+/// Decodes a reply frame body (without the leading length word).
+pub fn decode_reply(mut body: Bytes) -> Result<Reply, RpcError> {
+    if body.is_empty() {
+        return Err(RpcError::Decode("reply frame too short".into()));
+    }
+    let status = Status::from_u8(body.get_u8())
+        .ok_or_else(|| RpcError::Decode("invalid status byte".into()))?;
+    Ok(Reply {
+        status,
+        payload: body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_capability::{Port, Rights};
+
+    fn sample_cap() -> Capability {
+        Capability {
+            port: Port::from_raw(0xaaa),
+            object: 9,
+            rights: Rights::READ | Rights::WRITE,
+            check: 0x1234_5678,
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::new(7, sample_cap(), Bytes::from_static(b"args"));
+        let frame = encode_request(&req).unwrap();
+        // Strip the length prefix as the transport would.
+        let body = frame.slice(4..);
+        let decoded = decode_request(body).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let reply = Reply::error(Bytes::from_static(b"nope"));
+        let frame = encode_reply(&reply).unwrap();
+        let decoded = decode_reply(frame.slice(4..)).unwrap();
+        assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let req = Request::new(1, sample_cap(), Bytes::from(vec![0u8; MAX_FRAME_PAYLOAD + 1]));
+        assert!(matches!(encode_request(&req), Err(RpcError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        assert!(decode_request(Bytes::from_static(b"xx")).is_err());
+        assert!(decode_reply(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn length_prefix_matches_body() {
+        let req = Request::new(3, sample_cap(), Bytes::from_static(b"abc"));
+        let frame = encode_request(&req).unwrap();
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+    }
+}

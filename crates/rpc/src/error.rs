@@ -1,0 +1,45 @@
+//! RPC error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors that a transaction can fail with, as seen by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// No service is registered at the addressed port.
+    NoSuchPort,
+    /// The request was lost (injected fault or the server crashed mid-transaction).
+    Dropped,
+    /// The server is marked as crashed.
+    ServerCrashed,
+    /// The reply did not arrive within the client's deadline.
+    Timeout,
+    /// The payload exceeded the maximum transaction size.
+    TooLarge(usize),
+    /// A frame could not be decoded.
+    Decode(String),
+    /// Underlying socket error (TCP transport only).
+    Io(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::NoSuchPort => write!(f, "no service registered at this port"),
+            RpcError::Dropped => write!(f, "request or reply was dropped"),
+            RpcError::ServerCrashed => write!(f, "server crashed"),
+            RpcError::Timeout => write!(f, "transaction timed out"),
+            RpcError::TooLarge(n) => write!(f, "payload of {n} bytes exceeds transaction limit"),
+            RpcError::Decode(msg) => write!(f, "frame decode error: {msg}"),
+            RpcError::Io(msg) => write!(f, "transport I/O error: {msg}"),
+        }
+    }
+}
+
+impl Error for RpcError {}
+
+impl From<std::io::Error> for RpcError {
+    fn from(err: std::io::Error) -> Self {
+        RpcError::Io(err.to_string())
+    }
+}

@@ -1,0 +1,72 @@
+//! Transaction-style RPC for the Amoeba services.
+//!
+//! Amoeba structures all client/server interaction as *transactions*: a client sends
+//! a single request message to a service port and blocks until the single reply
+//! arrives.  The file-service design leans on two properties of this model:
+//!
+//! * the maximum size of a message bounds the size of a page ("the maximum length of
+//!   a page is determined by the maximum length of a message in a transaction: 32K
+//!   bytes", §5), which is what makes a page read or write a single atomic
+//!   transaction; and
+//! * servers are *passive*: they only ever react to requests.  The cache design of
+//!   §5.4 explicitly rejects XDFS-style "unsolicited messages" from server to client.
+//!
+//! This crate provides:
+//!
+//! * [`Request`] / [`Reply`] message frames with a binary wire codec (hand-rolled on
+//!   `bytes`, length-prefixed, capability-carrying),
+//! * the [`Transport`] trait — `transact(port, request) -> reply`,
+//! * [`LocalNetwork`] — an in-process transport connecting clients to registered
+//!   [`RequestHandler`]s, with configurable latency, message loss and partitions for
+//!   the robustness experiments, and
+//! * [`tcp`] — a real TCP transport (`std::net`, one thread per connection) so the
+//!   same servers can be run across actual machine boundaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod error;
+mod local;
+mod message;
+pub mod tcp;
+
+pub use error::RpcError;
+pub use local::{LocalNetwork, NetworkFaults};
+pub use message::{Reply, Request, Status, MAX_PAYLOAD};
+
+/// Result alias for RPC operations.
+pub type Result<T> = std::result::Result<T, RpcError>;
+
+use amoeba_capability::Port;
+
+/// A service-side handler: receives a request, returns a reply.
+///
+/// Handlers must be callable from many threads at once; Amoeba servers are free to
+/// serve transactions concurrently.
+pub trait RequestHandler: Send + Sync {
+    /// Handles one transaction.
+    fn handle(&self, request: Request) -> Reply;
+}
+
+impl<F> RequestHandler for F
+where
+    F: Fn(Request) -> Reply + Send + Sync,
+{
+    fn handle(&self, request: Request) -> Reply {
+        self(request)
+    }
+}
+
+/// A client-side transport: delivers a request to the service listening on `port` and
+/// returns its reply.
+pub trait Transport: Send + Sync {
+    /// Performs one transaction.
+    fn transact(&self, port: Port, request: Request) -> Result<Reply>;
+}
+
+impl<T: Transport + ?Sized> Transport for std::sync::Arc<T> {
+    fn transact(&self, port: Port, request: Request) -> Result<Reply> {
+        (**self).transact(port, request)
+    }
+}

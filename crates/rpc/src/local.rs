@@ -1,0 +1,237 @@
+//! In-process transport: clients and servers in the same address space.
+//!
+//! `LocalNetwork` is the default substrate for tests, examples and benchmarks: it
+//! routes transactions directly to registered handlers, optionally injecting the
+//! network pathologies the robustness experiments need (latency, loss, crashed or
+//! partitioned servers).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use amoeba_capability::Port;
+
+use crate::message::{Reply, Request};
+use crate::{RequestHandler, Result, RpcError, Transport};
+
+/// Network fault configuration for a [`LocalNetwork`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkFaults {
+    /// Fixed latency added to every transaction (request + reply combined).
+    pub latency: Duration,
+    /// Probability in [0, 1] that a transaction is lost entirely.
+    pub drop_prob: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for NetworkFaults {
+    fn default() -> Self {
+        NetworkFaults {
+            latency: Duration::ZERO,
+            drop_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// An in-process "network": a routing table from ports to handlers.
+pub struct LocalNetwork {
+    handlers: RwLock<HashMap<Port, Arc<dyn RequestHandler>>>,
+    /// Ports that are currently unreachable (crashed server process or partition).
+    unreachable: RwLock<HashSet<Port>>,
+    faults: Mutex<NetworkFaults>,
+    rng: Mutex<StdRng>,
+    transactions: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for LocalNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalNetwork {
+    /// Creates a network with no registered services and no faults.
+    pub fn new() -> Self {
+        Self::with_faults(NetworkFaults::default())
+    }
+
+    /// Creates a network with the given fault configuration.
+    pub fn with_faults(faults: NetworkFaults) -> Self {
+        LocalNetwork {
+            handlers: RwLock::new(HashMap::new()),
+            unreachable: RwLock::new(HashSet::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(faults.seed)),
+            faults: Mutex::new(faults),
+            transactions: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a service handler at `port`.  Replaces any previous registration.
+    pub fn register(&self, port: Port, handler: Arc<dyn RequestHandler>) {
+        self.handlers.write().insert(port, handler);
+        self.unreachable.write().remove(&port);
+    }
+
+    /// Removes the service listening at `port`.
+    pub fn deregister(&self, port: Port) {
+        self.handlers.write().remove(&port);
+    }
+
+    /// Marks a port unreachable: transactions to it fail with
+    /// [`RpcError::ServerCrashed`] until [`LocalNetwork::restore`] is called.  This is
+    /// how experiments model a crashed or partitioned server *process* (as opposed to
+    /// a crashed disk, which is modelled in `amoeba-block`).
+    pub fn isolate(&self, port: Port) {
+        self.unreachable.write().insert(port);
+    }
+
+    /// Makes a previously isolated port reachable again.
+    pub fn restore(&self, port: Port) {
+        self.unreachable.write().remove(&port);
+    }
+
+    /// Replaces the fault configuration.
+    pub fn set_faults(&self, faults: NetworkFaults) {
+        *self.rng.lock() = StdRng::seed_from_u64(faults.seed);
+        *self.faults.lock() = faults;
+    }
+
+    /// Total number of transactions attempted through this network.
+    pub fn transaction_count(&self) -> u64 {
+        self.transactions.load(Ordering::Relaxed)
+    }
+
+    /// Number of transactions lost to injected faults.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Lists the ports with registered services.
+    pub fn ports(&self) -> Vec<Port> {
+        self.handlers.read().keys().copied().collect()
+    }
+}
+
+impl Transport for LocalNetwork {
+    fn transact(&self, port: Port, request: Request) -> Result<Reply> {
+        self.transactions.fetch_add(1, Ordering::Relaxed);
+        let (latency, drop_prob) = {
+            let f = self.faults.lock();
+            (f.latency, f.drop_prob)
+        };
+        if drop_prob > 0.0 && self.rng.lock().gen_bool(drop_prob.min(1.0)) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(RpcError::Dropped);
+        }
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        if self.unreachable.read().contains(&port) {
+            return Err(RpcError::ServerCrashed);
+        }
+        let handler = {
+            let handlers = self.handlers.read();
+            handlers.get(&port).cloned()
+        };
+        match handler {
+            Some(h) => Ok(h.handle(request)),
+            None => Err(RpcError::NoSuchPort),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_capability::Capability;
+    use bytes::Bytes;
+
+    fn echo_handler() -> Arc<dyn RequestHandler> {
+        Arc::new(|req: Request| Reply::ok(req.payload))
+    }
+
+    #[test]
+    fn transact_reaches_registered_handler() {
+        let net = LocalNetwork::new();
+        let port = Port::from_raw(42);
+        net.register(port, echo_handler());
+        let reply = net
+            .transact(port, Request::new(1, Capability::null(), Bytes::from_static(b"ping")))
+            .unwrap();
+        assert!(reply.is_ok());
+        assert_eq!(reply.payload, Bytes::from_static(b"ping"));
+    }
+
+    #[test]
+    fn unknown_port_is_an_error() {
+        let net = LocalNetwork::new();
+        let err = net
+            .transact(Port::from_raw(1), Request::empty(0, Capability::null()))
+            .unwrap_err();
+        assert_eq!(err, RpcError::NoSuchPort);
+    }
+
+    #[test]
+    fn isolation_and_restoration() {
+        let net = LocalNetwork::new();
+        let port = Port::from_raw(9);
+        net.register(port, echo_handler());
+        net.isolate(port);
+        assert_eq!(
+            net.transact(port, Request::empty(0, Capability::null())),
+            Err(RpcError::ServerCrashed)
+        );
+        net.restore(port);
+        assert!(net.transact(port, Request::empty(0, Capability::null())).is_ok());
+    }
+
+    #[test]
+    fn deregistered_service_disappears() {
+        let net = LocalNetwork::new();
+        let port = Port::from_raw(5);
+        net.register(port, echo_handler());
+        net.deregister(port);
+        assert_eq!(
+            net.transact(port, Request::empty(0, Capability::null())),
+            Err(RpcError::NoSuchPort)
+        );
+    }
+
+    #[test]
+    fn drop_probability_loses_messages() {
+        let net = LocalNetwork::with_faults(NetworkFaults {
+            latency: Duration::ZERO,
+            drop_prob: 1.0,
+            seed: 3,
+        });
+        let port = Port::from_raw(7);
+        net.register(port, echo_handler());
+        assert_eq!(
+            net.transact(port, Request::empty(0, Capability::null())),
+            Err(RpcError::Dropped)
+        );
+        assert_eq!(net.dropped_count(), 1);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let net = LocalNetwork::new();
+        let port = Port::from_raw(11);
+        net.register(port, echo_handler());
+        for _ in 0..5 {
+            net.transact(port, Request::empty(0, Capability::null())).unwrap();
+        }
+        assert_eq!(net.transaction_count(), 5);
+        assert_eq!(net.dropped_count(), 0);
+        assert_eq!(net.ports(), vec![port]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Request and reply frames.
+
+use bytes::Bytes;
+
+use amoeba_capability::Capability;
+
+/// Maximum payload of one transaction: 32 KiB, the page-size bound of §5.
+pub const MAX_PAYLOAD: usize = 32 * 1024;
+
+/// Extra headroom allowed on top of [`MAX_PAYLOAD`] for the fixed-size page header
+/// that the file service attaches to a page; the *client data* in a page is still
+/// bounded by [`MAX_PAYLOAD`].
+pub const MAX_FRAME_PAYLOAD: usize = MAX_PAYLOAD + 4096;
+
+/// A request: an operation code, the capability naming the object operated on, and an
+/// opaque payload interpreted by the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Service-specific operation code.
+    pub op: u32,
+    /// Capability for the object the operation applies to.
+    pub cap: Capability,
+    /// Operation arguments, marshalled by the service-specific client stub.
+    pub payload: Bytes,
+}
+
+impl Request {
+    /// Builds a request.
+    pub fn new(op: u32, cap: Capability, payload: Bytes) -> Self {
+        Request { op, cap, payload }
+    }
+
+    /// Builds a request with an empty payload.
+    pub fn empty(op: u32, cap: Capability) -> Self {
+        Request {
+            op,
+            cap,
+            payload: Bytes::new(),
+        }
+    }
+}
+
+/// Outcome of a transaction as reported by the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// The operation succeeded; the payload carries its result.
+    Ok = 0,
+    /// The operation failed; the payload carries a service-specific error encoding.
+    Error = 1,
+}
+
+impl Status {
+    /// Decodes a status byte.
+    pub fn from_u8(v: u8) -> Option<Status> {
+        match v {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A reply: a status and an opaque result payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Whether the operation succeeded.
+    pub status: Status,
+    /// Result data (or error encoding when `status == Error`).
+    pub payload: Bytes,
+}
+
+impl Reply {
+    /// A successful reply carrying `payload`.
+    pub fn ok(payload: Bytes) -> Self {
+        Reply {
+            status: Status::Ok,
+            payload,
+        }
+    }
+
+    /// A successful reply with no data.
+    pub fn ok_empty() -> Self {
+        Reply::ok(Bytes::new())
+    }
+
+    /// An error reply carrying a service-specific error encoding.
+    pub fn error(payload: Bytes) -> Self {
+        Reply {
+            status: Status::Error,
+            payload,
+        }
+    }
+
+    /// True if the reply indicates success.
+    pub fn is_ok(&self) -> bool {
+        self.status == Status::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_round_trips() {
+        assert_eq!(Status::from_u8(Status::Ok as u8), Some(Status::Ok));
+        assert_eq!(Status::from_u8(Status::Error as u8), Some(Status::Error));
+        assert_eq!(Status::from_u8(7), None);
+    }
+
+    #[test]
+    fn reply_constructors() {
+        assert!(Reply::ok_empty().is_ok());
+        assert!(!Reply::error(Bytes::from_static(b"bad")).is_ok());
+    }
+
+    #[test]
+    fn page_bound_is_32k() {
+        assert_eq!(MAX_PAYLOAD, 32768);
+        assert!(MAX_FRAME_PAYLOAD > MAX_PAYLOAD);
+    }
+}

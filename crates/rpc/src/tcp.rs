@@ -1,0 +1,254 @@
+//! TCP transport: the same transactions over real sockets.
+//!
+//! A [`TcpServer`] binds a listening socket and dispatches every incoming transaction
+//! to the handlers registered per service port (several logical Amoeba ports can be
+//! served from one socket, like several services hosted in one server process).  A
+//! [`TcpClient`] implements [`Transport`] by opening one connection per transaction —
+//! deliberately simple, matching the paper's model of independent, self-contained
+//! transactions.
+//!
+//! Frame layout on the socket: the request frame from [`crate::codec`] prefixed with
+//! the 8-byte destination port.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use parking_lot::RwLock;
+
+use amoeba_capability::Port;
+
+use crate::codec::{decode_reply, decode_request, encode_reply, encode_request};
+use crate::message::{Reply, Request};
+use crate::{RequestHandler, Result, RpcError, Transport};
+
+fn read_exact_bytes(stream: &mut TcpStream, len: usize) -> Result<Bytes> {
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(Bytes::from(buf))
+}
+
+fn read_frame(stream: &mut TcpStream) -> Result<Bytes> {
+    let header = read_exact_bytes(stream, 4)?;
+    let len = u32::from_le_bytes(header[..].try_into().unwrap()) as usize;
+    if len > crate::message::MAX_PAYLOAD + 8192 {
+        return Err(RpcError::Decode(format!("frame of {len} bytes is too large")));
+    }
+    read_exact_bytes(stream, len)
+}
+
+/// A server hosting one or more Amoeba service ports on a TCP socket.
+pub struct TcpServer {
+    addr: SocketAddr,
+    handlers: Arc<RwLock<HashMap<Port, Arc<dyn RequestHandler>>>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts accepting
+    /// connections on a background thread.
+    pub fn bind(addr: &str) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let handlers: Arc<RwLock<HashMap<Port, Arc<dyn RequestHandler>>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_handlers = Arc::clone(&handlers);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_handlers = Arc::clone(&accept_handlers);
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, conn_handlers);
+                        });
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(TcpServer {
+            addr: local,
+            handlers,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The socket address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers a handler for a logical service port.
+    pub fn register(&self, port: Port, handler: Arc<dyn RequestHandler>) {
+        self.handlers.write().insert(port, handler);
+    }
+
+    /// Stops accepting new connections.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    handlers: Arc<RwLock<HashMap<Port, Arc<dyn RequestHandler>>>>,
+) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    loop {
+        // Destination port, then the request frame.
+        let mut port_buf = [0u8; 8];
+        match stream.read_exact(&mut port_buf) {
+            Ok(()) => {}
+            Err(_) => return Ok(()), // Client closed the connection.
+        }
+        let port = Port::from_raw(u64::from_le_bytes(port_buf));
+        let body = read_frame(&mut stream)?;
+        let request = decode_request(body)?;
+        let handler = handlers.read().get(&port).cloned();
+        let reply = match handler {
+            Some(h) => h.handle(request),
+            None => Reply::error(Bytes::from_static(b"no such port")),
+        };
+        let frame = encode_reply(&reply)?;
+        stream.write_all(&frame)?;
+    }
+}
+
+/// A client that performs transactions against a [`TcpServer`].
+#[derive(Debug, Clone)]
+pub struct TcpClient {
+    server: SocketAddr,
+    timeout: Duration,
+}
+
+impl TcpClient {
+    /// Creates a client for the server at `server`.
+    pub fn new(server: SocketAddr) -> Self {
+        TcpClient {
+            server,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the per-transaction timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+impl Transport for TcpClient {
+    fn transact(&self, port: Port, request: Request) -> Result<Reply> {
+        let mut stream = TcpStream::connect_timeout(&self.server, self.timeout)
+            .map_err(|_| RpcError::Timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true).ok();
+
+        let mut head = BytesMut::with_capacity(8);
+        head.put_u64_le(port.raw());
+        stream.write_all(&head)?;
+        let frame = encode_request(&request)?;
+        stream.write_all(&frame)?;
+
+        let body = read_frame(&mut stream)?;
+        decode_reply(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_capability::Capability;
+
+    #[test]
+    fn tcp_round_trip() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let port = Port::from_raw(77);
+        server.register(
+            port,
+            Arc::new(|req: Request| {
+                let mut out = BytesMut::from(&b"echo:"[..]);
+                out.extend_from_slice(&req.payload);
+                Reply::ok(out.freeze())
+            }),
+        );
+        let client = TcpClient::new(server.local_addr());
+        let reply = client
+            .transact(port, Request::new(1, Capability::null(), Bytes::from_static(b"hi")))
+            .unwrap();
+        assert!(reply.is_ok());
+        assert_eq!(reply.payload, Bytes::from_static(b"echo:hi"));
+    }
+
+    #[test]
+    fn unknown_port_gets_error_reply() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let client = TcpClient::new(server.local_addr());
+        let reply = client
+            .transact(Port::from_raw(1), Request::empty(0, Capability::null()))
+            .unwrap();
+        assert!(!reply.is_ok());
+    }
+
+    #[test]
+    fn multiple_sequential_transactions() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let port = Port::from_raw(5);
+        server.register(port, Arc::new(|req: Request| Reply::ok(req.payload)));
+        let client = TcpClient::new(server.local_addr());
+        for i in 0..10u8 {
+            let reply = client
+                .transact(port, Request::new(1, Capability::null(), Bytes::from(vec![i])))
+                .unwrap();
+            assert_eq!(reply.payload, Bytes::from(vec![i]));
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let port = Port::from_raw(6);
+        server.register(port, Arc::new(|req: Request| Reply::ok(req.payload)));
+        let addr = server.local_addr();
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            handles.push(std::thread::spawn(move || {
+                let client = TcpClient::new(addr);
+                for i in 0..20u8 {
+                    let payload = Bytes::from(vec![t, i]);
+                    let reply = client
+                        .transact(port, Request::new(1, Capability::null(), payload.clone()))
+                        .unwrap();
+                    assert_eq!(reply.payload, payload);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

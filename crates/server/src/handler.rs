@@ -1,0 +1,138 @@
+//! Request dispatch: one incoming transaction → one file-service call.
+
+use std::sync::Arc;
+
+use bytes::{Buf, Bytes, BytesMut};
+
+use afs_core::FileService;
+use amoeba_rpc::{Reply, Request, RequestHandler};
+
+use crate::ops::{
+    decode_path, decode_path_and_data, encode_capability, encode_error, encode_validation, FsOp,
+};
+
+/// The service-side handler: decodes requests, calls the file service, encodes
+/// replies.  Stateless apart from the shared `Arc<FileService>`, so any number of
+/// handler instances (server processes) can serve the same file service.
+pub struct FileServerHandler {
+    service: Arc<FileService>,
+}
+
+impl FileServerHandler {
+    /// Creates a handler over the shared file-service state.
+    pub fn new(service: Arc<FileService>) -> Self {
+        FileServerHandler { service }
+    }
+
+    fn dispatch(&self, request: Request) -> Result<Bytes, Reply> {
+        let op = FsOp::from_u32(request.op)
+            .ok_or_else(|| Reply::error(Bytes::from_static(b"\0unknown operation")))?;
+        let fs_err = |e: afs_core::FsError| Reply::error(encode_error(&e));
+        match op {
+            FsOp::CreateFile => {
+                let cap = self.service.create_file().map_err(fs_err)?;
+                Ok(encode_capability(&cap))
+            }
+            FsOp::CreateVersion => {
+                let cap = self.service.create_version(&request.cap).map_err(fs_err)?;
+                Ok(encode_capability(&cap))
+            }
+            FsOp::ReadPage => {
+                let mut payload = request.payload;
+                let path = decode_path(&mut payload)
+                    .ok_or_else(|| Reply::error(Bytes::from_static(b"\0bad path")))?;
+                let data = self.service.read_page(&request.cap, &path).map_err(fs_err)?;
+                Ok(data)
+            }
+            FsOp::WritePage => {
+                let (path, data) = decode_path_and_data(request.payload)
+                    .ok_or_else(|| Reply::error(Bytes::from_static(b"\0bad arguments")))?;
+                self.service
+                    .write_page(&request.cap, &path, data)
+                    .map_err(fs_err)?;
+                Ok(Bytes::new())
+            }
+            FsOp::AppendPage => {
+                let (path, data) = decode_path_and_data(request.payload)
+                    .ok_or_else(|| Reply::error(Bytes::from_static(b"\0bad arguments")))?;
+                let new_path = self
+                    .service
+                    .append_page(&request.cap, &path, data)
+                    .map_err(fs_err)?;
+                let mut buf = BytesMut::new();
+                crate::ops::encode_path(&mut buf, &new_path);
+                Ok(buf.freeze())
+            }
+            FsOp::Commit => {
+                self.service.commit(&request.cap).map_err(fs_err)?;
+                Ok(Bytes::new())
+            }
+            FsOp::Abort => {
+                self.service.abort_version(&request.cap).map_err(fs_err)?;
+                Ok(Bytes::new())
+            }
+            FsOp::CurrentVersion => {
+                let cap = self.service.current_version(&request.cap).map_err(fs_err)?;
+                Ok(encode_capability(&cap))
+            }
+            FsOp::ReadCommittedPage => {
+                let mut payload = request.payload;
+                let path = decode_path(&mut payload)
+                    .ok_or_else(|| Reply::error(Bytes::from_static(b"\0bad path")))?;
+                let data = self
+                    .service
+                    .read_committed_page(&request.cap, &path)
+                    .map_err(fs_err)?;
+                Ok(data)
+            }
+            FsOp::ValidateCache => {
+                let mut payload = request.payload;
+                if payload.remaining() < 4 {
+                    return Err(Reply::error(Bytes::from_static(b"\0bad arguments")));
+                }
+                let cached_block = payload.get_u32_le();
+                let validation = self
+                    .service
+                    .validate_cache(&request.cap, cached_block)
+                    .map_err(fs_err)?;
+                Ok(encode_validation(
+                    validation.up_to_date,
+                    validation.current_block,
+                    &validation.discard,
+                ))
+            }
+        }
+    }
+}
+
+impl RequestHandler for FileServerHandler {
+    fn handle(&self, request: Request) -> Reply {
+        match self.dispatch(request) {
+            Ok(payload) => Reply::ok(payload),
+            Err(error_reply) => error_reply,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_capability::Capability;
+
+    #[test]
+    fn create_file_round_trips_a_capability() {
+        let handler = FileServerHandler::new(FileService::in_memory());
+        let reply = handler.handle(Request::empty(FsOp::CreateFile as u32, Capability::null()));
+        assert!(reply.is_ok());
+        assert!(crate::ops::decode_capability(reply.payload).is_some());
+    }
+
+    #[test]
+    fn unknown_ops_and_bad_caps_are_errors() {
+        let handler = FileServerHandler::new(FileService::in_memory());
+        let reply = handler.handle(Request::empty(999, Capability::null()));
+        assert!(!reply.is_ok());
+        let reply = handler.handle(Request::empty(FsOp::CreateVersion as u32, Capability::null()));
+        assert!(!reply.is_ok());
+    }
+}

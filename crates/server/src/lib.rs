@@ -1,0 +1,26 @@
+//! Amoeba file-server processes: the RPC façade over the file service.
+//!
+//! The paper's file service "operates using a number of server processes, which, in
+//! turn, use a number of block servers for information storage" (§5.4.1).  A crash of
+//! a server process must not endanger any committed data, and clients "do not have to
+//! wait until the server is restored, because they can use another server".
+//!
+//! This crate provides exactly that layer:
+//!
+//! * [`ops`] — the wire protocol: operation codes and argument marshalling,
+//! * [`handler`] — a [`FileServerHandler`] that turns incoming transactions into
+//!   calls on an `Arc<FileService>`,
+//! * [`process`] — [`ServerProcess`] (one registered port that can crash and restart)
+//!   and [`ServerGroup`] (several replicated processes sharing the same file service
+//!   state, the paper's "replicated server processes").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod handler;
+pub mod ops;
+pub mod process;
+
+pub use handler::FileServerHandler;
+pub use ops::{FsOp, ServerError};
+pub use process::{ServerGroup, ServerProcess};

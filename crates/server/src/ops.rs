@@ -1,0 +1,232 @@
+//! Operation codes and argument marshalling for the file-service protocol.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use afs_core::{FsError, PagePath};
+use amoeba_capability::Capability;
+
+/// Operations the file server understands.  The capability in the request names the
+/// file or version operated on; the payload carries the remaining arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum FsOp {
+    /// Create a new file.  Reply: file capability.
+    CreateFile = 1,
+    /// Create a new version of the file named by the request capability.
+    /// Reply: version capability.
+    CreateVersion = 2,
+    /// Read a page of an uncommitted version.  Payload: path.  Reply: data.
+    ReadPage = 3,
+    /// Write a page of an uncommitted version.  Payload: path + data.
+    WritePage = 4,
+    /// Append a page under a parent.  Payload: path + data.  Reply: new path.
+    AppendPage = 5,
+    /// Commit the version named by the request capability.
+    Commit = 6,
+    /// Abort the version named by the request capability.
+    Abort = 7,
+    /// Get the current version of a file.  Reply: version capability.
+    CurrentVersion = 8,
+    /// Read a page of a committed version.  Payload: path.  Reply: data.
+    ReadCommittedPage = 9,
+    /// Validate a cache entry.  Payload: cached version block (u32).
+    /// Reply: up-to-date flag, current block, changed paths.
+    ValidateCache = 10,
+}
+
+impl FsOp {
+    /// Decodes an operation code.
+    pub fn from_u32(v: u32) -> Option<FsOp> {
+        Some(match v {
+            1 => FsOp::CreateFile,
+            2 => FsOp::CreateVersion,
+            3 => FsOp::ReadPage,
+            4 => FsOp::WritePage,
+            5 => FsOp::AppendPage,
+            6 => FsOp::Commit,
+            7 => FsOp::Abort,
+            8 => FsOp::CurrentVersion,
+            9 => FsOp::ReadCommittedPage,
+            10 => FsOp::ValidateCache,
+            _ => return None,
+        })
+    }
+}
+
+/// The error a client sees when a remote operation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The file service rejected the operation; the string is the remote error text.
+    Remote(String),
+    /// Specifically, the commit failed validation (so clients can retry cleanly).
+    SerialisabilityConflict,
+    /// The reply could not be decoded.
+    Protocol(String),
+    /// The transport failed (server crashed, message lost, …).
+    Transport(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Remote(msg) => write!(f, "remote error: {msg}"),
+            ServerError::SerialisabilityConflict => {
+                write!(f, "commit failed: updates are not serialisable")
+            }
+            ServerError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServerError::Transport(msg) => write!(f, "transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Encodes a file-service error into an error-reply payload.
+pub fn encode_error(err: &FsError) -> Bytes {
+    let mut buf = BytesMut::new();
+    let conflict = matches!(err, FsError::SerialisabilityConflict);
+    buf.put_u8(u8::from(conflict));
+    buf.put_slice(err.to_string().as_bytes());
+    buf.freeze()
+}
+
+/// Decodes an error-reply payload.
+pub fn decode_error(mut payload: Bytes) -> ServerError {
+    if payload.is_empty() {
+        return ServerError::Protocol("empty error reply".into());
+    }
+    let conflict = payload.get_u8() != 0;
+    if conflict {
+        return ServerError::SerialisabilityConflict;
+    }
+    ServerError::Remote(String::from_utf8_lossy(&payload).into_owned())
+}
+
+/// Encodes a page path.
+pub fn encode_path(buf: &mut BytesMut, path: &PagePath) {
+    buf.put_u16_le(path.indices().len() as u16);
+    for &index in path.indices() {
+        buf.put_u16_le(index);
+    }
+}
+
+/// Decodes a page path.
+pub fn decode_path(buf: &mut Bytes) -> Option<PagePath> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len * 2 {
+        return None;
+    }
+    let mut indices = Vec::with_capacity(len);
+    for _ in 0..len {
+        indices.push(buf.get_u16_le());
+    }
+    Some(PagePath::new(indices))
+}
+
+/// Encodes a path followed by raw page data (the `WritePage`/`AppendPage` payload).
+pub fn encode_path_and_data(path: &PagePath, data: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(2 + path.indices().len() * 2 + data.len());
+    encode_path(&mut buf, path);
+    buf.put_slice(data);
+    buf.freeze()
+}
+
+/// Decodes a path followed by raw page data.
+pub fn decode_path_and_data(mut payload: Bytes) -> Option<(PagePath, Bytes)> {
+    let path = decode_path(&mut payload)?;
+    Some((path, payload))
+}
+
+/// Encodes a capability as a reply payload.
+pub fn encode_capability(cap: &Capability) -> Bytes {
+    let mut buf = BytesMut::with_capacity(25);
+    cap.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decodes a capability from a reply payload.
+pub fn decode_capability(mut payload: Bytes) -> Option<Capability> {
+    Capability::decode(&mut payload)
+}
+
+/// Encodes a cache-validation result.
+pub fn encode_validation(up_to_date: bool, current_block: u32, changed: &[PagePath]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(u8::from(up_to_date));
+    buf.put_u32_le(current_block);
+    buf.put_u32_le(changed.len() as u32);
+    for path in changed {
+        encode_path(&mut buf, path);
+    }
+    buf.freeze()
+}
+
+/// Decodes a cache-validation result: (up-to-date, current block, changed paths).
+pub fn decode_validation(mut payload: Bytes) -> Option<(bool, u32, Vec<PagePath>)> {
+    if payload.remaining() < 9 {
+        return None;
+    }
+    let up_to_date = payload.get_u8() != 0;
+    let current = payload.get_u32_le();
+    let count = payload.get_u32_le() as usize;
+    let mut paths = Vec::with_capacity(count);
+    for _ in 0..count {
+        paths.push(decode_path(&mut payload)?);
+    }
+    Some((up_to_date, current, paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_codes_round_trip() {
+        for op in [
+            FsOp::CreateFile,
+            FsOp::CreateVersion,
+            FsOp::ReadPage,
+            FsOp::WritePage,
+            FsOp::AppendPage,
+            FsOp::Commit,
+            FsOp::Abort,
+            FsOp::CurrentVersion,
+            FsOp::ReadCommittedPage,
+            FsOp::ValidateCache,
+        ] {
+            assert_eq!(FsOp::from_u32(op as u32), Some(op));
+        }
+        assert_eq!(FsOp::from_u32(999), None);
+    }
+
+    #[test]
+    fn path_and_data_round_trip() {
+        let path = PagePath::new(vec![3, 1, 4]);
+        let data = Bytes::from_static(b"payload bytes");
+        let encoded = encode_path_and_data(&path, &data);
+        let (p, d) = decode_path_and_data(encoded).unwrap();
+        assert_eq!(p, path);
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn validation_round_trip() {
+        let changed = vec![PagePath::root(), PagePath::new(vec![7])];
+        let encoded = encode_validation(false, 42, &changed);
+        let (up, block, paths) = decode_validation(encoded).unwrap();
+        assert!(!up);
+        assert_eq!(block, 42);
+        assert_eq!(paths, changed);
+    }
+
+    #[test]
+    fn conflict_errors_are_distinguished() {
+        let conflict = encode_error(&FsError::SerialisabilityConflict);
+        assert_eq!(decode_error(conflict), ServerError::SerialisabilityConflict);
+        let other = encode_error(&FsError::NoSuchFile);
+        assert!(matches!(decode_error(other), ServerError::Remote(_)));
+    }
+}

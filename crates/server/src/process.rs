@@ -1,0 +1,137 @@
+//! Server processes and replicated server groups.
+
+use std::sync::Arc;
+
+use afs_core::FileService;
+use amoeba_capability::Port;
+use amoeba_rpc::LocalNetwork;
+
+use crate::handler::FileServerHandler;
+
+/// One file-server process: a port on the network behind which a handler serves the
+/// shared file-service state.  Crashing the process makes the port unreachable; the
+/// data (and any companion processes) are unaffected.
+pub struct ServerProcess {
+    port: Port,
+    network: Arc<LocalNetwork>,
+    service: Arc<FileService>,
+}
+
+impl ServerProcess {
+    /// Starts a server process on a fresh port of `network`.
+    pub fn start(network: Arc<LocalNetwork>, service: Arc<FileService>) -> Self {
+        let port = Port::random();
+        network.register(port, Arc::new(FileServerHandler::new(Arc::clone(&service))));
+        ServerProcess {
+            port,
+            network,
+            service,
+        }
+    }
+
+    /// The port clients address this process by.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Simulates a crash of this server process: it stops answering requests.
+    /// Committed data is untouched because it lives in the block service.
+    pub fn crash(&self) {
+        self.network.isolate(self.port);
+    }
+
+    /// Restarts the process after a crash.  No recovery work is needed beyond
+    /// becoming reachable again — the paper's central robustness claim.
+    pub fn restart(&self) {
+        self.network.restore(self.port);
+    }
+
+    /// The underlying shared file service (e.g. for reporting crashed lock holders).
+    pub fn service(&self) -> &Arc<FileService> {
+        &self.service
+    }
+}
+
+/// A group of replicated server processes serving the same file service, as in
+/// §5.4.1: "version access and file access can be guaranteed as long as one or more
+/// servers are operational".
+pub struct ServerGroup {
+    processes: Vec<ServerProcess>,
+}
+
+impl ServerGroup {
+    /// Starts `replicas` processes over one shared file service.
+    pub fn start(network: &Arc<LocalNetwork>, service: &Arc<FileService>, replicas: usize) -> Self {
+        let processes = (0..replicas)
+            .map(|_| ServerProcess::start(Arc::clone(network), Arc::clone(service)))
+            .collect();
+        ServerGroup { processes }
+    }
+
+    /// The ports of all replicas, in preference order.
+    pub fn ports(&self) -> Vec<Port> {
+        self.processes.iter().map(ServerProcess::port).collect()
+    }
+
+    /// Access to an individual replica.
+    pub fn process(&self, idx: usize) -> &ServerProcess {
+        &self.processes[idx]
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// True if the group has no replicas.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{decode_capability, FsOp};
+    use amoeba_capability::Capability;
+    use amoeba_rpc::{Request, RpcError, Transport};
+
+    #[test]
+    fn crashed_process_stops_answering_until_restart() {
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let process = ServerProcess::start(Arc::clone(&network), service);
+        let request = Request::empty(FsOp::CreateFile as u32, Capability::null());
+        assert!(network.transact(process.port(), request.clone()).is_ok());
+        process.crash();
+        assert_eq!(
+            network.transact(process.port(), request.clone()),
+            Err(RpcError::ServerCrashed)
+        );
+        process.restart();
+        assert!(network.transact(process.port(), request).is_ok());
+    }
+
+    #[test]
+    fn replicas_serve_the_same_files() {
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let group = ServerGroup::start(&network, &service, 3);
+        assert_eq!(group.len(), 3);
+        // Create a file through replica 0 and look it up through replica 2.
+        let reply = network
+            .transact(
+                group.ports()[0],
+                Request::empty(FsOp::CreateFile as u32, Capability::null()),
+            )
+            .unwrap();
+        let file_cap = decode_capability(reply.payload).unwrap();
+        let reply = network
+            .transact(
+                group.ports()[2],
+                Request::empty(FsOp::CurrentVersion as u32, file_cap),
+            )
+            .unwrap();
+        assert!(reply.is_ok());
+    }
+}

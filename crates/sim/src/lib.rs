@@ -1,0 +1,16 @@
+//! Experiment harness: multi-client drivers, metrics and the per-experiment sweeps
+//! that regenerate the paper's claims (see DESIGN.md, experiments E1–E14).
+//!
+//! Every experiment is a plain function returning printable rows, so the same code
+//! backs the `cargo bench` targets, the `exp_*` binaries in `afs-bench`, and the
+//! smoke tests in this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod experiments;
+pub mod metrics;
+
+pub use driver::{run_workload, RunConfig, RunResult};
+pub use metrics::LatencyStats;

@@ -1,0 +1,70 @@
+//! Measurement helpers.
+
+use std::time::Duration;
+
+/// Latency summary over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median (50th percentile).
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum observed latency.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Computes a summary from raw samples.  Returns zeroes for an empty input.
+    pub fn from_samples(mut samples: Vec<Duration>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats {
+                count: 0,
+                mean: Duration::ZERO,
+                p50: Duration::ZERO,
+                p99: Duration::ZERO,
+                max: Duration::ZERO,
+            };
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let total: Duration = samples.iter().sum();
+        let percentile = |p: f64| {
+            let idx = ((count as f64 - 1.0) * p) as usize;
+            samples[idx.min(count - 1)]
+        };
+        LatencyStats {
+            count,
+            mean: total / count as u32,
+            p50: percentile(0.50),
+            p99: percentile(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_yield_zeroes() {
+        let stats = LatencyStats::from_samples(Vec::new());
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.mean, Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let samples = (1..=100).map(Duration::from_millis).collect();
+        let stats = LatencyStats::from_samples(samples);
+        assert_eq!(stats.count, 100);
+        assert!(stats.p50 <= stats.p99);
+        assert!(stats.p99 <= stats.max);
+        assert_eq!(stats.max, Duration::from_millis(100));
+        assert_eq!(stats.p50, Duration::from_millis(50));
+    }
+}

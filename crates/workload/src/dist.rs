@@ -1,0 +1,123 @@
+//! Access-skew distributions.
+
+use rand::Rng;
+
+/// How page (or file) indices are drawn from `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessDistribution {
+    /// Every index is equally likely.
+    Uniform,
+    /// Zipf-like skew with parameter `theta` in (0, 1): larger values concentrate
+    /// accesses on a few hot indices (the airline example: a handful of popular
+    /// flights receive most bookings).
+    Zipf {
+        /// Skew parameter; 0 degenerates to uniform, values near 1 are very skewed.
+        theta: f64,
+    },
+    /// All accesses hit index 0 (a pure hot spot).
+    HotSpot,
+}
+
+impl AccessDistribution {
+    /// Draws an index in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from an empty range");
+        match self {
+            AccessDistribution::Uniform => rng.gen_range(0..n),
+            AccessDistribution::HotSpot => 0,
+            AccessDistribution::Zipf { theta } => {
+                // Classic bounded Zipf via the power-of-uniform approximation, good
+                // enough for workload skew (we do not need exact Zipf moments).
+                let theta = theta.clamp(0.0, 0.999);
+                let u: f64 = rng.gen_range(0.0f64..1.0);
+                let idx = (n as f64) * u.powf(1.0 / (1.0 - theta));
+                (idx as usize).min(n - 1)
+            }
+        }
+    }
+
+    /// Draws `count` distinct indices in `0..n` (or fewer when `n < count`).
+    pub fn sample_distinct(&self, rng: &mut impl Rng, n: usize, count: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(count);
+        let mut guard = 0;
+        while out.len() < count.min(n) && guard < count * 50 {
+            let candidate = self.sample(rng, n);
+            if !out.contains(&candidate) {
+                out.push(candidate);
+            }
+            guard += 1;
+        }
+        // Fall back to sequential fill if the distribution is too concentrated to
+        // produce enough distinct values by sampling.
+        let mut next = 0;
+        while out.len() < count.min(n) {
+            if !out.contains(&next) {
+                out.push(next);
+            }
+            next += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = vec![false; 10];
+        for _ in 0..1000 {
+            seen[AccessDistribution::Uniform.sample(&mut rng, 10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_low_indices() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = AccessDistribution::Zipf { theta: 0.9 };
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng, 100)] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[90..].iter().sum();
+        assert!(head > tail * 3, "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn hot_spot_always_returns_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(AccessDistribution::HotSpot.sample(&mut rng, 50), 0);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_indices() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for dist in [
+            AccessDistribution::Uniform,
+            AccessDistribution::Zipf { theta: 0.99 },
+            AccessDistribution::HotSpot,
+        ] {
+            let picks = dist.sample_distinct(&mut rng, 20, 8);
+            let mut unique = picks.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert_eq!(picks.len(), 8);
+            assert_eq!(unique.len(), 8);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_caps_at_population_size() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let picks = AccessDistribution::Uniform.sample_distinct(&mut rng, 3, 10);
+        assert_eq!(picks.len(), 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generators for the Amoeba File Service experiments.
+//!
+//! The paper motivates its design with a handful of concrete usage patterns: the
+//! compiler writing a temporary file it never shares (§2), an airline-reservation
+//! database whose updates rarely touch the same pages (§6), a source-code-control
+//! system layered on versions (§2.1), and occasional large reorganisations that span
+//! several files and call for locking (§5.3).  This crate turns those patterns into
+//! parameterised, reproducible transaction streams the experiment harness can feed to
+//! the Amoeba service and to the baseline servers alike.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod mix;
+pub mod scenarios;
+
+pub use dist::AccessDistribution;
+pub use mix::{MixConfig, TxSpec, WorkloadGenerator};
+pub use scenarios::{airline_mix, compiler_temp_mix, hot_spot_mix, sccs_mix};

@@ -1,0 +1,112 @@
+//! The paper's motivating scenarios as ready-made mixes.
+
+use crate::dist::AccessDistribution;
+use crate::mix::MixConfig;
+
+/// The airline-reservation example of §6: one large shared file (the reservation
+/// database), many concurrent small updates, and — because "changes … for flights
+/// from San Francisco to Los Angeles do not conflict with changes to reservations on
+/// flights from Amsterdam to London" — mostly disjoint page sets, with mild skew
+/// towards popular flights.
+pub fn airline_mix(pages: usize, seed: u64) -> MixConfig {
+    MixConfig {
+        files: 1,
+        pages_per_file: pages,
+        reads_per_tx: 1,
+        writes_per_tx: 1,
+        payload: 128,
+        file_skew: AccessDistribution::Uniform,
+        page_skew: AccessDistribution::Zipf { theta: 0.5 },
+        read_only_fraction: 0.3,
+        seed,
+    }
+}
+
+/// The compiler-temporary example of §2 / §6: every "transaction" writes one page of
+/// a private file nobody else touches — the Bauer-principle case that must not pay
+/// for concurrency control.
+pub fn compiler_temp_mix(files: usize, seed: u64) -> MixConfig {
+    MixConfig {
+        files,
+        pages_per_file: 1,
+        reads_per_tx: 0,
+        writes_per_tx: 1,
+        payload: 16 * 1024,
+        file_skew: AccessDistribution::Uniform,
+        page_skew: AccessDistribution::Uniform,
+        read_only_fraction: 0.0,
+        seed,
+    }
+}
+
+/// A source-code-control-system style mix (§2.1): mostly reads of many pages, with an
+/// occasional update that appends a new delta.
+pub fn sccs_mix(pages: usize, seed: u64) -> MixConfig {
+    MixConfig {
+        files: 1,
+        pages_per_file: pages,
+        reads_per_tx: 8,
+        writes_per_tx: 1,
+        payload: 512,
+        file_skew: AccessDistribution::Uniform,
+        page_skew: AccessDistribution::Uniform,
+        read_only_fraction: 0.8,
+        seed,
+    }
+}
+
+/// A hot-spot mix: every transaction reads and writes the same page — the worst case
+/// for optimistic concurrency control (§6's starvation discussion) and the best case
+/// for locking.
+pub fn hot_spot_mix(seed: u64) -> MixConfig {
+    MixConfig {
+        files: 1,
+        pages_per_file: 16,
+        reads_per_tx: 1,
+        writes_per_tx: 1,
+        payload: 128,
+        file_skew: AccessDistribution::Uniform,
+        page_skew: AccessDistribution::HotSpot,
+        read_only_fraction: 0.0,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::WorkloadGenerator;
+
+    #[test]
+    fn airline_transactions_are_small() {
+        let mut generator = WorkloadGenerator::new(airline_mix(256, 1));
+        for tx in generator.batch(50) {
+            assert!(tx.reads.len() <= 1);
+            assert!(tx.writes.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn compiler_temp_is_write_only_single_page() {
+        let mut generator = WorkloadGenerator::new(compiler_temp_mix(10, 1));
+        for tx in generator.batch(50) {
+            assert!(tx.reads.is_empty());
+            assert_eq!(tx.writes, vec![0]);
+        }
+    }
+
+    #[test]
+    fn hot_spot_hits_one_page() {
+        let mut generator = WorkloadGenerator::new(hot_spot_mix(1));
+        for tx in generator.batch(50) {
+            assert_eq!(tx.writes, vec![0]);
+        }
+    }
+
+    #[test]
+    fn sccs_is_mostly_read_only() {
+        let mut generator = WorkloadGenerator::new(sccs_mix(64, 1));
+        let read_only = generator.batch(200).iter().filter(|t| t.writes.is_empty()).count();
+        assert!(read_only > 120);
+    }
+}

@@ -1,0 +1,28 @@
+//! # amoeba-dfs — reproduction of the Amoeba distributed file service
+//!
+//! Umbrella crate for the reproduction of Mullender & Tanenbaum, *A Distributed File
+//! Service Based on Optimistic Concurrency Control* (1985).  It re-exports the
+//! workspace crates so the examples and integration tests have a single front door;
+//! see the individual crates for the actual machinery:
+//!
+//! * [`afs_core`] — the file service itself (versions, copy-on-write page trees,
+//!   optimistic concurrency control, hierarchical locks, GC, caches),
+//! * [`amoeba_block`] — the block service (atomic blocks, stable storage, write-once
+//!   media, fault injection),
+//! * [`amoeba_capability`] — ports, capabilities and rights,
+//! * [`amoeba_rpc`] — transaction-style RPC (in-process and TCP transports),
+//! * [`afs_server`] / [`afs_client`] — server processes and the client library,
+//! * [`afs_baselines`] — the 2PL, timestamp-ordering and callback-cache comparators,
+//! * [`afs_workload`] / [`afs_sim`] — workload generators and the experiment harness.
+
+#![forbid(unsafe_code)]
+
+pub use afs_baselines;
+pub use afs_client;
+pub use afs_core;
+pub use afs_server;
+pub use afs_sim;
+pub use afs_workload;
+pub use amoeba_block;
+pub use amoeba_capability;
+pub use amoeba_rpc;
