@@ -62,7 +62,9 @@ impl CallbackCacheServer {
     pub fn create_file(self: &Arc<Self>, file: u64, pages: u32, size: usize) {
         let mut state = self.state.lock();
         for page in 0..pages {
-            state.pages.insert((file, page), Bytes::from(vec![0u8; size]));
+            state
+                .pages
+                .insert((file, page), Bytes::from(vec![0u8; size]));
         }
     }
 

@@ -5,10 +5,16 @@
 //! describes a transaction as "read these page indices, then write those page
 //! indices" of one file; every mechanism executes it in its own way and reports
 //! whether it committed and how much work it did.
+//!
+//! The optimistic side is driven through the [`FileStore`] trait by
+//! [`StoreAdapter`], so the identical workload runs over a local
+//! [`FileService`] (see [`AmoebaAdapter`]) *or* over an RPC connection
+//! (`afs_client::RemoteFs`), using the batched page operations so a k-page
+//! transaction costs O(1) round trips on a remote store.
 
 use bytes::Bytes;
 
-use afs_core::{FileService, PagePath};
+use afs_core::{FileService, FileStore, FsError, PagePath};
 use std::sync::Arc;
 
 /// Why a transaction did not commit.
@@ -76,34 +82,35 @@ pub trait ConcurrencyControl: Send + Sync {
 }
 
 // ---------------------------------------------------------------------------
-// The Amoeba File Service behind the uniform interface.
+// Any FileStore behind the uniform interface.
 // ---------------------------------------------------------------------------
 
-/// Drives the real `afs-core` service through the [`ConcurrencyControl`] interface.
-pub struct AmoebaAdapter {
-    service: Arc<FileService>,
+/// Drives any [`FileStore`] — the local service or a remote connection —
+/// through the [`ConcurrencyControl`] interface.
+pub struct StoreAdapter<S: FileStore> {
+    store: S,
+    name: &'static str,
     files: parking_lot::RwLock<std::collections::HashMap<u64, afs_core::Capability>>,
     next: std::sync::atomic::AtomicU64,
 }
 
-impl AmoebaAdapter {
-    /// Wraps an existing file service.
-    pub fn new(service: Arc<FileService>) -> Self {
-        AmoebaAdapter {
-            service,
+/// The local Amoeba file service behind the uniform interface.
+pub type AmoebaAdapter = StoreAdapter<Arc<FileService>>;
+
+impl<S: FileStore> StoreAdapter<S> {
+    /// Wraps a store under the given mechanism name (shown in result tables).
+    pub fn over(store: S, name: &'static str) -> Self {
+        StoreAdapter {
+            store,
+            name,
             files: parking_lot::RwLock::new(std::collections::HashMap::new()),
             next: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
-    /// Creates an adapter over a fresh in-memory service.
-    pub fn in_memory() -> Self {
-        Self::new(FileService::in_memory())
-    }
-
-    /// The wrapped service (for inspecting commit statistics).
-    pub fn service(&self) -> &Arc<FileService> {
-        &self.service
+    /// The wrapped store.
+    pub fn store(&self) -> &S {
+        &self.store
     }
 
     fn file_cap(&self, file: u64) -> Result<afs_core::Capability, TxAbort> {
@@ -115,27 +122,42 @@ impl AmoebaAdapter {
     }
 }
 
+impl AmoebaAdapter {
+    /// Wraps an existing file service.
+    pub fn new(service: Arc<FileService>) -> Self {
+        StoreAdapter::over(service, "amoeba-occ")
+    }
+
+    /// Creates an adapter over a fresh in-memory service.
+    pub fn in_memory() -> Self {
+        Self::new(FileService::in_memory())
+    }
+
+    /// The wrapped service (for inspecting commit statistics).
+    pub fn service(&self) -> &Arc<FileService> {
+        self.store()
+    }
+}
+
 fn page_path(index: u32) -> PagePath {
     PagePath::new(vec![index as u16])
 }
 
-impl ConcurrencyControl for AmoebaAdapter {
+impl<S: FileStore> ConcurrencyControl for StoreAdapter<S> {
     fn name(&self) -> &'static str {
-        "amoeba-occ"
+        self.name
     }
 
     fn create_file(&self, pages: u32, initial: usize) -> u64 {
-        let cap = self.service.create_file().expect("create file");
-        let version = self.service.create_version(&cap).expect("create version");
+        let cap = self.store.create_file().expect("create file");
+        let version = self.store.create_version(&cap).expect("create version");
         for _ in 0..pages {
-            self.service
+            self.store
                 .append_page(&version, &PagePath::root(), Bytes::from(vec![0u8; initial]))
                 .expect("append page");
         }
-        self.service.commit(&version).expect("commit initial version");
-        let handle = self
-            .next
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.store.commit(&version).expect("commit initial version");
+        let handle = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.files.write().insert(handle, cap);
         handle
     }
@@ -143,41 +165,53 @@ impl ConcurrencyControl for AmoebaAdapter {
     fn run_transaction(&self, file: u64, profile: &TxProfile) -> Result<TxStats, TxAbort> {
         let cap = self.file_cap(file)?;
         let version = self
-            .service
+            .store
             .create_version(&cap)
             .map_err(|e| TxAbort::Fault(e.to_string()))?;
         let mut stats = TxStats::default();
-        for &index in &profile.reads {
-            self.service
-                .read_page(&version, &page_path(index))
-                .map_err(|e| TxAbort::Fault(e.to_string()))?;
-            stats.pages_read += 1;
+        // A page-op failure must not orphan the uncommitted version server-side;
+        // abort it (best effort) before reporting the fault.
+        let fault = |store: &S, version: &afs_core::Capability, e: FsError| {
+            let _ = store.abort(version);
+            TxAbort::Fault(e.to_string())
+        };
+        // Batched page operations: O(1) round trips per transaction on remote
+        // stores, a plain loop on local ones.
+        let read_paths: Vec<PagePath> = profile.reads.iter().map(|&i| page_path(i)).collect();
+        if !read_paths.is_empty() {
+            self.store
+                .read_pages(&version, &read_paths)
+                .map_err(|e| fault(&self.store, &version, e))?;
+            stats.pages_read = read_paths.len();
         }
-        for (index, data) in &profile.writes {
-            self.service
-                .write_page(&version, &page_path(*index), data.clone())
-                .map_err(|e| TxAbort::Fault(e.to_string()))?;
-            stats.pages_written += 1;
+        let writes: Vec<(PagePath, Bytes)> = profile
+            .writes
+            .iter()
+            .map(|(i, data)| (page_path(*i), data.clone()))
+            .collect();
+        if !writes.is_empty() {
+            self.store
+                .write_pages(&version, &writes)
+                .map_err(|e| fault(&self.store, &version, e))?;
+            stats.pages_written = writes.len();
         }
-        match self.service.commit(&version) {
+        match self.store.commit(&version) {
             Ok(receipt) => {
                 stats.pages_validated = receipt.pages_compared;
                 Ok(stats)
             }
-            Err(afs_core::FsError::SerialisabilityConflict) => {
-                Err(TxAbort::SerialisabilityConflict)
-            }
-            Err(e) => Err(TxAbort::Fault(e.to_string())),
+            Err(FsError::SerialisabilityConflict) => Err(TxAbort::SerialisabilityConflict),
+            Err(e) => Err(fault(&self.store, &version, e)),
         }
     }
 
     fn read_page(&self, file: u64, page: u32) -> Result<Bytes, TxAbort> {
         let cap = self.file_cap(file)?;
         let current = self
-            .service
+            .store
             .current_version(&cap)
             .map_err(|e| TxAbort::Fault(e.to_string()))?;
-        self.service
+        self.store
             .read_committed_page(&current, &page_path(page))
             .map_err(|e| TxAbort::Fault(e.to_string()))
     }

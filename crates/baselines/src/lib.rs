@@ -30,6 +30,6 @@ pub mod locking;
 pub mod timestamp;
 
 pub use callback_cache::{CallbackCacheServer, CallbackClient};
-pub use interface::{AmoebaAdapter, ConcurrencyControl, TxAbort, TxProfile, TxStats};
+pub use interface::{AmoebaAdapter, ConcurrencyControl, StoreAdapter, TxAbort, TxProfile, TxStats};
 pub use locking::TwoPhaseLockingServer;
 pub use timestamp::TimestampOrderingServer;

@@ -40,8 +40,7 @@ impl PageLock {
         self.writer.is_none() || self.writer == Some(me)
     }
     fn is_free_for_write(&self, me: TxId) -> bool {
-        (self.writer.is_none() || self.writer == Some(me))
-            && self.readers.iter().all(|&r| r == me)
+        (self.writer.is_none() || self.writer == Some(me)) && self.readers.iter().all(|&r| r == me)
     }
     fn blockers(&self, me: TxId) -> Vec<TxId> {
         let mut out: Vec<TxId> = self.readers.iter().copied().filter(|&r| r != me).collect();
@@ -77,15 +76,21 @@ pub struct LockingStats {
     pub recovery_intentions_discarded: AtomicU64,
 }
 
+/// A file's lock state paired with the condition variable its waiters block on.
+type LockedFile = (Mutex<FileState>, Condvar);
+
+/// One transaction's deferred writes: (file handle, page index, new contents).
+type IntentionsList = Vec<(u64, u32, Bytes)>;
+
 /// The two-phase-locking baseline server.
 pub struct TwoPhaseLockingServer {
     block_server: Arc<BlockServer>,
     account: Capability,
-    files: RwLock<HashMap<u64, Arc<(Mutex<FileState>, Condvar)>>>,
+    files: RwLock<HashMap<u64, Arc<LockedFile>>>,
     next_file: AtomicU64,
     next_tx: AtomicU64,
     /// Intentions lists of in-flight transactions (tx → (file, page, data)).
-    intentions: Mutex<HashMap<TxId, Vec<(u64, u32, Bytes)>>>,
+    intentions: Mutex<HashMap<TxId, IntentionsList>>,
     /// Statistics.
     pub stats: LockingStats,
 }
@@ -421,7 +426,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(stats.pages_written, 1);
-        assert_eq!(server.read_page(file, 1).unwrap(), Bytes::from_static(b"locked write"));
+        assert_eq!(
+            server.read_page(file, 1).unwrap(),
+            Bytes::from_static(b"locked write")
+        );
     }
 
     #[test]
@@ -432,9 +440,15 @@ mod tests {
         tx.write(0, Bytes::from_static(b"pending")).unwrap();
         // Another (non-transactional) read still sees the old contents: the write is
         // only an intention so far.
-        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from(vec![0u8; 4]));
+        assert_eq!(
+            server.read_page(file, 0).unwrap(),
+            Bytes::from(vec![0u8; 4])
+        );
         tx.commit().unwrap();
-        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from_static(b"pending"));
+        assert_eq!(
+            server.read_page(file, 0).unwrap(),
+            Bytes::from_static(b"pending")
+        );
     }
 
     #[test]
@@ -444,7 +458,10 @@ mod tests {
         let mut tx = server.begin(file);
         tx.write(0, Bytes::from_static(b"nope")).unwrap();
         tx.abort();
-        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from(vec![0u8; 4]));
+        assert_eq!(
+            server.read_page(file, 0).unwrap(),
+            Bytes::from(vec![0u8; 4])
+        );
         assert_eq!(server.locked_pages(file), 0);
     }
 
@@ -458,7 +475,9 @@ mod tests {
         older.write(0, Bytes::from_static(b"older")).unwrap();
         // The younger transaction wants the same page and must die, not wait.
         assert_eq!(
-            younger.write(0, Bytes::from_static(b"younger")).unwrap_err(),
+            younger
+                .write(0, Bytes::from_static(b"younger"))
+                .unwrap_err(),
             TxAbort::DeadlockVictim
         );
         younger.abort();
@@ -516,7 +535,10 @@ mod tests {
         assert!(locks >= 2);
         assert_eq!(intents, 1);
         assert_eq!(server.locked_pages(file), 0);
-        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from(vec![0u8; 4]));
+        assert_eq!(
+            server.read_page(file, 0).unwrap(),
+            Bytes::from(vec![0u8; 4])
+        );
         server
             .run_transaction(
                 file,

@@ -208,7 +208,10 @@ mod tests {
         // Take a timestamp now, but let a younger transaction write the page first.
         let old_ts = server.now();
         server
-            .run_transaction(file, &TxProfile::write_only(vec![(0, Bytes::from_static(b"young"))]))
+            .run_transaction(
+                file,
+                &TxProfile::write_only(vec![(0, Bytes::from_static(b"young"))]),
+            )
             .unwrap();
         // Simulate the old transaction arriving late by temporarily winding the clock
         // back: we re-run its access check through a synthetic profile with the stale
@@ -219,7 +222,10 @@ mod tests {
             &TxProfile::write_only(vec![(0, Bytes::from_static(b"stale"))]),
         );
         assert_eq!(result.unwrap_err(), TxAbort::TimestampViolation);
-        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from_static(b"young"));
+        assert_eq!(
+            server.read_page(file, 0).unwrap(),
+            Bytes::from_static(b"young")
+        );
     }
 
     #[test]
@@ -228,7 +234,10 @@ mod tests {
         let file = server.create_file(1, 4);
         let old_ts = server.now();
         server
-            .run_transaction(file, &TxProfile::write_only(vec![(0, Bytes::from_static(b"new"))]))
+            .run_transaction(
+                file,
+                &TxProfile::write_only(vec![(0, Bytes::from_static(b"new"))]),
+            )
             .unwrap();
         server.clock.store(old_ts, Ordering::Relaxed);
         let result = server.run_transaction(
@@ -247,7 +256,10 @@ mod tests {
         let file = server.create_file(2, 4);
         let old_ts = server.now();
         server
-            .run_transaction(file, &TxProfile::write_only(vec![(1, Bytes::from_static(b"newer"))]))
+            .run_transaction(
+                file,
+                &TxProfile::write_only(vec![(1, Bytes::from_static(b"newer"))]),
+            )
             .unwrap();
         server.clock.store(old_ts, Ordering::Relaxed);
         // This late transaction writes page 0 (fine on its own) and page 1 (stale):
@@ -260,6 +272,9 @@ mod tests {
             ]),
         );
         assert!(result.is_err());
-        assert_eq!(server.read_page(file, 0).unwrap(), Bytes::from(vec![0u8; 4]));
+        assert_eq!(
+            server.read_page(file, 0).unwrap(),
+            Bytes::from(vec![0u8; 4])
+        );
     }
 }

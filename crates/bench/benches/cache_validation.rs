@@ -10,7 +10,9 @@ use afs_core::FileService;
 
 fn bench_cache_validation(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_validation");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
 
     // Null operation: the cached version is still current (unshared file).
     group.bench_function("unshared_null_op", |b| {
@@ -28,10 +30,10 @@ fn bench_cache_validation(c: &mut Criterion) {
         let service = FileService::in_memory();
         let (file, paths) = committed_file(&service, 64, 128);
         let cached = service.current_version_block(&file).unwrap();
-        for i in 0..8usize {
+        for path in paths.iter().take(8) {
             let v = service.create_version(&file).unwrap();
             service
-                .write_page(&v, &paths[i], Bytes::from_static(b"remote"))
+                .write_page(&v, path, Bytes::from_static(b"remote"))
                 .unwrap();
             service.commit(&v).unwrap();
         }

@@ -11,7 +11,9 @@ use afs_core::FileService;
 
 fn bench_commit_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("commit");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     // Fast path: sequential updates, every commit finds its base still current.
     group.bench_function("fast_path", |b| {
@@ -19,7 +21,9 @@ fn bench_commit_paths(c: &mut Criterion) {
         let (file, paths) = committed_file(&service, 16, 128);
         b.iter(|| {
             let v = service.create_version(&file).unwrap();
-            service.write_page(&v, &paths[0], Bytes::from_static(b"x")).unwrap();
+            service
+                .write_page(&v, &paths[0], Bytes::from_static(b"x"))
+                .unwrap();
             let receipt = service.commit(&v).unwrap();
             assert!(receipt.fast_path);
         });
@@ -32,9 +36,13 @@ fn bench_commit_paths(c: &mut Criterion) {
         let (file, paths) = committed_file(&service, 16, 128);
         b.iter(|| {
             let loser = service.create_version(&file).unwrap();
-            service.write_page(&loser, &paths[1], Bytes::from_static(b"b")).unwrap();
+            service
+                .write_page(&loser, &paths[1], Bytes::from_static(b"b"))
+                .unwrap();
             let winner = service.create_version(&file).unwrap();
-            service.write_page(&winner, &paths[0], Bytes::from_static(b"a")).unwrap();
+            service
+                .write_page(&winner, &paths[0], Bytes::from_static(b"a"))
+                .unwrap();
             service.commit(&winner).unwrap();
             let receipt = service.commit(&loser).unwrap();
             assert!(!receipt.fast_path);

@@ -7,14 +7,23 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use afs_core::{FileService, PagePath};
 
-fn build_tree(service: &FileService, file: &afs_core::Capability, depth: usize, fanout: usize) -> PagePath {
+fn build_tree(
+    service: &FileService,
+    file: &afs_core::Capability,
+    depth: usize,
+    fanout: usize,
+) -> PagePath {
     let v = service.create_version(file).unwrap();
     let mut frontier = vec![PagePath::root()];
     for _ in 0..depth {
         let mut next = Vec::new();
         for parent in &frontier {
             for _ in 0..fanout {
-                next.push(service.append_page(&v, parent, Bytes::from_static(b"node")).unwrap());
+                next.push(
+                    service
+                        .append_page(&v, parent, Bytes::from_static(b"node"))
+                        .unwrap(),
+                );
             }
         }
         frontier = next;
@@ -25,7 +34,9 @@ fn build_tree(service: &FileService, file: &afs_core::Capability, depth: usize, 
 
 fn bench_cow(c: &mut Criterion) {
     let mut group = c.benchmark_group("cow_leaf_update");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (depth, fanout) in [(1usize, 8usize), (2, 8), (3, 8), (2, 32)] {
         group.bench_function(format!("depth{depth}_fanout{fanout}"), |b| {
             let service = FileService::in_memory();
@@ -33,7 +44,9 @@ fn bench_cow(c: &mut Criterion) {
             let leaf = build_tree(&service, &file, depth, fanout);
             b.iter(|| {
                 let v = service.create_version(&file).unwrap();
-                service.write_page(&v, &leaf, Bytes::from_static(b"updated")).unwrap();
+                service
+                    .write_page(&v, &leaf, Bytes::from_static(b"updated"))
+                    .unwrap();
                 service.commit(&v).unwrap();
             });
         });

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use afs_baselines::{AmoebaAdapter, ConcurrencyControl, TimestampOrderingServer, TwoPhaseLockingServer};
+use afs_baselines::{AmoebaAdapter, TimestampOrderingServer, TwoPhaseLockingServer};
 use afs_sim::{run_workload, RunConfig};
 use afs_workload::MixConfig;
 
@@ -27,7 +27,9 @@ fn config() -> RunConfig {
 
 fn bench_mechanisms(c: &mut Criterion) {
     let mut group = c.benchmark_group("occ_vs_locking");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("amoeba_occ", |b| {
         b.iter(|| {
             let cc = AmoebaAdapter::in_memory();

@@ -11,7 +11,9 @@ use afs_core::{FileService, PagePath};
 
 fn bench_one_page(c: &mut Criterion) {
     let mut group = c.benchmark_group("one_page_files");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     // The compiler temporary: write one 16 KiB page into a private file and commit.
     group.bench_function("compiler_temp_write_commit", |b| {
@@ -20,7 +22,9 @@ fn bench_one_page(c: &mut Criterion) {
         b.iter(|| {
             let file = service.create_file().unwrap();
             let v = service.create_version(&file).unwrap();
-            service.write_page(&v, &PagePath::root(), payload.clone()).unwrap();
+            service
+                .write_page(&v, &PagePath::root(), payload.clone())
+                .unwrap();
             service.commit(&v).unwrap();
         });
     });

@@ -30,7 +30,9 @@ fn sample_page(refs: usize, data: usize) -> Page {
 
 fn bench_page_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("page_codec");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for (refs, data) in [(0usize, 1024usize), (64, 4096), (512, 32 * 1024)] {
         let page = sample_page(refs, data);
         let encoded = page.encode().unwrap();
@@ -38,7 +40,11 @@ fn bench_page_codec(c: &mut Criterion) {
             b.iter(|| page.encode().unwrap())
         });
         group.bench_function(format!("decode_refs{refs}_data{data}"), |b| {
-            b.iter_batched(|| encoded.clone(), |raw| Page::decode(raw).unwrap(), BatchSize::SmallInput)
+            b.iter_batched(
+                || encoded.clone(),
+                |raw| Page::decode(raw).unwrap(),
+                BatchSize::SmallInput,
+            )
         });
     }
     group.finish();

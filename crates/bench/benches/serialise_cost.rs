@@ -11,28 +11,31 @@ use afs_core::FileService;
 
 fn bench_serialise(c: &mut Criterion) {
     let mut group = c.benchmark_group("serialise_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for file_pages in [64u16, 1024] {
         for touched in [1usize, 16] {
-            group.bench_function(
-                format!("file{file_pages}_touched{touched}"),
-                |b| {
-                    let service = FileService::in_memory();
-                    let (file, paths) = committed_file(&service, file_pages, 64);
-                    b.iter(|| {
-                        let loser = service.create_version(&file).unwrap();
-                        for p in paths.iter().take(touched) {
-                            service.write_page(&loser, p, Bytes::from_static(b"l")).unwrap();
-                        }
-                        let winner = service.create_version(&file).unwrap();
-                        for p in paths.iter().rev().take(touched) {
-                            service.write_page(&winner, p, Bytes::from_static(b"w")).unwrap();
-                        }
-                        service.commit(&winner).unwrap();
-                        service.commit(&loser).unwrap();
-                    });
-                },
-            );
+            group.bench_function(format!("file{file_pages}_touched{touched}"), |b| {
+                let service = FileService::in_memory();
+                let (file, paths) = committed_file(&service, file_pages, 64);
+                b.iter(|| {
+                    let loser = service.create_version(&file).unwrap();
+                    for p in paths.iter().take(touched) {
+                        service
+                            .write_page(&loser, p, Bytes::from_static(b"l"))
+                            .unwrap();
+                    }
+                    let winner = service.create_version(&file).unwrap();
+                    for p in paths.iter().rev().take(touched) {
+                        service
+                            .write_page(&winner, p, Bytes::from_static(b"w"))
+                            .unwrap();
+                    }
+                    service.commit(&winner).unwrap();
+                    service.commit(&loser).unwrap();
+                });
+            });
         }
     }
     group.finish();

@@ -10,7 +10,9 @@ use amoeba_block::{BlockStore, CompanionPair, MemStore, StableStore};
 
 fn bench_stable_storage(c: &mut Criterion) {
     let mut group = c.benchmark_group("stable_storage_write");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     let payload = Bytes::from(vec![0x5au8; 4096]);
 
     group.bench_function("single_disk", |b| {

@@ -267,7 +267,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures > 50 && failures < 150, "got {failures} failures out of 200");
+        assert!(
+            failures > 50 && failures < 150,
+            "got {failures} failures out of 200"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl MemStore {
             if !inner.blocks.contains_key(&candidate) {
                 return Ok(candidate);
             }
-            candidate = if candidate == MAX_BLOCK_NR { 0 } else { candidate + 1 };
+            candidate = if candidate == MAX_BLOCK_NR {
+                0
+            } else {
+                candidate + 1
+            };
             if candidate == start {
                 return Err(BlockError::Full);
             }

@@ -284,7 +284,9 @@ mod tests {
         let (server, alice) = server();
         let bob = server.create_account();
         let nr = server.allocate(&alice).unwrap();
-        server.write(&alice, nr, Bytes::from_static(b"secret")).unwrap();
+        server
+            .write(&alice, nr, Bytes::from_static(b"secret"))
+            .unwrap();
         assert_eq!(server.read(&bob, nr), Err(BlockError::PermissionDenied));
         assert_eq!(
             server.write(&bob, nr, Bytes::from_static(b"overwrite")),
@@ -387,9 +389,8 @@ mod tests {
     fn update_block_releases_lock_on_error() {
         let (server, alice) = server();
         let nr = server.allocate(&alice).unwrap();
-        let result: Result<()> = server.update_block(&alice, nr, |_| {
-            Err(BlockError::Io("closure failed".into()))
-        });
+        let result: Result<()> =
+            server.update_block(&alice, nr, |_| Err(BlockError::Io("closure failed".into())));
         assert!(result.is_err());
         assert!(!server.is_locked(nr));
     }
@@ -407,7 +408,10 @@ mod tests {
             server2.unlock(&cap, nr).unwrap();
         });
         std::thread::sleep(Duration::from_millis(20));
-        assert!(!waiter.is_finished(), "waiter should be blocked on the lock");
+        assert!(
+            !waiter.is_finished(),
+            "waiter should be blocked on the lock"
+        );
         server.unlock(&alice, nr).unwrap();
         waiter.join().unwrap();
     }

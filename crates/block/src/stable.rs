@@ -387,6 +387,50 @@ impl CompanionPair {
         self.nodes[via].store.write(nr, data)
     }
 
+    /// Allocate a *specific* block number through server `via`, following the same
+    /// companion-first discipline as writes: the companion allocates first, then the
+    /// receiving server.  A crashed companion gets an intention so recovery re-creates
+    /// the block; a local failure rolls the companion's allocation back so the disks
+    /// never diverge.
+    pub fn allocate_at_via(&self, via: usize, nr: BlockNr) -> Result<()> {
+        if self.nodes[via].is_crashed() {
+            return Err(BlockError::Crashed);
+        }
+        let other = 1 - via;
+        let companion_allocated = if self.nodes[other].is_crashed() {
+            let mut state = self.nodes[via].state.lock();
+            state.intentions_for_companion.push(Intention {
+                nr,
+                data: Bytes::new(),
+                free: false,
+            });
+            self.stats.lock().intentions_recorded += 1;
+            false
+        } else {
+            self.nodes[other].store.allocate_at(nr)?;
+            true
+        };
+        match self.nodes[via].store.allocate_at(nr) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if companion_allocated {
+                    let _ = self.nodes[other].store.free(nr);
+                } else {
+                    // Drop the intention we just queued.
+                    let mut state = self.nodes[via].state.lock();
+                    if let Some(pos) = state
+                        .intentions_for_companion
+                        .iter()
+                        .rposition(|i| i.nr == nr && !i.free)
+                    {
+                        state.intentions_for_companion.remove(pos);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Read a block from server `via`'s local disk; the companion is only consulted
     /// when the local copy is corrupted.
     pub fn read_via(&self, via: usize, nr: BlockNr) -> Result<Bytes> {
@@ -498,6 +542,74 @@ impl CompanionHandle {
         }
         Err(last)
     }
+
+    fn live_disk(&self) -> &Arc<dyn BlockStore> {
+        let via = self
+            .order()
+            .into_iter()
+            .find(|&idx| !self.pair.is_crashed(idx))
+            .unwrap_or(self.primary);
+        self.pair.disk(via)
+    }
+}
+
+/// A [`CompanionHandle`] is a complete [`BlockStore`]: this is what lets the
+/// whole file service run over the paper's dual-server stable storage — hand
+/// `BlockServer::new` an `Arc<CompanionHandle>` and every version page lands on
+/// both companion disks with the §4 write protocol.
+impl BlockStore for CompanionHandle {
+    fn block_size(&self) -> usize {
+        self.live_disk().block_size()
+    }
+
+    fn allocate(&self) -> Result<BlockNr> {
+        // The companion protocol allocates and writes in one exchange; an
+        // explicit allocation is the degenerate empty-write case.
+        self.allocate_and_write(Bytes::new())
+    }
+
+    fn allocate_at(&self, nr: BlockNr) -> Result<()> {
+        let mut last = BlockError::Crashed;
+        for via in self.order() {
+            match self.pair.allocate_at_via(via, nr) {
+                Ok(()) => return Ok(()),
+                Err(BlockError::Crashed) => last = BlockError::Crashed,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn free(&self, nr: BlockNr) -> Result<()> {
+        CompanionHandle::free(self, nr)
+    }
+
+    fn read(&self, nr: BlockNr) -> Result<Bytes> {
+        CompanionHandle::read(self, nr)
+    }
+
+    fn write(&self, nr: BlockNr, data: Bytes) -> Result<()> {
+        CompanionHandle::write(self, nr, data)
+    }
+
+    fn is_allocated(&self, nr: BlockNr) -> bool {
+        self.order()
+            .into_iter()
+            .filter(|&idx| !self.pair.is_crashed(idx))
+            .any(|idx| self.pair.disk(idx).is_allocated(nr))
+    }
+
+    fn allocated_count(&self) -> usize {
+        self.live_disk().allocated_count()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.live_disk().stats()
+    }
+
+    fn allocated_blocks(&self) -> Vec<BlockNr> {
+        self.live_disk().allocated_blocks()
+    }
 }
 
 #[cfg(test)]
@@ -516,8 +628,14 @@ mod tests {
         let stable = StableStore::new(MemStore::new(), MemStore::new());
         let nr = stable.allocate().unwrap();
         stable.write(nr, Bytes::from_static(b"both")).unwrap();
-        assert_eq!(stable.disk(0).read(nr).unwrap(), Bytes::from_static(b"both"));
-        assert_eq!(stable.disk(1).read(nr).unwrap(), Bytes::from_static(b"both"));
+        assert_eq!(
+            stable.disk(0).read(nr).unwrap(),
+            Bytes::from_static(b"both")
+        );
+        assert_eq!(
+            stable.disk(1).read(nr).unwrap(),
+            Bytes::from_static(b"both")
+        );
     }
 
     #[test]
@@ -539,7 +657,10 @@ mod tests {
         let nr = stable.allocate().unwrap();
         stable.write(nr, Bytes::from_static(b"new")).unwrap();
         // Simulate a crash between the two careful writes: the secondary is stale.
-        stable.disk(1).write(nr, Bytes::from_static(b"old")).unwrap();
+        stable
+            .disk(1)
+            .write(nr, Bytes::from_static(b"old"))
+            .unwrap();
         let repaired = stable.scrub().unwrap();
         assert_eq!(repaired, 1);
         assert_eq!(stable.disk(1).read(nr).unwrap(), Bytes::from_static(b"new"));
@@ -550,7 +671,9 @@ mod tests {
     #[test]
     fn companion_write_lands_on_both_disks() {
         let pair = mem_pair();
-        let nr = pair.allocate_and_write_via(0, Bytes::from_static(b"data")).unwrap();
+        let nr = pair
+            .allocate_and_write_via(0, Bytes::from_static(b"data"))
+            .unwrap();
         assert_eq!(pair.disk(0).read(nr).unwrap(), Bytes::from_static(b"data"));
         assert_eq!(pair.disk(1).read(nr).unwrap(), Bytes::from_static(b"data"));
     }
@@ -558,7 +681,9 @@ mod tests {
     #[test]
     fn reads_are_served_locally_by_either_server() {
         let pair = mem_pair();
-        let nr = pair.allocate_and_write_via(0, Bytes::from_static(b"shared")).unwrap();
+        let nr = pair
+            .allocate_and_write_via(0, Bytes::from_static(b"shared"))
+            .unwrap();
         assert_eq!(pair.read_via(0, nr).unwrap(), Bytes::from_static(b"shared"));
         assert_eq!(pair.read_via(1, nr).unwrap(), Bytes::from_static(b"shared"));
     }
@@ -567,7 +692,9 @@ mod tests {
     fn crashed_primary_fails_over_to_companion() {
         let pair = mem_pair();
         let handle = pair.handle(0);
-        let nr = handle.allocate_and_write(Bytes::from_static(b"v1")).unwrap();
+        let nr = handle
+            .allocate_and_write(Bytes::from_static(b"v1"))
+            .unwrap();
         pair.crash(0);
         // Reads and writes keep working through server 1.
         assert_eq!(handle.read(nr).unwrap(), Bytes::from_static(b"v1"));
@@ -579,10 +706,14 @@ mod tests {
     fn recovery_replays_the_intentions_list() {
         let pair = mem_pair();
         let handle = pair.handle(0);
-        let nr = handle.allocate_and_write(Bytes::from_static(b"before")).unwrap();
+        let nr = handle
+            .allocate_and_write(Bytes::from_static(b"before"))
+            .unwrap();
         pair.crash(1);
         handle.write(nr, Bytes::from_static(b"while-down")).unwrap();
-        let nr2 = handle.allocate_and_write(Bytes::from_static(b"new-block")).unwrap();
+        let nr2 = handle
+            .allocate_and_write(Bytes::from_static(b"new-block"))
+            .unwrap();
         // Server 1's disk is stale until recovery.
         assert_ne!(
             pair.disk(1).read(nr).unwrap(),
@@ -594,7 +725,10 @@ mod tests {
             pair.disk(1).read(nr).unwrap(),
             Bytes::from_static(b"while-down")
         );
-        assert_eq!(pair.disk(1).read(nr2).unwrap(), Bytes::from_static(b"new-block"));
+        assert_eq!(
+            pair.disk(1).read(nr2).unwrap(),
+            Bytes::from_static(b"new-block")
+        );
         assert!(pair.stats().intentions_recorded >= 2);
     }
 
@@ -623,7 +757,9 @@ mod tests {
         let disk_a = Arc::new(FaultyStore::new(MemStore::new()));
         let disk_b = Arc::new(FaultyStore::new(MemStore::new()));
         let pair = CompanionPair::new(disk_a.clone(), disk_b);
-        let nr = pair.allocate_and_write_via(0, Bytes::from_static(b"ok")).unwrap();
+        let nr = pair
+            .allocate_and_write_via(0, Bytes::from_static(b"ok"))
+            .unwrap();
         disk_a.corrupt(nr);
         assert_eq!(pair.read_via(0, nr).unwrap(), Bytes::from_static(b"ok"));
     }
@@ -631,10 +767,39 @@ mod tests {
     #[test]
     fn free_through_one_server_frees_both_copies() {
         let pair = mem_pair();
-        let nr = pair.allocate_and_write_via(0, Bytes::from_static(b"gone")).unwrap();
+        let nr = pair
+            .allocate_and_write_via(0, Bytes::from_static(b"gone"))
+            .unwrap();
         pair.free_via(1, nr).unwrap();
         assert!(!pair.disk(0).is_allocated(nr));
         assert!(!pair.disk(1).is_allocated(nr));
+    }
+
+    #[test]
+    fn handle_allocate_at_queues_an_intention_for_a_crashed_companion() {
+        let pair = mem_pair();
+        let handle = pair.handle(0);
+        pair.crash(1);
+        BlockStore::allocate_at(&handle, 5).unwrap();
+        handle.write(5, Bytes::from_static(b"while down")).unwrap();
+        assert!(!pair.disk(1).is_allocated(5));
+        pair.recover(1).unwrap();
+        assert_eq!(
+            pair.disk(1).read(5).unwrap(),
+            Bytes::from_static(b"while down")
+        );
+    }
+
+    #[test]
+    fn handle_allocate_at_rolls_back_the_companion_on_local_failure() {
+        let pair = mem_pair();
+        let handle = pair.handle(0);
+        // The local (via) disk already holds the number: the mirror allocation
+        // on the companion must be undone, leaving the disks consistent.
+        pair.disk(0).allocate_at(9).unwrap();
+        let err = BlockStore::allocate_at(&handle, 9).unwrap_err();
+        assert_eq!(err, BlockError::AlreadyAllocated(9));
+        assert!(!pair.disk(1).is_allocated(9));
     }
 
     #[test]

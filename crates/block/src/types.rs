@@ -3,8 +3,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of bits in a block number.
 ///
 /// The paper's page references pack a 28-bit block number and four flag bits into 32
@@ -19,7 +17,7 @@ pub const MAX_BLOCK_NR: u32 = (1 << BLOCK_NR_BITS) - 1;
 pub type BlockNr = u32;
 
 /// Errors returned by block stores and block servers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BlockError {
     /// The requested block number is not currently allocated.
     NoSuchBlock(BlockNr),
@@ -98,14 +96,17 @@ mod tests {
 
     #[test]
     fn errors_display_something_useful() {
-        let e = BlockError::TooLarge { got: 40000, max: 32768 };
+        let e = BlockError::TooLarge {
+            got: 40000,
+            max: 32768,
+        };
         assert!(e.to_string().contains("40000"));
         assert!(BlockError::NoSuchBlock(7).to_string().contains('7'));
     }
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let be: BlockError = io.into();
         assert!(matches!(be, BlockError::Io(_)));
     }

@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
-
 use crate::{Port, Rights};
+use bytes::{Buf, BufMut};
 
 /// Object number local to the issuing service.
 pub type ObjectId = u64;
@@ -16,7 +14,7 @@ pub type ObjectId = u64;
 /// [`crate::Minter`]) and presented back to it on every request.  They can be copied
 /// and passed around freely; protection comes from the `check` field being
 /// unforgeable.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Capability {
     /// Put-port of the service managing the object.
     pub port: Port,

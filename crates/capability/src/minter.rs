@@ -94,7 +94,10 @@ impl Minter {
         if cap.port != self.port {
             return Err(CapError::WrongPort);
         }
-        let entry = self.secrets.get(&cap.object).ok_or(CapError::NoSuchObject)?;
+        let entry = self
+            .secrets
+            .get(&cap.object)
+            .ok_or(CapError::NoSuchObject)?;
         if one_way(entry.secret, cap.rights.bits()) != cap.check {
             return Err(CapError::BadCheckField);
         }
@@ -144,7 +147,10 @@ mod tests {
         let all = m.mint(9, Rights::ALL);
         let ro = m.restrict(&all, Rights::READ).unwrap();
         assert!(m.verify(&ro, Rights::READ).is_ok());
-        assert_eq!(m.verify(&ro, Rights::WRITE), Err(CapError::InsufficientRights));
+        assert_eq!(
+            m.verify(&ro, Rights::WRITE),
+            Err(CapError::InsufficientRights)
+        );
     }
 
     #[test]

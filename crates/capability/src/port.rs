@@ -9,14 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::one_way;
 
 /// A 48-bit Amoeba service port.
 ///
 /// Stored in the low 48 bits of a `u64`; the top 16 bits are always zero.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Port(u64);
 
 /// Mask selecting the 48 significant bits of a port.
@@ -108,7 +106,10 @@ mod tests {
     fn random_ports_are_distinct() {
         let a = Port::random();
         let b = Port::random();
-        assert_ne!(a, b, "two random 48-bit ports collided; astronomically unlikely");
+        assert_ne!(
+            a, b,
+            "two random 48-bit ports collided; astronomically unlikely"
+        );
     }
 
     #[test]

@@ -3,15 +3,13 @@
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A set of rights, encoded in one byte exactly as in the Amoeba capability format.
 ///
 /// The individual bits are chosen for the storage services in this reproduction:
 /// block servers honour `READ`/`WRITE`/`CREATE`/`DESTROY`, the file service
 /// additionally uses `LOCK` and `COMMIT`, and `ADMIN` covers administrative
 /// operations such as forcing garbage collection.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Rights(u8);
 
 impl Rights {

@@ -1,73 +1,90 @@
-//! Property-based tests for the capability substrate.
+//! Property-style tests for the capability substrate.
+//!
+//! Formerly written with `proptest`; the workspace builds offline, so the same
+//! properties are now exercised over a deterministic seeded sample of the input
+//! space (many random cases per property, reproducible by construction).
 
 use amoeba_capability::{Capability, Minter, Port, Rights};
 use bytes::BytesMut;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Encoding then decoding any capability yields the same capability.
-    #[test]
-    fn capability_codec_round_trips(port in 0u64..(1 << 48), object in any::<u64>(),
-                                    rights in 0u8..=0x7f, check in any::<u64>()) {
+const CASES: usize = 256;
+
+/// Encoding then decoding any capability yields the same capability.
+#[test]
+fn capability_codec_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xc0de);
+    for _ in 0..CASES {
         let cap = Capability {
-            port: Port::from_raw(port),
-            object,
-            rights: Rights::from_bits(rights),
-            check,
+            port: Port::from_raw(rng.gen_range(0u64..(1 << 48))),
+            object: rng.gen(),
+            rights: Rights::from_bits(rng.gen_range(0u8..0x80)),
+            check: rng.gen(),
         };
         let mut buf = BytesMut::new();
         cap.encode(&mut buf);
         let decoded = Capability::decode(&mut buf.freeze()).unwrap();
-        prop_assert_eq!(cap, decoded);
+        assert_eq!(cap, decoded);
     }
+}
 
-    /// A minted capability always verifies for any subset of its rights.
-    #[test]
-    fn minted_caps_verify_for_rights_subsets(seed in any::<u64>(), object in any::<u64>(),
-                                             bits in 0u8..=0x7f) {
-        let mut minter = Minter::with_seed(Port::from_raw(0xabcd), seed);
-        let rights = Rights::from_bits(bits);
-        let cap = minter.mint(object, rights);
-        prop_assert!(minter.verify(&cap, rights).is_ok());
-        prop_assert!(minter.verify(&cap, Rights::NONE).is_ok());
-        // Every single-bit subset must verify too.
+/// A minted capability always verifies for any subset of its rights.
+#[test]
+fn minted_caps_verify_for_rights_subsets() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    for _ in 0..CASES {
+        let mut minter = Minter::with_seed(Port::from_raw(0xabcd), rng.gen());
+        let rights = Rights::from_bits(rng.gen_range(0u8..0x80));
+        let cap = minter.mint(rng.gen(), rights);
+        assert!(minter.verify(&cap, rights).is_ok());
+        assert!(minter.verify(&cap, Rights::NONE).is_ok());
+        // Every single-bit subset must verify; absent bits must not.
         for bit in 0..7 {
             let single = Rights::from_bits(1 << bit);
             if rights.contains(single) {
-                prop_assert!(minter.verify(&cap, single).is_ok());
+                assert!(minter.verify(&cap, single).is_ok());
             } else {
-                prop_assert!(minter.verify(&cap, single).is_err());
+                assert!(minter.verify(&cap, single).is_err());
             }
         }
     }
+}
 
-    /// Tampering with the rights of a capability without re-deriving the check field
-    /// is always detected (unless the tampered rights equal the original).
-    #[test]
-    fn tampered_rights_are_detected(seed in any::<u64>(), object in any::<u64>(),
-                                    bits in 0u8..=0x7f, tampered in 0u8..=0x7f) {
-        prop_assume!(bits != tampered);
-        let mut minter = Minter::with_seed(Port::from_raw(0x1111), seed);
-        let mut cap = minter.mint(object, Rights::from_bits(bits));
+/// Tampering with the rights of a capability without re-deriving the check field
+/// is always detected (unless the tampered rights equal the original).
+#[test]
+fn tampered_rights_are_detected() {
+    let mut rng = StdRng::seed_from_u64(0x7a3b);
+    for _ in 0..CASES {
+        let bits = rng.gen_range(0u8..0x80);
+        let tampered = rng.gen_range(0u8..0x80);
+        if bits == tampered {
+            continue;
+        }
+        let mut minter = Minter::with_seed(Port::from_raw(0x1111), rng.gen());
+        let mut cap = minter.mint(rng.gen(), Rights::from_bits(bits));
         cap.rights = Rights::from_bits(tampered);
-        prop_assert!(minter.verify(&cap, Rights::NONE).is_err());
+        assert!(minter.verify(&cap, Rights::NONE).is_err());
     }
+}
 
-    /// Restriction never grants rights that the source capability lacked.
-    #[test]
-    fn restriction_is_monotone(seed in any::<u64>(), object in any::<u64>(),
-                               have in 0u8..=0x7f, want in 0u8..=0x7f) {
-        let mut minter = Minter::with_seed(Port::from_raw(0x2222), seed);
-        let have_r = Rights::from_bits(have);
-        let want_r = Rights::from_bits(want);
-        let cap = minter.mint(object, have_r);
-        let result = minter.restrict(&cap, want_r);
-        if have_r.contains(want_r) {
+/// Restriction never grants rights that the source capability lacked.
+#[test]
+fn restriction_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x2222);
+    for _ in 0..CASES {
+        let mut minter = Minter::with_seed(Port::from_raw(0x2222), rng.gen());
+        let have = Rights::from_bits(rng.gen_range(0u8..0x80));
+        let want = Rights::from_bits(rng.gen_range(0u8..0x80));
+        let cap = minter.mint(rng.gen(), have);
+        let result = minter.restrict(&cap, want);
+        if have.contains(want) {
             let restricted = result.unwrap();
-            prop_assert_eq!(restricted.rights, want_r);
-            prop_assert!(minter.verify(&restricted, want_r).is_ok());
+            assert_eq!(restricted.rights, want);
+            assert!(minter.verify(&restricted, want).is_ok());
         } else {
-            prop_assert!(result.is_err());
+            assert!(result.is_err());
         }
     }
 }

@@ -6,17 +6,16 @@
 //! changed since, and only those entries are dropped.  For an unshared file the
 //! answer is "up to date" and the whole cache survives — with no unsolicited server
 //! messages in either case.
+//!
+//! The cache is generic over [`FileStore`], so the same code caches pages of a
+//! remote [`crate::RemoteFs`] connection or of a local
+//! [`afs_core::FileService`].
 
 use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use afs_core::PagePath;
-use afs_server::ServerError;
-use amoeba_capability::Capability;
-use amoeba_rpc::Transport;
-
-use crate::remote::RemoteFs;
+use afs_core::{Capability, FileStore, FsError, PagePath};
 
 /// Cache statistics for the caching experiments.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -38,26 +37,26 @@ struct FileEntry {
     pages: HashMap<PagePath, Bytes>,
 }
 
-/// A per-client page cache over a [`RemoteFs`] connection.
-pub struct ClientCache<T: Transport> {
-    remote: RemoteFs<T>,
+/// A per-client page cache over any [`FileStore`].
+pub struct ClientCache<S: FileStore> {
+    store: S,
     entries: HashMap<u64, FileEntry>,
     stats: CacheStats,
 }
 
-impl<T: Transport> ClientCache<T> {
-    /// Wraps a remote connection with a cache.
-    pub fn new(remote: RemoteFs<T>) -> Self {
+impl<S: FileStore> ClientCache<S> {
+    /// Wraps a store with a cache.
+    pub fn new(store: S) -> Self {
         ClientCache {
-            remote,
+            store,
             entries: HashMap::new(),
             stats: CacheStats::default(),
         }
     }
 
-    /// The underlying connection (for non-cached operations).
-    pub fn remote(&self) -> &RemoteFs<T> {
-        &self.remote
+    /// The underlying store (for non-cached operations).
+    pub fn store(&self) -> &S {
+        &self.store
     }
 
     /// Accumulated statistics.
@@ -67,21 +66,18 @@ impl<T: Transport> ClientCache<T> {
 
     /// Revalidates the cache entry for `file` (one transaction) and returns how many
     /// pages had to be discarded.  Populates the entry's version on first use.
-    pub fn revalidate(&mut self, file: &Capability) -> Result<usize, ServerError> {
+    pub fn revalidate(&mut self, file: &Capability) -> Result<usize, FsError> {
         self.stats.validations += 1;
         let entry = self.entries.entry(file.object).or_default();
-        let (up_to_date, current_block, changed) =
-            self.remote.validate_cache(file, entry.version_block)?;
-        if up_to_date {
+        let validation = self.store.validate_cache(file, entry.version_block)?;
+        if validation.up_to_date {
             return Ok(0);
         }
         let before = entry.pages.len();
-        entry
-            .pages
-            .retain(|path, _| !changed.iter().any(|c| c == path || c.is_prefix_of(path)));
+        entry.pages.retain(|path, _| validation.keeps(path));
         let dropped = before - entry.pages.len();
         self.stats.invalidated += dropped as u64;
-        entry.version_block = current_block;
+        entry.version_block = validation.current_block;
         Ok(dropped)
     }
 
@@ -89,7 +85,14 @@ impl<T: Transport> ClientCache<T> {
     ///
     /// The caller is expected to have called [`ClientCache::revalidate`] when it
     /// (re)opened the file; reads themselves never trigger extra validation traffic.
-    pub fn read(&mut self, file: &Capability, path: &PagePath) -> Result<Bytes, ServerError> {
+    ///
+    /// A miss is filled from whatever version is current at read time, while the
+    /// entry stays based on the version recorded at the last revalidation.  If
+    /// another client commits between the two, the next revalidation discards
+    /// such a freshly fetched page and the following read refetches it — the
+    /// conservative direction (an extra miss, never a stale hit), matching the
+    /// paper's validate-on-open discipline.
+    pub fn read(&mut self, file: &Capability, path: &PagePath) -> Result<Bytes, FsError> {
         if let Some(entry) = self.entries.get(&file.object) {
             if let Some(data) = entry.pages.get(path) {
                 self.stats.hits += 1;
@@ -97,8 +100,8 @@ impl<T: Transport> ClientCache<T> {
             }
         }
         self.stats.misses += 1;
-        let current = self.remote.current_version(file)?;
-        let data = self.remote.read_committed_page(&current, path)?;
+        let current = self.store.current_version(file)?;
+        let data = self.store.read_committed_page(&current, path)?;
         let entry = self.entries.entry(file.object).or_default();
         entry.pages.insert(path.clone(), data.clone());
         Ok(data)
@@ -116,18 +119,21 @@ impl<T: Transport> ClientCache<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::remote::RemoteFs;
     use afs_core::FileService;
     use afs_server::ServerGroup;
     use amoeba_rpc::LocalNetwork;
     use std::sync::Arc;
 
-    fn setup() -> (
+    type Fixture = (
         Arc<LocalNetwork>,
         ServerGroup,
-        ClientCache<Arc<LocalNetwork>>,
+        ClientCache<RemoteFs<Arc<LocalNetwork>>>,
         Capability,
         Vec<PagePath>,
-    ) {
+    );
+
+    fn setup() -> Fixture {
         let network = Arc::new(LocalNetwork::new());
         let service = FileService::in_memory();
         let group = ServerGroup::start(&network, &service, 1);
@@ -152,7 +158,10 @@ mod tests {
         let (_n, _g, mut cache, file, paths) = setup();
         cache.revalidate(&file).unwrap();
         for _ in 0..3 {
-            assert_eq!(cache.read(&file, &paths[0]).unwrap(), Bytes::from(vec![0u8]));
+            assert_eq!(
+                cache.read(&file, &paths[0]).unwrap(),
+                Bytes::from(vec![0u8])
+            );
         }
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
@@ -180,9 +189,11 @@ mod tests {
 
         // Another client updates page 2.
         {
-            let remote = cache.remote();
+            let remote = cache.store();
             let v = remote.create_version(&file).unwrap();
-            remote.write_page(&v, &paths[2], Bytes::from_static(b"remote update")).unwrap();
+            remote
+                .write_page(&v, &paths[2], Bytes::from_static(b"remote update"))
+                .unwrap();
             remote.commit(&v).unwrap();
         }
 
@@ -193,5 +204,28 @@ mod tests {
             cache.read(&file, &paths[2]).unwrap(),
             Bytes::from_static(b"remote update")
         );
+    }
+
+    #[test]
+    fn the_same_cache_wraps_a_local_store() {
+        let service = FileService::in_memory();
+        let file = service.create_file().unwrap();
+        let v = service.create_version(&file).unwrap();
+        let page = service
+            .append_page(&v, &PagePath::root(), Bytes::from_static(b"local page"))
+            .unwrap();
+        service.commit(&v).unwrap();
+
+        let mut cache = ClientCache::new(Arc::clone(&service));
+        cache.revalidate(&file).unwrap();
+        assert_eq!(
+            cache.read(&file, &page).unwrap(),
+            Bytes::from_static(b"local page")
+        );
+        assert_eq!(
+            cache.read(&file, &page).unwrap(),
+            Bytes::from_static(b"local page")
+        );
+        assert_eq!(cache.stats().hits, 1);
     }
 }

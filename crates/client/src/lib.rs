@@ -1,13 +1,17 @@
 //! Client library for the Amoeba file service.
 //!
-//! * [`RemoteFs`] — client stubs: every file-service operation as one transaction to
-//!   a (preferred) server port, failing over to replica ports when a server process
-//!   does not answer (§5.4.1: "they can use another server").
-//! * [`ClientCache`] — the §5.4 page cache: pages of the most recently used version
-//!   of each file, revalidated with one `ValidateCache` transaction when the file is
-//!   opened again; no unsolicited messages ever arrive.
-//! * [`retry_update`] — the retry loop the paper expects of clients: when a commit
-//!   reports a serialisability conflict, redo the update on a fresh version.
+//! * [`RemoteFs`] — client stubs implementing [`afs_core::FileStore`]: every
+//!   file-service operation as one transaction to a (preferred) server port,
+//!   failing over to replica ports when a server process does not answer
+//!   (§5.4.1: "they can use another server"), with batched page operations that
+//!   make a k-page update cost O(1) round trips.
+//! * [`ClientCache`] — the §5.4 page cache over any [`afs_core::FileStore`]:
+//!   pages of the most recently used version of each file, revalidated with one
+//!   `ValidateCache` transaction when the file is opened again; no unsolicited
+//!   messages ever arrive.
+//! * [`retry_update`] — compatibility wrapper around the retry loop the paper
+//!   expects of clients, now provided generically by
+//!   [`afs_core::FileStoreExt::update`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,4 +24,7 @@ pub use cache::{CacheStats, ClientCache};
 pub use remote::RemoteFs;
 pub use retry::retry_update;
 
-pub use afs_server::ServerError;
+/// Historical alias: the client-visible error type is the unified
+/// [`afs_core::FsError`] today.
+pub use afs_core::FsError as ServerError;
+pub use afs_core::{FileStore, FileStoreExt, FsError, RetryPolicy};

@@ -1,15 +1,22 @@
-//! Client stubs: one method per file-service operation.
+//! Client stubs: the [`FileStore`] protocol over transaction RPC.
+//!
+//! `RemoteFs` implements [`afs_core::FileStore`], so everything written against
+//! the trait — the [`afs_core::FileStoreExt::update`] retry loop, the client
+//! cache, the workload drivers — runs over the wire unchanged.  The batched
+//! [`FileStore::read_pages`]/[`FileStore::write_pages`] methods are overridden
+//! to ship one request per transport frame, so a k-page update costs O(1) round
+//! trips instead of O(k).
 
 use bytes::{Bytes, BytesMut};
 
-use afs_core::PagePath;
+use afs_core::{CacheValidation, CommitReceipt, FileStore, FsError, PagePath};
 use afs_server::ops::{
-    decode_capability, decode_error, decode_path, decode_validation, encode_path,
-    encode_path_and_data, FsOp,
+    decode_capability, decode_error, decode_pages_reply, decode_path, decode_receipt,
+    decode_validation, encode_insert, encode_path, encode_path_and_data, encode_paths,
+    encode_writes, encoded_path_len, encoded_write_len, FsOp,
 };
-use afs_server::ServerError;
 use amoeba_capability::{Capability, Port};
-use amoeba_rpc::{Reply, Request, RpcError, Transport};
+use amoeba_rpc::{Reply, Request, RpcError, Transport, MAX_PAYLOAD};
 
 /// A connection to the file service: a transport plus the ports of the server
 /// processes, in preference order.
@@ -25,26 +32,33 @@ impl<T: Transport> RemoteFs<T> {
         RemoteFs { transport, servers }
     }
 
+    /// The underlying transport (for instrumentation, e.g. round-trip counting).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
     /// Performs one transaction, failing over to the next server when a server does
     /// not answer.
-    fn transact(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Reply, ServerError> {
-        let mut last = ServerError::Transport("no servers configured".into());
+    fn transact(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Reply, FsError> {
+        let mut last = FsError::Transport("no servers configured".into());
         for &port in &self.servers {
             let request = Request::new(op as u32, cap, payload.clone());
             match self.transport.transact(port, request) {
                 Ok(reply) => return Ok(reply),
-                Err(RpcError::ServerCrashed) | Err(RpcError::NoSuchPort) | Err(RpcError::Timeout)
+                Err(RpcError::ServerCrashed)
+                | Err(RpcError::NoSuchPort)
+                | Err(RpcError::Timeout)
                 | Err(RpcError::Dropped) => {
-                    last = ServerError::Transport(format!("server {port} unavailable"));
+                    last = FsError::Transport(format!("server {port} unavailable"));
                     continue;
                 }
-                Err(e) => return Err(ServerError::Transport(e.to_string())),
+                Err(e) => return Err(FsError::Transport(e.to_string())),
             }
         }
         Err(last)
     }
 
-    fn expect_ok(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Bytes, ServerError> {
+    fn expect_ok(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Bytes, FsError> {
         let reply = self.transact(op, cap, payload)?;
         if reply.is_ok() {
             Ok(reply.payload)
@@ -54,19 +68,19 @@ impl<T: Transport> RemoteFs<T> {
     }
 
     /// Creates a new file and returns its capability.
-    pub fn create_file(&self) -> Result<Capability, ServerError> {
+    pub fn create_file(&self) -> Result<Capability, FsError> {
         let payload = self.expect_ok(FsOp::CreateFile, Capability::null(), Bytes::new())?;
-        decode_capability(payload).ok_or_else(|| ServerError::Protocol("bad capability".into()))
+        decode_capability(payload).ok_or_else(|| FsError::Protocol("bad capability".into()))
     }
 
     /// Creates a new version of a file.
-    pub fn create_version(&self, file: &Capability) -> Result<Capability, ServerError> {
+    pub fn create_version(&self, file: &Capability) -> Result<Capability, FsError> {
         let payload = self.expect_ok(FsOp::CreateVersion, *file, Bytes::new())?;
-        decode_capability(payload).ok_or_else(|| ServerError::Protocol("bad capability".into()))
+        decode_capability(payload).ok_or_else(|| FsError::Protocol("bad capability".into()))
     }
 
     /// Reads a page of an uncommitted version.
-    pub fn read_page(&self, version: &Capability, path: &PagePath) -> Result<Bytes, ServerError> {
+    pub fn read_page(&self, version: &Capability, path: &PagePath) -> Result<Bytes, FsError> {
         let mut buf = BytesMut::new();
         encode_path(&mut buf, path);
         self.expect_ok(FsOp::ReadPage, *version, buf.freeze())
@@ -78,7 +92,7 @@ impl<T: Transport> RemoteFs<T> {
         version: &Capability,
         path: &PagePath,
         data: Bytes,
-    ) -> Result<(), ServerError> {
+    ) -> Result<(), FsError> {
         self.expect_ok(FsOp::WritePage, *version, encode_path_and_data(path, &data))?;
         Ok(())
     }
@@ -89,28 +103,115 @@ impl<T: Transport> RemoteFs<T> {
         version: &Capability,
         parent: &PagePath,
         data: Bytes,
-    ) -> Result<PagePath, ServerError> {
-        let mut payload =
-            self.expect_ok(FsOp::AppendPage, *version, encode_path_and_data(parent, &data))?;
-        decode_path(&mut payload).ok_or_else(|| ServerError::Protocol("bad path".into()))
+    ) -> Result<PagePath, FsError> {
+        let mut payload = self.expect_ok(
+            FsOp::AppendPage,
+            *version,
+            encode_path_and_data(parent, &data),
+        )?;
+        decode_path(&mut payload).ok_or_else(|| FsError::Protocol("bad path".into()))
     }
 
-    /// Commits a version.
-    pub fn commit(&self, version: &Capability) -> Result<(), ServerError> {
-        self.expect_ok(FsOp::Commit, *version, Bytes::new())?;
+    /// Inserts a new page at `index` under `parent` and returns its path.
+    pub fn insert_page(
+        &self,
+        version: &Capability,
+        parent: &PagePath,
+        index: u16,
+        data: Bytes,
+    ) -> Result<PagePath, FsError> {
+        let mut payload = self.expect_ok(
+            FsOp::InsertPage,
+            *version,
+            encode_insert(parent, index, &data),
+        )?;
+        decode_path(&mut payload).ok_or_else(|| FsError::Protocol("bad path".into()))
+    }
+
+    /// Removes the page (and subtree) at `path`.
+    pub fn remove_page(&self, version: &Capability, path: &PagePath) -> Result<(), FsError> {
+        let mut buf = BytesMut::new();
+        encode_path(&mut buf, path);
+        self.expect_ok(FsOp::RemovePage, *version, buf.freeze())?;
         Ok(())
     }
 
+    /// Reads a batch of pages in request order, one transaction per
+    /// transport-frame's worth of reply data (one round trip for small pages).
+    pub fn read_pages(
+        &self,
+        version: &Capability,
+        paths: &[PagePath],
+    ) -> Result<Vec<Bytes>, FsError> {
+        let mut pages = Vec::with_capacity(paths.len());
+        let mut rest = paths;
+        while !rest.is_empty() {
+            // Keep the request itself inside one frame too.
+            let mut request_len = 4usize;
+            let mut take = 0usize;
+            for path in rest {
+                let entry = encoded_path_len(path);
+                if take > 0 && request_len + entry > MAX_PAYLOAD {
+                    break;
+                }
+                request_len += entry;
+                take += 1;
+            }
+            let chunk = &rest[..take];
+            let payload = self.expect_ok(FsOp::ReadPages, *version, encode_paths(chunk))?;
+            let served = decode_pages_reply(payload)
+                .ok_or_else(|| FsError::Protocol("bad pages reply".into()))?;
+            if served.is_empty() || served.len() > chunk.len() {
+                return Err(FsError::Protocol("bad pages reply count".into()));
+            }
+            rest = &rest[served.len()..];
+            pages.extend(served);
+        }
+        Ok(pages)
+    }
+
+    /// Writes a batch of pages, one transaction per transport-frame's worth of
+    /// request data (one round trip for small pages).
+    pub fn write_pages(
+        &self,
+        version: &Capability,
+        writes: &[(PagePath, Bytes)],
+    ) -> Result<(), FsError> {
+        let mut rest = writes;
+        while !rest.is_empty() {
+            let mut request_len = 4usize;
+            let mut take = 0usize;
+            for (path, data) in rest {
+                let entry = encoded_write_len(path, data);
+                if take > 0 && request_len + entry > MAX_PAYLOAD {
+                    break;
+                }
+                request_len += entry;
+                take += 1;
+            }
+            let chunk = &rest[..take];
+            self.expect_ok(FsOp::WritePages, *version, encode_writes(chunk))?;
+            rest = &rest[take..];
+        }
+        Ok(())
+    }
+
+    /// Commits a version and returns the service's receipt.
+    pub fn commit(&self, version: &Capability) -> Result<CommitReceipt, FsError> {
+        let payload = self.expect_ok(FsOp::Commit, *version, Bytes::new())?;
+        decode_receipt(payload).ok_or_else(|| FsError::Protocol("bad commit receipt".into()))
+    }
+
     /// Aborts a version.
-    pub fn abort(&self, version: &Capability) -> Result<(), ServerError> {
+    pub fn abort(&self, version: &Capability) -> Result<(), FsError> {
         self.expect_ok(FsOp::Abort, *version, Bytes::new())?;
         Ok(())
     }
 
     /// Returns the current (committed) version of a file.
-    pub fn current_version(&self, file: &Capability) -> Result<Capability, ServerError> {
+    pub fn current_version(&self, file: &Capability) -> Result<Capability, FsError> {
         let payload = self.expect_ok(FsOp::CurrentVersion, *file, Bytes::new())?;
-        decode_capability(payload).ok_or_else(|| ServerError::Protocol("bad capability".into()))
+        decode_capability(payload).ok_or_else(|| FsError::Protocol("bad capability".into()))
     }
 
     /// Reads a page of a committed version.
@@ -118,23 +219,114 @@ impl<T: Transport> RemoteFs<T> {
         &self,
         version: &Capability,
         path: &PagePath,
-    ) -> Result<Bytes, ServerError> {
+    ) -> Result<Bytes, FsError> {
         let mut buf = BytesMut::new();
         encode_path(&mut buf, path);
         self.expect_ok(FsOp::ReadCommittedPage, *version, buf.freeze())
     }
 
     /// Validates a cache entry filled from the version page at `cached_block`.
-    /// Returns (up-to-date, current block, changed paths).
     pub fn validate_cache(
         &self,
         file: &Capability,
         cached_block: u32,
-    ) -> Result<(bool, u32, Vec<PagePath>), ServerError> {
+    ) -> Result<CacheValidation, FsError> {
         let mut buf = BytesMut::new();
         buf.extend_from_slice(&cached_block.to_le_bytes());
         let payload = self.expect_ok(FsOp::ValidateCache, *file, buf.freeze())?;
-        decode_validation(payload).ok_or_else(|| ServerError::Protocol("bad validation reply".into()))
+        let (up_to_date, current_block, discard) = decode_validation(payload)
+            .ok_or_else(|| FsError::Protocol("bad validation reply".into()))?;
+        Ok(CacheValidation {
+            up_to_date,
+            current_block,
+            discard,
+        })
+    }
+}
+
+impl<T: Transport> FileStore for RemoteFs<T> {
+    fn create_file(&self) -> afs_core::Result<Capability> {
+        RemoteFs::create_file(self)
+    }
+
+    fn create_version(&self, file: &Capability) -> afs_core::Result<Capability> {
+        RemoteFs::create_version(self, file)
+    }
+
+    fn read_page(&self, version: &Capability, path: &PagePath) -> afs_core::Result<Bytes> {
+        RemoteFs::read_page(self, version, path)
+    }
+
+    fn write_page(
+        &self,
+        version: &Capability,
+        path: &PagePath,
+        data: Bytes,
+    ) -> afs_core::Result<()> {
+        RemoteFs::write_page(self, version, path, data)
+    }
+
+    fn append_page(
+        &self,
+        version: &Capability,
+        parent: &PagePath,
+        data: Bytes,
+    ) -> afs_core::Result<PagePath> {
+        RemoteFs::append_page(self, version, parent, data)
+    }
+
+    fn insert_page(
+        &self,
+        version: &Capability,
+        parent: &PagePath,
+        index: u16,
+        data: Bytes,
+    ) -> afs_core::Result<PagePath> {
+        RemoteFs::insert_page(self, version, parent, index, data)
+    }
+
+    fn remove_page(&self, version: &Capability, path: &PagePath) -> afs_core::Result<()> {
+        RemoteFs::remove_page(self, version, path)
+    }
+
+    fn commit(&self, version: &Capability) -> afs_core::Result<CommitReceipt> {
+        RemoteFs::commit(self, version)
+    }
+
+    fn abort(&self, version: &Capability) -> afs_core::Result<()> {
+        RemoteFs::abort(self, version)
+    }
+
+    fn current_version(&self, file: &Capability) -> afs_core::Result<Capability> {
+        RemoteFs::current_version(self, file)
+    }
+
+    fn read_committed_page(
+        &self,
+        version: &Capability,
+        path: &PagePath,
+    ) -> afs_core::Result<Bytes> {
+        RemoteFs::read_committed_page(self, version, path)
+    }
+
+    fn validate_cache(
+        &self,
+        file: &Capability,
+        cached_block: u32,
+    ) -> afs_core::Result<CacheValidation> {
+        RemoteFs::validate_cache(self, file, cached_block)
+    }
+
+    fn read_pages(&self, version: &Capability, paths: &[PagePath]) -> afs_core::Result<Vec<Bytes>> {
+        RemoteFs::read_pages(self, version, paths)
+    }
+
+    fn write_pages(
+        &self,
+        version: &Capability,
+        writes: &[(PagePath, Bytes)],
+    ) -> afs_core::Result<()> {
+        RemoteFs::write_pages(self, version, writes)
     }
 }
 
@@ -160,13 +352,113 @@ mod tests {
         let file = client.create_file().unwrap();
         let version = client.create_version(&file).unwrap();
         let page = client
-            .append_page(&version, &PagePath::root(), Bytes::from_static(b"over the wire"))
+            .append_page(
+                &version,
+                &PagePath::root(),
+                Bytes::from_static(b"over the wire"),
+            )
             .unwrap();
-        client.commit(&version).unwrap();
+        let receipt = client.commit(&version).unwrap();
+        assert!(receipt.fast_path);
         let current = client.current_version(&file).unwrap();
         assert_eq!(
             client.read_committed_page(&current, &page).unwrap(),
             Bytes::from_static(b"over the wire")
+        );
+    }
+
+    #[test]
+    fn insert_and_remove_reshape_the_tree_over_rpc() {
+        let (_network, _group, client) = remote();
+        let file = client.create_file().unwrap();
+        let version = client.create_version(&file).unwrap();
+        for i in 0..3u8 {
+            client
+                .append_page(&version, &PagePath::root(), Bytes::from(vec![i]))
+                .unwrap();
+        }
+        client
+            .remove_page(&version, &PagePath::new(vec![1]))
+            .unwrap();
+        let front = client
+            .insert_page(&version, &PagePath::root(), 0, Bytes::from_static(b"front"))
+            .unwrap();
+        assert_eq!(front, PagePath::new(vec![0]));
+        assert_eq!(
+            client.read_page(&version, &front).unwrap(),
+            Bytes::from_static(b"front")
+        );
+        // Former page 2 shifted down then up: now at index 2.
+        assert_eq!(
+            client.read_page(&version, &PagePath::new(vec![2])).unwrap(),
+            Bytes::from(vec![2u8])
+        );
+    }
+
+    #[test]
+    fn batched_ops_use_one_round_trip_for_small_pages() {
+        let (network, _group, client) = remote();
+        let file = client.create_file().unwrap();
+        let setup = client.create_version(&file).unwrap();
+        let paths: Vec<PagePath> = (0..16u8)
+            .map(|i| {
+                client
+                    .append_page(&setup, &PagePath::root(), Bytes::from(vec![i]))
+                    .unwrap()
+            })
+            .collect();
+        client.commit(&setup).unwrap();
+
+        let version = client.create_version(&file).unwrap();
+        let writes: Vec<(PagePath, Bytes)> = paths
+            .iter()
+            .map(|p| (p.clone(), Bytes::from_static(b"batched page")))
+            .collect();
+
+        let before = network.transaction_count();
+        client.write_pages(&version, &writes).unwrap();
+        assert_eq!(
+            network.transaction_count() - before,
+            1,
+            "one WritePages RPC"
+        );
+
+        let before = network.transaction_count();
+        let pages = client.read_pages(&version, &paths).unwrap();
+        assert_eq!(network.transaction_count() - before, 1, "one ReadPages RPC");
+        assert_eq!(pages.len(), 16);
+        assert!(pages
+            .iter()
+            .all(|p| p == &Bytes::from_static(b"batched page")));
+    }
+
+    #[test]
+    fn oversized_batches_split_across_frames_and_stay_correct() {
+        let (network, _group, client) = remote();
+        let file = client.create_file().unwrap();
+        let setup = client.create_version(&file).unwrap();
+        // Three pages of 20 KiB each: no two fit one 32 KiB frame.
+        let paths: Vec<PagePath> = (0..3u8)
+            .map(|i| {
+                client
+                    .append_page(&setup, &PagePath::root(), Bytes::from(vec![i; 20 * 1024]))
+                    .unwrap()
+            })
+            .collect();
+        client.commit(&setup).unwrap();
+
+        let version = client.create_version(&file).unwrap();
+        let before = network.transaction_count();
+        let pages = client.read_pages(&version, &paths).unwrap();
+        let trips = network.transaction_count() - before;
+        assert_eq!(pages.len(), 3);
+        for (i, page) in pages.iter().enumerate() {
+            assert_eq!(page, &Bytes::from(vec![i as u8; 20 * 1024]));
+        }
+        assert!(trips >= 2, "oversized batch must split, used {trips} trips");
+        assert!(
+            trips <= 3,
+            "split batches still amortise, used {trips} trips"
         );
     }
 
@@ -183,12 +475,16 @@ mod tests {
         let loser = client.create_version(&file).unwrap();
         client.read_page(&loser, &page).unwrap();
         let winner = client.create_version(&file).unwrap();
-        client.write_page(&winner, &page, Bytes::from_static(b"winner")).unwrap();
+        client
+            .write_page(&winner, &page, Bytes::from_static(b"winner"))
+            .unwrap();
         client.commit(&winner).unwrap();
-        client.write_page(&loser, &PagePath::root(), Bytes::from_static(b"derived")).unwrap();
+        client
+            .write_page(&loser, &PagePath::root(), Bytes::from_static(b"derived"))
+            .unwrap();
         assert_eq!(
             client.commit(&loser).unwrap_err(),
-            ServerError::SerialisabilityConflict
+            FsError::SerialisabilityConflict
         );
     }
 
@@ -200,13 +496,19 @@ mod tests {
         // The client keeps working through the second replica.
         let version = client.create_version(&file).unwrap();
         client
-            .write_page(&version, &PagePath::root(), Bytes::from_static(b"via replica"))
+            .write_page(
+                &version,
+                &PagePath::root(),
+                Bytes::from_static(b"via replica"),
+            )
             .unwrap();
         client.commit(&version).unwrap();
         group.process(0).restart();
         let current = client.current_version(&file).unwrap();
         assert_eq!(
-            client.read_committed_page(&current, &PagePath::root()).unwrap(),
+            client
+                .read_committed_page(&current, &PagePath::root())
+                .unwrap(),
             Bytes::from_static(b"via replica")
         );
     }

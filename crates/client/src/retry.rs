@@ -2,50 +2,40 @@
 //!
 //! "Some updates will have to be redone when concurrent updates are not serialisable,
 //! but with the unbounded potential of computing power that distributed systems
-//! offer, redoing an operation now and then is acceptable" (§6).  `retry_update`
-//! packages the redo loop: create a version, let the caller's closure perform the
-//! update, commit; on a serialisability conflict, back off randomly and start over.
+//! offer, redoing an operation now and then is acceptable" (§6).
+//!
+//! The loop itself now lives in [`afs_core::FileStoreExt::update`], written once
+//! against the [`FileStore`] trait so the same code retries over a local
+//! [`afs_core::FileService`] and over a [`crate::RemoteFs`] connection.
+//! [`retry_update`] remains as a thin convenience wrapper with the historical
+//! call shape (store + version-capability closure).
 
-use std::time::Duration;
-
-use rand::Rng;
-
-use afs_server::ServerError;
-use amoeba_capability::Capability;
-use amoeba_rpc::Transport;
-
-use crate::remote::RemoteFs;
+use afs_core::{Capability, FileStore, FileStoreExt, FsError, RetryPolicy};
 
 /// Runs `update` inside a fresh version of `file`, committing afterwards; retries the
 /// whole update (on a new version) when the commit reports a serialisability
 /// conflict, up to `max_attempts` times.  Returns the number of attempts used.
-pub fn retry_update<T: Transport>(
-    remote: &RemoteFs<T>,
+///
+/// Thin wrapper over [`FileStoreExt::update_with`]; new code should prefer
+/// `store.update(&file, |tx| ...)`.
+pub fn retry_update<S: FileStore + ?Sized>(
+    store: &S,
     file: &Capability,
     max_attempts: usize,
-    mut update: impl FnMut(&RemoteFs<T>, &Capability) -> Result<(), ServerError>,
-) -> Result<usize, ServerError> {
-    let mut rng = rand::thread_rng();
-    for attempt in 1..=max_attempts.max(1) {
-        let version = remote.create_version(file)?;
-        update(remote, &version)?;
-        match remote.commit(&version) {
-            Ok(()) => return Ok(attempt),
-            Err(ServerError::SerialisabilityConflict) => {
-                // The version has already been removed by the server; redo the update
-                // after a random wait, as the paper suggests.
-                std::thread::sleep(Duration::from_micros(rng.gen_range(10..500)));
-                continue;
-            }
-            Err(other) => return Err(other),
-        }
-    }
-    Err(ServerError::SerialisabilityConflict)
+    mut update: impl FnMut(&S, &Capability) -> Result<(), FsError>,
+) -> Result<usize, FsError> {
+    store
+        .update_with(file, RetryPolicy::with_max_attempts(max_attempts), |tx| {
+            let version = *tx.version();
+            update(tx.store(), &version)
+        })
+        .map(|committed| committed.attempts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::remote::RemoteFs;
     use afs_core::{FileService, PagePath};
     use afs_server::ServerGroup;
     use amoeba_rpc::LocalNetwork;
@@ -61,6 +51,22 @@ mod tests {
         let file = remote.create_file().unwrap();
         let attempts = retry_update(&remote, &file, 5, |remote, version| {
             remote.write_page(version, &PagePath::root(), Bytes::from_static(b"one shot"))
+        })
+        .unwrap();
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn retry_update_works_over_a_local_store_too() {
+        let service = FileService::in_memory();
+        let file = service.create_file().unwrap();
+        let attempts = retry_update(&*service, &file, 5, |service, version| {
+            FileStore::write_page(
+                service,
+                version,
+                &PagePath::root(),
+                Bytes::from_static(b"local"),
+            )
         })
         .unwrap();
         assert_eq!(attempts, 1);
@@ -87,11 +93,10 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let remote = Arc::clone(&remote);
-                let file = file;
                 let page = page.clone();
                 scope.spawn(move || {
                     for _ in 0..per_thread {
-                        retry_update(&remote, &file, 1000, |remote, version| {
+                        retry_update(&*remote, &file, 1000, |remote, version| {
                             let old = remote.read_page(version, &page)?;
                             let mut next = old.to_vec();
                             next.push(b'+');

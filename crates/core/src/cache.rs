@@ -18,12 +18,12 @@
 //! the client-side cache object itself lives in the `afs-client` crate, and the
 //! XDFS-style callback cache it is compared against in `afs-baselines`.
 
-use amoeba_block::BlockNr;
+use amoeba_block::{BlockError, BlockNr};
 use amoeba_capability::{Capability, Rights};
 
 use crate::path::PagePath;
 use crate::service::FileService;
-use crate::types::Result;
+use crate::types::{FsError, Result};
 
 /// Result of validating a cache entry against the current version of a file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,7 +71,24 @@ impl FileService {
                 discard: Vec::new(),
             });
         }
-        let discard = self.changed_paths_between(cached_version_block, current_block)?;
+        // A *cached* block that can no longer be read as a version (never
+        // existed, freed by the garbage collector after the retention window,
+        // or reused for a data page since) is not an error: the whole cache
+        // entry is simply stale, and discarding the root invalidates every
+        // cached page under `CacheValidation::keeps`.  The probe below checks
+        // the cached block itself, so corruption deeper in the live commit
+        // chain — a genuine fault — still propagates out of
+        // `changed_paths_between`.
+        let cached_block_is_stale = match self.read_version_page_at(cached_version_block) {
+            Ok(_) => false,
+            Err(FsError::Block(BlockError::NoSuchBlock(_))) | Err(FsError::CorruptPage(_)) => true,
+            Err(e) => return Err(e),
+        };
+        let discard = if cached_block_is_stale {
+            vec![PagePath::root()]
+        } else {
+            self.changed_paths_between(cached_version_block, current_block)?
+        };
         Ok(CacheValidation {
             up_to_date: false,
             current_block,
@@ -85,10 +102,7 @@ mod tests {
     use super::*;
     use bytes::Bytes;
 
-    fn file_with_leaves(
-        service: &FileService,
-        n: u16,
-    ) -> (Capability, Vec<PagePath>) {
+    fn file_with_leaves(service: &FileService, n: u16) -> (Capability, Vec<PagePath>) {
         let file = service.create_file().unwrap();
         let v = service.create_version(&file).unwrap();
         let mut paths = Vec::new();
@@ -114,7 +128,11 @@ mod tests {
         assert!(validation.discard.is_empty());
         // The null operation reads only the version page to confirm currency.
         let io = service.io_stats().since(&io_before);
-        assert!(io.page_reads <= 2, "null validation read {} pages", io.page_reads);
+        assert!(
+            io.page_reads <= 2,
+            "null validation read {} pages",
+            io.page_reads
+        );
     }
 
     #[test]
@@ -126,7 +144,9 @@ mod tests {
         // Two updates by other clients: pages 1 and 4 change.
         for i in [1usize, 4] {
             let v = service.create_version(&file).unwrap();
-            service.write_page(&v, &paths[i], Bytes::from_static(b"new")).unwrap();
+            service
+                .write_page(&v, &paths[i], Bytes::from_static(b"new"))
+                .unwrap();
             service.commit(&v).unwrap();
         }
 
@@ -174,12 +194,32 @@ mod tests {
     }
 
     #[test]
+    fn unreadable_cached_blocks_flush_the_whole_entry() {
+        let service = FileService::in_memory();
+        let (file, paths) = file_with_leaves(&service, 2);
+        // A block number the service never allocated (e.g. the cached version
+        // was garbage-collected long ago): everything must be discarded, not
+        // reported as an error.
+        let validation = service.validate_cache(&file, u32::MAX).unwrap();
+        assert!(!validation.up_to_date);
+        assert!(!validation.keeps(&paths[0]));
+        assert!(!validation.keeps(&paths[1]));
+        // The reported current block re-bases the cache as usual.
+        let again = service
+            .validate_cache(&file, validation.current_block)
+            .unwrap();
+        assert!(again.up_to_date);
+    }
+
+    #[test]
     fn revalidated_cache_can_be_rebased_on_the_current_version() {
         let service = FileService::in_memory();
         let (file, paths) = file_with_leaves(&service, 2);
         let cached = service.current_version_block(&file).unwrap();
         let v = service.create_version(&file).unwrap();
-        service.write_page(&v, &paths[0], Bytes::from_static(b"v2")).unwrap();
+        service
+            .write_page(&v, &paths[0], Bytes::from_static(b"v2"))
+            .unwrap();
         service.commit(&v).unwrap();
         let validation = service.validate_cache(&file, cached).unwrap();
         // Re-validating against the reported current block is then a null operation.

@@ -87,8 +87,7 @@ impl FileService {
                 Some(successor_block) => {
                     receipt.fast_path = false;
                     receipt.validations += 1;
-                    let report =
-                        self.serialise_and_merge(&mut meta, my_block, successor_block)?;
+                    let report = self.serialise_and_merge(&mut meta, my_block, successor_block)?;
                     receipt.pages_compared += report.pages_compared;
                     self.commit_stats
                         .pages_compared
@@ -213,7 +212,6 @@ impl FileService {
             });
         }
 
-        let mut b_changed = false;
         if cf.modified && !bf.searched {
             // C restructured the root's references and B never looked at them: adopt
             // C's reference table wholesale (B cannot have private children here).
@@ -225,7 +223,6 @@ impl FileService {
                     flags: PageFlags::CLEAR,
                 })
                 .collect();
-            b_changed = true;
         } else if bf.modified {
             // B restructured the root's references.  C did not (or the conflict test
             // above would have fired), but if C touched anything below this page the
@@ -242,26 +239,22 @@ impl FileService {
             for index in 0..max_refs {
                 let rb = b_page.refs.get(index).copied();
                 let rc = c_page.refs.get(index).copied();
-                match (rb, rc) {
-                    (Some(rb), Some(rc)) => {
-                        match self.merge_child(meta_b, rb, rc, &mut pages_compared)? {
-                            MergeOutcome::Conflict => {
-                                return Ok(SerialiseReport {
-                                    serialisable: false,
-                                    pages_compared,
-                                });
-                            }
-                            MergeOutcome::Keep => {}
-                            MergeOutcome::Replace(new_ref) => {
-                                b_page.refs[index] = new_ref;
-                                b_changed = true;
-                            }
+                // Reference present on only one side without either side having
+                // the `modified` flag should not happen for well-formed trees; if
+                // it does, keep B's view (B is serialised later).
+                if let (Some(rb), Some(rc)) = (rb, rc) {
+                    match self.merge_child(meta_b, rb, rc, &mut pages_compared)? {
+                        MergeOutcome::Conflict => {
+                            return Ok(SerialiseReport {
+                                serialisable: false,
+                                pages_compared,
+                            });
+                        }
+                        MergeOutcome::Keep => {}
+                        MergeOutcome::Replace(new_ref) => {
+                            b_page.refs[index] = new_ref;
                         }
                     }
-                    // Reference present on only one side without either side having
-                    // the `modified` flag should not happen for well-formed trees; if
-                    // it does, keep B's view (B is serialised later).
-                    _ => {}
                 }
             }
         }
@@ -269,15 +262,12 @@ impl FileService {
         // Merge the root data: keep B's if B wrote it, otherwise adopt C's if C wrote.
         if !bf.written && cf.written {
             b_page.data = c_page.data.clone();
-            b_changed = true;
         }
 
-        // Rebase B onto C so the next commit attempt goes for C's commit reference.
+        // Rebase B onto C so the next commit attempt goes for C's commit reference;
+        // the rebase always dirties B's version page, so it is always written back.
         b_page.base_reference = Some(c_block);
-        b_changed = true;
-        if b_changed {
-            self.pages.write_page(b_block, &b_page)?;
-        }
+        self.pages.write_page(b_block, &b_page)?;
 
         Ok(SerialiseReport {
             serialisable: true,
@@ -396,12 +386,20 @@ impl FileService {
             };
             let (next_page, next_header) = self.read_version_page_at(next)?;
             // The write set of `next` relative to its base.
-            collect_write_set(self, &next_page, &next_header.root_flags, &PagePath::root(), &mut changed)?;
+            collect_write_set(
+                self,
+                &next_page,
+                &next_header.root_flags,
+                &PagePath::root(),
+                &mut changed,
+            )?;
             let _ = page;
             block = next;
             hops += 1;
             if hops > 1_000_000 {
-                return Err(FsError::CorruptPage("commit chain does not terminate".into()));
+                return Err(FsError::CorruptPage(
+                    "commit chain does not terminate".into(),
+                ));
             }
         }
         changed.sort();
@@ -414,7 +412,13 @@ impl FileService {
     pub fn write_set_of(&self, version_block: BlockNr) -> Result<Vec<PagePath>> {
         let (page, header) = self.read_version_page_at(version_block)?;
         let mut paths = Vec::new();
-        collect_write_set(self, &page, &header.root_flags, &PagePath::root(), &mut paths)?;
+        collect_write_set(
+            self,
+            &page,
+            &header.root_flags,
+            &PagePath::root(),
+            &mut paths,
+        )?;
         paths.sort();
         paths.dedup();
         Ok(paths)
@@ -502,8 +506,12 @@ mod tests {
         // Two versions based on the same current version.
         let va = service.create_version(&file).unwrap();
         let vb = service.create_version(&file).unwrap();
-        service.write_page(&va, &paths[0], Bytes::from_static(b"A")).unwrap();
-        service.write_page(&vb, &paths[3], Bytes::from_static(b"B")).unwrap();
+        service
+            .write_page(&va, &paths[0], Bytes::from_static(b"A"))
+            .unwrap();
+        service
+            .write_page(&vb, &paths[3], Bytes::from_static(b"B"))
+            .unwrap();
         let ra = service.commit(&va).unwrap();
         let rb = service.commit(&vb).unwrap();
         assert!(ra.fast_path);
@@ -529,15 +537,22 @@ mod tests {
         let va = service.create_version(&file).unwrap();
         let vb = service.create_version(&file).unwrap();
         // A writes page 0; B reads page 0 (and writes page 1).
-        service.write_page(&va, &paths[0], Bytes::from_static(b"A")).unwrap();
+        service
+            .write_page(&va, &paths[0], Bytes::from_static(b"A"))
+            .unwrap();
         service.read_page(&vb, &paths[0]).unwrap();
-        service.write_page(&vb, &paths[1], Bytes::from_static(b"B")).unwrap();
+        service
+            .write_page(&vb, &paths[1], Bytes::from_static(b"B"))
+            .unwrap();
         service.commit(&va).unwrap();
         let err = service.commit(&vb).unwrap_err();
         assert_eq!(err, FsError::SerialisabilityConflict);
         assert_eq!(service.commit_stats().conflicts, 1);
         // The conflicting version was removed.
-        assert_eq!(service.version_state(&vb).unwrap_err(), FsError::NoSuchVersion);
+        assert_eq!(
+            service.version_state(&vb).unwrap_err(),
+            FsError::NoSuchVersion
+        );
         // But the file's current version still reflects A's committed update.
         let current = service.current_version(&file).unwrap();
         assert_eq!(
@@ -552,8 +567,12 @@ mod tests {
         let (file, paths) = build_file(&service, 2);
         let va = service.create_version(&file).unwrap();
         let vb = service.create_version(&file).unwrap();
-        service.write_page(&va, &paths[0], Bytes::from_static(b"first")).unwrap();
-        service.write_page(&vb, &paths[0], Bytes::from_static(b"second")).unwrap();
+        service
+            .write_page(&va, &paths[0], Bytes::from_static(b"first"))
+            .unwrap();
+        service
+            .write_page(&vb, &paths[0], Bytes::from_static(b"second"))
+            .unwrap();
         service.commit(&va).unwrap();
         service.commit(&vb).unwrap();
         let current = service.current_version(&file).unwrap();
@@ -588,9 +607,15 @@ mod tests {
         let v1 = service.create_version(&file).unwrap();
         let v2 = service.create_version(&file).unwrap();
         let v3 = service.create_version(&file).unwrap();
-        service.write_page(&v1, &paths[0], Bytes::from_static(b"1")).unwrap();
-        service.write_page(&v2, &paths[1], Bytes::from_static(b"2")).unwrap();
-        service.write_page(&v3, &paths[2], Bytes::from_static(b"3")).unwrap();
+        service
+            .write_page(&v1, &paths[0], Bytes::from_static(b"1"))
+            .unwrap();
+        service
+            .write_page(&v2, &paths[1], Bytes::from_static(b"2"))
+            .unwrap();
+        service
+            .write_page(&v3, &paths[2], Bytes::from_static(b"3"))
+            .unwrap();
         service.commit(&v1).unwrap();
         service.commit(&v2).unwrap();
         let receipt = service.commit(&v3).unwrap();
@@ -609,16 +634,28 @@ mod tests {
         let service = FileService::in_memory();
         let file = service.create_file().unwrap();
         let v0 = service.create_version(&file).unwrap();
-        let left = service.append_page(&v0, &PagePath::root(), Bytes::from_static(b"left")).unwrap();
-        let right = service.append_page(&v0, &PagePath::root(), Bytes::from_static(b"right")).unwrap();
-        let ll = service.append_page(&v0, &left, Bytes::from_static(b"l/0")).unwrap();
-        let rr = service.append_page(&v0, &right, Bytes::from_static(b"r/0")).unwrap();
+        let left = service
+            .append_page(&v0, &PagePath::root(), Bytes::from_static(b"left"))
+            .unwrap();
+        let right = service
+            .append_page(&v0, &PagePath::root(), Bytes::from_static(b"right"))
+            .unwrap();
+        let ll = service
+            .append_page(&v0, &left, Bytes::from_static(b"l/0"))
+            .unwrap();
+        let rr = service
+            .append_page(&v0, &right, Bytes::from_static(b"r/0"))
+            .unwrap();
         service.commit(&v0).unwrap();
 
         let va = service.create_version(&file).unwrap();
         let vb = service.create_version(&file).unwrap();
-        service.write_page(&va, &ll, Bytes::from_static(b"A deep")).unwrap();
-        service.write_page(&vb, &rr, Bytes::from_static(b"B deep")).unwrap();
+        service
+            .write_page(&va, &ll, Bytes::from_static(b"A deep"))
+            .unwrap();
+        service
+            .write_page(&vb, &rr, Bytes::from_static(b"B deep"))
+            .unwrap();
         service.commit(&va).unwrap();
         service.commit(&vb).unwrap();
 
@@ -643,7 +680,9 @@ mod tests {
         service.remove_page(&va, &PagePath::new(vec![1])).unwrap();
         // B searches the root's references (asks for its shape).
         service.page_info(&vb, &PagePath::root()).unwrap();
-        service.write_page(&vb, &PagePath::new(vec![0]), Bytes::from_static(b"x")).unwrap();
+        service
+            .write_page(&vb, &PagePath::new(vec![0]), Bytes::from_static(b"x"))
+            .unwrap();
         service.commit(&va).unwrap();
         assert_eq!(
             service.commit(&vb).unwrap_err(),
@@ -665,7 +704,9 @@ mod tests {
         let service = FileService::in_memory();
         let (file, paths) = build_file(&service, 4);
         let v = service.create_version(&file).unwrap();
-        service.write_page(&v, &paths[2], Bytes::from_static(b"changed")).unwrap();
+        service
+            .write_page(&v, &paths[2], Bytes::from_static(b"changed"))
+            .unwrap();
         service.commit(&v).unwrap();
         let block = service.current_version_block(&file).unwrap();
         let write_set = service.write_set_of(block).unwrap();
@@ -679,14 +720,19 @@ mod tests {
         let old_block = service.current_version_block(&file).unwrap();
         for i in [0usize, 2] {
             let v = service.create_version(&file).unwrap();
-            service.write_page(&v, &paths[i], Bytes::from_static(b"upd")).unwrap();
+            service
+                .write_page(&v, &paths[i], Bytes::from_static(b"upd"))
+                .unwrap();
             service.commit(&v).unwrap();
         }
         let new_block = service.current_version_block(&file).unwrap();
         let changed = service.changed_paths_between(old_block, new_block).unwrap();
         assert_eq!(changed, vec![paths[0].clone(), paths[2].clone()]);
         // Nothing changed between a version and itself.
-        assert!(service.changed_paths_between(new_block, new_block).unwrap().is_empty());
+        assert!(service
+            .changed_paths_between(new_block, new_block)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -696,8 +742,12 @@ mod tests {
         let (file, paths) = build_file(&service, 64);
         let va = service.create_version(&file).unwrap();
         let vb = service.create_version(&file).unwrap();
-        service.write_page(&va, &paths[0], Bytes::from_static(b"A")).unwrap();
-        service.write_page(&vb, &paths[63], Bytes::from_static(b"B")).unwrap();
+        service
+            .write_page(&va, &paths[0], Bytes::from_static(b"A"))
+            .unwrap();
+        service
+            .write_page(&vb, &paths[63], Bytes::from_static(b"B"))
+            .unwrap();
         service.commit(&va).unwrap();
         let receipt = service.commit(&vb).unwrap();
         // Only the two touched leaves are compared, not all 64.

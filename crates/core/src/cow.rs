@@ -83,12 +83,7 @@ impl FileService {
     }
 
     /// Writes the client data of the page at `path`, copy-on-write.
-    pub fn write_page(
-        &self,
-        version_cap: &Capability,
-        path: &PagePath,
-        data: Bytes,
-    ) -> Result<()> {
+    pub fn write_page(&self, version_cap: &Capability, path: &PagePath, data: Bytes) -> Result<()> {
         if data.len() > MAX_PAGE_DATA {
             return Err(FsError::PageTooLarge(data.len()));
         }
@@ -117,7 +112,11 @@ impl FileService {
         if data.len() > MAX_PAGE_DATA {
             return Err(FsError::PageTooLarge(data.len()));
         }
-        match self.access(version_cap, parent, TargetAccess::InsertPage { index, data })? {
+        match self.access(
+            version_cap,
+            parent,
+            TargetAccess::InsertPage { index, data },
+        )? {
             AccessOutcome::NewChild(index) => Ok(parent.child(index)),
             _ => unreachable!("InsertPage returns NewChild"),
         }
@@ -202,11 +201,7 @@ impl FileService {
 
     /// Reads the client data of a page in a *committed* version.  Committed pages are
     /// immutable, so no flags are recorded and nothing is shadowed.
-    pub fn read_committed_page(
-        &self,
-        version_cap: &Capability,
-        path: &PagePath,
-    ) -> Result<Bytes> {
+    pub fn read_committed_page(&self, version_cap: &Capability, path: &PagePath) -> Result<Bytes> {
         let meta = self.resolve_version(version_cap, Rights::READ)?;
         let (state, block) = {
             let meta = meta.lock();
@@ -493,15 +488,22 @@ mod tests {
         let (service, _file, v) = setup();
         let root = PagePath::root();
         assert_eq!(service.read_page(&v, &root).unwrap(), Bytes::new());
-        service.write_page(&v, &root, Bytes::from_static(b"root data")).unwrap();
-        assert_eq!(service.read_page(&v, &root).unwrap(), Bytes::from_static(b"root data"));
+        service
+            .write_page(&v, &root, Bytes::from_static(b"root data"))
+            .unwrap();
+        assert_eq!(
+            service.read_page(&v, &root).unwrap(),
+            Bytes::from_static(b"root data")
+        );
     }
 
     #[test]
     fn nested_pages_can_be_built_and_read() {
         let (service, _file, v) = setup();
         let root = PagePath::root();
-        let child = service.append_page(&v, &root, Bytes::from_static(b"child 0")).unwrap();
+        let child = service
+            .append_page(&v, &root, Bytes::from_static(b"child 0"))
+            .unwrap();
         let grandchild = service
             .append_page(&v, &child, Bytes::from_static(b"grandchild 0.0"))
             .unwrap();
@@ -536,8 +538,13 @@ mod tests {
 
         // Modify the page in a new version.
         let v2 = service.create_version(&file).unwrap();
-        service.write_page(&v2, &p, Bytes::from_static(b"changed")).unwrap();
-        assert_eq!(service.read_page(&v2, &p).unwrap(), Bytes::from_static(b"changed"));
+        service
+            .write_page(&v2, &p, Bytes::from_static(b"changed"))
+            .unwrap();
+        assert_eq!(
+            service.read_page(&v2, &p).unwrap(),
+            Bytes::from_static(b"changed")
+        );
         // The committed version still shows the original contents.
         assert_eq!(
             service.read_committed_page(&committed, &p).unwrap(),
@@ -557,13 +564,20 @@ mod tests {
 
         let v2 = service.create_version(&file).unwrap();
         let before = service.io_stats();
-        service.write_page(&v2, &p, Bytes::from_static(b"first write")).unwrap();
+        service
+            .write_page(&v2, &p, Bytes::from_static(b"first write"))
+            .unwrap();
         let after_first = service.io_stats();
-        service.write_page(&v2, &p, Bytes::from_static(b"second write")).unwrap();
+        service
+            .write_page(&v2, &p, Bytes::from_static(b"second write"))
+            .unwrap();
         let after_second = service.io_stats();
         // The first write copies the page; the second writes it in place.
         assert_eq!(after_first.pages_allocated - before.pages_allocated, 1);
-        assert_eq!(after_second.pages_allocated - after_first.pages_allocated, 0);
+        assert_eq!(
+            after_second.pages_allocated - after_first.pages_allocated,
+            0
+        );
     }
 
     #[test]
@@ -571,13 +585,18 @@ mod tests {
         let (service, _file, v) = setup();
         let root = PagePath::root();
         for i in 0..3u8 {
-            service.append_page(&v, &root, Bytes::from(vec![i])).unwrap();
+            service
+                .append_page(&v, &root, Bytes::from(vec![i]))
+                .unwrap();
         }
         service.remove_page(&v, &PagePath::new(vec![1])).unwrap();
         let info = service.page_info(&v, &root).unwrap();
         assert_eq!(info.nrefs, 2);
         // The page that was at index 2 shifted down to index 1.
-        assert_eq!(service.read_page(&v, &PagePath::new(vec![1])).unwrap(), Bytes::from(vec![2]));
+        assert_eq!(
+            service.read_page(&v, &PagePath::new(vec![1])).unwrap(),
+            Bytes::from(vec![2])
+        );
         service
             .insert_page(&v, &root, 0, Bytes::from_static(b"front"))
             .unwrap();
@@ -595,21 +614,36 @@ mod tests {
             .append_page(&v, &root, Bytes::from_static(b"head+tail"))
             .unwrap();
         let tail = service.split_page(&v, &page, 4).unwrap();
-        assert_eq!(service.read_page(&v, &page).unwrap(), Bytes::from_static(b"head"));
-        assert_eq!(service.read_page(&v, &tail).unwrap(), Bytes::from_static(b"+tail"));
+        assert_eq!(
+            service.read_page(&v, &page).unwrap(),
+            Bytes::from_static(b"head")
+        );
+        assert_eq!(
+            service.read_page(&v, &tail).unwrap(),
+            Bytes::from_static(b"+tail")
+        );
     }
 
     #[test]
     fn move_subtree_relocates_pages() {
         let (service, _file, v) = setup();
         let root = PagePath::root();
-        let a = service.append_page(&v, &root, Bytes::from_static(b"a")).unwrap();
-        let b = service.append_page(&v, &root, Bytes::from_static(b"b")).unwrap();
-        let a_child = service.append_page(&v, &a, Bytes::from_static(b"a/0")).unwrap();
+        let a = service
+            .append_page(&v, &root, Bytes::from_static(b"a"))
+            .unwrap();
+        let b = service
+            .append_page(&v, &root, Bytes::from_static(b"b"))
+            .unwrap();
+        let a_child = service
+            .append_page(&v, &a, Bytes::from_static(b"a/0"))
+            .unwrap();
         // Move a's child under b.
         let new_path = service.move_subtree(&v, &a_child, &b, 0).unwrap();
         assert_eq!(new_path, b.child(0));
-        assert_eq!(service.read_page(&v, &new_path).unwrap(), Bytes::from_static(b"a/0"));
+        assert_eq!(
+            service.read_page(&v, &new_path).unwrap(),
+            Bytes::from_static(b"a/0")
+        );
         assert_eq!(service.page_info(&v, &a).unwrap().nrefs, 0);
     }
 
@@ -617,8 +651,12 @@ mod tests {
     fn moving_a_page_into_its_own_subtree_is_rejected() {
         let (service, _file, v) = setup();
         let root = PagePath::root();
-        let a = service.append_page(&v, &root, Bytes::from_static(b"a")).unwrap();
-        let a_child = service.append_page(&v, &a, Bytes::from_static(b"a/0")).unwrap();
+        let a = service
+            .append_page(&v, &root, Bytes::from_static(b"a"))
+            .unwrap();
+        let a_child = service
+            .append_page(&v, &a, Bytes::from_static(b"a/0"))
+            .unwrap();
         assert!(service.move_subtree(&v, &a, &a_child, 0).is_err());
     }
 
@@ -626,7 +664,11 @@ mod tests {
     fn oversized_page_writes_are_rejected() {
         let (service, _file, v) = setup();
         let err = service
-            .write_page(&v, &PagePath::root(), Bytes::from(vec![0u8; MAX_PAGE_DATA + 1]))
+            .write_page(
+                &v,
+                &PagePath::root(),
+                Bytes::from(vec![0u8; MAX_PAGE_DATA + 1]),
+            )
             .unwrap_err();
         assert!(matches!(err, FsError::PageTooLarge(_)));
     }

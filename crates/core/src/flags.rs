@@ -80,7 +80,9 @@ impl PageFlags {
     /// (S, M) state which can only be (0,0), (1,0) or (1,1).
     pub fn encode(self) -> Result<u8> {
         if !self.is_legal() {
-            return Err(FsError::CorruptPage(format!("illegal flag combination {self:?}")));
+            return Err(FsError::CorruptPage(format!(
+                "illegal flag combination {self:?}"
+            )));
         }
         if !self.copied {
             return Ok(0);

@@ -468,7 +468,9 @@ mod tests {
         // only for flag bookkeeping.
         let v = service.create_version(&file).unwrap();
         service.read_page(&v, &paths[0]).unwrap();
-        service.write_page(&v, &paths[1], Bytes::from_static(b"w")).unwrap();
+        service
+            .write_page(&v, &paths[1], Bytes::from_static(b"w"))
+            .unwrap();
         service.commit(&v).unwrap();
 
         let blocks_before = service.pages.block_server().store().allocated_count();
@@ -495,7 +497,9 @@ mod tests {
         let service = FileService::in_memory();
         let (file, paths) = file_with_leaves(&service, 2);
         let v = service.create_version(&file).unwrap();
-        service.write_page(&v, &paths[0], Bytes::from_static(b"keep me")).unwrap();
+        service
+            .write_page(&v, &paths[0], Bytes::from_static(b"keep me"))
+            .unwrap();
         service.commit(&v).unwrap();
         service.gc_file(&file).unwrap();
         let current = service.current_version(&file).unwrap();
@@ -518,7 +522,9 @@ mod tests {
         let (file, paths) = file_with_leaves(&service, 2);
         for i in 0..10u8 {
             let v = service.create_version(&file).unwrap();
-            service.write_page(&v, &paths[0], Bytes::from(vec![i])).unwrap();
+            service
+                .write_page(&v, &paths[0], Bytes::from(vec![i]))
+                .unwrap();
             service.commit(&v).unwrap();
         }
         assert!(service.committed_version_count(&file).unwrap() > 3);
@@ -548,7 +554,9 @@ mod tests {
         // Only page 0 is ever rewritten; pages 1..7 stay shared across the history.
         for i in 0..6u8 {
             let v = service.create_version(&file).unwrap();
-            service.write_page(&v, &paths[0], Bytes::from(vec![i])).unwrap();
+            service
+                .write_page(&v, &paths[0], Bytes::from(vec![i]))
+                .unwrap();
             service.commit(&v).unwrap();
         }
         service.gc_file(&file).unwrap();
@@ -592,14 +600,19 @@ mod tests {
             for path in &paths {
                 service.read_page(&v, path).unwrap();
             }
-            service.write_page(&v, &paths[0], Bytes::from(vec![round])).unwrap();
+            service
+                .write_page(&v, &paths[0], Bytes::from(vec![round]))
+                .unwrap();
             service.commit(&v).unwrap();
         }
         let before = service.pages.block_server().store().allocated_count();
         let report = service.gc_file(&file).unwrap();
         let after = service.pages.block_server().store().allocated_count();
         assert!(report.freed_blocks > 0);
-        assert!(after < before, "GC should reclaim blocks ({before} -> {after})");
+        assert!(
+            after < before,
+            "GC should reclaim blocks ({before} -> {after})"
+        );
     }
 
     #[test]
@@ -615,9 +628,15 @@ mod tests {
                 .unwrap();
             service.commit(&v).unwrap();
         }
+        // Give the collector a few interval ticks after the last commit; under a
+        // loaded test runner it may not have been scheduled during the loop.
+        std::thread::sleep(Duration::from_millis(25));
         let report = gc.stop();
         // The collector found something to do and the file is still consistent.
-        assert!(report.reshared_pages + report.trimmed_versions > 0, "report: {report:?}");
+        assert!(
+            report.reshared_pages + report.trimmed_versions > 0,
+            "report: {report:?}"
+        );
         let current = service.current_version(&file).unwrap();
         service.read_committed_page(&current, &paths[0]).unwrap();
     }
@@ -632,7 +651,9 @@ mod tests {
         for (file, paths) in &files {
             let v = service.create_version(file).unwrap();
             service.read_page(&v, &paths[0]).unwrap();
-            service.write_page(&v, &paths[1], Bytes::from_static(b"x")).unwrap();
+            service
+                .write_page(&v, &paths[1], Bytes::from_static(b"x"))
+                .unwrap();
             service.commit(&v).unwrap();
         }
         let report = service.gc_all().unwrap();

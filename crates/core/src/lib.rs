@@ -18,27 +18,43 @@
 //!
 //! ## Quick start
 //!
+//! Clients program against the [`FileStore`] trait — the client-visible
+//! protocol of §5 — and the retrying [`FileStoreExt::update`] transaction API
+//! built on top of it.  The same code runs unchanged over this local service
+//! and over an RPC connection (`afs_client::RemoteFs`), which also implements
+//! `FileStore`:
+//!
 //! ```
-//! use afs_core::{FileService, PagePath};
+//! use afs_core::{FileService, FileStore, FileStoreExt, PagePath};
 //! use bytes::Bytes;
 //!
 //! let service = FileService::in_memory();
-//! let file = service.create_file().unwrap();
+//! let store = &*service; // any &impl FileStore — local service or RemoteFs
+//! let file = store.create_file().unwrap();
 //!
-//! // Every update happens inside a version: create, modify, commit.
-//! let version = service.create_version(&file).unwrap();
-//! let page = service
-//!     .append_page(&version, &PagePath::root(), Bytes::from_static(b"hello, Amoeba"))
+//! // Every update happens inside a version.  `update` creates one, runs the
+//! // closure against a typed handle, commits in one shot, and automatically
+//! // redoes the whole closure on a fresh version when a concurrent commit
+//! // makes the updates non-serialisable (§5.2's redo discipline).
+//! let page = store
+//!     .update(&file, |tx| {
+//!         tx.append(&PagePath::root(), Bytes::from_static(b"hello, Amoeba"))
+//!     })
 //!     .unwrap();
-//! service.commit(&version).unwrap();
 //!
 //! // Committed state is read through the current version.
-//! let current = service.current_version(&file).unwrap();
+//! let current = store.current_version(&file).unwrap();
 //! assert_eq!(
-//!     service.read_committed_page(&current, &page).unwrap(),
+//!     store.read_committed_page(&current, &page).unwrap(),
 //!     Bytes::from_static(b"hello, Amoeba")
 //! );
 //! ```
+//!
+//! Multi-page updates should use the batched [`Update::read_many`] /
+//! [`Update::write_many`] operations ([`FileStore::read_pages`] /
+//! [`FileStore::write_pages`] on the trait): a local store just loops, while a
+//! remote store ships one request per transport frame, so a k-page update
+//! costs O(1) round trips instead of O(k).
 //!
 //! ## Module map
 //!
@@ -49,6 +65,8 @@
 //! | [`path`] | §5 | client-visible page path names |
 //! | [`pageio`] | §4, §5.4 | page I/O over the block service, flag cache, I/O counters |
 //! | [`service`] | §5 | the [`FileService`] façade, files, versions, capabilities |
+//! | [`store`] | §5 | the [`FileStore`] trait: the client-visible protocol, batched ops |
+//! | [`update`] | §5.2, §6 | the retrying [`FileStoreExt::update`] transaction API |
 //! | [`version`] | §5.1, Fig. 4 | version creation, the family tree, abort |
 //! | [`cow`] | §5.1 | copy-on-write page access and flag maintenance |
 //! | [`commit`] | §5.2 | validation, merge, and the commit-reference critical section |
@@ -71,7 +89,9 @@ pub mod pageio;
 pub mod path;
 pub mod recover;
 pub mod service;
+pub mod store;
 pub mod types;
+pub mod update;
 pub mod version;
 
 pub use cache::CacheValidation;
@@ -85,7 +105,9 @@ pub use pageio::PageIoStats;
 pub use path::PagePath;
 pub use recover::RecoveryReport;
 pub use service::{CommitStatsSnapshot, FileService, ServiceConfig, VersionState};
+pub use store::FileStore;
 pub use types::{FileId, FsError, Result, VersionId};
+pub use update::{Committed, FileStoreExt, RetryPolicy, Update};
 pub use version::{FamilyTree, VersionOptions};
 
 // Re-export the substrate types callers need to construct a service.

@@ -427,7 +427,8 @@ impl FileService {
             wait_for_locks: true,
             lock_port: Some(update.port),
         };
-        let sub_version = self.create_version_with_inner_lock_override(sub_cap, options, update.port)?;
+        let sub_version =
+            self.create_version_with_inner_lock_override(sub_cap, options, update.port)?;
 
         // Record the new sub version page in the super-file version's tree so that
         // recovery (and commit) can find it: replace the reference that pointed at the
@@ -567,13 +568,7 @@ mod tests {
     use crate::path::PagePath;
     use bytes::Bytes;
 
-    fn super_setup(
-        sub_count: usize,
-    ) -> (
-        std::sync::Arc<FileService>,
-        Capability,
-        Vec<Capability>,
-    ) {
+    fn super_setup(sub_count: usize) -> (std::sync::Arc<FileService>, Capability, Vec<Capability>) {
         let service = FileService::in_memory();
         let super_file = service.create_file().unwrap();
         let mut subs = Vec::new();
@@ -602,7 +597,11 @@ mod tests {
         for sub in &subs[..2] {
             let sub_version = service.super_update_edit(&mut update, sub).unwrap();
             service
-                .write_page(&sub_version, &PagePath::root(), Bytes::from_static(b"reorganised"))
+                .write_page(
+                    &sub_version,
+                    &PagePath::root(),
+                    Bytes::from_static(b"reorganised"),
+                )
                 .unwrap();
         }
         service.commit_super_update(update).unwrap();
@@ -611,14 +610,18 @@ mod tests {
         for sub in &subs[..2] {
             let current = service.current_version(sub).unwrap();
             assert_eq!(
-                service.read_committed_page(&current, &PagePath::root()).unwrap(),
+                service
+                    .read_committed_page(&current, &PagePath::root())
+                    .unwrap(),
                 Bytes::from_static(b"reorganised")
             );
         }
         // The third sub-file is untouched.
         let current = service.current_version(&subs[2]).unwrap();
         assert_eq!(
-            service.read_committed_page(&current, &PagePath::root()).unwrap(),
+            service
+                .read_committed_page(&current, &PagePath::root())
+                .unwrap(),
             Bytes::from(vec![2u8])
         );
         // All locks are clear afterwards.
@@ -711,7 +714,11 @@ mod tests {
             .unwrap();
         let sub_version = service.super_update_edit(&mut update, &subs[0]).unwrap();
         service
-            .write_page(&sub_version, &PagePath::root(), Bytes::from_static(b"half done"))
+            .write_page(
+                &sub_version,
+                &PagePath::root(),
+                Bytes::from_static(b"half done"),
+            )
             .unwrap();
         // Simulate the crash *after* the super-file version committed but *before*
         // the sub-file commits were carried out.
@@ -725,7 +732,9 @@ mod tests {
         assert_eq!(report.finished_commits, 1);
         let current = service.current_version(&subs[0]).unwrap();
         assert_eq!(
-            service.read_committed_page(&current, &PagePath::root()).unwrap(),
+            service
+                .read_committed_page(&current, &PagePath::root())
+                .unwrap(),
             Bytes::from_static(b"half done")
         );
     }

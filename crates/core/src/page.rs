@@ -380,7 +380,9 @@ mod tests {
     #[test]
     fn oversized_data_is_rejected() {
         let mut page = Page::empty();
-        assert!(page.set_data(Bytes::from(vec![0u8; MAX_PAGE_DATA + 1])).is_err());
+        assert!(page
+            .set_data(Bytes::from(vec![0u8; MAX_PAGE_DATA + 1]))
+            .is_err());
         assert!(page.set_data(Bytes::from(vec![0u8; MAX_PAGE_DATA])).is_ok());
     }
 

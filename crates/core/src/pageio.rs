@@ -300,7 +300,9 @@ mod tests {
     #[test]
     fn cache_hits_avoid_physical_reads() {
         let io = page_io(Some(16));
-        let nr = io.allocate_page(&Page::leaf(Bytes::from_static(b"x"))).unwrap();
+        let nr = io
+            .allocate_page(&Page::leaf(Bytes::from_static(b"x")))
+            .unwrap();
         let before = io.stats();
         for _ in 0..10 {
             io.read_page(nr).unwrap();
@@ -313,7 +315,9 @@ mod tests {
     #[test]
     fn disabled_cache_always_reads_physically() {
         let io = page_io(None);
-        let nr = io.allocate_page(&Page::leaf(Bytes::from_static(b"x"))).unwrap();
+        let nr = io
+            .allocate_page(&Page::leaf(Bytes::from_static(b"x")))
+            .unwrap();
         let before = io.stats();
         for _ in 0..10 {
             io.read_page(nr).unwrap();
@@ -349,7 +353,8 @@ mod tests {
                 for _ in 0..100 {
                     io.update_page(nr, |page| {
                         let v = u64::from_le_bytes(page.data[..8].try_into().unwrap());
-                        page.set_data(Bytes::from((v + 1).to_le_bytes().to_vec())).unwrap();
+                        page.set_data(Bytes::from((v + 1).to_le_bytes().to_vec()))
+                            .unwrap();
                         Ok((true, ()))
                     })
                     .unwrap();
@@ -360,13 +365,18 @@ mod tests {
             h.join().unwrap();
         }
         let final_page = io.read_page_uncached(nr).unwrap();
-        assert_eq!(u64::from_le_bytes(final_page.data[..8].try_into().unwrap()), 400);
+        assert_eq!(
+            u64::from_le_bytes(final_page.data[..8].try_into().unwrap()),
+            400
+        );
     }
 
     #[test]
     fn update_page_without_write_back_changes_nothing() {
         let io = page_io(Some(16));
-        let nr = io.allocate_page(&Page::leaf(Bytes::from_static(b"keep"))).unwrap();
+        let nr = io
+            .allocate_page(&Page::leaf(Bytes::from_static(b"keep")))
+            .unwrap();
         let observed: Bytes = io
             .update_page(nr, |page| Ok((false, page.data.clone())))
             .unwrap();

@@ -11,11 +11,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A page path: the sequence of reference-table indices leading from the version page
 /// (root) to the page.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct PagePath(Vec<u16>);
 
 impl PagePath {
@@ -130,7 +128,10 @@ mod tests {
         assert_eq!(p.to_string(), "/3/0/7");
         assert_eq!(p.last_index(), Some(7));
         assert_eq!(p.parent().unwrap().to_string(), "/3/0");
-        assert_eq!(p.parent().unwrap().parent().unwrap().parent().unwrap(), PagePath::root());
+        assert_eq!(
+            p.parent().unwrap().parent().unwrap().parent().unwrap(),
+            PagePath::root()
+        );
     }
 
     #[test]

@@ -106,10 +106,8 @@ impl FileService {
         // is the one whose commit reference is nil but which *is* pointed at.  An
         // uncommitted page is one that nobody's commit reference points at and that
         // has a base (it hangs off the chain).
-        let committed_targets: HashSet<BlockNr> = version_pages
-            .iter()
-            .filter_map(|v| v.commit)
-            .collect();
+        let committed_targets: HashSet<BlockNr> =
+            version_pages.iter().filter_map(|v| v.commit).collect();
         let mut per_file: HashMap<u64, Vec<&Found>> = HashMap::new();
         for found in &version_pages {
             per_file.entry(found.old_file_id).or_default().push(found);
@@ -128,7 +126,9 @@ impl FileService {
         for (old_file_id, versions) in &per_file {
             let committed: Vec<&&Found> = versions
                 .iter()
-                .filter(|v| v.base.is_none() || committed_targets.contains(&v.block) || v.commit.is_some())
+                .filter(|v| {
+                    v.base.is_none() || committed_targets.contains(&v.block) || v.commit.is_some()
+                })
                 .collect();
             let uncommitted: Vec<&&Found> = versions
                 .iter()
@@ -183,7 +183,6 @@ impl FileService {
                 let version_id = self.next_object_id();
                 let version_cap = self.minter.lock().mint(version_id, Rights::ALL);
                 let meta = VersionMeta {
-                    id: version_id,
                     cap: version_cap,
                     file: file_id,
                     block,
@@ -311,7 +310,11 @@ mod tests {
         // An uncommitted update that will be lost with the crash.
         let pending = service.create_version(&file_a).unwrap();
         service
-            .write_page(&pending, &PagePath::root(), Bytes::from_static(b"never committed"))
+            .write_page(
+                &pending,
+                &PagePath::root(),
+                Bytes::from_static(b"never committed"),
+            )
             .unwrap();
 
         // The server process is gone; only the block server remains.
@@ -335,7 +338,9 @@ mod tests {
             let root = recovered
                 .read_committed_page(&current, &PagePath::root())
                 .unwrap();
-            let info = recovered.committed_page_info(&current, &PagePath::root()).unwrap();
+            let info = recovered
+                .committed_page_info(&current, &PagePath::root())
+                .unwrap();
             if info.nrefs > 0 {
                 contents.push(
                     recovered
@@ -381,7 +386,9 @@ mod tests {
         recovered.commit(&v).unwrap();
         let current = recovered.current_version(&file).unwrap();
         assert_eq!(
-            recovered.read_committed_page(&current, &PagePath::root()).unwrap(),
+            recovered
+                .read_committed_page(&current, &PagePath::root())
+                .unwrap(),
             Bytes::from_static(b"after recovery")
         );
     }

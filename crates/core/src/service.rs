@@ -87,8 +87,6 @@ pub(crate) struct FileMeta {
 /// Bookkeeping for one version.
 #[derive(Debug)]
 pub(crate) struct VersionMeta {
-    /// The version identifier (object number of its capability).
-    pub id: VersionId,
     /// Owner capability.
     pub cap: Capability,
     /// File this version belongs to.
@@ -269,7 +267,11 @@ impl FileService {
     }
 
     pub(crate) fn file_by_id(&self, id: FileId) -> Result<Arc<Mutex<FileMeta>>> {
-        self.files.read().get(&id).cloned().ok_or(FsError::NoSuchFile)
+        self.files
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(FsError::NoSuchFile)
     }
 
     pub(crate) fn version_meta_by_id(&self, id: VersionId) -> Result<Arc<Mutex<VersionMeta>>> {
@@ -328,7 +330,6 @@ impl FileService {
             children: Vec::new(),
         };
         let version_meta = VersionMeta {
-            id: version_id,
             cap: version_cap,
             file: file_id,
             block,
@@ -351,7 +352,12 @@ impl FileService {
     /// Records `child_id` as a sub-file of `parent_id` and adds a reference to the
     /// child's version page in the parent's current version page, so the system tree
     /// (Fig. 2) is navigable and lock recovery can find sub-file version pages.
-    fn register_child(&self, parent_id: FileId, child_id: FileId, child_block: BlockNr) -> Result<()> {
+    fn register_child(
+        &self,
+        parent_id: FileId,
+        child_id: FileId,
+        child_block: BlockNr,
+    ) -> Result<()> {
         let parent_meta = self.file_by_id(parent_id)?;
         let mut parent_meta = parent_meta.lock();
         parent_meta.children.push(child_id);
@@ -433,7 +439,6 @@ impl FileService {
         let version_id = self.next_object_id();
         let cap = self.minter.lock().mint(version_id, Rights::ALL);
         let meta = VersionMeta {
-            id: version_id,
             cap,
             file: file_id,
             block,
@@ -512,6 +517,6 @@ mod tests {
             service.current_version(&bogus).unwrap_err(),
             FsError::NoSuchFile
         );
-        drop(file);
+        let _ = file;
     }
 }

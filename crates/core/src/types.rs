@@ -66,6 +66,15 @@ pub enum FsError {
     Block(BlockError),
     /// An on-disk page could not be decoded.
     CorruptPage(String),
+    /// The transport to a remote file service failed (server crashed, message
+    /// lost, no server reachable).  Only produced by remote stores.
+    Transport(String),
+    /// A wire message could not be encoded or decoded.  Only produced by remote
+    /// stores.
+    Protocol(String),
+    /// A remote file service rejected the operation with an error that has no
+    /// structured encoding; the string is the remote error text.
+    Remote(String),
 }
 
 impl fmt::Display for FsError {
@@ -87,6 +96,9 @@ impl fmt::Display for FsError {
             FsError::WrongFileKind => write!(f, "operation not valid for this kind of file"),
             FsError::Block(e) => write!(f, "block service error: {e}"),
             FsError::CorruptPage(msg) => write!(f, "corrupt page: {msg}"),
+            FsError::Transport(msg) => write!(f, "transport error: {msg}"),
+            FsError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            FsError::Remote(msg) => write!(f, "remote error: {msg}"),
         }
     }
 }

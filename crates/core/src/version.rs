@@ -16,7 +16,7 @@ use amoeba_capability::{Capability, Port, Rights};
 
 use crate::flags::PageFlags;
 use crate::page::{Page, PageRef, VersionHeader};
-use crate::service::{FileService, FileMeta, VersionMeta, VersionState};
+use crate::service::{FileMeta, FileService, VersionMeta, VersionState};
 use crate::types::{FsError, Result};
 
 /// Options controlling version creation (§5.3).
@@ -137,16 +137,16 @@ impl FileService {
         let block = self.pages.allocate_page(&vpage)?;
 
         let meta = VersionMeta {
-            id: version_id,
             cap: version_cap,
             file: file_id,
             block,
             state: VersionState::Uncommitted,
             owned_blocks: HashSet::new(),
         };
-        self.versions
-            .write()
-            .insert(version_id, std::sync::Arc::new(parking_lot::Mutex::new(meta)));
+        self.versions.write().insert(
+            version_id,
+            std::sync::Arc::new(parking_lot::Mutex::new(meta)),
+        );
         Ok(version_cap)
     }
 
@@ -223,14 +223,6 @@ impl FileService {
         Ok(self.family_tree(file_cap)?.committed.len())
     }
 
-    pub(crate) fn read_version_page(&self, meta: &VersionMeta) -> Result<Page> {
-        self.pages.read_page(meta.block)
-    }
-
-    pub(crate) fn write_version_page(&self, meta: &VersionMeta, page: &Page) -> Result<()> {
-        self.pages.write_page(meta.block, page)
-    }
-
     /// Reads the version page at `block` and fails if it is not a version page.
     pub(crate) fn read_version_page_at(&self, block: BlockNr) -> Result<(Page, VersionHeader)> {
         let page = self.pages.read_page_uncached(block)?;
@@ -270,7 +262,11 @@ mod tests {
         // Populate the current version with a page, then commit it.
         let v1 = service.create_version(&file).unwrap();
         service
-            .append_page(&v1, &crate::path::PagePath::root(), Bytes::from_static(b"leaf"))
+            .append_page(
+                &v1,
+                &crate::path::PagePath::root(),
+                Bytes::from_static(b"leaf"),
+            )
             .unwrap();
         service.commit(&v1).unwrap();
 
@@ -280,7 +276,7 @@ mod tests {
         // Creating the version allocates exactly one page: the new version page.  The
         // rest of the tree is shared.
         assert_eq!(io_after.pages_allocated - io_before.pages_allocated, 1);
-        drop(v2);
+        let _ = v2;
     }
 
     #[test]
@@ -295,7 +291,11 @@ mod tests {
             service.commit(&v).unwrap();
         }
         let tree = service.family_tree(&file).unwrap();
-        assert_eq!(tree.committed.len(), 4, "initial version plus three commits");
+        assert_eq!(
+            tree.committed.len(),
+            4,
+            "initial version plus three commits"
+        );
         assert!(tree.uncommitted.is_empty());
         // The last committed entry is the current version.
         let current = service.current_version_block(&file).unwrap();
@@ -313,7 +313,10 @@ mod tests {
         assert_eq!(tree.committed.len(), 1);
         assert_eq!(tree.uncommitted.len(), 2);
         for (_, base) in tree.uncommitted {
-            assert_eq!(base, current, "uncommitted versions are based on the current version");
+            assert_eq!(
+                base, current,
+                "uncommitted versions are based on the current version"
+            );
         }
     }
 
@@ -323,7 +326,11 @@ mod tests {
         let file = service.create_file().unwrap();
         let v = service.create_version(&file).unwrap();
         service
-            .append_page(&v, &crate::path::PagePath::root(), Bytes::from_static(b"scratch"))
+            .append_page(
+                &v,
+                &crate::path::PagePath::root(),
+                Bytes::from_static(b"scratch"),
+            )
             .unwrap();
         let allocated_before_abort = service.io_stats().pages_allocated;
         let freed_before = service.io_stats().pages_freed;
@@ -331,7 +338,10 @@ mod tests {
         let freed_after = service.io_stats().pages_freed;
         assert!(freed_after > freed_before);
         assert!(allocated_before_abort >= freed_after - freed_before);
-        assert_eq!(service.version_state(&v).unwrap_err(), FsError::NoSuchVersion);
+        assert_eq!(
+            service.version_state(&v).unwrap_err(),
+            FsError::NoSuchVersion
+        );
         // The file's current version is untouched.
         assert_eq!(service.committed_version_count(&file).unwrap(), 1);
     }
@@ -342,7 +352,10 @@ mod tests {
         let file = service.create_file().unwrap();
         let v = service.create_version(&file).unwrap();
         service.commit(&v).unwrap();
-        assert_eq!(service.abort_version(&v).unwrap_err(), FsError::AlreadyCommitted);
+        assert_eq!(
+            service.abort_version(&v).unwrap_err(),
+            FsError::AlreadyCommitted
+        );
     }
 
     #[test]

@@ -107,7 +107,11 @@ mod tests {
 
     #[test]
     fn oversized_payload_is_rejected() {
-        let req = Request::new(1, sample_cap(), Bytes::from(vec![0u8; MAX_FRAME_PAYLOAD + 1]));
+        let req = Request::new(
+            1,
+            sample_cap(),
+            Bytes::from(vec![0u8; MAX_FRAME_PAYLOAD + 1]),
+        );
         assert!(matches!(encode_request(&req), Err(RpcError::TooLarge(_))));
     }
 

@@ -165,7 +165,10 @@ mod tests {
         let port = Port::from_raw(42);
         net.register(port, echo_handler());
         let reply = net
-            .transact(port, Request::new(1, Capability::null(), Bytes::from_static(b"ping")))
+            .transact(
+                port,
+                Request::new(1, Capability::null(), Bytes::from_static(b"ping")),
+            )
             .unwrap();
         assert!(reply.is_ok());
         assert_eq!(reply.payload, Bytes::from_static(b"ping"));
@@ -191,7 +194,9 @@ mod tests {
             Err(RpcError::ServerCrashed)
         );
         net.restore(port);
-        assert!(net.transact(port, Request::empty(0, Capability::null())).is_ok());
+        assert!(net
+            .transact(port, Request::empty(0, Capability::null()))
+            .is_ok());
     }
 
     #[test]
@@ -228,7 +233,8 @@ mod tests {
         let port = Port::from_raw(11);
         net.register(port, echo_handler());
         for _ in 0..5 {
-            net.transact(port, Request::empty(0, Capability::null())).unwrap();
+            net.transact(port, Request::empty(0, Capability::null()))
+                .unwrap();
         }
         assert_eq!(net.transaction_count(), 5);
         assert_eq!(net.dropped_count(), 0);

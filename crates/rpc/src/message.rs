@@ -118,6 +118,6 @@ mod tests {
     #[test]
     fn page_bound_is_32k() {
         assert_eq!(MAX_PAYLOAD, 32768);
-        assert!(MAX_FRAME_PAYLOAD > MAX_PAYLOAD);
+        assert_eq!(MAX_FRAME_PAYLOAD, MAX_PAYLOAD + 4096);
     }
 }

@@ -36,7 +36,9 @@ fn read_frame(stream: &mut TcpStream) -> Result<Bytes> {
     let header = read_exact_bytes(stream, 4)?;
     let len = u32::from_le_bytes(header[..].try_into().unwrap()) as usize;
     if len > crate::message::MAX_PAYLOAD + 8192 {
-        return Err(RpcError::Decode(format!("frame of {len} bytes is too large")));
+        return Err(RpcError::Decode(format!(
+            "frame of {len} bytes is too large"
+        )));
     }
     read_exact_bytes(stream, len)
 }
@@ -198,7 +200,10 @@ mod tests {
         );
         let client = TcpClient::new(server.local_addr());
         let reply = client
-            .transact(port, Request::new(1, Capability::null(), Bytes::from_static(b"hi")))
+            .transact(
+                port,
+                Request::new(1, Capability::null(), Bytes::from_static(b"hi")),
+            )
             .unwrap();
         assert!(reply.is_ok());
         assert_eq!(reply.payload, Bytes::from_static(b"echo:hi"));
@@ -222,7 +227,10 @@ mod tests {
         let client = TcpClient::new(server.local_addr());
         for i in 0..10u8 {
             let reply = client
-                .transact(port, Request::new(1, Capability::null(), Bytes::from(vec![i])))
+                .transact(
+                    port,
+                    Request::new(1, Capability::null(), Bytes::from(vec![i])),
+                )
                 .unwrap();
             assert_eq!(reply.payload, Bytes::from(vec![i]));
         }

@@ -4,11 +4,13 @@ use std::sync::Arc;
 
 use bytes::{Buf, Bytes, BytesMut};
 
-use afs_core::FileService;
+use afs_core::{FileService, FsError};
 use amoeba_rpc::{Reply, Request, RequestHandler};
 
 use crate::ops::{
-    decode_path, decode_path_and_data, encode_capability, encode_error, encode_validation, FsOp,
+    decode_insert, decode_path, decode_path_and_data, decode_paths, decode_writes,
+    encode_capability, encode_error, encode_pages_reply, encode_receipt, encode_validation,
+    protocol_error, serve_read_batch, FsOp,
 };
 
 /// The service-side handler: decodes requests, calls the file service, encodes
@@ -26,8 +28,9 @@ impl FileServerHandler {
 
     fn dispatch(&self, request: Request) -> Result<Bytes, Reply> {
         let op = FsOp::from_u32(request.op)
-            .ok_or_else(|| Reply::error(Bytes::from_static(b"\0unknown operation")))?;
-        let fs_err = |e: afs_core::FsError| Reply::error(encode_error(&e));
+            .ok_or_else(|| Reply::error(protocol_error("unknown operation")))?;
+        let fs_err = |e: FsError| Reply::error(encode_error(&e));
+        let bad_args = || Reply::error(protocol_error("bad arguments"));
         match op {
             FsOp::CreateFile => {
                 let cap = self.service.create_file().map_err(fs_err)?;
@@ -39,22 +42,22 @@ impl FileServerHandler {
             }
             FsOp::ReadPage => {
                 let mut payload = request.payload;
-                let path = decode_path(&mut payload)
-                    .ok_or_else(|| Reply::error(Bytes::from_static(b"\0bad path")))?;
-                let data = self.service.read_page(&request.cap, &path).map_err(fs_err)?;
+                let path = decode_path(&mut payload).ok_or_else(bad_args)?;
+                let data = self
+                    .service
+                    .read_page(&request.cap, &path)
+                    .map_err(fs_err)?;
                 Ok(data)
             }
             FsOp::WritePage => {
-                let (path, data) = decode_path_and_data(request.payload)
-                    .ok_or_else(|| Reply::error(Bytes::from_static(b"\0bad arguments")))?;
+                let (path, data) = decode_path_and_data(request.payload).ok_or_else(bad_args)?;
                 self.service
                     .write_page(&request.cap, &path, data)
                     .map_err(fs_err)?;
                 Ok(Bytes::new())
             }
             FsOp::AppendPage => {
-                let (path, data) = decode_path_and_data(request.payload)
-                    .ok_or_else(|| Reply::error(Bytes::from_static(b"\0bad arguments")))?;
+                let (path, data) = decode_path_and_data(request.payload).ok_or_else(bad_args)?;
                 let new_path = self
                     .service
                     .append_page(&request.cap, &path, data)
@@ -63,9 +66,43 @@ impl FileServerHandler {
                 crate::ops::encode_path(&mut buf, &new_path);
                 Ok(buf.freeze())
             }
-            FsOp::Commit => {
-                self.service.commit(&request.cap).map_err(fs_err)?;
+            FsOp::InsertPage => {
+                let (parent, index, data) = decode_insert(request.payload).ok_or_else(bad_args)?;
+                let new_path = self
+                    .service
+                    .insert_page(&request.cap, &parent, index, data)
+                    .map_err(fs_err)?;
+                let mut buf = BytesMut::new();
+                crate::ops::encode_path(&mut buf, &new_path);
+                Ok(buf.freeze())
+            }
+            FsOp::RemovePage => {
+                let mut payload = request.payload;
+                let path = decode_path(&mut payload).ok_or_else(bad_args)?;
+                self.service
+                    .remove_page(&request.cap, &path)
+                    .map_err(fs_err)?;
                 Ok(Bytes::new())
+            }
+            FsOp::ReadPages => {
+                let paths = decode_paths(request.payload).ok_or_else(bad_args)?;
+                let pages =
+                    serve_read_batch(&paths, |path| self.service.read_page(&request.cap, path))
+                        .map_err(fs_err)?;
+                Ok(encode_pages_reply(&pages))
+            }
+            FsOp::WritePages => {
+                let writes = decode_writes(request.payload).ok_or_else(bad_args)?;
+                for (path, data) in writes {
+                    self.service
+                        .write_page(&request.cap, &path, data)
+                        .map_err(fs_err)?;
+                }
+                Ok(Bytes::new())
+            }
+            FsOp::Commit => {
+                let receipt = self.service.commit(&request.cap).map_err(fs_err)?;
+                Ok(encode_receipt(&receipt))
             }
             FsOp::Abort => {
                 self.service.abort_version(&request.cap).map_err(fs_err)?;
@@ -77,8 +114,7 @@ impl FileServerHandler {
             }
             FsOp::ReadCommittedPage => {
                 let mut payload = request.payload;
-                let path = decode_path(&mut payload)
-                    .ok_or_else(|| Reply::error(Bytes::from_static(b"\0bad path")))?;
+                let path = decode_path(&mut payload).ok_or_else(bad_args)?;
                 let data = self
                     .service
                     .read_committed_page(&request.cap, &path)
@@ -88,7 +124,7 @@ impl FileServerHandler {
             FsOp::ValidateCache => {
                 let mut payload = request.payload;
                 if payload.remaining() < 4 {
-                    return Err(Reply::error(Bytes::from_static(b"\0bad arguments")));
+                    return Err(bad_args());
                 }
                 let cached_block = payload.get_u32_le();
                 let validation = self
@@ -117,6 +153,8 @@ impl RequestHandler for FileServerHandler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::{decode_error, decode_receipt, encode_paths, encode_writes};
+    use afs_core::PagePath;
     use amoeba_capability::Capability;
 
     #[test]
@@ -132,7 +170,62 @@ mod tests {
         let handler = FileServerHandler::new(FileService::in_memory());
         let reply = handler.handle(Request::empty(999, Capability::null()));
         assert!(!reply.is_ok());
-        let reply = handler.handle(Request::empty(FsOp::CreateVersion as u32, Capability::null()));
+        assert!(matches!(decode_error(reply.payload), FsError::Protocol(_)));
+        let reply = handler.handle(Request::empty(
+            FsOp::CreateVersion as u32,
+            Capability::null(),
+        ));
         assert!(!reply.is_ok());
+        assert_eq!(decode_error(reply.payload), FsError::PermissionDenied);
+    }
+
+    #[test]
+    fn commit_reply_carries_the_receipt() {
+        let service = FileService::in_memory();
+        let handler = FileServerHandler::new(Arc::clone(&service));
+        let file = service.create_file().unwrap();
+        let version = service.create_version(&file).unwrap();
+        let reply = handler.handle(Request::empty(FsOp::Commit as u32, version));
+        assert!(reply.is_ok());
+        let receipt = decode_receipt(reply.payload).unwrap();
+        assert!(receipt.fast_path);
+    }
+
+    #[test]
+    fn batched_ops_dispatch() {
+        let service = FileService::in_memory();
+        let handler = FileServerHandler::new(Arc::clone(&service));
+        let file = service.create_file().unwrap();
+        let setup = service.create_version(&file).unwrap();
+        let paths: Vec<PagePath> = (0..3u8)
+            .map(|i| {
+                service
+                    .append_page(&setup, &PagePath::root(), Bytes::from(vec![i]))
+                    .unwrap()
+            })
+            .collect();
+        service.commit(&setup).unwrap();
+        let version = service.create_version(&file).unwrap();
+
+        let writes: Vec<(PagePath, Bytes)> = paths
+            .iter()
+            .map(|p| (p.clone(), Bytes::from_static(b"batch")))
+            .collect();
+        let reply = handler.handle(Request::new(
+            FsOp::WritePages as u32,
+            version,
+            encode_writes(&writes),
+        ));
+        assert!(reply.is_ok());
+
+        let reply = handler.handle(Request::new(
+            FsOp::ReadPages as u32,
+            version,
+            encode_paths(&paths),
+        ));
+        assert!(reply.is_ok());
+        let pages = crate::ops::decode_pages_reply(reply.payload).unwrap();
+        assert_eq!(pages.len(), 3);
+        assert!(pages.iter().all(|p| p == &Bytes::from_static(b"batch")));
     }
 }

@@ -21,6 +21,7 @@ pub mod handler;
 pub mod ops;
 pub mod process;
 
+pub use afs_core::FsError;
 pub use handler::FileServerHandler;
 pub use ops::{FsOp, ServerError};
 pub use process::{ServerGroup, ServerProcess};

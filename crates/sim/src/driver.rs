@@ -75,7 +75,10 @@ impl RunResult {
 /// Runs the configured workload against a concurrency-control mechanism and collects
 /// the outcome.  Files are created up front; each client thread then draws
 /// transactions from its own deterministic generator and retries aborted ones.
-pub fn run_workload(cc: &(impl ConcurrencyControl + 'static + ?Sized), config: &RunConfig) -> RunResult
+pub fn run_workload(
+    cc: &(impl ConcurrencyControl + 'static + ?Sized),
+    config: &RunConfig,
+) -> RunResult
 where
 {
     // Create the working set.
@@ -165,7 +168,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use afs_baselines::{AmoebaAdapter, TimestampOrderingServer, TwoPhaseLockingServer};
+    use afs_baselines::{
+        AmoebaAdapter, StoreAdapter, TimestampOrderingServer, TwoPhaseLockingServer,
+    };
 
     fn tiny_config() -> RunConfig {
         RunConfig {
@@ -204,5 +209,36 @@ mod tests {
         let cc = TimestampOrderingServer::in_memory();
         let result = run_workload(&cc, &tiny_config());
         assert_eq!(result.committed, 60);
+    }
+
+    /// The unified `FileStore` trait means the identical workload harness runs
+    /// over the RPC client: wrap a `RemoteFs` in the same adapter and drive it.
+    #[test]
+    fn the_same_workload_runs_over_rpc() {
+        use afs_client::RemoteFs;
+        use afs_core::FileService;
+        use afs_server::ServerGroup;
+        use amoeba_rpc::LocalNetwork;
+
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let group = ServerGroup::start(&network, &service, 2);
+        let remote = RemoteFs::new(Arc::clone(&network), group.ports());
+        let cc = StoreAdapter::over(remote, "amoeba-occ-rpc");
+
+        let result = run_workload(&cc, &tiny_config());
+        assert_eq!(result.mechanism, "amoeba-occ-rpc");
+        assert_eq!(result.committed, 60);
+        assert_eq!(result.gave_up, 0);
+        // Batched page ops keep the wire chatter bounded: per transaction one
+        // CreateVersion + at most one ReadPages + one WritePages + one Commit
+        // (plus setup and retries).
+        let per_tx_budget = 5 * (result.committed + result.aborts) + 64;
+        assert!(
+            network.transaction_count() <= per_tx_budget,
+            "expected O(1) RPCs per transaction: {} transactions for {} commits",
+            network.transaction_count(),
+            result.committed
+        );
     }
 }

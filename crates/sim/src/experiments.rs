@@ -11,17 +11,16 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use afs_baselines::{
-    AmoebaAdapter, CallbackCacheServer, ConcurrencyControl, TimestampOrderingServer, TxProfile,
-    TwoPhaseLockingServer,
+    AmoebaAdapter, CallbackCacheServer, ConcurrencyControl, TimestampOrderingServer,
+    TwoPhaseLockingServer, TxProfile,
 };
-use afs_core::{
-    FileService, GarbageCollector, PagePath, Port, ServiceConfig, VersionOptions,
+use afs_core::{FileService, GarbageCollector, PagePath, Port, ServiceConfig, VersionOptions};
+use afs_workload::{airline_mix, compiler_temp_mix, AccessDistribution, MixConfig};
+use amoeba_block::{
+    BlockServer, BlockStore, CompanionPair, FaultyStore, MemStore, StableStore, WriteOnceStore,
 };
-use afs_workload::{airline_mix, compiler_temp_mix, hot_spot_mix, AccessDistribution, MixConfig};
-use amoeba_block::{BlockServer, BlockStore, CompanionPair, FaultyStore, MemStore, StableStore,
-    WriteOnceStore};
 
-use crate::driver::{run_workload, RunConfig, RunResult};
+use crate::driver::{run_workload, RunConfig};
 
 /// Prints a slice of displayable rows with a heading.
 pub fn print_rows<T: std::fmt::Display>(title: &str, rows: &[T]) {
@@ -117,11 +116,35 @@ pub fn e1_occ_vs_locking(
         for &tx_size in tx_sizes {
             for (skew, skew_name) in skews {
                 let occ = AmoebaAdapter::in_memory();
-                rows.push(e1_cell(&occ, clients, tx_size, skew, skew_name, txs_per_client, pages_per_file));
+                rows.push(e1_cell(
+                    &occ,
+                    clients,
+                    tx_size,
+                    skew,
+                    skew_name,
+                    txs_per_client,
+                    pages_per_file,
+                ));
                 let tpl = TwoPhaseLockingServer::in_memory();
-                rows.push(e1_cell(&tpl, clients, tx_size, skew, skew_name, txs_per_client, pages_per_file));
+                rows.push(e1_cell(
+                    &tpl,
+                    clients,
+                    tx_size,
+                    skew,
+                    skew_name,
+                    txs_per_client,
+                    pages_per_file,
+                ));
                 let ts = TimestampOrderingServer::in_memory();
-                rows.push(e1_cell(&ts, clients, tx_size, skew, skew_name, txs_per_client, pages_per_file));
+                rows.push(e1_cell(
+                    &ts,
+                    clients,
+                    tx_size,
+                    skew,
+                    skew_name,
+                    txs_per_client,
+                    pages_per_file,
+                ));
             }
         }
     }
@@ -159,7 +182,11 @@ impl std::fmt::Display for SerialiseRow {
 
 /// Experiment E2: the validation cost tracks the *overlap* of the two updates, not
 /// the size of the file.
-pub fn e2_serialise_cost(file_sizes: &[usize], touched: usize, overlaps: &[usize]) -> Vec<SerialiseRow> {
+pub fn e2_serialise_cost(
+    file_sizes: &[usize],
+    touched: usize,
+    overlaps: &[usize],
+) -> Vec<SerialiseRow> {
     let mut rows = Vec::new();
     for &pages in file_sizes {
         for &overlap in overlaps {
@@ -182,7 +209,9 @@ pub fn e2_serialise_cost(file_sizes: &[usize], touched: usize, overlaps: &[usize
             let va = service.create_version(&file).unwrap();
             let vb = service.create_version(&file).unwrap();
             for path in paths.iter().take(touched) {
-                service.write_page(&va, path, Bytes::from_static(b"A")).unwrap();
+                service
+                    .write_page(&va, path, Bytes::from_static(b"A"))
+                    .unwrap();
             }
             for i in 0..touched {
                 let index = if i < overlap { i } else { touched + i };
@@ -232,7 +261,11 @@ impl std::fmt::Display for CacheRow {
         write!(
             f,
             "{:<18} remote_updates={:<4} unsolicited={:<4} discarded={:<4} retained={:<4}",
-            self.strategy, self.remote_updates, self.unsolicited_messages, self.discarded_pages, self.retained_pages
+            self.strategy,
+            self.remote_updates,
+            self.unsolicited_messages,
+            self.discarded_pages,
+            self.retained_pages
         )
     }
 }
@@ -285,7 +318,10 @@ pub fn e3_cache_validation(cached_pages: usize, remote_updates: usize) -> Vec<Ca
         for i in 0..remote_updates {
             server.write(1, (i % cached_pages) as u32, Bytes::from_static(b"remote"));
         }
-        let unsolicited = server.stats.callbacks_sent.load(std::sync::atomic::Ordering::Relaxed);
+        let unsolicited = server
+            .stats
+            .callbacks_sent
+            .load(std::sync::atomic::Ordering::Relaxed);
         // Touch one page so the client drains its mailbox and we can count what is
         // left in its cache.
         client.read(1, 0).unwrap();
@@ -352,9 +388,11 @@ pub fn e4_crash_recovery(pages: usize) -> Vec<CrashRow> {
         // The doomed update writes half the pages and then the client dies.
         let doomed = service.create_version(&file).unwrap();
         for path in paths.iter().take(pages / 2) {
-            service.write_page(&doomed, path, Bytes::from_static(b"half")).unwrap();
+            service
+                .write_page(&doomed, path, Bytes::from_static(b"half"))
+                .unwrap();
         }
-        drop(doomed); // Crash: nobody will ever commit or abort it explicitly.
+        let _ = doomed; // Crash: nobody will ever commit or abort it explicitly.
 
         let begin = Instant::now();
         let v = service.create_version(&file).unwrap();
@@ -434,7 +472,10 @@ impl std::fmt::Display for CommitScalingRow {
 /// Experiment E5: commit throughput as committers are added, for disjoint files
 /// (perfect scaling expected) and one shared file (validation kicks in, commits still
 /// proceed).
-pub fn e5_commit_scaling(client_counts: &[usize], commits_per_client: usize) -> Vec<CommitScalingRow> {
+pub fn e5_commit_scaling(
+    client_counts: &[usize],
+    commits_per_client: usize,
+) -> Vec<CommitScalingRow> {
     let mut rows = Vec::new();
     for &clients in client_counts {
         for shared in [false, true] {
@@ -559,7 +600,11 @@ pub fn e6_superfile_locking(sub_files: usize, background_ops: usize) -> Vec<Supe
                             Err(_) => continue,
                         };
                         if service
-                            .write_page(&v, &PagePath::root(), Bytes::from(vec![i as u8, round as u8]))
+                            .write_page(
+                                &v,
+                                &PagePath::root(),
+                                Bytes::from(vec![i as u8, round as u8]),
+                            )
                             .is_err()
                         {
                             continue;
@@ -651,7 +696,11 @@ impl std::fmt::Display for StableRow {
         write!(
             f,
             "{:<24} writes={:<5} physical_writes={:<6} reads_after_failure={:<5} survived={}",
-            self.scheme, self.writes, self.physical_writes, self.reads_after_failure, self.survived_failure
+            self.scheme,
+            self.writes,
+            self.physical_writes,
+            self.reads_after_failure,
+            self.survived_failure
         )
     }
 }
@@ -684,7 +733,10 @@ pub fn e7_stable_storage(block_count: usize) -> Vec<StableRow> {
 
     // Lampson–Sturgis: one server, two disks.
     {
-        let stable = StableStore::new(FaultyStore::new(MemStore::new()), FaultyStore::new(MemStore::new()));
+        let stable = StableStore::new(
+            FaultyStore::new(MemStore::new()),
+            FaultyStore::new(MemStore::new()),
+        );
         let mut blocks = Vec::new();
         for i in 0..block_count {
             let nr = stable.allocate().unwrap();
@@ -751,7 +803,11 @@ impl std::fmt::Display for CowRow {
         write!(
             f,
             "depth={:<2} fanout={:<3} pages={:<6} blocks/leaf-update={:<4} gc_reclaimed={:<4}",
-            self.depth, self.fanout, self.total_pages, self.blocks_per_leaf_update, self.gc_reclaimed
+            self.depth,
+            self.fanout,
+            self.total_pages,
+            self.blocks_per_leaf_update,
+            self.gc_reclaimed
         )
     }
 }
@@ -786,13 +842,17 @@ pub fn e8_cow_overhead(shapes: &[(usize, usize)]) -> Vec<CowRow> {
         let leaf = frontier.first().cloned().unwrap_or_else(PagePath::root);
         let v = service.create_version(&file).unwrap();
         let before = service.io_stats();
-        service.write_page(&v, &leaf, Bytes::from_static(b"updated leaf")).unwrap();
+        service
+            .write_page(&v, &leaf, Bytes::from_static(b"updated leaf"))
+            .unwrap();
         let allocated = service.io_stats().since(&before).pages_allocated;
         service.commit(&v).unwrap();
 
         // Let a follow-up update supersede it and run the collector.
         let v2 = service.create_version(&file).unwrap();
-        service.write_page(&v2, &leaf, Bytes::from_static(b"again")).unwrap();
+        service
+            .write_page(&v2, &leaf, Bytes::from_static(b"again"))
+            .unwrap();
         service.commit(&v2).unwrap();
         let report = service.gc_file(&file).unwrap();
 
@@ -1004,7 +1064,8 @@ pub fn e11_starvation(writers: usize, writer_ops: usize, max_retries: usize) -> 
                         let Ok(v) = service.create_version_with(file, opts) else {
                             continue;
                         };
-                        let _ = service.write_page(&v, &hot, Bytes::from(vec![w as u8, round as u8]));
+                        let _ =
+                            service.write_page(&v, &hot, Bytes::from(vec![w as u8, round as u8]));
                         let _ = service.commit(&v);
                     }
                 });
@@ -1154,7 +1215,11 @@ impl std::fmt::Display for WriteOnceRow {
         write!(
             f,
             "{:<22} updates={:<4} blocks_used={:<6} rejected_overwrites={:<3} correct={}",
-            self.backend, self.updates, self.blocks_used, self.rejected_overwrites, self.contents_correct
+            self.backend,
+            self.updates,
+            self.blocks_used,
+            self.rejected_overwrites,
+            self.contents_correct
         )
     }
 }
@@ -1178,12 +1243,14 @@ pub fn e14_write_once(updates: usize) -> Vec<WriteOnceRow> {
         service.commit(&v).unwrap();
         for i in 0..updates {
             let v = service.create_version(&file).unwrap();
-            service.write_page(&v, &p, Bytes::from(vec![i as u8; 64])).unwrap();
+            service
+                .write_page(&v, &p, Bytes::from(vec![i as u8; 64]))
+                .unwrap();
             service.commit(&v).unwrap();
         }
         let current = service.current_version(&file).unwrap();
-        let correct = service.read_committed_page(&current, &p).unwrap()
-            == Bytes::from(vec![(updates - 1) as u8; 64]);
+        let correct =
+            service.read_committed_page(&current, &p).unwrap() == vec![(updates - 1) as u8; 64];
         rows.push(WriteOnceRow {
             backend: "rewritable (memory)",
             updates,
@@ -1209,12 +1276,14 @@ pub fn e14_write_once(updates: usize) -> Vec<WriteOnceRow> {
         service.commit(&v).unwrap();
         for i in 0..updates {
             let v = service.create_version(&file).unwrap();
-            service.write_page(&v, &p, Bytes::from(vec![i as u8; 64])).unwrap();
+            service
+                .write_page(&v, &p, Bytes::from(vec![i as u8; 64]))
+                .unwrap();
             service.commit(&v).unwrap();
         }
         let current = service.current_version(&file).unwrap();
-        let correct = service.read_committed_page(&current, &p).unwrap()
-            == Bytes::from(vec![(updates - 1) as u8; 64]);
+        let correct =
+            service.read_committed_page(&current, &p).unwrap() == vec![(updates - 1) as u8; 64];
         rows.push(WriteOnceRow {
             backend: "write-once + overlay",
             updates,
@@ -1325,17 +1394,34 @@ mod tests {
             assert!(row.serialisable);
         }
         // Full overlap blind writes are still serialisable but compare more pages.
-        let small_zero = rows.iter().find(|r| r.file_pages == 64 && r.overlap == 0).unwrap();
-        let large_zero = rows.iter().find(|r| r.file_pages == 512 && r.overlap == 0).unwrap();
-        assert!(small_zero.pages_compared.abs_diff(large_zero.pages_compared) <= 2,
-            "validation cost should not grow with file size: {small_zero:?} vs {large_zero:?}");
+        let small_zero = rows
+            .iter()
+            .find(|r| r.file_pages == 64 && r.overlap == 0)
+            .unwrap();
+        let large_zero = rows
+            .iter()
+            .find(|r| r.file_pages == 512 && r.overlap == 0)
+            .unwrap();
+        assert!(
+            small_zero
+                .pages_compared
+                .abs_diff(large_zero.pages_compared)
+                <= 2,
+            "validation cost should not grow with file size: {small_zero:?} vs {large_zero:?}"
+        );
     }
 
     #[test]
     fn e3_amoeba_needs_no_unsolicited_messages() {
         let rows = e3_cache_validation(8, 4);
-        let amoeba = rows.iter().find(|r| r.strategy == "amoeba-validate").unwrap();
-        let xdfs = rows.iter().find(|r| r.strategy == "xdfs-callbacks").unwrap();
+        let amoeba = rows
+            .iter()
+            .find(|r| r.strategy == "amoeba-validate")
+            .unwrap();
+        let xdfs = rows
+            .iter()
+            .find(|r| r.strategy == "xdfs-callbacks")
+            .unwrap();
         assert_eq!(amoeba.unsolicited_messages, 0);
         assert!(xdfs.unsolicited_messages > 0);
         assert!(amoeba.retained_pages >= 4);
@@ -1345,7 +1431,10 @@ mod tests {
     fn e4_amoeba_recovery_needs_no_lock_clearing() {
         let rows = e4_crash_recovery(8);
         let amoeba = rows.iter().find(|r| r.mechanism == "amoeba-occ").unwrap();
-        let tpl = rows.iter().find(|r| r.mechanism == "two-phase-locking").unwrap();
+        let tpl = rows
+            .iter()
+            .find(|r| r.mechanism == "two-phase-locking")
+            .unwrap();
         assert_eq!(amoeba.locks_cleared, 0);
         assert!(!amoeba.rollback_needed);
         assert!(tpl.locks_cleared > 0);
@@ -1361,16 +1450,35 @@ mod tests {
     #[test]
     fn e6_locking_avoids_redoing_the_big_update() {
         let rows = e6_superfile_locking(3, 10);
-        let locked = rows.iter().find(|r| r.strategy == "top/inner locking").unwrap();
+        let locked = rows
+            .iter()
+            .find(|r| r.strategy == "top/inner locking")
+            .unwrap();
         assert_eq!(locked.big_update_retries, 0);
     }
 
     #[test]
     fn e7_replicated_schemes_survive_a_disk_failure() {
         let rows = e7_stable_storage(16);
-        assert!(!rows.iter().find(|r| r.scheme == "single disk").unwrap().survived_failure);
-        assert!(rows.iter().find(|r| r.scheme == "lampson-sturgis 1s/2d").unwrap().survived_failure);
-        assert!(rows.iter().find(|r| r.scheme == "companion pair 2s/2d").unwrap().survived_failure);
+        assert!(
+            !rows
+                .iter()
+                .find(|r| r.scheme == "single disk")
+                .unwrap()
+                .survived_failure
+        );
+        assert!(
+            rows.iter()
+                .find(|r| r.scheme == "lampson-sturgis 1s/2d")
+                .unwrap()
+                .survived_failure
+        );
+        assert!(
+            rows.iter()
+                .find(|r| r.scheme == "companion pair 2s/2d")
+                .unwrap()
+                .survived_failure
+        );
     }
 
     #[test]
@@ -1393,7 +1501,10 @@ mod tests {
     #[test]
     fn e14_write_once_backend_accumulates_blocks() {
         let rows = e14_write_once(5);
-        let optical = rows.iter().find(|r| r.backend == "write-once + overlay").unwrap();
+        let optical = rows
+            .iter()
+            .find(|r| r.backend == "write-once + overlay")
+            .unwrap();
         assert!(optical.blocks_used > 0);
         assert!(optical.contents_correct);
         // Only version pages (a handful of blocks) ever needed rewritable media.

@@ -69,7 +69,7 @@ mod tests {
     #[test]
     fn uniform_covers_the_range() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for _ in 0..1000 {
             seen[AccessDistribution::Uniform.sample(&mut rng, 10)] = true;
         }

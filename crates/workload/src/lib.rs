@@ -11,10 +11,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod apply;
 pub mod dist;
 pub mod mix;
 pub mod scenarios;
 
+pub use apply::{apply_spec, provision_file};
 pub use dist::AccessDistribution;
 pub use mix::{MixConfig, TxSpec, WorkloadGenerator};
 pub use scenarios::{airline_mix, compiler_temp_mix, hot_spot_mix, sccs_mix};

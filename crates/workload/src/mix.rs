@@ -1,14 +1,12 @@
 //! Parameterised transaction mixes.
 
+use crate::dist::AccessDistribution;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
-use crate::dist::AccessDistribution;
 
 /// One generated transaction: which file it touches, which page indices it reads and
 /// writes, and how large the written payloads are.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxSpec {
     /// Index of the file the transaction operates on (the harness maps this to a
     /// concrete file handle).

@@ -106,7 +106,11 @@ mod tests {
     #[test]
     fn sccs_is_mostly_read_only() {
         let mut generator = WorkloadGenerator::new(sccs_mix(64, 1));
-        let read_only = generator.batch(200).iter().filter(|t| t.writes.is_empty()).count();
+        let read_only = generator
+            .batch(200)
+            .iter()
+            .filter(|t| t.writes.is_empty())
+            .count();
         assert!(read_only > 120);
     }
 }

@@ -1,7 +1,8 @@
 //! The paper's §6 motivating example: an airline-reservation database as one shared
 //! Amoeba file.  Bookings for different flights touch different pages, so concurrent
 //! updates almost never conflict and optimistic concurrency control lets them all
-//! proceed in parallel; the occasional clash is simply redone.
+//! proceed in parallel; the occasional clash is simply redone — here by the
+//! `FileStoreExt::update` retry loop rather than a hand-rolled one.
 //!
 //! ```text
 //! cargo run --example airline_reservation
@@ -9,7 +10,7 @@
 
 use std::sync::Arc;
 
-use afs_core::{FileService, FsError, PagePath};
+use afs_core::{FileService, FileStoreExt, PagePath, RetryPolicy};
 use bytes::Bytes;
 
 const FLIGHTS: usize = 64;
@@ -18,70 +19,76 @@ const BOOKINGS_PER_AGENT: usize = 50;
 
 fn main() {
     let service = FileService::in_memory();
-    let database = service.create_file().expect("create database file");
+    let store = &*service;
+    let database = store.create_file().expect("create database file");
 
-    // One page per flight, each holding a seat counter.
-    let setup = service.create_version(&database).expect("setup version");
-    let mut flight_pages = Vec::new();
-    for _ in 0..FLIGHTS {
-        flight_pages.push(
-            service
-                .append_page(&setup, &PagePath::root(), Bytes::from(0u32.to_le_bytes().to_vec()))
-                .expect("create flight page"),
-        );
-    }
-    service.commit(&setup).expect("commit setup");
+    // One page per flight, each holding a seat counter — provisioned in a
+    // single update transaction.
+    let flight_pages = store
+        .update(&database, |tx| {
+            let mut pages = Vec::with_capacity(FLIGHTS);
+            for _ in 0..FLIGHTS {
+                pages.push(tx.append(&PagePath::root(), Bytes::from(0u32.to_le_bytes().to_vec()))?);
+            }
+            Ok(pages)
+        })
+        .expect("provision flights");
     let flight_pages = Arc::new(flight_pages);
 
     // Booking agents run concurrently; each booking is read-modify-write of one
-    // flight's page inside its own version, retried on a serialisability conflict.
-    let conflicts = std::sync::atomic::AtomicU64::new(0);
+    // flight's page inside its own version, retried on a serialisability conflict
+    // by the update loop.
+    let redone = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|scope| {
         for agent in 0..AGENTS {
-            let service = &service;
+            let store = &service;
             let database = &database;
             let flight_pages = Arc::clone(&flight_pages);
-            let conflicts = &conflicts;
+            let redone = &redone;
             scope.spawn(move || {
                 for booking in 0..BOOKINGS_PER_AGENT {
                     // Different agents book mostly different flights.
                     let flight = (agent * 31 + booking * 7) % FLIGHTS;
-                    loop {
-                        let version = service.create_version(database).expect("create version");
-                        let page = &flight_pages[flight];
-                        let seats = service.read_page(&version, page).expect("read seats");
-                        let booked = u32::from_le_bytes(seats[..4].try_into().unwrap()) + 1;
-                        service
-                            .write_page(&version, page, Bytes::from(booked.to_le_bytes().to_vec()))
-                            .expect("write seats");
-                        match service.commit(&version) {
-                            Ok(_) => break,
-                            Err(FsError::SerialisabilityConflict) => {
-                                // Redo the booking on a fresh version, as §5.2 says.
-                                conflicts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                continue;
-                            }
-                            Err(e) => panic!("unexpected error: {e}"),
-                        }
-                    }
+                    let page = &flight_pages[flight];
+                    let outcome = store
+                        .update_with(database, RetryPolicy::with_max_attempts(10_000), |tx| {
+                            let seats = tx.read(page)?;
+                            let booked = u32::from_le_bytes(seats[..4].try_into().unwrap()) + 1;
+                            tx.write(page, Bytes::from(booked.to_le_bytes().to_vec()))
+                        })
+                        .expect("booking must eventually commit");
+                    redone.fetch_add(
+                        (outcome.attempts - 1) as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
                 }
             });
         }
     });
 
     // Tally the bookings: none may be lost.
-    let current = service.current_version(&database).expect("current version");
+    let current = store.current_version(&database).expect("current version");
     let mut total = 0u32;
     for page in flight_pages.iter() {
-        let seats = service.read_committed_page(&current, page).expect("read");
+        let seats = store.read_committed_page(&current, page).expect("read");
         total += u32::from_le_bytes(seats[..4].try_into().unwrap());
     }
     let stats = service.commit_stats();
-    println!("bookings recorded : {total} (expected {})", AGENTS * BOOKINGS_PER_AGENT);
-    println!("redone updates    : {}", conflicts.load(std::sync::atomic::Ordering::Relaxed));
+    println!(
+        "bookings recorded : {total} (expected {})",
+        AGENTS * BOOKINGS_PER_AGENT
+    );
+    println!(
+        "redone updates    : {}",
+        redone.load(std::sync::atomic::Ordering::Relaxed)
+    );
     println!(
         "commit statistics : fast-path={} validated={} conflicts={}",
         stats.fast_path, stats.validated, stats.conflicts
     );
-    assert_eq!(total as usize, AGENTS * BOOKINGS_PER_AGENT, "no booking may be lost");
+    assert_eq!(
+        total as usize,
+        AGENTS * BOOKINGS_PER_AGENT,
+        "no booking may be lost"
+    );
 }

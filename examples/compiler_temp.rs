@@ -11,24 +11,29 @@
 
 use std::time::Instant;
 
-use afs_core::{FileService, PagePath};
+use afs_core::{FileService, FileStoreExt, PagePath, RetryPolicy};
 use bytes::Bytes;
 
 fn main() {
     let service = FileService::in_memory();
+    let store = &*service;
     let object_code = Bytes::from(vec![0x7fu8; 24 * 1024]); // a 24 KiB object file
 
     let compilations = 200;
     let start = Instant::now();
     for unit in 0..compilations {
-        // One temporary file per compilation unit: create, write one page, commit.
-        let temp = service.create_file().expect("create temp file");
-        let version = service.create_version(&temp).expect("create version");
-        service
-            .write_page(&version, &PagePath::root(), object_code.clone())
-            .expect("write object code");
-        let receipt = service.commit(&version).expect("commit");
-        assert!(receipt.fast_path, "temporary files never need validation");
+        // One temporary file per compilation unit: create, write one page, commit —
+        // a single update transaction through the unified store API.
+        let temp = store.create_file().expect("create temp file");
+        let outcome = store
+            .update_with(&temp, RetryPolicy::default(), |tx| {
+                tx.write(&PagePath::root(), object_code.clone())
+            })
+            .expect("commit");
+        assert!(
+            outcome.receipt.fast_path,
+            "temporary files never need validation"
+        );
         if unit == 0 {
             println!("first temp file committed on the fast path, as expected");
         }
@@ -43,8 +48,5 @@ fn main() {
         stats.validated,
         stats.conflicts
     );
-    println!(
-        "  physical page writes: {}",
-        service.io_stats().page_writes
-    );
+    println!("  physical page writes: {}", service.io_stats().page_writes);
 }

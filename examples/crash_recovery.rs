@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use afs_client::{retry_update, RemoteFs};
-use afs_core::{FileService, PagePath, ServiceConfig};
+use afs_client::RemoteFs;
+use afs_core::{FileService, FileStore, FileStoreExt, PagePath, RetryPolicy, ServiceConfig};
 use afs_server::ServerGroup;
 use amoeba_rpc::LocalNetwork;
 use bytes::Bytes;
@@ -21,14 +21,18 @@ fn main() {
     let group = ServerGroup::start(&network, &service, 2);
     let client = RemoteFs::new(Arc::clone(&network), group.ports());
 
-    // Build a file with some committed state.
+    // Build a file with some committed state — one retrying update through the
+    // same `FileStore` API a local client would use.
     let file = client.create_file().expect("create file");
-    let v = client.create_version(&file).expect("create version");
     let ledger = client
-        .append_page(&v, &PagePath::root(), Bytes::from_static(b"balance=100"))
-        .expect("append");
-    client.commit(&v).expect("commit");
-    println!("committed initial state through server {}", group.ports()[0]);
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from_static(b"balance=100"))
+        })
+        .expect("commit initial state");
+    println!(
+        "committed initial state through server {}",
+        group.ports()[0]
+    );
 
     // An update is in flight when the primary server process crashes.
     let in_flight = client.create_version(&file).expect("create version");
@@ -40,11 +44,15 @@ fn main() {
 
     // No rollback, no lock clearing, no intentions lists: the client simply redoes
     // the update through the surviving replica.
-    let attempts = retry_update(&client, &file, 10, |remote, version| {
-        remote.write_page(version, &ledger, Bytes::from_static(b"balance=150"))
-    })
-    .expect("redo through replica");
-    println!("update redone through the replica in {attempts} attempt(s)");
+    let outcome = client
+        .update_with(&file, RetryPolicy::with_max_attempts(10), |tx| {
+            tx.write(&ledger, Bytes::from_static(b"balance=150"))
+        })
+        .expect("redo through replica");
+    println!(
+        "update redone through the replica in {} attempt(s)",
+        outcome.attempts
+    );
 
     let current = client.current_version(&file).expect("current");
     let value = client.read_committed_page(&current, &ledger).expect("read");
@@ -70,5 +78,8 @@ fn main() {
     let value = recovered
         .read_committed_page(&current, &ledger)
         .expect("read recovered");
-    println!("after full recovery the ledger still reads: {}", std::str::from_utf8(&value).unwrap());
+    println!(
+        "after full recovery the ledger still reads: {}",
+        std::str::from_utf8(&value).unwrap()
+    );
 }

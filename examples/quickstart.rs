@@ -1,40 +1,47 @@
-//! Quickstart: create a file, update it inside a version, commit, read it back.
+//! Quickstart: create a file, update it inside a retrying transaction, read it back.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use afs_core::{FileService, PagePath};
+use afs_core::{FileService, FileStoreExt, PagePath, RetryPolicy};
 use bytes::Bytes;
 
 fn main() {
-    // A complete file service over an in-memory block server.
+    // A complete file service over an in-memory block server.  Everything below
+    // is written against the `FileStore` trait, so swapping the local service
+    // for an RPC connection (`afs_client::RemoteFs`) changes nothing.
     let service = FileService::in_memory();
+    let store = &*service;
 
     // Files are named by capabilities; so are versions.
-    let file = service.create_file().expect("create file");
+    let file = store.create_file().expect("create file");
 
-    // Every update happens inside a version: it behaves like a private copy of the
-    // file, and nothing is visible to anyone else until the version commits.
-    let version = service.create_version(&file).expect("create version");
-    service
-        .write_page(&version, &PagePath::root(), Bytes::from_static(b"root page data"))
-        .expect("write root");
-    let chapter_one = service
-        .append_page(&version, &PagePath::root(), Bytes::from_static(b"chapter one"))
-        .expect("append page");
-    let receipt = service.commit(&version).expect("commit");
+    // Every update happens inside a version: `update` creates one, hands the
+    // closure a typed handle, commits in one shot, and — the paper's key move —
+    // redoes the whole closure on a fresh version if a concurrent commit makes
+    // the updates non-serialisable.
+    let outcome = store
+        .update_with(&file, RetryPolicy::default(), |tx| {
+            tx.write(&PagePath::root(), Bytes::from_static(b"root page data"))?;
+            tx.append(&PagePath::root(), Bytes::from_static(b"chapter one"))
+        })
+        .expect("update");
+    let chapter_one = outcome.value;
     println!(
-        "committed (fast path: {}, validations: {})",
-        receipt.fast_path, receipt.validations
+        "committed in {} attempt(s) (fast path: {}, validations: {})",
+        outcome.attempts, outcome.receipt.fast_path, outcome.receipt.validations
     );
 
     // Committed state is read through the file's current version.
-    let current = service.current_version(&file).expect("current version");
-    let data = service
+    let current = store.current_version(&file).expect("current version");
+    let data = store
         .read_committed_page(&current, &chapter_one)
         .expect("read committed page");
-    println!("page {chapter_one} contains: {:?}", std::str::from_utf8(&data).unwrap());
+    println!(
+        "page {chapter_one} contains: {:?}",
+        std::str::from_utf8(&data).unwrap()
+    );
 
     // The family tree (Fig. 4): the initial empty version plus our committed update.
     let tree = service.family_tree(&file).expect("family tree");

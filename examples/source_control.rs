@@ -8,15 +8,15 @@
 //! cargo run --example source_control
 //! ```
 
-use afs_core::{FileService, PagePath};
+use afs_core::{FileService, FileStore, FileStoreExt, PagePath};
 use bytes::Bytes;
 
-fn check_in(service: &FileService, file: &afs_core::Capability, contents: &str) {
-    let version = service.create_version(file).expect("create version");
-    service
-        .write_page(&version, &PagePath::root(), Bytes::from(contents.as_bytes().to_vec()))
-        .expect("write contents");
-    service.commit(&version).expect("commit revision");
+fn check_in(store: &impl FileStore, file: &afs_core::Capability, contents: &str) {
+    store
+        .update(file, |tx| {
+            tx.write(&PagePath::root(), Bytes::from(contents.as_bytes().to_vec()))
+        })
+        .expect("commit revision");
 }
 
 fn main() {
@@ -60,7 +60,10 @@ fn main() {
     let changed = service
         .changed_paths_between(tree.committed[0], *tree.committed.last().unwrap())
         .expect("changed paths");
-    println!("pages changed since r0: {:?}", changed.iter().map(|p| p.to_string()).collect::<Vec<_>>());
+    println!(
+        "pages changed since r0: {:?}",
+        changed.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+    );
 
     // The current revision's contents.
     let current = service.current_version(&source_file).expect("current");

@@ -6,14 +6,44 @@
 //! see the individual crates for the actual machinery:
 //!
 //! * [`afs_core`] — the file service itself (versions, copy-on-write page trees,
-//!   optimistic concurrency control, hierarchical locks, GC, caches),
+//!   optimistic concurrency control, hierarchical locks, GC, caches) **and the
+//!   [`afs_core::FileStore`] trait**: the client-visible protocol every store —
+//!   local or remote — implements, with the retrying
+//!   [`afs_core::FileStoreExt::update`] transaction API and batched page
+//!   operations on top,
 //! * [`amoeba_block`] — the block service (atomic blocks, stable storage, write-once
 //!   media, fault injection),
 //! * [`amoeba_capability`] — ports, capabilities and rights,
 //! * [`amoeba_rpc`] — transaction-style RPC (in-process and TCP transports),
-//! * [`afs_server`] / [`afs_client`] — server processes and the client library,
+//! * [`afs_server`] / [`afs_client`] — server processes and the client library
+//!   ([`afs_client::RemoteFs`] implements `FileStore`, so everything written
+//!   against the trait runs over the wire unchanged, with k-page updates in
+//!   O(1) round trips),
 //! * [`afs_baselines`] — the 2PL, timestamp-ordering and callback-cache comparators,
+//!   plus [`afs_baselines::StoreAdapter`], which drives any `FileStore` through
+//!   the uniform experiment interface,
 //! * [`afs_workload`] / [`afs_sim`] — workload generators and the experiment harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use amoeba_dfs::afs_core::{FileService, FileStore, FileStoreExt, PagePath};
+//! use bytes::Bytes;
+//!
+//! let service = FileService::in_memory();
+//! let store = &*service; // swap in an afs_client::RemoteFs — same code
+//! let file = store.create_file().unwrap();
+//! let page = store
+//!     .update(&file, |tx| {
+//!         tx.append(&PagePath::root(), Bytes::from_static(b"one update cycle"))
+//!     })
+//!     .unwrap();
+//! let current = store.current_version(&file).unwrap();
+//! assert_eq!(
+//!     store.read_committed_page(&current, &page).unwrap(),
+//!     Bytes::from_static(b"one update cycle")
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,349 @@
+//! The `FileStore` conformance suite: one generic battery of protocol checks
+//! run against every store implementation — the local `FileService`, a
+//! `RemoteFs` over the in-process network, and a `RemoteFs` whose primary
+//! server crashes mid-suite — plus round-trip accounting for the batched page
+//! operations, asserted through a counting transport.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use afs_client::RemoteFs;
+use afs_core::{FileService, FileStore, FileStoreExt, FsError, PagePath, RetryPolicy};
+use afs_server::ServerGroup;
+use amoeba_capability::Port;
+use amoeba_rpc::{LocalNetwork, Reply, Request, Transport};
+use bytes::Bytes;
+
+/// A transport wrapper that counts round trips, for the O(1)-RPC assertions.
+struct CountingTransport<T: Transport> {
+    inner: T,
+    round_trips: AtomicU64,
+}
+
+impl<T: Transport> CountingTransport<T> {
+    fn new(inner: T) -> Self {
+        CountingTransport {
+            inner,
+            round_trips: AtomicU64::new(0),
+        }
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Transport> Transport for CountingTransport<T> {
+    fn transact(&self, port: Port, request: Request) -> amoeba_rpc::Result<Reply> {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.inner.transact(port, request)
+    }
+}
+
+/// The generic conformance battery: exercises the full client-visible protocol
+/// against any store.
+fn exercise_store<S: FileStore + ?Sized>(store: &S) {
+    // -- File and version life cycle -------------------------------------
+    let file = store.create_file().expect("create_file");
+    let current = store
+        .current_version(&file)
+        .expect("initial current_version");
+    assert_eq!(
+        store
+            .read_committed_page(&current, &PagePath::root())
+            .expect("initial root read"),
+        Bytes::new(),
+        "a fresh file has one empty committed version"
+    );
+
+    // -- Page operations inside a version --------------------------------
+    let version = store.create_version(&file).expect("create_version");
+    store
+        .write_page(&version, &PagePath::root(), Bytes::from_static(b"root"))
+        .expect("write_page");
+    assert_eq!(
+        store
+            .read_page(&version, &PagePath::root())
+            .expect("read_page"),
+        Bytes::from_static(b"root")
+    );
+    let appended = store
+        .append_page(&version, &PagePath::root(), Bytes::from_static(b"appended"))
+        .expect("append_page");
+    let inserted = store
+        .insert_page(
+            &version,
+            &PagePath::root(),
+            0,
+            Bytes::from_static(b"inserted"),
+        )
+        .expect("insert_page");
+    assert_eq!(inserted, PagePath::new(vec![0]));
+    // The appended page shifted up by the front insertion.
+    assert_eq!(
+        store
+            .read_page(&version, &PagePath::new(vec![1]))
+            .expect("shifted read"),
+        Bytes::from_static(b"appended")
+    );
+    store
+        .remove_page(&version, &PagePath::new(vec![0]))
+        .expect("remove_page");
+    assert_eq!(
+        store
+            .read_page(&version, &PagePath::new(vec![0]))
+            .expect("post-remove read"),
+        Bytes::from_static(b"appended")
+    );
+    let receipt = store.commit(&version).expect("commit");
+    assert!(receipt.fast_path, "uncontended commit takes the fast path");
+    let _ = appended;
+
+    // -- Committed state and cache validation ----------------------------
+    let current = store.current_version(&file).expect("current_version");
+    assert_eq!(
+        store
+            .read_committed_page(&current, &PagePath::new(vec![0]))
+            .expect("read_committed_page"),
+        Bytes::from_static(b"appended")
+    );
+    let validation = store
+        .validate_cache(&file, u32::MAX)
+        .expect("validate_cache with a stale block");
+    assert!(!validation.up_to_date);
+    let again = store
+        .validate_cache(&file, validation.current_block)
+        .expect("validate_cache with the current block");
+    assert!(
+        again.up_to_date,
+        "revalidation against the current block is a null op"
+    );
+    assert!(again.discard.is_empty());
+
+    // -- Batched operations ----------------------------------------------
+    let version = store.create_version(&file).expect("batch version");
+    let paths: Vec<PagePath> = (0..8u8)
+        .map(|i| {
+            store
+                .append_page(&version, &PagePath::root(), Bytes::from(vec![i]))
+                .expect("append for batch")
+        })
+        .collect();
+    let writes: Vec<(PagePath, Bytes)> = paths
+        .iter()
+        .map(|p| (p.clone(), Bytes::from_static(b"batched")))
+        .collect();
+    store.write_pages(&version, &writes).expect("write_pages");
+    let pages = store.read_pages(&version, &paths).expect("read_pages");
+    assert_eq!(pages.len(), paths.len());
+    assert!(pages.iter().all(|p| p == &Bytes::from_static(b"batched")));
+    store.commit(&version).expect("commit batch");
+
+    // -- Abort ------------------------------------------------------------
+    let doomed = store.create_version(&file).expect("abort version");
+    store
+        .write_page(
+            &doomed,
+            &PagePath::root(),
+            Bytes::from_static(b"never seen"),
+        )
+        .expect("write in doomed version");
+    store.abort(&doomed).expect("abort");
+    let current = store.current_version(&file).expect("current after abort");
+    assert_eq!(
+        store
+            .read_committed_page(&current, &PagePath::root())
+            .expect("read after abort"),
+        Bytes::from_static(b"root"),
+        "aborted writes must never become visible"
+    );
+
+    // -- Serialisability conflict and the retrying Update API ------------
+    let loser = store.create_version(&file).expect("loser version");
+    store.read_page(&loser, &paths[0]).expect("loser read");
+    let winner = store.create_version(&file).expect("winner version");
+    store
+        .write_page(&winner, &paths[0], Bytes::from_static(b"winner"))
+        .expect("winner write");
+    store.commit(&winner).expect("winner commit");
+    store
+        .write_page(&loser, &paths[1], Bytes::from_static(b"derived"))
+        .expect("loser write");
+    assert_eq!(
+        store.commit(&loser).expect_err("loser must conflict"),
+        FsError::SerialisabilityConflict
+    );
+
+    // The update loop hides the redo: force one conflict on the first attempt.
+    let mut provoked = false;
+    let outcome = store
+        .update_with(&file, RetryPolicy::with_max_attempts(100), |tx| {
+            let old = tx.read(&paths[2])?;
+            if !provoked {
+                provoked = true;
+                // A competing client commits a write to the page we just read.
+                let rival = tx.store().create_version(&file)?;
+                tx.store()
+                    .write_page(&rival, &paths[2], Bytes::from_static(b"rival"))?;
+                tx.store().commit(&rival)?;
+            }
+            let mut next = old.to_vec();
+            next.push(b'!');
+            tx.write(&paths[2], Bytes::from(next))
+        })
+        .expect("update must retry through the conflict");
+    assert!(
+        outcome.attempts >= 2,
+        "the provoked conflict forces at least one redo (got {})",
+        outcome.attempts
+    );
+    let current = store.current_version(&file).expect("final current");
+    let data = store
+        .read_committed_page(&current, &paths[2])
+        .expect("final read");
+    assert_eq!(data.last(), Some(&b'!'), "the retried update committed");
+    assert!(
+        data.starts_with(b"rival"),
+        "the redo observed the rival's committed write"
+    );
+}
+
+#[test]
+fn local_service_conforms() {
+    let service = FileService::in_memory();
+    exercise_store(&*service);
+}
+
+#[test]
+fn local_service_conforms_as_a_trait_object() {
+    let service = FileService::in_memory();
+    let store: &dyn FileStore = &*service;
+    exercise_store(store);
+}
+
+#[test]
+fn remote_store_conforms() {
+    let network = Arc::new(LocalNetwork::new());
+    let service = FileService::in_memory();
+    let group = ServerGroup::start(&network, &service, 2);
+    let remote = RemoteFs::new(Arc::clone(&network), group.ports());
+    exercise_store(&remote);
+}
+
+#[test]
+fn remote_store_conforms_while_servers_crash() {
+    let network = Arc::new(LocalNetwork::new());
+    let service = FileService::in_memory();
+    let group = ServerGroup::start(&network, &service, 3);
+    let remote = RemoteFs::new(Arc::clone(&network), group.ports());
+
+    // Run the identical battery with the primary down: every transaction fails
+    // over to a replica.
+    group.process(0).crash();
+    exercise_store(&remote);
+
+    // And again after a flapping restart with a different victim.
+    group.process(0).restart();
+    group.process(1).crash();
+    exercise_store(&remote);
+}
+
+#[test]
+fn batched_page_ops_cost_constant_round_trips() {
+    let network = Arc::new(LocalNetwork::new());
+    let service = FileService::in_memory();
+    let group = ServerGroup::start(&network, &service, 1);
+    let counting = CountingTransport::new(Arc::clone(&network));
+    let remote = RemoteFs::new(counting, group.ports());
+
+    let file = remote.create_file().unwrap();
+    let setup = remote.create_version(&file).unwrap();
+    let paths: Vec<PagePath> = (0..32u8)
+        .map(|i| {
+            remote
+                .append_page(&setup, &PagePath::root(), Bytes::from(vec![i]))
+                .unwrap()
+        })
+        .collect();
+    remote.commit(&setup).unwrap();
+
+    // A k-page batched update: one WritePages + one ReadPages + one
+    // CreateVersion + one Commit = 4 round trips, independent of k.
+    let before = remote.transport().round_trips();
+    let outcome = remote
+        .update_with(&file, RetryPolicy::default(), |tx| {
+            let writes: Vec<(PagePath, Bytes)> = paths
+                .iter()
+                .map(|p| (p.clone(), Bytes::from_static(b"one trip")))
+                .collect();
+            tx.write_many(&writes)?;
+            tx.read_many(&paths)
+        })
+        .unwrap();
+    let trips = remote.transport().round_trips() - before;
+    assert_eq!(outcome.attempts, 1);
+    assert_eq!(
+        trips,
+        4,
+        "a {}-page batched update must cost O(1) round trips, used {trips}",
+        paths.len()
+    );
+
+    // The same update page-at-a-time costs O(k): the batch is genuinely needed.
+    let before = remote.transport().round_trips();
+    remote
+        .update_with(&file, RetryPolicy::default(), |tx| {
+            for path in &paths {
+                tx.write(path, Bytes::from_static(b"k trips"))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    let unbatched = remote.transport().round_trips() - before;
+    assert!(
+        unbatched >= paths.len() as u64,
+        "unbatched updates pay one trip per page ({unbatched})"
+    );
+}
+
+#[test]
+fn update_retries_conflicts_over_the_wire() {
+    let network = Arc::new(LocalNetwork::new());
+    let service = FileService::in_memory();
+    let group = ServerGroup::start(&network, &service, 2);
+    let remote = Arc::new(RemoteFs::new(Arc::clone(&network), group.ports()));
+
+    let file = remote.create_file().unwrap();
+    let page = remote
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from(0u32.to_le_bytes().to_vec()))
+        })
+        .unwrap();
+
+    let threads = 4;
+    let per_thread = 6;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let remote = Arc::clone(&remote);
+            let page = page.clone();
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    remote
+                        .update_with(&file, RetryPolicy::with_max_attempts(10_000), |tx| {
+                            let old = tx.read(&page)?;
+                            let value = u32::from_le_bytes(old[..4].try_into().unwrap()) + 1;
+                            tx.write(&page, Bytes::from(value.to_le_bytes().to_vec()))
+                        })
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    let current = remote.current_version(&file).unwrap();
+    let raw = remote.read_committed_page(&current, &page).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(raw[..4].try_into().unwrap()),
+        (threads * per_thread) as u32
+    );
+}

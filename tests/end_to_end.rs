@@ -4,9 +4,9 @@
 use std::sync::Arc;
 
 use afs_client::{retry_update, ClientCache, RemoteFs};
-use afs_core::{FileService, PagePath, ServiceConfig};
+use afs_core::{FileService, FileStore, FileStoreExt, PagePath, RetryPolicy, ServiceConfig};
 use afs_server::ServerGroup;
-use amoeba_block::{BlockServer, CompanionPair, MemStore};
+use amoeba_block::{BlockServer, BlockStore, CompanionPair, MemStore};
 use amoeba_rpc::LocalNetwork;
 use bytes::Bytes;
 
@@ -14,31 +14,61 @@ use bytes::Bytes;
 /// service on top, replicated server processes, and an RPC client driving updates.
 #[test]
 fn full_stack_update_cycle_over_stable_storage() {
-    // The paper's dual-server stable storage as the disk substrate.
+    // The paper's dual-server stable storage as the disk substrate: a client
+    // handle on the pair is itself a `BlockStore`, so the block server — and
+    // with it every version page the file service writes — runs the §4
+    // companion write protocol.
     let pair = CompanionPair::new(Arc::new(MemStore::new()), Arc::new(MemStore::new()));
-    let handle = pair.handle(0);
-    // The block server needs a single BlockStore; wrap the companion handle by using
-    // one of the two disks through the pair API is covered in amoeba-block tests, so
-    // here we use a plain store for the service and keep the pair for its own check.
-    drop(handle);
+    let handle = Arc::new(pair.handle(0));
 
-    let block_server = Arc::new(BlockServer::new(Arc::new(MemStore::new())));
+    let block_server = Arc::new(BlockServer::new(handle));
     let service = FileService::new(block_server);
     let network = Arc::new(LocalNetwork::new());
     let group = ServerGroup::start(&network, &service, 3);
     let client = RemoteFs::new(Arc::clone(&network), group.ports());
 
     let file = client.create_file().unwrap();
-    let v = client.create_version(&file).unwrap();
     let page = client
-        .append_page(&v, &PagePath::root(), Bytes::from_static(b"integration"))
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from_static(b"integration"))
+        })
         .unwrap();
-    client.commit(&v).unwrap();
 
     let current = client.current_version(&file).unwrap();
     assert_eq!(
         client.read_committed_page(&current, &page).unwrap(),
         Bytes::from_static(b"integration")
+    );
+
+    // Every block the update produced is on *both* companion disks.
+    assert!(pair.disk(0).allocated_count() > 0);
+    assert_eq!(
+        pair.disk(0).allocated_count(),
+        pair.disk(1).allocated_count(),
+        "companion disks must hold the same blocks"
+    );
+
+    // Crash companion disk 0: all committed data stays readable through the
+    // survivor, with no recovery work at the file-service layer.
+    pair.crash(0);
+    let current = client.current_version(&file).unwrap();
+    assert_eq!(
+        client.read_committed_page(&current, &page).unwrap(),
+        Bytes::from_static(b"integration")
+    );
+
+    // Updates keep committing in degraded mode, and recovery replays them.
+    let page2 = client
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from_static(b"degraded write"))
+        })
+        .unwrap();
+    let replayed = pair.recover(0).unwrap();
+    assert!(replayed > 0, "recovery must replay the intentions list");
+    let current = client.current_version(&file).unwrap();
+    assert_eq!(
+        client.read_committed_page(&current, &page2).unwrap(),
+        Bytes::from_static(b"degraded write")
     );
 }
 
@@ -52,11 +82,11 @@ fn concurrent_rpc_clients_never_lose_updates() {
     let bootstrap = RemoteFs::new(Arc::clone(&network), group.ports());
 
     let file = bootstrap.create_file().unwrap();
-    let v = bootstrap.create_version(&file).unwrap();
     let counter = bootstrap
-        .append_page(&v, &PagePath::root(), Bytes::from(0u64.to_le_bytes().to_vec()))
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from(0u64.to_le_bytes().to_vec()))
+        })
         .unwrap();
-    bootstrap.commit(&v).unwrap();
 
     let clients = 6;
     let increments = 10;
@@ -64,17 +94,17 @@ fn concurrent_rpc_clients_never_lose_updates() {
         for _ in 0..clients {
             let network = Arc::clone(&network);
             let ports = group.ports();
-            let file = file;
             let counter = counter.clone();
             scope.spawn(move || {
                 let remote = RemoteFs::new(network, ports);
                 for _ in 0..increments {
-                    retry_update(&remote, &file, 10_000, |remote, version| {
-                        let old = remote.read_page(version, &counter)?;
-                        let value = u64::from_le_bytes(old[..8].try_into().unwrap()) + 1;
-                        remote.write_page(version, &counter, Bytes::from(value.to_le_bytes().to_vec()))
-                    })
-                    .unwrap();
+                    remote
+                        .update_with(&file, RetryPolicy::with_max_attempts(10_000), |tx| {
+                            let old = tx.read(&counter)?;
+                            let value = u64::from_le_bytes(old[..8].try_into().unwrap()) + 1;
+                            tx.write(&counter, Bytes::from(value.to_le_bytes().to_vec()))
+                        })
+                        .unwrap();
                 }
             });
         }
@@ -87,7 +117,8 @@ fn concurrent_rpc_clients_never_lose_updates() {
 }
 
 /// A server-process crash mid-update requires no rollback: the client redoes its
-/// update through a replica and all committed data stays intact.
+/// update through a replica and all committed data stays intact.  Exercises the
+/// legacy `retry_update` wrapper, now generic over `FileStore`.
 #[test]
 fn server_crash_requires_no_rollback() {
     let network = Arc::new(LocalNetwork::new());
@@ -96,15 +127,17 @@ fn server_crash_requires_no_rollback() {
     let client = RemoteFs::new(Arc::clone(&network), group.ports());
 
     let file = client.create_file().unwrap();
-    let v = client.create_version(&file).unwrap();
     let page = client
-        .append_page(&v, &PagePath::root(), Bytes::from_static(b"before"))
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from_static(b"before"))
+        })
         .unwrap();
-    client.commit(&v).unwrap();
 
     // Update in flight through the primary when it crashes.
     let doomed = client.create_version(&file).unwrap();
-    client.write_page(&doomed, &page, Bytes::from_static(b"halfway")).unwrap();
+    client
+        .write_page(&doomed, &page, Bytes::from_static(b"halfway"))
+        .unwrap();
     group.process(0).crash();
 
     // Redo through the replica; committed state was never endangered.
@@ -129,16 +162,15 @@ fn client_cache_revalidation_across_clients() {
 
     let writer = RemoteFs::new(Arc::clone(&network), group.ports());
     let file = writer.create_file().unwrap();
-    let v = writer.create_version(&file).unwrap();
-    let mut pages = Vec::new();
-    for i in 0..8u8 {
-        pages.push(
-            writer
-                .append_page(&v, &PagePath::root(), Bytes::from(vec![i]))
-                .unwrap(),
-        );
-    }
-    writer.commit(&v).unwrap();
+    let pages = writer
+        .update(&file, |tx| {
+            let mut pages = Vec::new();
+            for i in 0..8u8 {
+                pages.push(tx.append(&PagePath::root(), Bytes::from(vec![i]))?);
+            }
+            Ok(pages)
+        })
+        .unwrap();
 
     let mut cache = ClientCache::new(RemoteFs::new(Arc::clone(&network), group.ports()));
     cache.revalidate(&file).unwrap();
@@ -149,15 +181,23 @@ fn client_cache_revalidation_across_clients() {
 
     // The writer updates two pages; the reader revalidates and keeps the other six.
     for i in [1usize, 5] {
-        let v = writer.create_version(&file).unwrap();
-        writer.write_page(&v, &pages[i], Bytes::from_static(b"remote write")).unwrap();
-        writer.commit(&v).unwrap();
+        writer
+            .update(&file, |tx| {
+                tx.write(&pages[i], Bytes::from_static(b"remote write"))
+            })
+            .unwrap();
     }
     let dropped = cache.revalidate(&file).unwrap();
     assert_eq!(dropped, 2);
     assert_eq!(cache.cached_pages(&file), 6);
-    assert_eq!(cache.read(&file, &pages[1]).unwrap(), Bytes::from_static(b"remote write"));
-    assert_eq!(cache.read(&file, &pages[0]).unwrap(), Bytes::from(vec![0u8]));
+    assert_eq!(
+        cache.read(&file, &pages[1]).unwrap(),
+        Bytes::from_static(b"remote write")
+    );
+    assert_eq!(
+        cache.read(&file, &pages[0]).unwrap(),
+        Bytes::from(vec![0u8])
+    );
 }
 
 /// Recovery from storage after losing every server process (the §4 recovery
@@ -169,11 +209,11 @@ fn recovery_from_blocks_after_total_loss() {
     let account = service.storage_account();
 
     let file = service.create_file().unwrap();
-    let v = service.create_version(&file).unwrap();
     let page = service
-        .append_page(&v, &PagePath::root(), Bytes::from_static(b"must survive"))
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from_static(b"must survive"))
+        })
         .unwrap();
-    service.commit(&v).unwrap();
     drop(service);
 
     let (recovered, report) =

@@ -1,0 +1,220 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `measurement_time`, `bench_function`,
+//! `Bencher::iter`/`iter_batched`, `black_box` and the `criterion_group!`/
+//! `criterion_main!` macros — with a simple wall-clock measurement loop that
+//! prints mean time per iteration.  No statistics, plots or comparisons; the
+//! point is that `cargo bench` runs and reports useful numbers offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: prevents the optimiser from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost.  The shim runs one setup per
+/// routine call regardless of the variant; the enum exists for source
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.into(), self.sample_size, self.measurement_time, f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Bounds the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, self.measurement_time, f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(id: &str, samples: usize, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up and calibration: grow the iteration count until one sample is
+    // long enough to time meaningfully.
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(1) || bencher.iterations >= 1 << 20 {
+            break;
+        }
+        bencher.iterations *= 4;
+    }
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let started = Instant::now();
+    for _ in 0..samples {
+        if started.elapsed() > budget {
+            break;
+        }
+        f(&mut bencher);
+        total += bencher.elapsed;
+        iters += bencher.iterations;
+    }
+    if iters == 0 {
+        f(&mut bencher);
+        total = bencher.elapsed;
+        iters = bencher.iterations;
+    }
+    let per_iter = total.as_nanos() / u128::from(iters.max(1));
+    println!("{id:<60} {per_iter:>12} ns/iter ({iters} iterations)");
+}
+
+/// Times a closure over a batch of iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over the calibrated number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` with a fresh `setup` input per call, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_sets_up_per_call() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Implements the subset of the `rand 0.8` API this workspace uses — [`Rng`]
+//! (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`], [`rngs::StdRng`],
+//! [`thread_rng`] and [`random`] — over a splitmix64 generator.  Statistical
+//! quality is sufficient for workload generation and fault injection; this is
+//! not a cryptographic RNG (the real `StdRng` is — do not use this shim where
+//! unpredictability matters beyond test reproducibility).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hash::{BuildHasher, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A source of random 64-bit words plus the convenience methods `rand` layers on
+/// top.  Implemented by every generator in this shim; user code takes
+/// `&mut impl Rng`.
+pub trait Rng {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Returns true with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        f64::sample(self) < p
+    }
+}
+
+/// Types that can be sampled uniformly over their whole domain.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample(rng: &mut impl Rng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(rng: &mut impl Rng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(rng: &mut impl Rng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut impl Rng) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut impl Rng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait UniformSample: Sized {
+    /// Draws one value from `range`.
+    fn sample_range(rng: &mut impl Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range(rng: &mut impl Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Multiply-shift bounding; the bias is negligible for the spans
+                // used in workloads (far below 2^32).
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                range.start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range(rng: &mut impl Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (range.start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl UniformSample for f64 {
+    fn sample_range(rng: &mut impl Rng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        range.start + (range.end - range.start) * f64::sample(rng)
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_range(rng: &mut impl Rng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        range.start + (range.end - range.start) * f32::sample(rng)
+    }
+}
+
+/// Generators that can be constructed from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from ambient entropy (non-deterministic).
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The default deterministic generator: splitmix64.
+    ///
+    /// Unlike the real `StdRng` (ChaCha-based) this is not cryptographically
+    /// secure, but it is fast, seedable and statistically fine for simulation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Per-call generator seeded from ambient entropy, mirroring `rand::thread_rng`.
+pub type ThreadRng = rngs::StdRng;
+
+/// Returns a fresh entropy-seeded generator.
+pub fn thread_rng() -> ThreadRng {
+    <rngs::StdRng as SeedableRng>::from_entropy()
+}
+
+/// Draws one value of type `T` from a fresh entropy-seeded generator.
+pub fn random<T: Standard>() -> T {
+    T::sample(&mut thread_rng())
+}
+
+fn entropy_seed() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    // RandomState is seeded per-process from OS entropy; mix in time and a
+    // counter so consecutive calls differ.
+    let hasher_entropy = std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish();
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let count = COUNTER.fetch_add(0x9e37_79b9, Ordering::Relaxed);
+    hasher_entropy ^ now.rotate_left(17) ^ count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let f: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn entropy_seeds_differ() {
+        assert_ne!(random::<u64>(), random::<u64>());
+    }
+}
