@@ -79,6 +79,13 @@ pub trait ConcurrencyControl: Send + Sync {
 
     /// Reads a page outside any transaction (for result verification).
     fn read_page(&self, file: u64, page: u32) -> Result<Bytes, TxAbort>;
+
+    /// Physical page I/O statistics of the backing store, when the mechanism can
+    /// see them (the Amoeba service reports its [`afs_core::PageIoStats`],
+    /// including `pages_flushed_at_commit`; the baselines return `None`).
+    fn io_stats(&self) -> Option<afs_core::PageIoStats> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -214,6 +221,10 @@ impl<S: FileStore> ConcurrencyControl for StoreAdapter<S> {
         self.store
             .read_committed_page(&current, &page_path(page))
             .map_err(|e| TxAbort::Fault(e.to_string()))
+    }
+
+    fn io_stats(&self) -> Option<afs_core::PageIoStats> {
+        self.store.io_stats()
     }
 }
 

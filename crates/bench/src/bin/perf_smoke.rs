@@ -1,0 +1,161 @@
+//! Perf smoke: a short, deterministic slice of the `occ_vs_locking` and
+//! `cow_overhead` workloads that runs in seconds and writes machine-readable I/O
+//! counters to `BENCH_2.json`, so CI can track the performance trajectory without
+//! a full Criterion run.
+//!
+//! The copy-on-write workload is run twice — once with the seed's write-through
+//! page path and once with the write-back path — so the JSON carries the
+//! before/after physical-write delta the write-back design exists to produce.
+//!
+//! Usage: `cargo run -p afs-bench --release --bin perf-smoke [-- OUTPUT.json]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use afs_baselines::AmoebaAdapter;
+use afs_core::{BlockServer, FileService, MemStore, PageIoStats, PagePath, ServiceConfig};
+use afs_sim::{run_workload, RunConfig};
+use afs_workload::MixConfig;
+
+/// One workload's headline numbers.
+struct Row {
+    name: &'static str,
+    ops_per_sec: f64,
+    io: PageIoStats,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, ",
+                "\"page_reads\": {}, \"page_writes\": {}, \"cache_hits\": {}, ",
+                "\"pages_flushed_at_commit\": {}}}"
+            ),
+            self.name,
+            self.ops_per_sec,
+            self.io.page_reads,
+            self.io.page_writes,
+            self.io.cache_hits,
+            self.io.pages_flushed_at_commit,
+        )
+    }
+}
+
+/// A short `occ_vs_locking`-style mixed workload over the Amoeba service.
+fn occ_mixed() -> Row {
+    let cc = AmoebaAdapter::in_memory();
+    let config = RunConfig {
+        clients: 4,
+        transactions_per_client: 50,
+        max_retries: 10_000,
+        mix: MixConfig {
+            files: 2,
+            pages_per_file: 64,
+            reads_per_tx: 1,
+            writes_per_tx: 1,
+            payload: 128,
+            ..MixConfig::default()
+        },
+    };
+    let result = run_workload(&cc, &config);
+    Row {
+        name: "occ_mixed",
+        ops_per_sec: result.throughput(),
+        io: result.io.expect("the local service reports I/O stats"),
+    }
+}
+
+/// A `cow_overhead`-style repeated-leaf-update workload: N transactions, each
+/// writing the same depth-2 leaf several times before committing.
+fn cow_repeated_write(name: &'static str, write_back: bool) -> Row {
+    let server = Arc::new(BlockServer::new(Arc::new(MemStore::new())));
+    let service = FileService::with_config(
+        server,
+        ServiceConfig {
+            write_back,
+            ..ServiceConfig::default()
+        },
+    );
+    let file = service.create_file().expect("create file");
+    let setup = service.create_version(&file).expect("create version");
+    let interior = service
+        .append_page(&setup, &PagePath::root(), Bytes::from_static(b"interior"))
+        .expect("append interior");
+    let leaf = service
+        .append_page(&setup, &interior, Bytes::from_static(b"leaf"))
+        .expect("append leaf");
+    service.commit(&setup).expect("commit setup");
+
+    const ROUNDS: usize = 200;
+    const WRITES_PER_ROUND: usize = 8;
+    let before = service.io_stats();
+    let start = Instant::now();
+    for round in 0..ROUNDS {
+        let v = service.create_version(&file).expect("create version");
+        for i in 0..WRITES_PER_ROUND {
+            service
+                .write_page(&v, &leaf, Bytes::from(vec![(round + i) as u8; 128]))
+                .expect("write leaf");
+        }
+        service.commit(&v).expect("commit");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(f64::EPSILON);
+    Row {
+        name,
+        ops_per_sec: (ROUNDS * WRITES_PER_ROUND) as f64 / elapsed,
+        io: service.io_stats().since(&before),
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
+
+    let rows = [
+        occ_mixed(),
+        cow_repeated_write("cow_repeated_write_writethrough", false),
+        cow_repeated_write("cow_repeated_write_writeback", true),
+    ];
+
+    let before = rows
+        .iter()
+        .find(|r| r.name == "cow_repeated_write_writethrough")
+        .map(|r| r.io.page_writes)
+        .unwrap_or(0);
+    let after = rows
+        .iter()
+        .find(|r| r.name == "cow_repeated_write_writeback")
+        .map(|r| r.io.page_writes)
+        .unwrap_or(0);
+
+    let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"afs-perf-smoke-v2\",\n",
+            "  \"workloads\": [\n{}\n  ],\n",
+            "  \"write_back_delta\": {{\n",
+            "    \"cow_page_writes_before\": {},\n",
+            "    \"cow_page_writes_after\": {},\n",
+            "    \"write_reduction_factor\": {:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        body.join(",\n"),
+        before,
+        after,
+        if after > 0 {
+            before as f64 / after as f64
+        } else {
+            0.0
+        },
+    );
+
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -252,12 +252,29 @@ impl BlockServer {
         nr: BlockNr,
         f: impl FnOnce(Bytes) -> Result<(Option<Bytes>, R)>,
     ) -> Result<R> {
-        self.lock(cap, nr)?;
+        self.update_block_with::<R, BlockError>(cap, nr, f)
+    }
+
+    /// [`BlockServer::update_block`] with a caller-chosen error type.
+    ///
+    /// Layers above the block service (the file service's page I/O, for one) run
+    /// closures inside the critical section that can fail with their *own* error
+    /// type.  Making the error generic lets those errors pass through typed — any
+    /// `E: From<BlockError>` absorbs the block-level failures, and the closure's
+    /// failures come back exactly as raised, instead of being flattened into an
+    /// [`BlockError::Io`] message string and lossily reparsed on the way out.
+    pub fn update_block_with<R, E: From<BlockError>>(
+        &self,
+        cap: &Capability,
+        nr: BlockNr,
+        f: impl FnOnce(Bytes) -> std::result::Result<(Option<Bytes>, R), E>,
+    ) -> std::result::Result<R, E> {
+        self.lock(cap, nr).map_err(E::from)?;
         let result = (|| {
-            let current = self.store.read(nr)?;
+            let current = self.store.read(nr).map_err(E::from)?;
             let (new_contents, value) = f(current)?;
             if let Some(data) = new_contents {
-                self.store.write(nr, data)?;
+                self.store.write(nr, data).map_err(E::from)?;
             }
             Ok(value)
         })();

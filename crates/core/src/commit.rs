@@ -64,13 +64,17 @@ impl FileService {
             return Err(FsError::AlreadyCommitted);
         }
         let my_block = meta.block;
+
+        // "First it ascertains that all of V.b's pages are safely on disk."  Page
+        // writes land in the write-back buffer, so this is where durability is
+        // established: flush every dirty page, children before parents, version
+        // page last, so no durable page ever references an unwritten one.
+        self.flush_version_to_disk(&mut meta)?;
+
         let my_page = self.pages.read_page(my_block)?;
         let mut base_block = my_page
             .base_reference
             .ok_or_else(|| FsError::CorruptPage("uncommitted version has no base".into()))?;
-
-        // "First it ascertains that all of V.b's pages are safely on disk."  Page
-        // writes in this implementation are write-through, so they already are.
 
         let mut receipt = CommitReceipt {
             fast_path: true,
@@ -111,12 +115,18 @@ impl FileService {
         // Release the version lock before touching the file table so the garbage
         // collector (file lock, then version locks) can never deadlock with us.
         drop(meta);
-        // The new current version must not carry stale lock fields.
+        // The new current version must not carry stale lock fields.  Versions are
+        // created with both fields NULL, so rewriting the page is only needed in
+        // the rare case something actually set one; skipping the no-op write saves
+        // one physical write on every fast-path commit.
         self.pages.update_page(my_block, |page| {
             let header = page
                 .version
                 .as_mut()
                 .ok_or_else(|| FsError::CorruptPage("expected version page".into()))?;
+            if header.top_lock.is_null() && header.inner_lock.is_null() {
+                return Ok((false, ()));
+            }
             header.top_lock = Port::NULL;
             header.inner_lock = Port::NULL;
             Ok((true, ()))
@@ -130,6 +140,65 @@ impl FileService {
             self.commit_stats.validated.fetch_add(1, Ordering::Relaxed);
         }
         Ok(receipt)
+    }
+
+    /// Makes every buffered page reachable from the version page durable, in an
+    /// order that keeps the on-disk state self-consistent at all times: children
+    /// before parents, the version page last.  The walk follows *buffered* blocks,
+    /// not just the version's own dirty set, so committing a super-file version
+    /// also flushes the sub-file version pages its tree references — a durable
+    /// committed page must never point at an unwritten block.  Buffered blocks of
+    /// this version that are no longer reachable (their references were removed
+    /// again before commit) are freed without ever being written.  Returns the
+    /// number of pages flushed.
+    pub(crate) fn flush_version_to_disk(&self, meta: &mut VersionMeta) -> Result<usize> {
+        if meta.dirty_blocks.is_empty() {
+            return Ok(0);
+        }
+        // The dirty set is only cleared once the flush succeeded: a transient
+        // block-store failure leaves it intact, so a retried commit flushes the
+        // remaining pages instead of "committing" a version whose pages were
+        // never made durable.  (Already-flushed blocks are no longer in the
+        // buffer; re-flushing them is a no-op.)
+        let mut order = Vec::with_capacity(meta.dirty_blocks.len());
+        let mut visited = std::collections::HashSet::new();
+        self.collect_flush_order(meta.block, &mut visited, &mut order)?;
+        let flushed = self.pages.flush_blocks(order)?;
+        let dirty = std::mem::take(&mut meta.dirty_blocks);
+        for nr in dirty {
+            // Still buffered and not reached by the walk: never written, no
+            // longer referenced — pure garbage.  (A block that is merely absent
+            // from the buffer was flushed through another version's commit and
+            // must be left alone.)
+            if !visited.contains(&nr) && self.pages.is_buffered(nr) {
+                self.pages.drop_buffered(nr);
+                if meta.owned_blocks.remove(&nr) {
+                    let _ = self.pages.free_page(nr);
+                }
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Post-order walk over the buffered (copied) subgraph under `block`: children
+    /// are appended before their parents, the root last.
+    fn collect_flush_order(
+        &self,
+        block: BlockNr,
+        visited: &mut std::collections::HashSet<BlockNr>,
+        order: &mut Vec<BlockNr>,
+    ) -> Result<()> {
+        if !self.pages.is_buffered(block) || !visited.insert(block) {
+            return Ok(());
+        }
+        let page = self.pages.read_page(block)?;
+        for reference in &page.refs {
+            if reference.flags.copied {
+                self.collect_flush_order(reference.block, visited, order)?;
+            }
+        }
+        order.push(block);
+        Ok(())
     }
 
     /// The critical section: atomically test the commit reference of the version page
@@ -166,13 +235,14 @@ impl FileService {
         let (owned, block) = {
             let mut meta = meta_arc.lock();
             meta.state = VersionState::Aborted;
+            meta.dirty_blocks.clear();
             (std::mem::take(&mut meta.owned_blocks), meta.block)
         };
         for nr in owned {
             let _ = self.pages.free_page(nr);
         }
         let _ = self.pages.free_page(block);
-        self.versions.write().remove(&version_cap.object);
+        self.forget_version(version_cap.object, block);
         Ok(())
     }
 
@@ -189,7 +259,9 @@ impl FileService {
         b_block: BlockNr,
         c_block: BlockNr,
     ) -> Result<SerialiseReport> {
-        let mut b_page = self.pages.read_page(b_block)?;
+        // B is rebased (and therefore rewritten) whenever the test passes, so a
+        // private working copy of its version page is taken up front.
+        let mut b_page = (*self.pages.read_page(b_block)?).clone();
         let c_page = self.pages.read_page(c_block)?;
         let b_header = b_page
             .version
@@ -266,8 +338,11 @@ impl FileService {
 
         // Rebase B onto C so the next commit attempt goes for C's commit reference;
         // the rebase always dirties B's version page, so it is always written back.
+        // B's pages were flushed before the first commit attempt, so merge writes
+        // are write-through: the next test-and-set needs them durable.
         b_page.base_reference = Some(c_block);
-        self.pages.write_page(b_block, &b_page)?;
+        self.pages
+            .write_page(b_block, &std::sync::Arc::new(b_page))?;
 
         Ok(SerialiseReport {
             serialisable: true,
@@ -303,7 +378,7 @@ impl FileService {
             return Ok(MergeOutcome::Conflict);
         }
 
-        let mut b_child = self.pages.read_page(rb.block)?;
+        let mut b_child = (*self.pages.read_page(rb.block)?).clone();
         let c_child = self.pages.read_page(rc.block)?;
         *pages_compared += 2;
 
@@ -351,7 +426,8 @@ impl FileService {
 
         if changed {
             // B's child is a private copy, so it can be rewritten in place.
-            self.pages.write_page(rb.block, &b_child)?;
+            self.pages
+                .write_page(rb.block, &std::sync::Arc::new(b_child))?;
         }
         let _ = meta_b;
         Ok(MergeOutcome::Keep)

@@ -19,6 +19,24 @@
 //!   S (references inspected) or S+M (references modified);
 //! * accesses to the root page itself are recorded in the version page's own flag
 //!   field, which the managing server keeps in the version header.
+//!
+//! # Deferred durability and write elision
+//!
+//! Shadowing and flag maintenance are *logical* operations: the paper only requires
+//! the version's pages to be on disk at commit time.  Page writes made here
+//! therefore go to the write-back buffer of [`crate::pageio::PageIo`] (when
+//! [`crate::ServiceConfig::write_back`] is on, the default) and are flushed in one
+//! batch by [`crate::commit`], so a k-operation update costs O(dirty pages)
+//! physical writes at commit instead of O(k·depth) along the way.
+//!
+//! On top of that, the traversal **elides rewrites of unchanged pages**: once a
+//! path is shadowed and its C/S flags are set, repeated accesses through it leave
+//! the interior pages untouched — a page is marked dirty only when it was freshly
+//! copied, a reference (block or flags) in it actually changed, or its data was
+//! modified.  Pages are shared as `Arc<Page>` with the cache and the buffer, and
+//! copied (`Arc::make_mut`-style) only at the moment they are first mutated.
+
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -211,7 +229,7 @@ impl FileService {
             return Err(FsError::NotCommitted);
         }
         let page = self.read_page_tree_at(block, path)?;
-        Ok(page.data)
+        Ok(page.data.clone())
     }
 
     /// Reads the shape of a page in a committed version.
@@ -238,7 +256,11 @@ impl FileService {
     /// Pure traversal from the page at `root_block` down `path`, with no flag
     /// maintenance.  Used for committed versions, the cache, and the serialisability
     /// test.
-    pub(crate) fn read_page_tree_at(&self, root_block: BlockNr, path: &PagePath) -> Result<Page> {
+    pub(crate) fn read_page_tree_at(
+        &self,
+        root_block: BlockNr,
+        path: &PagePath,
+    ) -> Result<Arc<Page>> {
         let mut page = self.pages.read_page(root_block)?;
         for (depth, &index) in path.indices().iter().enumerate() {
             let reference = page.ref_at(index).map_err(|_| {
@@ -253,8 +275,38 @@ impl FileService {
     // The traversal engine.
     // ------------------------------------------------------------------
 
+    /// Stages a modified page of an uncommitted version: into the write-back buffer
+    /// (tracked in the version's dirty set) or, with write-back disabled, straight
+    /// through to the block service.
+    fn stage_page(&self, meta: &mut VersionMeta, nr: BlockNr, page: &Arc<Page>) -> Result<()> {
+        if self.config.write_back {
+            self.pages.write_page_buffered(nr, page);
+            meta.dirty_blocks.insert(nr);
+            Ok(())
+        } else {
+            self.pages.write_page(nr, page)
+        }
+    }
+
+    /// Allocates a block for a brand-new private page of an uncommitted version,
+    /// buffered or write-through per configuration, and records ownership.
+    fn stage_new_page(&self, meta: &mut VersionMeta, page: &Arc<Page>) -> Result<BlockNr> {
+        let nr = if self.config.write_back {
+            let nr = self.pages.allocate_page_buffered(page)?;
+            meta.dirty_blocks.insert(nr);
+            nr
+        } else {
+            self.pages.allocate_page(page)?
+        };
+        meta.owned_blocks.insert(nr);
+        Ok(nr)
+    }
+
     /// Walks from the version page to the target of `path`, shadowing pages and
-    /// setting flags as required, and performs `access` on the target.
+    /// setting flags as required, and performs `access` on the target.  Only pages
+    /// whose contents, references or flags actually changed are staged for writing;
+    /// a traversal through an already shadowed, already flagged path rewrites
+    /// nothing (shadow-trail write elision).
     fn access(
         &self,
         version_cap: &Capability,
@@ -276,27 +328,42 @@ impl FileService {
         if path.is_root() {
             // The target is the version page itself; record the access in the root
             // flags the managing server keeps for it.
-            let outcome = {
-                let header = vpage.version.as_mut().expect("version page has a header");
-                apply_root_access(&mut header.root_flags, &access)
-            };
-            let outcome = match outcome {
-                RootAccess::NeedsBody => self.apply_target_access(&mut vpage, &mut meta, access)?,
-                RootAccess::Done(outcome) => outcome,
-            };
-            self.pages.write_page(root_block, &vpage)?;
+            let header = vpage.version.as_ref().expect("version page has a header");
+            let mut new_flags = header.root_flags;
+            apply_root_access(&mut new_flags, &access);
+            let dirty = new_flags != header.root_flags || access_mutates(&access);
+            if !dirty {
+                // Re-reading through an already recorded access: nothing changes.
+                return read_only_outcome(&vpage, &access);
+            }
+            let vmut = Arc::make_mut(&mut vpage);
+            vmut.version
+                .as_mut()
+                .expect("version page has a header")
+                .root_flags = new_flags;
+            let outcome = self.apply_target_access(vmut, &mut meta, access)?;
+            self.stage_page(&mut meta, root_block, &vpage)?;
             return Ok(outcome);
         }
 
         // Descend, shadowing every page on the path so flags can be recorded in it.
-        // `trail` holds the private blocks of the pages above the target.
+        // `trail` holds the pages above the target together with their dirtiness.
         let indices = path.indices();
-        let mut trail: Vec<(BlockNr, Page)> = Vec::with_capacity(indices.len());
-        {
-            let header = vpage.version.as_mut().expect("version page has a header");
-            header.root_flags.copied = true;
-            header.root_flags.searched = true;
-        }
+        let mut trail: Vec<(BlockNr, Arc<Page>, bool)> = Vec::with_capacity(indices.len());
+        let mut current_dirty = {
+            let header = vpage.version.as_ref().expect("version page has a header");
+            if header.root_flags.copied && header.root_flags.searched {
+                false
+            } else {
+                let h = Arc::make_mut(&mut vpage)
+                    .version
+                    .as_mut()
+                    .expect("version page has a header");
+                h.root_flags.copied = true;
+                h.root_flags.searched = true;
+                true
+            }
+        };
         let mut current_block = root_block;
         let mut current_page = vpage;
 
@@ -314,10 +381,10 @@ impl FileService {
 
             // Ensure the child is a private copy so its flags (and, for the target,
             // its data) can be changed without touching the base version.
-            let (child_block, child_page) = if reference.flags.copied {
-                (reference.block, child_page_probe)
+            let (child_block, child_page, child_is_new) = if reference.flags.copied {
+                (reference.block, child_page_probe, false)
             } else {
-                let mut copy = child_page_probe.clone();
+                let mut copy = (*child_page_probe).clone();
                 copy.base_reference = Some(reference.block);
                 copy.refs = copy
                     .refs
@@ -327,12 +394,12 @@ impl FileService {
                         flags: PageFlags::CLEAR,
                     })
                     .collect();
-                let new_block = self.pages.allocate_page(&copy)?;
-                meta.owned_blocks.insert(new_block);
-                (new_block, copy)
+                let copy = Arc::new(copy);
+                let new_block = self.stage_new_page(&mut meta, &copy)?;
+                (new_block, copy, true)
             };
 
-            // Update the reference in the (already private) parent.
+            // Compute the flags the parent's reference must carry after this access.
             let mut new_flags = reference.flags;
             new_flags.copied = true;
             if is_target {
@@ -358,26 +425,43 @@ impl FileService {
                 // Interior step: the child's references are searched to go deeper.
                 new_flags.searched = true;
             }
-            current_page.set_ref(
-                index,
-                PageRef {
-                    block: child_block,
-                    flags: new_flags,
-                },
-            )?;
+            // The parent is only rewritten if the reference actually changed —
+            // repeated accesses through a shadowed, flagged path leave it alone.
+            if child_is_new || new_flags != reference.flags {
+                Arc::make_mut(&mut current_page).set_ref(
+                    index,
+                    PageRef {
+                        block: child_block,
+                        flags: new_flags,
+                    },
+                )?;
+                current_dirty = true;
+            }
 
-            trail.push((current_block, current_page));
+            trail.push((current_block, current_page, current_dirty));
             current_block = child_block;
             current_page = child_page;
+            // A fresh copy must be staged at least once; an existing private page is
+            // only staged if the access below changes it.
+            current_dirty = child_is_new;
         }
 
         // Apply the access to the target page.
-        let outcome = self.apply_target_access(&mut current_page, &mut meta, access)?;
-        self.pages.write_page(current_block, &current_page)?;
-        // Write back the (private) pages along the path, root last, so a reader that
-        // races us never follows a reference to a page that has not been written yet.
-        for (block, page) in trail.into_iter().rev() {
-            self.pages.write_page(block, &page)?;
+        let outcome = if access_mutates(&access) || current_dirty {
+            let outcome =
+                self.apply_target_access(Arc::make_mut(&mut current_page), &mut meta, access)?;
+            // Stage the target first, then the (private) pages along the path, root
+            // last, so the buffer (and, in write-through mode, the disk) never holds
+            // a parent referencing a page that has not been staged yet.
+            self.stage_page(&mut meta, current_block, &current_page)?;
+            outcome
+        } else {
+            read_only_outcome(&current_page, &access)?
+        };
+        for (block, page, dirty) in trail.into_iter().rev() {
+            if dirty {
+                self.stage_page(&mut meta, block, &page)?;
+            }
         }
         Ok(outcome)
     }
@@ -400,9 +484,8 @@ impl FileService {
                 dsize: page.dsize(),
             })),
             TargetAccess::InsertPage { index, data } => {
-                let child = Page::leaf(data);
-                let child_block = self.pages.allocate_page(&child)?;
-                meta.owned_blocks.insert(child_block);
+                let child = Arc::new(Page::leaf(data));
+                let child_block = self.stage_new_page(meta, &child)?;
                 let reference = PageRef {
                     block: child_block,
                     flags: PageFlags {
@@ -426,9 +509,8 @@ impl FileService {
                 let keep = keep.min(page.data.len());
                 let tail = page.data.slice(keep..);
                 let head = page.data.slice(..keep);
-                let child = Page::leaf(tail);
-                let child_block = self.pages.allocate_page(&child)?;
-                meta.owned_blocks.insert(child_block);
+                let child = Arc::new(Page::leaf(tail));
+                let child_block = self.stage_new_page(meta, &child)?;
                 page.set_data(head)?;
                 let index = page.push_ref(PageRef {
                     block: child_block,
@@ -444,17 +526,8 @@ impl FileService {
     }
 }
 
-/// How an access to the root (version) page is reflected in its separate flag field.
-enum RootAccess {
-    /// The flags are recorded; the body of the access still has to run.
-    NeedsBody,
-    /// The access was fully absorbed by the flag update (never the case today, but
-    /// keeps the match exhaustive and readable).
-    #[allow(dead_code)]
-    Done(AccessOutcome),
-}
-
-fn apply_root_access(flags: &mut PageFlags, access: &TargetAccess) -> RootAccess {
+/// Records an access to the root (version) page in its separate flag field.
+fn apply_root_access(flags: &mut PageFlags, access: &TargetAccess) {
     flags.copied = true;
     match access {
         TargetAccess::ReadData => flags.read = true,
@@ -468,7 +541,24 @@ fn apply_root_access(flags: &mut PageFlags, access: &TargetAccess) -> RootAccess
             flags.modified = true;
         }
     }
-    RootAccess::NeedsBody
+}
+
+/// True if the access changes the target page's data or reference table (as opposed
+/// to merely reading them).
+fn access_mutates(access: &TargetAccess) -> bool {
+    !matches!(access, TargetAccess::ReadData | TargetAccess::ReadRefs)
+}
+
+/// The outcome of a non-mutating access served without rewriting anything.
+fn read_only_outcome(page: &Page, access: &TargetAccess) -> Result<AccessOutcome> {
+    match access {
+        TargetAccess::ReadData => Ok(AccessOutcome::Data(page.data.clone())),
+        TargetAccess::ReadRefs => Ok(AccessOutcome::Info(PageInfo {
+            nrefs: page.nrefs(),
+            dsize: page.dsize(),
+        })),
+        _ => unreachable!("mutating accesses always dirty the target"),
+    }
 }
 
 #[cfg(test)]

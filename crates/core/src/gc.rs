@@ -331,17 +331,15 @@ impl FileService {
             }
         }
 
-        // Free the version pages (and table entries) of trimmed versions.
+        // Free the version pages (and table entries) of trimmed versions.  The
+        // block index turns the old lock-every-version scan into one hash probe.
         for &block in removed_versions {
             if !reachable.contains(&block) && self.pages.free_page(block).is_ok() {
                 freed += 1;
             }
-            let victim = self
-                .versions
-                .read()
-                .iter()
-                .find(|(_, m)| m.lock().block == block)
-                .map(|(id, m)| (*id, Arc::clone(m)));
+            let victim = self.block_index.read().get(&block).copied();
+            let victim =
+                victim.and_then(|id| self.versions.read().get(&id).map(|m| (id, Arc::clone(m))));
             if let Some((id, meta)) = victim {
                 // Any blocks the trimmed version still owned and that are unreachable
                 // can go too.
@@ -351,7 +349,7 @@ impl FileService {
                         freed += 1;
                     }
                 }
-                self.versions.write().remove(&id);
+                self.forget_version(id, block);
             }
         }
         Ok(freed)

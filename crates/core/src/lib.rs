@@ -56,6 +56,21 @@
 //! remote store ships one request per transport frame, so a k-page update
 //! costs O(1) round trips instead of O(k).
 //!
+//! ## Durability at commit
+//!
+//! The paper's commit protocol establishes durability exactly once, at the atomic
+//! commit point: "First it ascertains that all of V.b's pages are safely on disk",
+//! *then* it tests and sets the commit reference.  The service therefore buffers
+//! all page writes of an uncommitted version in memory (the write-back buffer of
+//! [`pageio::PageIo`]) and flushes them — children before parents, version page
+//! last — at the start of [`FileService::commit`].  A k-write update to one page
+//! costs 0 physical writes until commit and O(dirty pages) at commit; aborted
+//! versions never touch the disk at all, and crash recovery treats an unflushed
+//! uncommitted version as aborted, which is the paper's redo rule.  Set
+//! [`ServiceConfig::write_back`] to `false` to restore write-through page I/O
+//! (used by experiments to measure the delta, reported in
+//! [`PageIoStats::pages_flushed_at_commit`]).
+//!
 //! ## Module map
 //!
 //! | Module | Paper section | Contents |
@@ -63,7 +78,7 @@
 //! | [`page`] | Fig. 3 | page layout, reference table, 28+4-bit packed references |
 //! | [`flags`] | §5.1 | the C/R/W/S/M flags and their 4-bit encoding |
 //! | [`path`] | §5 | client-visible page path names |
-//! | [`pageio`] | §4, §5.4 | page I/O over the block service, flag cache, I/O counters |
+//! | [`pageio`] | §4, §5.4 | page I/O: write-back buffer, sharded `Arc` page cache, I/O counters |
 //! | [`service`] | §5 | the [`FileService`] façade, files, versions, capabilities |
 //! | [`store`] | §5 | the [`FileStore`] trait: the client-visible protocol, batched ops |
 //! | [`update`] | §5.2, §6 | the retrying [`FileStoreExt::update`] transaction API |

@@ -499,6 +499,11 @@ impl FileService {
     /// access by other clients during the update to the super-file" — and finally
     /// clears the inner locks.
     pub fn commit_super_update(&self, update: SuperUpdate) -> Result<crate::commit::CommitReceipt> {
+        // The super commit's flush follows *buffered* references, so the sub-file
+        // version pages (and their private pages) the super tree points at become
+        // durable before the super version can become current — a crash between
+        // the super commit and the sub commits leaves everything the §5.3
+        // recovery procedure needs on disk.
         let receipt = self.commit(&update.super_version)?;
         for (_, sub_version, locked_block) in &update.sub_versions {
             // The sub commits may race nothing (inner lock), so they must succeed.
@@ -729,6 +734,58 @@ mod tests {
 
         // A waiter runs recovery on the locked block and finishes the sub commits.
         let report = service.recover_locked_version(locked_block).unwrap();
+        assert_eq!(report.finished_commits, 1);
+        let current = service.current_version(&subs[0]).unwrap();
+        assert_eq!(
+            service
+                .read_committed_page(&current, &PagePath::root())
+                .unwrap(),
+            Bytes::from_static(b"half done")
+        );
+    }
+
+    #[test]
+    fn super_commit_makes_sub_versions_durable_before_becoming_current() {
+        let (service, super_file, subs) = super_setup(2);
+        let crashed_port = Port::from_raw(0xdead);
+        let mut update = service
+            .begin_super_update(&super_file, crashed_port, true)
+            .unwrap();
+        let sub_version = service.super_update_edit(&mut update, &subs[0]).unwrap();
+        service
+            .write_page(
+                &sub_version,
+                &PagePath::root(),
+                Bytes::from_static(b"half done"),
+            )
+            .unwrap();
+        let sub_block = {
+            let meta = service
+                .resolve_version(&sub_version, amoeba_capability::Rights::READ)
+                .unwrap();
+            let block = meta.lock().block;
+            block
+        };
+
+        // The client executes `commit_super_update` up to and including the super
+        // version's commit, then crashes before the sub commits.  The super
+        // commit's flush alone must make the referenced sub pages durable.
+        service.commit(&update.super_version).unwrap();
+
+        // Everything the now-durable committed super tree references must itself be
+        // durable: a raw block read, bypassing the overlay and the cache, decodes
+        // the sub version page with its data.
+        let raw = service
+            .block_server()
+            .read(&service.storage_account(), sub_block)
+            .unwrap();
+        let on_disk = crate::page::Page::decode(raw).unwrap();
+        assert!(on_disk.is_version_page());
+        assert_eq!(on_disk.data, Bytes::from_static(b"half done"));
+
+        // And the recovery procedure can therefore finish the crashed update.
+        service.report_crashed_port(crashed_port);
+        let report = service.recover_locked_version(update.locked_block).unwrap();
         assert_eq!(report.finished_commits, 1);
         let current = service.current_version(&subs[0]).unwrap();
         assert_eq!(

@@ -1,21 +1,38 @@
 //! Page I/O: reading and writing pages through the block service.
 //!
 //! All pages of all versions live in blocks of a [`BlockServer`] owned by the file
-//! service's account.  `PageIo` adds:
+//! service's account.  `PageIo` adds three layers on top of raw block I/O:
 //!
-//! * encoding/decoding between [`Page`] and raw block contents,
-//! * an optional *flag cache* (§5.4: "The Amoeba File Servers can also conveniently
-//!   cache the concurrency control administration, the flag bits.  This allows
-//!   serialisability tests without having to read the page tree.") — implemented as a
-//!   bounded cache of decoded pages keyed by block number, and
-//! * counters for physical page reads/writes so the benchmarks can report disk I/O
-//!   rather than wall-clock time alone.
+//! * **A write-back buffer (overlay).**  The paper's commit protocol only requires
+//!   that a version's pages be safely on disk *at commit time* ("First it ascertains
+//!   that all of V.b's pages are safely on disk").  Page writes for uncommitted
+//!   versions therefore land in an in-memory overlay ([`PageIo::write_page_buffered`]
+//!   / [`PageIo::allocate_page_buffered`]) and are made durable in one batch by
+//!   [`PageIo::flush_blocks`], which [`crate::commit`] calls — children before
+//!   parents, version page last — immediately before the commit-reference
+//!   test-and-set.  Aborts simply drop the buffer; crash recovery treats an
+//!   unflushed uncommitted version as aborted, which is exactly the paper's
+//!   "uncommitted versions need not be salvaged" rule.  The overlay is
+//!   *authoritative* for the blocks it holds: every read path consults it first,
+//!   because a buffered block's on-disk contents do not exist yet.
+//!
+//! * **A sharded clean-page cache of `Arc<Page>`.**  The optional flag cache of
+//!   §5.4 ("The Amoeba File Servers can also conveniently cache the concurrency
+//!   control administration, the flag bits") is a sharded LRU keyed by block
+//!   number.  Hits hand back an `Arc` clone — no deep copy of the data or the
+//!   reference table — and independent shards keep concurrent commit/validation
+//!   scans from serialising on a single lock.
+//!
+//! * **I/O counters**, so the benchmarks report physical disk traffic rather than
+//!   wall-clock time alone.  `page_writes` counts *physical* writes only: a k-write
+//!   update to one page costs 0 physical writes until commit, then O(dirty pages)
+//!   at flush time (visible separately as `pages_flushed_at_commit`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use amoeba_block::{BlockNr, BlockServer};
 use amoeba_capability::Capability;
@@ -28,14 +45,20 @@ use crate::types::Result;
 pub struct PageIoStats {
     /// Pages read from the block service (physical reads).
     pub page_reads: u64,
-    /// Pages written to the block service.
+    /// Pages written to the block service (physical writes, including flushes).
     pub page_writes: u64,
     /// Pages newly allocated (copy-on-write copies, fresh pages, version pages).
     pub pages_allocated: u64,
     /// Pages freed (aborted versions, garbage collection).
     pub pages_freed: u64,
-    /// Reads satisfied from the flag cache without touching the block service.
+    /// Reads satisfied from the clean-page cache or the write-back buffer without
+    /// touching the block service.
     pub cache_hits: u64,
+    /// Physical page writes performed by commit-time flushes of the write-back
+    /// buffer.  The write-through cost of the same workload is the number of
+    /// buffered (logical) writes; the difference is the I/O the write-back design
+    /// elides.
+    pub pages_flushed_at_commit: u64,
 }
 
 impl PageIoStats {
@@ -47,7 +70,152 @@ impl PageIoStats {
             pages_allocated: self.pages_allocated - earlier.pages_allocated,
             pages_freed: self.pages_freed - earlier.pages_freed,
             cache_hits: self.cache_hits - earlier.cache_hits,
+            pages_flushed_at_commit: self.pages_flushed_at_commit - earlier.pages_flushed_at_commit,
         }
+    }
+}
+
+/// Number of independent shards in the clean-page cache.
+const CACHE_SHARDS: usize = 16;
+
+/// A sharded LRU cache of decoded pages.  Each shard is guarded by its own lock so
+/// hot read paths (commit validation, cache revalidation, GC marking) running on
+/// different blocks do not contend.
+struct PageCache {
+    shards: Vec<Mutex<CacheShard>>,
+}
+
+struct CacheShard {
+    capacity: usize,
+    /// Block → (page, last-use stamp).
+    map: HashMap<BlockNr, (Arc<Page>, u64)>,
+    /// Lazily maintained LRU queue of (block, stamp) pairs.  Entries whose stamp no
+    /// longer matches the map are stale and skipped during eviction; the queue is
+    /// compacted when it grows well beyond the shard capacity, keeping both hit and
+    /// eviction cost amortised O(1).
+    queue: VecDeque<(BlockNr, u64)>,
+    tick: u64,
+}
+
+impl CacheShard {
+    fn touch(&mut self, nr: BlockNr) -> Option<Arc<Page>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (page, stamp) = self.map.get_mut(&nr)?;
+        *stamp = tick;
+        let page = Arc::clone(page);
+        self.queue.push_back((nr, tick));
+        self.maybe_compact();
+        Some(page)
+    }
+
+    fn insert(&mut self, nr: BlockNr, page: Arc<Page>) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(nr, (page, tick));
+        self.queue.push_back((nr, tick));
+        while self.map.len() > self.capacity {
+            match self.queue.pop_front() {
+                Some((victim, stamp)) => {
+                    if self.map.get(&victim).is_some_and(|(_, s)| *s == stamp) {
+                        self.map.remove(&victim);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.maybe_compact();
+    }
+
+    fn remove(&mut self, nr: BlockNr) {
+        self.map.remove(&nr);
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.queue.len() > (4 * self.capacity).max(64) {
+            let map = &self.map;
+            self.queue
+                .retain(|(nr, stamp)| map.get(nr).is_some_and(|(_, s)| s == stamp));
+        }
+    }
+}
+
+impl PageCache {
+    fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(CACHE_SHARDS).max(1);
+        PageCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| {
+                    Mutex::new(CacheShard {
+                        capacity: per_shard,
+                        map: HashMap::new(),
+                        queue: VecDeque::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, nr: BlockNr) -> &Mutex<CacheShard> {
+        // Fibonacci-hash the block number so consecutive blocks spread over shards.
+        let h = (u64::from(nr)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % CACHE_SHARDS]
+    }
+
+    fn get(&self, nr: BlockNr) -> Option<Arc<Page>> {
+        self.shard(nr).lock().touch(nr)
+    }
+
+    fn insert(&self, nr: BlockNr, page: &Arc<Page>) {
+        self.shard(nr).lock().insert(nr, Arc::clone(page));
+    }
+
+    fn remove(&self, nr: BlockNr) {
+        self.shard(nr).lock().remove(nr);
+    }
+}
+
+/// The write-back buffer: dirty pages of uncommitted versions, keyed by the block
+/// number they will occupy once flushed.  Authoritative over the disk.  Sharded
+/// like the clean cache so concurrent versions' page writes (and the membership
+/// probes on every read) do not serialise on one lock.
+struct Overlay {
+    shards: Vec<RwLock<HashMap<BlockNr, Arc<Page>>>>,
+}
+
+impl Overlay {
+    fn new() -> Self {
+        Overlay {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, nr: BlockNr) -> &RwLock<HashMap<BlockNr, Arc<Page>>> {
+        let h = (u64::from(nr)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % CACHE_SHARDS]
+    }
+
+    fn get(&self, nr: BlockNr) -> Option<Arc<Page>> {
+        self.shard(nr).read().get(&nr).cloned()
+    }
+
+    fn contains(&self, nr: BlockNr) -> bool {
+        self.shard(nr).read().contains_key(&nr)
+    }
+
+    fn insert(&self, nr: BlockNr, page: Arc<Page>) {
+        self.shard(nr).write().insert(nr, page);
+    }
+
+    fn remove(&self, nr: BlockNr) -> Option<Arc<Page>> {
+        self.shard(nr).write().remove(&nr)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 }
 
@@ -55,36 +223,14 @@ impl PageIoStats {
 pub struct PageIo {
     server: Arc<BlockServer>,
     account: Capability,
-    cache: Option<Mutex<PageCacheInner>>,
+    cache: Option<PageCache>,
+    overlay: Overlay,
     reads: AtomicU64,
     writes: AtomicU64,
     allocated: AtomicU64,
     freed: AtomicU64,
     cache_hits: AtomicU64,
-}
-
-#[derive(Debug)]
-struct PageCacheInner {
-    capacity: usize,
-    pages: HashMap<BlockNr, Page>,
-    /// Simple FIFO eviction order; good enough for the flag-cache experiments.
-    order: std::collections::VecDeque<BlockNr>,
-}
-
-impl PageCacheInner {
-    fn insert(&mut self, nr: BlockNr, page: Page) {
-        if !self.pages.contains_key(&nr) {
-            self.order.push_back(nr);
-        }
-        self.pages.insert(nr, page);
-        while self.pages.len() > self.capacity {
-            if let Some(evict) = self.order.pop_front() {
-                self.pages.remove(&evict);
-            } else {
-                break;
-            }
-        }
-    }
+    flushed_at_commit: AtomicU64,
 }
 
 impl PageIo {
@@ -103,18 +249,14 @@ impl PageIo {
         PageIo {
             server,
             account,
-            cache: cache_capacity.map(|capacity| {
-                Mutex::new(PageCacheInner {
-                    capacity,
-                    pages: HashMap::new(),
-                    order: std::collections::VecDeque::new(),
-                })
-            }),
+            cache: cache_capacity.map(PageCache::new),
+            overlay: Overlay::new(),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             allocated: AtomicU64::new(0),
             freed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            flushed_at_commit: AtomicU64::new(0),
         }
     }
 
@@ -136,64 +278,152 @@ impl PageIo {
             pages_allocated: self.allocated.load(Ordering::Relaxed),
             pages_freed: self.freed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            pages_flushed_at_commit: self.flushed_at_commit.load(Ordering::Relaxed),
         }
     }
 
-    /// Allocates a block and stores `page` in it.
-    pub fn allocate_page(&self, page: &Page) -> Result<BlockNr> {
+    // ------------------------------------------------------------------
+    // Write-through operations (committed state, merge writes).
+    // ------------------------------------------------------------------
+
+    /// Allocates a block and physically stores `page` in it.
+    pub fn allocate_page(&self, page: &Arc<Page>) -> Result<BlockNr> {
         let encoded = page.encode()?;
         let nr = self.server.allocate_and_write(&self.account, encoded)?;
         self.allocated.fetch_add(1, Ordering::Relaxed);
         self.writes.fetch_add(1, Ordering::Relaxed);
         if let Some(cache) = &self.cache {
-            cache.lock().insert(nr, page.clone());
+            cache.insert(nr, page);
         }
         Ok(nr)
     }
 
-    /// Reads and decodes the page stored in block `nr`.
-    pub fn read_page(&self, nr: BlockNr) -> Result<Page> {
-        if let Some(cache) = &self.cache {
-            if let Some(page) = cache.lock().pages.get(&nr) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(page.clone());
-            }
-        }
-        let raw = self.server.read(&self.account, nr)?;
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        let page = Page::decode(raw)?;
-        if let Some(cache) = &self.cache {
-            cache.lock().insert(nr, page.clone());
-        }
-        Ok(page)
-    }
-
-    /// Reads a page directly from the block service, bypassing the cache.  Used by
-    /// the commit critical section, which must see the on-disk truth.
-    pub fn read_page_uncached(&self, nr: BlockNr) -> Result<Page> {
-        let raw = self.server.read(&self.account, nr)?;
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        Page::decode(raw)
-    }
-
-    /// Writes `page` into the existing block `nr` (writing a private copy in place).
-    pub fn write_page(&self, nr: BlockNr, page: &Page) -> Result<()> {
+    /// Writes `page` into the existing block `nr`, physically and immediately.
+    pub fn write_page(&self, nr: BlockNr, page: &Arc<Page>) -> Result<()> {
         let encoded = page.encode()?;
         self.server.write(&self.account, nr, encoded)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        // Disk is now authoritative again for this block.
+        self.overlay.remove(nr);
         if let Some(cache) = &self.cache {
-            cache.lock().insert(nr, page.clone());
+            cache.insert(nr, page);
         }
         Ok(())
     }
 
-    /// Frees the block holding a page.
+    // ------------------------------------------------------------------
+    // Write-back operations (uncommitted versions).
+    // ------------------------------------------------------------------
+
+    /// Allocates a block number for `page` but keeps the contents in the write-back
+    /// buffer; nothing is physically written until [`PageIo::flush_blocks`].
+    pub fn allocate_page_buffered(&self, page: &Arc<Page>) -> Result<BlockNr> {
+        let nr = self.server.allocate(&self.account)?;
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        self.overlay.insert(nr, Arc::clone(page));
+        Ok(nr)
+    }
+
+    /// Records `page` as the (logical) contents of block `nr` in the write-back
+    /// buffer.  Costs no physical I/O.
+    pub fn write_page_buffered(&self, nr: BlockNr, page: &Arc<Page>) {
+        self.overlay.insert(nr, Arc::clone(page));
+    }
+
+    /// True if block `nr` currently has buffered, unflushed contents.
+    pub fn is_buffered(&self, nr: BlockNr) -> bool {
+        self.overlay.contains(nr)
+    }
+
+    /// Drops the buffered contents of block `nr` without writing them (abort path).
+    /// The block itself remains allocated; callers free it separately.
+    pub fn drop_buffered(&self, nr: BlockNr) {
+        self.overlay.remove(nr);
+    }
+
+    /// Physically writes the buffered pages of `blocks`, in the given order, and
+    /// removes them from the write-back buffer.  Blocks with no buffered contents
+    /// are skipped.  Returns the number of pages written.
+    ///
+    /// The caller is responsible for ordering: [`crate::commit`] passes children
+    /// before parents with the version page last, so a crash mid-flush can never
+    /// leave a durable page referencing a page that was not written.
+    pub fn flush_blocks<I: IntoIterator<Item = BlockNr>>(&self, blocks: I) -> Result<usize> {
+        let mut flushed = 0usize;
+        for nr in blocks {
+            // Take the entry out in one lock acquisition; on a failed write it is
+            // restored so the caller can retry the flush later without data loss.
+            let Some(page) = self.overlay.remove(nr) else {
+                continue;
+            };
+            let result = page
+                .encode()
+                .and_then(|encoded| Ok(self.server.write(&self.account, nr, encoded)?));
+            if let Err(e) = result {
+                self.overlay.insert(nr, page);
+                return Err(e);
+            }
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            self.flushed_at_commit.fetch_add(1, Ordering::Relaxed);
+            if let Some(cache) = &self.cache {
+                cache.insert(nr, &page);
+            }
+            flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads.
+    // ------------------------------------------------------------------
+
+    /// Reads and decodes the page stored in block `nr`.  Consults the write-back
+    /// buffer first (it is authoritative), then the clean cache, then the disk.
+    pub fn read_page(&self, nr: BlockNr) -> Result<Arc<Page>> {
+        if let Some(page) = self.overlay.get(nr) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(page);
+        }
+        if let Some(cache) = &self.cache {
+            if let Some(page) = cache.get(nr) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(page);
+            }
+        }
+        let raw = self.server.read(&self.account, nr)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let page = Arc::new(Page::decode(raw)?);
+        if let Some(cache) = &self.cache {
+            cache.insert(nr, &page);
+        }
+        Ok(page)
+    }
+
+    /// Reads a page bypassing the clean cache.  Used by the commit critical section
+    /// and the chain walks, which must see the on-disk truth for committed pages.
+    /// The write-back buffer is still consulted: for a buffered block the buffer
+    /// *is* the truth (its disk contents do not exist yet).
+    pub fn read_page_uncached(&self, nr: BlockNr) -> Result<Arc<Page>> {
+        if let Some(page) = self.overlay.get(nr) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(page);
+        }
+        let raw = self.server.read(&self.account, nr)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(Page::decode(raw)?))
+    }
+
+    // ------------------------------------------------------------------
+    // Free and invalidate.
+    // ------------------------------------------------------------------
+
+    /// Frees the block holding a page, dropping any buffered or cached copy.
     pub fn free_page(&self, nr: BlockNr) -> Result<()> {
         self.server.free(&self.account, nr)?;
         self.freed.fetch_add(1, Ordering::Relaxed);
+        self.overlay.remove(nr);
         if let Some(cache) = &self.cache {
-            let mut cache = cache.lock();
-            cache.pages.remove(&nr);
+            cache.remove(nr);
         }
         Ok(())
     }
@@ -202,64 +432,61 @@ impl PageIo {
     /// block underneath us, e.g. a commit reference written by a companion manager).
     pub fn invalidate(&self, nr: BlockNr) {
         if let Some(cache) = &self.cache {
-            cache.lock().pages.remove(&nr);
+            cache.remove(nr);
         }
     }
 
     /// The commit critical section: lock block `nr`, give the closure the decoded
     /// page, optionally write back the page it returns, unlock.  Mirrors
-    /// [`BlockServer::update_block`] at page granularity.
+    /// [`BlockServer::update_block`] at page granularity; closure errors pass
+    /// through typed via [`BlockServer::update_block_with`].
+    ///
+    /// For a block that lives in the write-back buffer the update is applied to the
+    /// buffered copy under the buffer lock instead: such blocks belong to exactly
+    /// one uncommitted version, and all mutation of that version is serialised by
+    /// its [`crate::service::VersionMeta`] lock, so the block-server lock adds
+    /// nothing but I/O.
     pub fn update_page<R>(
         &self,
         nr: BlockNr,
         f: impl FnOnce(&mut Page) -> Result<(bool, R)>,
     ) -> Result<R> {
-        let account = self.account;
-        let result = self.server.update_block(&account, nr, |raw| {
-            let mut page = Page::decode(raw).map_err(fs_to_block)?;
-            let (write_back, value) = f(&mut page).map_err(fs_to_block)?;
-            if write_back {
-                let encoded = page.encode().map_err(fs_to_block)?;
-                Ok((Some(encoded), (value, write_back, page)))
-            } else {
-                Ok((None, (value, write_back, page)))
-            }
-        });
-        match result {
-            Ok((value, wrote, page)) => {
-                self.reads.fetch_add(1, Ordering::Relaxed);
-                if wrote {
-                    self.writes.fetch_add(1, Ordering::Relaxed);
-                    if let Some(cache) = &self.cache {
-                        cache.lock().insert(nr, page);
-                    }
+        // Cheap read-locked membership probe first: the common case (a committed
+        // block) must not contend on the overlay's write locks at all.
+        if self.overlay.contains(nr) {
+            let mut shard = self.overlay.shard(nr).write();
+            if let Some(entry) = shard.get_mut(&nr) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let mut page = (**entry).clone();
+                let (write_back, value) = f(&mut page)?;
+                if write_back {
+                    *entry = Arc::new(page);
                 }
-                Ok(value)
+                return Ok(value);
             }
-            Err(e) => Err(block_to_fs(e)),
+            // Raced with a flush: fall through to the disk path below.
         }
-    }
-}
-
-/// Smuggles an [`crate::types::FsError`] through the block layer's error type so
-/// `update_block` closures can fail with file-service errors.
-fn fs_to_block(e: crate::types::FsError) -> amoeba_block::BlockError {
-    match e {
-        crate::types::FsError::Block(inner) => inner,
-        other => amoeba_block::BlockError::Io(format!("fs:{other}")),
-    }
-}
-
-fn block_to_fs(e: amoeba_block::BlockError) -> crate::types::FsError {
-    if let amoeba_block::BlockError::Io(msg) = &e {
-        if let Some(stripped) = msg.strip_prefix("fs:") {
-            // Reconstruct the common cases; anything else stays a block error.
-            if stripped.starts_with("commit failed") {
-                return crate::types::FsError::SerialisabilityConflict;
+        let result: Result<(R, bool, Page)> =
+            self.server.update_block_with(&self.account, nr, |raw| {
+                let mut page = Page::decode(raw)?;
+                let (write_back, value) = f(&mut page)?;
+                if write_back {
+                    let encoded = page.encode()?;
+                    Ok((Some(encoded), (value, true, page)))
+                } else {
+                    Ok((None, (value, false, page)))
+                }
+            });
+        let (value, wrote, page) = result?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if wrote {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            if let Some(cache) = &self.cache {
+                cache.insert(nr, &Arc::new(page));
             }
         }
+        Ok(value)
     }
-    crate::types::FsError::from(e)
 }
 
 impl std::fmt::Debug for PageIo {
@@ -267,6 +494,7 @@ impl std::fmt::Debug for PageIo {
         f.debug_struct("PageIo")
             .field("stats", &self.stats())
             .field("cache_enabled", &self.cache.is_some())
+            .field("buffered_pages", &self.overlay.len())
             .finish()
     }
 }
@@ -283,14 +511,19 @@ mod tests {
         PageIo::with_cache(server, account, cache)
     }
 
+    fn leaf(data: &'static [u8]) -> Arc<Page> {
+        Arc::new(Page::leaf(Bytes::from_static(data)))
+    }
+
     #[test]
     fn allocate_read_write_free_cycle() {
         let io = page_io(Some(16));
-        let page = Page::leaf(Bytes::from_static(b"hello"));
+        let page = leaf(b"hello");
         let nr = io.allocate_page(&page).unwrap();
         assert_eq!(io.read_page(nr).unwrap(), page);
-        let mut page2 = page.clone();
+        let mut page2 = (*page).clone();
         page2.set_data(Bytes::from_static(b"world")).unwrap();
+        let page2 = Arc::new(page2);
         io.write_page(nr, &page2).unwrap();
         assert_eq!(io.read_page(nr).unwrap(), page2);
         io.free_page(nr).unwrap();
@@ -300,9 +533,7 @@ mod tests {
     #[test]
     fn cache_hits_avoid_physical_reads() {
         let io = page_io(Some(16));
-        let nr = io
-            .allocate_page(&Page::leaf(Bytes::from_static(b"x")))
-            .unwrap();
+        let nr = io.allocate_page(&leaf(b"x")).unwrap();
         let before = io.stats();
         for _ in 0..10 {
             io.read_page(nr).unwrap();
@@ -315,9 +546,7 @@ mod tests {
     #[test]
     fn disabled_cache_always_reads_physically() {
         let io = page_io(None);
-        let nr = io
-            .allocate_page(&Page::leaf(Bytes::from_static(b"x")))
-            .unwrap();
+        let nr = io.allocate_page(&leaf(b"x")).unwrap();
         let before = io.stats();
         for _ in 0..10 {
             io.read_page(nr).unwrap();
@@ -331,20 +560,67 @@ mod tests {
     fn cache_eviction_keeps_capacity_bounded() {
         let io = page_io(Some(2));
         let mut blocks = Vec::new();
-        for i in 0..5u8 {
-            blocks.push(io.allocate_page(&Page::leaf(Bytes::from(vec![i]))).unwrap());
+        for i in 0..64u8 {
+            blocks.push(
+                io.allocate_page(&Arc::new(Page::leaf(Bytes::from(vec![i]))))
+                    .unwrap(),
+            );
         }
-        // All pages are still readable even though only two fit in the cache.
+        // All pages are still readable even though only a few fit in the cache.
         for (i, nr) in blocks.iter().enumerate() {
             assert_eq!(io.read_page(*nr).unwrap().data, Bytes::from(vec![i as u8]));
         }
     }
 
     #[test]
+    fn buffered_writes_cost_no_physical_io_until_flush() {
+        let io = page_io(Some(16));
+        let before = io.stats();
+        let nr = io.allocate_page_buffered(&leaf(b"v0")).unwrap();
+        for i in 0..10u8 {
+            io.write_page_buffered(nr, &Arc::new(Page::leaf(Bytes::from(vec![i]))));
+        }
+        let staged = io.stats().since(&before);
+        assert_eq!(staged.page_writes, 0, "buffered writes must stay in memory");
+        assert!(io.is_buffered(nr));
+        // Reads see the buffered contents.
+        assert_eq!(io.read_page(nr).unwrap().data, Bytes::from(vec![9u8]));
+        assert_eq!(
+            io.read_page_uncached(nr).unwrap().data,
+            Bytes::from(vec![9u8])
+        );
+
+        let flushed = io.flush_blocks([nr]).unwrap();
+        assert_eq!(flushed, 1);
+        let total = io.stats().since(&before);
+        assert_eq!(total.page_writes, 1, "ten logical writes, one physical");
+        assert_eq!(total.pages_flushed_at_commit, 1);
+        assert!(!io.is_buffered(nr));
+        // The flushed contents are now on disk.
+        assert_eq!(
+            io.read_page_uncached(nr).unwrap().data,
+            Bytes::from(vec![9u8])
+        );
+    }
+
+    #[test]
+    fn dropped_buffers_never_reach_the_disk() {
+        let io = page_io(Some(16));
+        let nr = io.allocate_page_buffered(&leaf(b"doomed")).unwrap();
+        io.drop_buffered(nr);
+        assert_eq!(io.flush_blocks([nr]).unwrap(), 0);
+        // The block is still allocated but holds no decodable page.
+        assert!(io.read_page(nr).is_err());
+        io.free_page(nr).unwrap();
+    }
+
+    #[test]
     fn update_page_applies_changes_atomically() {
         let io = Arc::new(page_io(Some(16)));
         let nr = io
-            .allocate_page(&Page::leaf(Bytes::from(0u64.to_le_bytes().to_vec())))
+            .allocate_page(&Arc::new(Page::leaf(Bytes::from(
+                0u64.to_le_bytes().to_vec(),
+            ))))
             .unwrap();
         let mut handles = Vec::new();
         for _ in 0..4 {
@@ -374,9 +650,7 @@ mod tests {
     #[test]
     fn update_page_without_write_back_changes_nothing() {
         let io = page_io(Some(16));
-        let nr = io
-            .allocate_page(&Page::leaf(Bytes::from_static(b"keep")))
-            .unwrap();
+        let nr = io.allocate_page(&leaf(b"keep")).unwrap();
         let observed: Bytes = io
             .update_page(nr, |page| Ok((false, page.data.clone())))
             .unwrap();
@@ -385,12 +659,62 @@ mod tests {
     }
 
     #[test]
+    fn update_page_mutates_buffered_blocks_in_memory() {
+        let io = page_io(Some(16));
+        let nr = io.allocate_page_buffered(&leaf(b"before")).unwrap();
+        let phys_before = io.stats();
+        io.update_page(nr, |page| {
+            page.set_data(Bytes::from_static(b"after")).unwrap();
+            Ok((true, ()))
+        })
+        .unwrap();
+        let delta = io.stats().since(&phys_before);
+        assert_eq!(delta.page_reads, 0);
+        assert_eq!(delta.page_writes, 0);
+        assert_eq!(io.read_page(nr).unwrap().data, Bytes::from_static(b"after"));
+    }
+
+    #[test]
     fn stats_count_allocation_and_free() {
         let io = page_io(Some(16));
-        let nr = io.allocate_page(&Page::empty()).unwrap();
+        let nr = io.allocate_page(&Arc::new(Page::empty())).unwrap();
         io.free_page(nr).unwrap();
         let s = io.stats();
         assert_eq!(s.pages_allocated, 1);
         assert_eq!(s.pages_freed, 1);
+    }
+
+    #[test]
+    fn sharded_cache_serves_concurrent_readers_and_evicts() {
+        let io = Arc::new(page_io(Some(64)));
+        let mut blocks = Vec::new();
+        for i in 0..200u32 {
+            blocks.push(
+                io.allocate_page(&Arc::new(Page::leaf(Bytes::from(i.to_le_bytes().to_vec()))))
+                    .unwrap(),
+            );
+        }
+        let blocks = Arc::new(blocks);
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let io = Arc::clone(&io);
+            let blocks = Arc::clone(&blocks);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..50usize {
+                    let i = (t * 31 + round * 7) % blocks.len();
+                    let page = io.read_page(blocks[i]).unwrap();
+                    assert_eq!(
+                        u32::from_le_bytes(page.data[..4].try_into().unwrap()),
+                        i as u32
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The cache stayed bounded (more blocks than capacity) yet produced hits.
+        let stats = io.stats();
+        assert!(stats.cache_hits > 0, "expected some cache hits");
     }
 }

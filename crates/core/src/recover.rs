@@ -18,6 +18,14 @@
 //! Uncommitted versions are deliberately *not* salvaged: "uncommitted versions need
 //! not be salvaged in a server crash … clients must be prepared to redo the updates in
 //! a version."
+//!
+//! With the write-back page path, an uncommitted version whose commit never ran has
+//! usually never been flushed at all: its blocks were allocated but hold no data.
+//! Recovery treats those empty blocks as crash garbage and frees them — the version
+//! is recovered *as aborted*, exactly the paper-correct outcome.  A version flushed
+//! by a commit that crashed before the commit-reference test-and-set shows up as a
+//! decodable version page that no commit reference points at, and is discarded by
+//! the existing uncommitted-version rule.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -39,6 +47,9 @@ pub struct RecoveryReport {
     pub committed_versions: usize,
     /// Number of uncommitted version pages found and discarded.
     pub discarded_uncommitted: usize,
+    /// Number of blocks freed because they were allocated but never written — the
+    /// write-back buffer of an uncommitted version that died with the crash.
+    pub freed_unflushed: usize,
     /// Number of blocks scanned.
     pub blocks_scanned: usize,
 }
@@ -81,11 +92,19 @@ impl FileService {
             parent_block: Option<BlockNr>,
         }
         let mut version_pages: Vec<Found> = Vec::new();
+        let mut unflushed: Vec<BlockNr> = Vec::new();
         for nr in blocks {
             let raw = match block_server.read(account, nr) {
                 Ok(raw) => raw,
                 Err(_) => continue,
             };
+            if raw.is_empty() {
+                // Allocated but never written: the write-back buffer of an
+                // uncommitted version that was lost with the crash.  The version is
+                // thereby recovered as aborted; the block is crash garbage.
+                unflushed.push(nr);
+                continue;
+            }
             let page = match Page::decode(raw) {
                 Ok(page) => page,
                 Err(_) => continue, // Not a page we understand; leave it alone.
@@ -117,8 +136,14 @@ impl FileService {
             files: Vec::new(),
             committed_versions: 0,
             discarded_uncommitted: 0,
+            freed_unflushed: 0,
             blocks_scanned,
         };
+        for nr in unflushed {
+            if block_server.free(account, nr).is_ok() {
+                report.freed_unflushed += 1;
+            }
+        }
 
         // First pass: create the files so parent links can be resolved afterwards.
         let mut block_to_new_file: HashMap<BlockNr, u64> = HashMap::new();
@@ -188,10 +213,9 @@ impl FileService {
                     block,
                     state: VersionState::Committed,
                     owned_blocks: HashSet::new(),
+                    dirty_blocks: HashSet::new(),
                 };
-                self.versions
-                    .write()
-                    .insert(version_id, Arc::new(parking_lot::Mutex::new(meta)));
+                self.register_version(version_id, meta);
                 version_ids.push(version_id);
                 report.committed_versions += 1;
             }
@@ -255,6 +279,7 @@ impl FileService {
             minter: Mutex::new(amoeba_capability::Minter::new(port)),
             files: RwLock::new(HashMap::new()),
             versions: RwLock::new(HashMap::new()),
+            block_index: RwLock::new(HashMap::new()),
             next_object: AtomicU64::new(1),
             config,
             port,
@@ -328,7 +353,12 @@ mod tests {
         .unwrap();
         assert_eq!(report.files.len(), 2);
         assert!(report.committed_versions >= 4);
-        assert!(report.discarded_uncommitted >= 1);
+        // The pending update was never flushed: it shows up as unflushed crash
+        // garbage (write-back) rather than a decodable uncommitted version page.
+        assert!(
+            report.discarded_uncommitted + report.freed_unflushed >= 1,
+            "the pending update must be discarded: {report:?}"
+        );
 
         // Every recovered file's current version is readable; one of them holds
         // file A's page, the other file B's newest root.

@@ -35,6 +35,13 @@ use crate::types::{FileId, FsError, Result, VersionId};
 pub struct ServiceConfig {
     /// Capacity of the server-side page/flag cache; `None` disables it (E13).
     pub flag_cache_capacity: Option<usize>,
+    /// Buffer page writes of uncommitted versions in memory and flush them to the
+    /// block service at commit time (the paper's durability-at-commit rule).  When
+    /// `false` every staged page is written through immediately (shadow-trail
+    /// write elision still applies, so unchanged pages are skipped in both modes).
+    /// The `perf-smoke` benchmark binary uses the toggle to measure the
+    /// write-through vs write-back delta.
+    pub write_back: bool,
     /// How many committed versions of each file the garbage collector retains.
     pub history_retention: usize,
     /// How long a lock waiter sleeps between checks of the lock field.
@@ -48,6 +55,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             flag_cache_capacity: Some(4096),
+            write_back: true,
             history_retention: 8,
             lock_poll_interval: std::time::Duration::from_millis(1),
             lock_patience: std::time::Duration::from_millis(500),
@@ -98,6 +106,9 @@ pub(crate) struct VersionMeta {
     /// Blocks privately owned by this version (copy-on-write copies).  Used by abort
     /// and by the garbage collector.  Does not include the version page itself.
     pub owned_blocks: HashSet<BlockNr>,
+    /// Blocks of this version whose contents currently live only in the write-back
+    /// buffer (including the version page).  Flushed by commit, dropped by abort.
+    pub dirty_blocks: HashSet<BlockNr>,
 }
 
 /// Counters describing commit activity, used by the experiments.
@@ -133,6 +144,10 @@ pub struct FileService {
     pub(crate) minter: Mutex<Minter>,
     pub(crate) files: RwLock<HashMap<FileId, Arc<Mutex<FileMeta>>>>,
     pub(crate) versions: RwLock<HashMap<VersionId, Arc<Mutex<VersionMeta>>>>,
+    /// Version-page block → version id, so block-keyed lookups (the
+    /// `current_version` path, GC trimming) cost one hash probe instead of a scan
+    /// that locks every version.  Maintained on create/commit/remove.
+    pub(crate) block_index: RwLock<HashMap<BlockNr, VersionId>>,
     pub(crate) next_object: AtomicU64,
     pub(crate) config: ServiceConfig,
     /// The service port; also used as the lock-holder identity written into top/inner
@@ -178,6 +193,7 @@ impl FileService {
             minter: Mutex::new(Minter::new(port)),
             files: RwLock::new(HashMap::new()),
             versions: RwLock::new(HashMap::new()),
+            block_index: RwLock::new(HashMap::new()),
             next_object: AtomicU64::new(1),
             config,
             port,
@@ -282,6 +298,23 @@ impl FileService {
             .ok_or(FsError::NoSuchVersion)
     }
 
+    /// Registers a version in the table and the block index.
+    pub(crate) fn register_version(&self, id: VersionId, meta: VersionMeta) {
+        let block = meta.block;
+        self.versions.write().insert(id, Arc::new(Mutex::new(meta)));
+        self.block_index.write().insert(block, id);
+    }
+
+    /// Removes a version from the table and the block index (abort, conflict
+    /// removal, GC trimming).
+    pub(crate) fn forget_version(&self, id: VersionId, block: BlockNr) {
+        self.versions.write().remove(&id);
+        let mut index = self.block_index.write();
+        if index.get(&block) == Some(&id) {
+            index.remove(&block);
+        }
+    }
+
     // ------------------------------------------------------------------
     // File creation.
     // ------------------------------------------------------------------
@@ -318,7 +351,8 @@ impl FileService {
             let parent_meta = self.file_by_id(parent_id)?;
             header.parent_reference = Some(parent_meta.lock().current_hint);
         }
-        let vpage = Page::version_page(header);
+        let vpage = Arc::new(Page::version_page(header));
+        // The initial version is committed from birth, so it is written through.
         let block = self.pages.allocate_page(&vpage)?;
 
         let file_meta = FileMeta {
@@ -335,13 +369,12 @@ impl FileService {
             block,
             state: VersionState::Committed,
             owned_blocks: HashSet::new(),
+            dirty_blocks: HashSet::new(),
         };
         self.files
             .write()
             .insert(file_id, Arc::new(Mutex::new(file_meta)));
-        self.versions
-            .write()
-            .insert(version_id, Arc::new(Mutex::new(version_meta)));
+        self.register_version(version_id, version_meta);
 
         if let Some(parent_id) = parent {
             self.register_child(parent_id, file_id, block)?;
@@ -420,14 +453,11 @@ impl FileService {
         file_id: FileId,
         block: BlockNr,
     ) -> Result<Capability> {
-        if let Some(cap) = self
-            .versions
-            .read()
-            .values()
-            .find(|meta| meta.lock().block == block)
-            .map(|meta| meta.lock().cap)
-        {
-            return Ok(cap);
+        let known = self.block_index.read().get(&block).copied();
+        if let Some(id) = known {
+            if let Some(meta) = self.versions.read().get(&id) {
+                return Ok(meta.lock().cap);
+            }
         }
         // Unknown version page (written by a previous incarnation of the service or a
         // companion manager): register it as a committed version under a fresh
@@ -444,10 +474,9 @@ impl FileService {
             block,
             state: VersionState::Committed,
             owned_blocks: HashSet::new(),
+            dirty_blocks: HashSet::new(),
         };
-        self.versions
-            .write()
-            .insert(version_id, Arc::new(Mutex::new(meta)));
+        self.register_version(version_id, meta);
         Ok(cap)
     }
 

@@ -118,6 +118,14 @@ pub trait FileStore: Send + Sync {
         }
         Ok(())
     }
+
+    /// Physical page I/O statistics of the backing service, if the store can see
+    /// them.  A local service reports its counters (including
+    /// [`crate::PageIoStats::pages_flushed_at_commit`], the write-back vs
+    /// write-through delta); remote stores return `None`.
+    fn io_stats(&self) -> Option<crate::PageIoStats> {
+        None
+    }
 }
 
 impl FileStore for FileService {
@@ -178,6 +186,10 @@ impl FileStore for FileService {
 
     fn validate_cache(&self, file: &Capability, cached_block: BlockNr) -> Result<CacheValidation> {
         FileService::validate_cache(self, file, cached_block)
+    }
+
+    fn io_stats(&self) -> Option<crate::PageIoStats> {
+        Some(FileService::io_stats(self))
     }
 }
 
@@ -244,6 +256,9 @@ macro_rules! forward_file_store {
                 writes: &[(PagePath, Bytes)],
             ) -> Result<()> {
                 (**self).write_pages(version, writes)
+            }
+            fn io_stats(&self) -> Option<crate::PageIoStats> {
+                (**self).io_stats()
             }
         }
     };

@@ -134,7 +134,17 @@ impl FileService {
             })
             .collect();
         vpage.data = base_page.data.clone();
-        let block = self.pages.allocate_page(&vpage)?;
+        let vpage = std::sync::Arc::new(vpage);
+        // An uncommitted version page need not be durable until commit; in
+        // write-back mode it starts life in the buffer.
+        let mut dirty_blocks = HashSet::new();
+        let block = if self.config.write_back {
+            let block = self.pages.allocate_page_buffered(&vpage)?;
+            dirty_blocks.insert(block);
+            block
+        } else {
+            self.pages.allocate_page(&vpage)?
+        };
 
         let meta = VersionMeta {
             cap: version_cap,
@@ -142,11 +152,9 @@ impl FileService {
             block,
             state: VersionState::Uncommitted,
             owned_blocks: HashSet::new(),
+            dirty_blocks,
         };
-        self.versions.write().insert(
-            version_id,
-            std::sync::Arc::new(parking_lot::Mutex::new(meta)),
-        );
+        self.register_version(version_id, meta);
         Ok(version_cap)
     }
 
@@ -167,6 +175,8 @@ impl FileService {
         if let Some(base) = vpage.base_reference {
             let _ = self.clear_top_lock_if_held(base);
         }
+        // Freeing drops any buffered (never physically written) contents with the
+        // blocks; the write-back buffer needs no separate teardown.
         for nr in owned {
             let _ = self.pages.free_page(nr);
         }
@@ -175,8 +185,9 @@ impl FileService {
             let mut meta = meta.lock();
             meta.state = VersionState::Aborted;
             meta.owned_blocks.clear();
+            meta.dirty_blocks.clear();
         }
-        self.versions.write().remove(&version_cap.object);
+        self.forget_version(version_cap.object, block);
         let _ = file_id;
         Ok(())
     }
@@ -224,7 +235,10 @@ impl FileService {
     }
 
     /// Reads the version page at `block` and fails if it is not a version page.
-    pub(crate) fn read_version_page_at(&self, block: BlockNr) -> Result<(Page, VersionHeader)> {
+    pub(crate) fn read_version_page_at(
+        &self,
+        block: BlockNr,
+    ) -> Result<(std::sync::Arc<Page>, VersionHeader)> {
         let page = self.pages.read_page_uncached(block)?;
         let header = page
             .version

@@ -1,0 +1,265 @@
+//! Integration tests for the write-back page path: durability is established at
+//! commit time (the paper's "first it ascertains that all of V.b's pages are safely
+//! on disk"), not per page access.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use afs_core::{
+    BlockServer, Capability, FileService, MemStore, PagePath, ServiceConfig, VersionState,
+};
+
+fn service_with(write_back: bool) -> Arc<FileService> {
+    let server = Arc::new(BlockServer::new(Arc::new(MemStore::new())));
+    FileService::with_config(
+        server,
+        ServiceConfig {
+            write_back,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Builds a committed file with a depth-2 path root → interior → leaf and returns
+/// the leaf path.
+fn deep_file(service: &FileService) -> (Capability, PagePath) {
+    let file = service.create_file().unwrap();
+    let v = service.create_version(&file).unwrap();
+    let interior = service
+        .append_page(&v, &PagePath::root(), Bytes::from_static(b"interior"))
+        .unwrap();
+    let leaf = service
+        .append_page(&v, &interior, Bytes::from_static(b"leaf"))
+        .unwrap();
+    service.commit(&v).unwrap();
+    (file, leaf)
+}
+
+#[test]
+fn repeated_writes_cost_o_dirty_pages_at_commit_not_o_k_depth() {
+    let service = service_with(true);
+    let (file, leaf) = deep_file(&service);
+
+    const K: usize = 50;
+    // Version creation itself performs one physical write: the top-lock
+    // test-and-set on the shared current version page.  Measure after it.
+    let v = service.create_version(&file).unwrap();
+    let before = service.io_stats();
+    for i in 0..K {
+        service
+            .write_page(&v, &leaf, Bytes::from(vec![i as u8; 64]))
+            .unwrap();
+    }
+    let staged = service.io_stats().since(&before);
+    assert_eq!(
+        staged.page_writes, 0,
+        "uncommitted page writes must stay in the write-back buffer"
+    );
+
+    service.commit(&v).unwrap();
+    let total = service.io_stats().since(&before);
+    // The flush writes the dirty pages once each (leaf copy, interior copy, version
+    // page); commit adds the commit-reference test-and-set and the lock clear.  The
+    // write-through seed paid O(K · depth) writes for the same workload.
+    assert!(
+        total.pages_flushed_at_commit <= 4,
+        "expected O(dirty) flushed pages, got {total:?}"
+    );
+    assert!(
+        (total.page_writes as usize) < K,
+        "expected O(dirty) physical writes for {K} logical writes, got {total:?}"
+    );
+
+    // The committed contents are the last write.
+    let current = service.current_version(&file).unwrap();
+    assert_eq!(
+        service.read_committed_page(&current, &leaf).unwrap(),
+        Bytes::from(vec![(K - 1) as u8; 64])
+    );
+}
+
+#[test]
+fn write_back_elides_physical_io_the_write_through_mode_pays() {
+    let run = |write_back: bool| {
+        let service = service_with(write_back);
+        let (file, leaf) = deep_file(&service);
+        let before = service.io_stats();
+        for round in 0..10u8 {
+            let v = service.create_version(&file).unwrap();
+            for i in 0..10u8 {
+                service
+                    .write_page(&v, &leaf, Bytes::from(vec![round, i]))
+                    .unwrap();
+            }
+            service.commit(&v).unwrap();
+        }
+        service.io_stats().since(&before)
+    };
+    let write_through = run(false);
+    let write_back = run(true);
+    assert!(
+        write_back.page_writes < write_through.page_writes,
+        "write-back ({write_back:?}) must beat write-through ({write_through:?})"
+    );
+    assert!(write_back.pages_flushed_at_commit > 0);
+    assert_eq!(write_through.pages_flushed_at_commit, 0);
+}
+
+#[test]
+fn shadow_trail_rewrites_are_elided_on_repeated_access() {
+    let service = service_with(false); // write-through makes every rewrite visible
+    let (file, leaf) = deep_file(&service);
+    let v = service.create_version(&file).unwrap();
+    service
+        .write_page(&v, &leaf, Bytes::from_static(b"first"))
+        .unwrap();
+    let after_first = service.io_stats();
+    // Repeated writes through the now fully shadowed, fully flagged trail must
+    // rewrite only the leaf, not the interior pages or the version page.
+    for i in 0..5u8 {
+        service.write_page(&v, &leaf, Bytes::from(vec![i])).unwrap();
+    }
+    let delta = service.io_stats().since(&after_first);
+    assert_eq!(
+        delta.page_writes, 5,
+        "each repeated write must rewrite exactly the target page: {delta:?}"
+    );
+    // Repeated reads of an already read page rewrite nothing at all.  (The very
+    // first read records the R flag in the leaf's parent, which is one rewrite.)
+    service.read_page(&v, &leaf).unwrap();
+    let before_reads = service.io_stats();
+    for _ in 0..5 {
+        service.read_page(&v, &leaf).unwrap();
+    }
+    let delta = service.io_stats().since(&before_reads);
+    assert_eq!(delta.page_writes, 0, "re-reads must not rewrite: {delta:?}");
+    service.commit(&v).unwrap();
+}
+
+#[test]
+fn crash_before_commit_recovers_the_version_as_aborted() {
+    let block_server = Arc::new(BlockServer::new(Arc::new(MemStore::new())));
+    let service = FileService::new(Arc::clone(&block_server));
+    let account = service.storage_account();
+
+    let file = service.create_file().unwrap();
+    let v = service.create_version(&file).unwrap();
+    let page = service
+        .append_page(&v, &PagePath::root(), Bytes::from_static(b"durable"))
+        .unwrap();
+    service.commit(&v).unwrap();
+
+    // An update in progress: buffered only, never committed.
+    let pending = service.create_version(&file).unwrap();
+    service
+        .write_page(&pending, &page, Bytes::from_static(b"volatile"))
+        .unwrap();
+    let blocks_before_crash = block_server.store().allocated_count();
+
+    // The server process dies; the write-back buffer dies with it.
+    drop(service);
+
+    let (recovered, report) = FileService::recover_from_storage(
+        Arc::clone(&block_server),
+        account,
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(report.files.len(), 1);
+    assert!(
+        report.freed_unflushed > 0,
+        "the unflushed version's blocks are crash garbage: {report:?}"
+    );
+    // The uncommitted update is gone without trace: only the committed chain
+    // remains, and its contents are the committed ones.
+    let tree = recovered.family_tree(&report.files[0]).unwrap();
+    assert!(tree.uncommitted.is_empty());
+    let current = recovered.current_version(&report.files[0]).unwrap();
+    assert_eq!(
+        recovered.version_state(&current).unwrap(),
+        VersionState::Committed
+    );
+    assert_eq!(
+        recovered.read_committed_page(&current, &page).unwrap(),
+        Bytes::from_static(b"durable")
+    );
+    assert!(
+        block_server.store().allocated_count() < blocks_before_crash,
+        "recovery must reclaim the unflushed blocks"
+    );
+}
+
+#[test]
+fn aborts_drop_the_buffer_without_physical_writes() {
+    let service = service_with(true);
+    let (file, leaf) = deep_file(&service);
+    // Creating and aborting a version each write the shared current version page
+    // once (top-lock set and clear); everything in between must cost nothing.
+    let v = service.create_version(&file).unwrap();
+    let before = service.io_stats();
+    for i in 0..20u8 {
+        service.write_page(&v, &leaf, Bytes::from(vec![i])).unwrap();
+    }
+    let staged = service.io_stats().since(&before);
+    assert_eq!(
+        staged.page_writes, 0,
+        "an aborted buffered update must never touch the disk: {staged:?}"
+    );
+    service.abort_version(&v).unwrap();
+    let delta = service.io_stats().since(&before);
+    assert_eq!(delta.pages_flushed_at_commit, 0);
+    // The committed state is untouched.
+    let current = service.current_version(&file).unwrap();
+    assert_eq!(
+        service.read_committed_page(&current, &leaf).unwrap(),
+        Bytes::from_static(b"leaf")
+    );
+}
+
+#[test]
+fn concurrent_committers_share_the_cache_and_stay_correct() {
+    let service = service_with(true);
+    let file = service.create_file().unwrap();
+    let setup = service.create_version(&file).unwrap();
+    let mut paths = Vec::new();
+    for i in 0..8u8 {
+        paths.push(
+            service
+                .append_page(&setup, &PagePath::root(), Bytes::from(vec![i]))
+                .unwrap(),
+        );
+    }
+    service.commit(&setup).unwrap();
+    let paths = Arc::new(paths);
+
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let service = Arc::clone(&service);
+            let paths = Arc::clone(&paths);
+            scope.spawn(move || {
+                for round in 0..25usize {
+                    loop {
+                        let v = service.create_version(&file).unwrap();
+                        let path = &paths[(t * 2 + round) % paths.len()];
+                        service
+                            .write_page(&v, path, Bytes::from(vec![t as u8, round as u8]))
+                            .unwrap();
+                        match service.commit(&v) {
+                            Ok(_) => break,
+                            Err(afs_core::FsError::SerialisabilityConflict) => continue,
+                            Err(e) => panic!("unexpected commit failure: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // All committed state is readable and the cache produced hits.
+    let current = service.current_version(&file).unwrap();
+    for path in paths.iter() {
+        service.read_committed_page(&current, path).unwrap();
+    }
+    assert!(service.io_stats().cache_hits > 0);
+}

@@ -52,6 +52,10 @@ pub struct RunResult {
     pub elapsed: Duration,
     /// Commit latency statistics (time from first attempt to successful commit).
     pub latency: LatencyStats,
+    /// Physical page I/O performed during the run (including
+    /// `pages_flushed_at_commit`, the write-back flush traffic), when the
+    /// mechanism exposes its counters; `None` for the baselines and remote stores.
+    pub io: Option<afs_core::PageIoStats>,
 }
 
 impl RunResult {
@@ -90,6 +94,7 @@ where
     let committed = AtomicU64::new(0);
     let aborts = AtomicU64::new(0);
     let gave_up = AtomicU64::new(0);
+    let io_before = cc.io_stats();
     let start = Instant::now();
 
     let latencies: Vec<Duration> = std::thread::scope(|scope| {
@@ -162,6 +167,10 @@ where
         gave_up: gave_up.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
         latency: LatencyStats::from_samples(latencies),
+        io: match (io_before, cc.io_stats()) {
+            (Some(before), Some(after)) => Some(after.since(&before)),
+            _ => None,
+        },
     }
 }
 
@@ -195,6 +204,18 @@ mod tests {
         assert_eq!(result.committed, 60);
         assert_eq!(result.gave_up, 0);
         assert!(result.throughput() > 0.0);
+        // The local service surfaces its physical I/O, including the write-back
+        // flush traffic, through the uniform interface.
+        let io = result.io.expect("the local service reports I/O stats");
+        assert!(io.pages_flushed_at_commit > 0);
+        assert!(io.page_writes >= io.pages_flushed_at_commit);
+    }
+
+    #[test]
+    fn baselines_report_no_io_stats() {
+        let cc = TwoPhaseLockingServer::in_memory();
+        let result = run_workload(&cc, &tiny_config());
+        assert!(result.io.is_none());
     }
 
     #[test]
