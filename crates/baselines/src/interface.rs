@@ -82,9 +82,16 @@ pub trait ConcurrencyControl: Send + Sync {
 
     /// Physical page I/O statistics of the backing store, when the mechanism can
     /// see them (the Amoeba service reports its [`afs_core::PageIoStats`],
-    /// including `pages_flushed_at_commit`; the baselines return `None`).
+    /// including `pages_flushed_at_commit`; the baselines return `None`).  For a
+    /// sharded store this is the sum over all shards.
     fn io_stats(&self) -> Option<afs_core::PageIoStats> {
         None
+    }
+
+    /// Per-shard physical page I/O statistics, in shard order, when the
+    /// mechanism can see them.  An unsharded mechanism is one shard.
+    fn shard_io_stats(&self) -> Option<Vec<afs_core::PageIoStats>> {
+        self.io_stats().map(|stats| vec![stats])
     }
 }
 
@@ -225,6 +232,10 @@ impl<S: FileStore> ConcurrencyControl for StoreAdapter<S> {
 
     fn io_stats(&self) -> Option<afs_core::PageIoStats> {
         self.store.io_stats()
+    }
+
+    fn shard_io_stats(&self) -> Option<Vec<afs_core::PageIoStats>> {
+        self.store.shard_io_stats()
     }
 }
 

@@ -1,11 +1,16 @@
-//! Perf smoke: a short, deterministic slice of the `occ_vs_locking` and
-//! `cow_overhead` workloads that runs in seconds and writes machine-readable I/O
-//! counters to `BENCH_2.json`, so CI can track the performance trajectory without
-//! a full Criterion run.
+//! Perf smoke: short, deterministic workload slices that run in seconds and
+//! write machine-readable throughput and I/O counters to `BENCH_3.json`, so CI
+//! can track the performance trajectory without a full Criterion run.
 //!
-//! The copy-on-write workload is run twice — once with the seed's write-through
-//! page path and once with the write-back path — so the JSON carries the
-//! before/after physical-write delta the write-back design exists to produce.
+//! Three families of rows are emitted:
+//!
+//! * the `occ_vs_locking`-style mixed workload over a single service
+//!   (`occ_mixed`, kept from `BENCH_2.json` for continuity),
+//! * the copy-on-write workload run write-through and write-back, carrying the
+//!   PR 2 physical-write delta,
+//! * the *sharded* mixed OCC workload over a `ShardedStore` with 1 and with
+//!   N shards (each shard on 2-replica block storage), carrying the 1-shard vs
+//!   N-shard ops/sec scaling the sharded topology exists to produce.
 //!
 //! Usage: `cargo run -p afs-bench --release --bin perf-smoke [-- OUTPUT.json]`
 
@@ -14,14 +19,20 @@ use std::time::Instant;
 
 use bytes::Bytes;
 
-use afs_baselines::AmoebaAdapter;
+use afs_baselines::{AmoebaAdapter, StoreAdapter};
+use afs_client::ShardedStore;
 use afs_core::{BlockServer, FileService, MemStore, PageIoStats, PagePath, ServiceConfig};
 use afs_sim::{run_workload, RunConfig};
-use afs_workload::MixConfig;
+use afs_workload::{sharded_mix, MixConfig};
+
+/// Shard count of the "many servers" row.
+const SHARDS: usize = 3;
+/// Replicas per shard in the sharded rows.
+const REPLICAS: usize = 2;
 
 /// One workload's headline numbers.
 struct Row {
-    name: &'static str,
+    name: String,
     ops_per_sec: f64,
     io: PageIoStats,
 }
@@ -62,15 +73,37 @@ fn occ_mixed() -> Row {
     };
     let result = run_workload(&cc, &config);
     Row {
-        name: "occ_mixed",
+        name: "occ_mixed".to_string(),
         ops_per_sec: result.throughput(),
         io: result.io.expect("the local service reports I/O stats"),
     }
 }
 
+/// The sharded mixed OCC workload: `shards` shards, each over a
+/// `REPLICAS`-replica block store, uniform file placement, run with enough
+/// clients to keep every shard busy.  The file count is held constant across
+/// shard counts so the 1-shard vs N-shard comparison isolates sharding itself
+/// rather than a change in OCC contention.
+fn occ_sharded(shards: usize) -> Row {
+    let (store, _replicas) = ShardedStore::local_replicated(shards, REPLICAS);
+    let cc = StoreAdapter::over(store, "amoeba-occ-sharded");
+    let config = RunConfig {
+        clients: 8,
+        transactions_per_client: 100,
+        max_retries: 10_000,
+        mix: sharded_mix(12, 32, 0.0, 42),
+    };
+    let result = run_workload(&cc, &config);
+    Row {
+        name: format!("occ_sharded_{shards}"),
+        ops_per_sec: result.throughput(),
+        io: result.io.expect("local shards report I/O stats"),
+    }
+}
+
 /// A `cow_overhead`-style repeated-leaf-update workload: N transactions, each
 /// writing the same depth-2 leaf several times before committing.
-fn cow_repeated_write(name: &'static str, write_back: bool) -> Row {
+fn cow_repeated_write(name: &str, write_back: bool) -> Row {
     let server = Arc::new(BlockServer::new(Arc::new(MemStore::new())));
     let service = FileService::with_config(
         server,
@@ -104,55 +137,69 @@ fn cow_repeated_write(name: &'static str, write_back: bool) -> Row {
     }
     let elapsed = start.elapsed().as_secs_f64().max(f64::EPSILON);
     Row {
-        name,
+        name: name.to_string(),
         ops_per_sec: (ROUNDS * WRITES_PER_ROUND) as f64 / elapsed,
         io: service.io_stats().since(&before),
     }
 }
 
+fn find(rows: &[Row], name: &str) -> Option<(f64, u64)> {
+    rows.iter()
+        .find(|r| r.name == name)
+        .map(|r| (r.ops_per_sec, r.io.page_writes))
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_2.json".to_string());
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
 
     let rows = [
         occ_mixed(),
         cow_repeated_write("cow_repeated_write_writethrough", false),
         cow_repeated_write("cow_repeated_write_writeback", true),
+        occ_sharded(1),
+        occ_sharded(SHARDS),
     ];
 
-    let before = rows
-        .iter()
-        .find(|r| r.name == "cow_repeated_write_writethrough")
-        .map(|r| r.io.page_writes)
-        .unwrap_or(0);
-    let after = rows
-        .iter()
-        .find(|r| r.name == "cow_repeated_write_writeback")
-        .map(|r| r.io.page_writes)
-        .unwrap_or(0);
+    let (_, wt_writes) = find(&rows, "cow_repeated_write_writethrough").unwrap_or((0.0, 0));
+    let (_, wb_writes) = find(&rows, "cow_repeated_write_writeback").unwrap_or((0.0, 0));
+    let (ops_1, _) = find(&rows, "occ_sharded_1").unwrap_or((0.0, 0));
+    let (ops_n, _) = find(&rows, &format!("occ_sharded_{SHARDS}")).unwrap_or((0.0, 0));
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"afs-perf-smoke-v2\",\n",
+            "  \"schema\": \"afs-perf-smoke-v3\",\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"write_back_delta\": {{\n",
             "    \"cow_page_writes_before\": {},\n",
             "    \"cow_page_writes_after\": {},\n",
             "    \"write_reduction_factor\": {:.2}\n",
+            "  }},\n",
+            "  \"shard_scaling\": {{\n",
+            "    \"shards\": {},\n",
+            "    \"replicas_per_shard\": {},\n",
+            "    \"ops_per_sec_1_shard\": {:.1},\n",
+            "    \"ops_per_sec_n_shards\": {:.1},\n",
+            "    \"scaling_factor\": {:.2}\n",
             "  }}\n",
             "}}\n"
         ),
         body.join(",\n"),
-        before,
-        after,
-        if after > 0 {
-            before as f64 / after as f64
+        wt_writes,
+        wb_writes,
+        if wb_writes > 0 {
+            wt_writes as f64 / wb_writes as f64
         } else {
             0.0
         },
+        SHARDS,
+        REPLICAS,
+        ops_1,
+        ops_n,
+        if ops_1 > 0.0 { ops_n / ops_1 } else { 0.0 },
     );
 
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

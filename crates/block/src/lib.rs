@@ -24,11 +24,12 @@
 //! |---|---|
 //! | [`store`] | The [`BlockStore`] trait: raw allocate/free/read/write of blocks |
 //! | [`mem`] | [`MemStore`]: in-memory store (the "electronic disk") |
-//! | [`disk`] | [`FileStore`]: file-backed store (the "magnetic disk") |
+//! | [`disk`] | [`disk::FileStore`]: file-backed store (the "magnetic disk") |
 //! | [`optical`] | [`WriteOnceStore`]: write-once wrapper (the "optical disk", §6) |
 //! | [`faulty`] | [`FaultyStore`]: fault-injection wrapper (crashes, torn writes, corruption, latency) |
 //! | [`server`] | [`BlockServer`]: accounts, capabilities, per-block locks, recovery listing |
 //! | [`stable`] | [`StableStore`] (Lampson–Sturgis, 1 server × 2 disks) and [`CompanionPair`] (the paper's 2 server × 2 disk scheme) |
+//! | [`replica`] | [`ReplicatedBlockStore`]: N-replica read-one/write-all sets with intention recording and resync (the per-shard storage of the sharded service) |
 //!
 //! Block numbers are 28 bits wide ([`BlockNr`]), matching the page-reference layout of
 //! the file service (Fig. 3: "Amoeba uses 28 bits for a block number and four bits for
@@ -41,6 +42,7 @@ pub mod disk;
 pub mod faulty;
 pub mod mem;
 pub mod optical;
+pub mod replica;
 pub mod server;
 pub mod stable;
 pub mod store;
@@ -49,6 +51,7 @@ mod types;
 pub use faulty::{FaultPlan, FaultyStore};
 pub use mem::MemStore;
 pub use optical::WriteOnceStore;
+pub use replica::{ReplicaSetStats, ReplicatedBlockStore};
 pub use server::{AccountId, BlockServer};
 pub use stable::{CompanionPair, StableStore};
 pub use store::{BlockStore, StoreStats};

@@ -1,0 +1,833 @@
+//! N-way replicated block storage: the generalisation of [`crate::CompanionPair`].
+//!
+//! The paper's stable storage duplicates every block on two servers so that "no
+//! single failure can destroy information".  [`ReplicatedBlockStore`] keeps that
+//! guarantee but generalises the topology from the fixed two-server pair to a
+//! replica *set* of N independent disks, which is what each shard of the sharded
+//! file service runs on:
+//!
+//! * **write-all** — a write (or allocation, or free) is applied to every live
+//!   replica before it is acknowledged, so any single replica can serve any
+//!   later read;
+//! * **read-one** — a read is served by the first live replica, falling back to
+//!   the next replica when the local copy is crashed, corrupted or missing (the
+//!   fail-over discipline exercised through [`crate::FaultyStore`]);
+//! * **write intention recording** — writes that a crashed replica misses are
+//!   queued on its *intentions list* (§4's "the survivor keeps a list of blocks
+//!   that have been modified"), so degraded-mode operation loses nothing;
+//! * **resync on recovery** — a recovering replica "compares notes": its
+//!   intentions list is replayed onto its disk by [`ReplicatedBlockStore::resync`]
+//!   before it serves traffic again, restoring read-one/write-all agreement.
+//!
+//! An allocate collision (two clients racing the same block number onto
+//! different replicas) is detected while mirroring the allocation and rolled
+//! back, exactly as in the two-server protocol.
+//!
+//! The store implements [`BlockStore`], so a whole `FileService` — one shard of
+//! the sharded deployment — runs over a replica set by handing
+//! `BlockServer::new` an `Arc<ReplicatedBlockStore>`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::store::{BlockStore, StoreStats};
+use crate::{BlockError, BlockNr, Result};
+
+/// One queued operation a crashed replica missed while it was down.
+#[derive(Debug, Clone)]
+enum Intent {
+    /// Ensure the block is allocated and holds `data`.
+    Put { nr: BlockNr, data: Bytes },
+    /// Ensure the block is allocated (contents unchanged / empty).
+    Allocate { nr: BlockNr },
+    /// Ensure the block is freed.
+    Free { nr: BlockNr },
+}
+
+#[derive(Debug, Default)]
+struct ReplicaState {
+    /// True while the replica is not accepting writes (crashed or isolated).
+    down: bool,
+    /// Operations the replica missed while down, in arrival order.
+    intentions: Vec<Intent>,
+}
+
+struct Replica {
+    store: Arc<dyn BlockStore>,
+    state: Mutex<ReplicaState>,
+}
+
+impl Replica {
+    fn is_down(&self) -> bool {
+        self.state.lock().down
+    }
+}
+
+/// Counters describing degraded-mode and fail-over activity of a replica set.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReplicaSetStats {
+    /// Writes applied while at least one replica was down.
+    pub degraded_writes: u64,
+    /// Operations queued on intentions lists for crashed replicas.
+    pub intentions_recorded: u64,
+    /// Reads that had to fail over past the first live replica.
+    pub failover_reads: u64,
+    /// Intentions applied by [`ReplicatedBlockStore::resync`] over the set's lifetime.
+    pub resyncs_applied: u64,
+    /// Replicas marked down automatically because a write observed them crashed.
+    pub auto_downed: u64,
+}
+
+/// A set of N replica disks behind one [`BlockStore`] interface, with
+/// read-one/write-all semantics, intention recording and recovery resync.
+pub struct ReplicatedBlockStore {
+    replicas: Vec<Replica>,
+    degraded_writes: AtomicU64,
+    intentions_recorded: AtomicU64,
+    failover_reads: AtomicU64,
+    resyncs_applied: AtomicU64,
+    auto_downed: AtomicU64,
+}
+
+impl ReplicatedBlockStore {
+    /// Creates a replica set over the given disks.  At least one replica is
+    /// required; two or more are needed for any fault tolerance.
+    pub fn new(stores: Vec<Arc<dyn BlockStore>>) -> Arc<Self> {
+        assert!(!stores.is_empty(), "a replica set needs at least one disk");
+        Arc::new(ReplicatedBlockStore {
+            replicas: stores
+                .into_iter()
+                .map(|store| Replica {
+                    store,
+                    state: Mutex::new(ReplicaState::default()),
+                })
+                .collect(),
+            degraded_writes: AtomicU64::new(0),
+            intentions_recorded: AtomicU64::new(0),
+            failover_reads: AtomicU64::new(0),
+            resyncs_applied: AtomicU64::new(0),
+            auto_downed: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates a replica set of `replicas` in-memory disks (the common test and
+    /// benchmark topology).
+    pub fn in_memory(replicas: usize) -> Arc<Self> {
+        Self::new(
+            (0..replicas)
+                .map(|_| Arc::new(crate::MemStore::new()) as Arc<dyn BlockStore>)
+                .collect(),
+        )
+    }
+
+    /// Number of replicas in the set (live or down).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of replicas currently accepting traffic.
+    pub fn live_count(&self) -> usize {
+        self.replicas.iter().filter(|r| !r.is_down()).count()
+    }
+
+    /// Direct access to a replica's disk, for test assertions and fault injection.
+    pub fn replica(&self, idx: usize) -> &Arc<dyn BlockStore> {
+        &self.replicas[idx].store
+    }
+
+    /// Accumulated degraded-mode / fail-over statistics.  (Named distinctly from
+    /// [`BlockStore::stats`], which reports the first live disk's I/O counters.)
+    pub fn replica_stats(&self) -> ReplicaSetStats {
+        ReplicaSetStats {
+            degraded_writes: self.degraded_writes.load(Ordering::Relaxed),
+            intentions_recorded: self.intentions_recorded.load(Ordering::Relaxed),
+            failover_reads: self.failover_reads.load(Ordering::Relaxed),
+            resyncs_applied: self.resyncs_applied.load(Ordering::Relaxed),
+            auto_downed: self.auto_downed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Marks replica `idx` as crashed: it stops receiving writes and reads, and
+    /// every write it misses is queued on its intentions list until
+    /// [`ReplicatedBlockStore::resync`] brings it back.
+    pub fn crash(&self, idx: usize) {
+        self.replicas[idx].state.lock().down = true;
+    }
+
+    /// True if replica `idx` is currently down.
+    pub fn is_down(&self, idx: usize) -> bool {
+        self.replicas[idx].is_down()
+    }
+
+    /// Recovers replica `idx`: replays its intentions list onto its disk
+    /// ("compares notes with its companions") and only then marks it live again.
+    /// Returns the number of operations applied.
+    ///
+    /// The caller must first restore the underlying disk itself (e.g.
+    /// [`crate::FaultyStore::recover`]) if the crash was injected below this
+    /// layer; a replay failure leaves the replica down with the unapplied
+    /// intentions requeued.
+    pub fn resync(&self, idx: usize) -> Result<usize> {
+        let replica = &self.replicas[idx];
+        let mut applied = 0usize;
+        // Writers that observe the replica down queue intentions under the same
+        // state lock this loop drains, so the replica is only marked live when
+        // the lock is held *and* the list is empty — no write can slip between
+        // the final drain and the flip.
+        loop {
+            let batch: Vec<Intent> = {
+                let mut state = replica.state.lock();
+                if state.intentions.is_empty() {
+                    state.down = false;
+                    break;
+                }
+                std::mem::take(&mut state.intentions)
+            };
+            for (pos, intent) in batch.iter().enumerate() {
+                let result = match intent {
+                    Intent::Put { nr, data } => Self::apply_put(&replica.store, *nr, data.clone()),
+                    Intent::Allocate { nr } => {
+                        if replica.store.is_allocated(*nr) {
+                            Ok(())
+                        } else {
+                            replica.store.allocate_at(*nr)
+                        }
+                    }
+                    Intent::Free { nr } => {
+                        if replica.store.is_allocated(*nr) {
+                            replica.store.free(*nr)
+                        } else {
+                            Ok(())
+                        }
+                    }
+                };
+                if let Err(e) = result {
+                    // Requeue what we could not apply (including the failed one)
+                    // and stay down; the operator retries resync after fixing
+                    // the disk.
+                    let mut state = replica.state.lock();
+                    let mut rest: Vec<Intent> = batch[pos..].to_vec();
+                    rest.append(&mut state.intentions);
+                    state.intentions = rest;
+                    self.resyncs_applied
+                        .fetch_add(applied as u64, Ordering::Relaxed);
+                    return Err(e);
+                }
+                applied += 1;
+            }
+        }
+        self.resyncs_applied
+            .fetch_add(applied as u64, Ordering::Relaxed);
+        Ok(applied)
+    }
+
+    fn apply_put(store: &Arc<dyn BlockStore>, nr: BlockNr, data: Bytes) -> Result<()> {
+        if !store.is_allocated(nr) {
+            store.allocate_at(nr)?;
+        }
+        store.write(nr, data)
+    }
+
+    /// Index of the first live replica, or an error when the whole set is down.
+    fn first_live(&self) -> Result<usize> {
+        self.replicas
+            .iter()
+            .position(|r| !r.is_down())
+            .ok_or(BlockError::Crashed)
+    }
+
+    /// Marks a replica down after an operation observed its disk crashed, and
+    /// queues the missed operation.
+    fn auto_down(&self, idx: usize, intent: Intent) {
+        let mut state = self.replicas[idx].state.lock();
+        if !state.down {
+            state.down = true;
+            self.auto_downed.fetch_add(1, Ordering::Relaxed);
+        }
+        state.intentions.push(intent);
+        self.intentions_recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a replica down without queueing anything (used when an operation
+    /// observed the disk crashed before any state was chosen to replay).
+    fn mark_down(&self, idx: usize) {
+        let mut state = self.replicas[idx].state.lock();
+        if !state.down {
+            state.down = true;
+            self.auto_downed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Retracts the most recently queued intention on `idx` matching `pred` —
+    /// the undo half of a rolled-back operation.  If a concurrent resync
+    /// already consumed the intention this finds nothing, which is harmless for
+    /// `Free`/`Put` retractions and leaves at worst a spurious allocation for
+    /// `Allocate` (repaired by the next resync's divergence audit or free).
+    fn retract_intent(&self, idx: usize, pred: impl Fn(&Intent) -> bool) {
+        let mut state = self.replicas[idx].state.lock();
+        if let Some(pos) = state.intentions.iter().rposition(pred) {
+            state.intentions.remove(pos);
+        }
+    }
+
+    /// Compares all replicas block by block and returns the numbers where any
+    /// two live-or-down replicas disagree on allocation or contents.  Empty
+    /// means the set is in read-one/write-all agreement (the §4 invariant the
+    /// divergence tests assert after crash + resync).
+    pub fn divergent_blocks(&self) -> Vec<BlockNr> {
+        let mut blocks: Vec<BlockNr> = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.store.allocated_blocks())
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
+            .into_iter()
+            .filter(|&nr| {
+                let mut contents: Option<Option<Bytes>> = None;
+                for replica in &self.replicas {
+                    let this = if replica.store.is_allocated(nr) {
+                        replica.store.read(nr).ok()
+                    } else {
+                        None
+                    };
+                    match &contents {
+                        None => contents = Some(this),
+                        Some(first) if *first != this => return true,
+                        Some(_) => {}
+                    }
+                }
+                false
+            })
+            .collect()
+    }
+}
+
+impl BlockStore for ReplicatedBlockStore {
+    fn block_size(&self) -> usize {
+        self.replicas[0].store.block_size()
+    }
+
+    fn allocate(&self) -> Result<BlockNr> {
+        // Choose a live leader to pick the block number, failing over past
+        // disks that turn out to be crashed below the replica layer (otherwise
+        // a dead leader would brick allocation for the whole set while healthy
+        // replicas exist).
+        let mut chosen = None;
+        for (idx, replica) in self.replicas.iter().enumerate() {
+            if replica.is_down() {
+                continue;
+            }
+            match replica.store.allocate() {
+                Ok(nr) => {
+                    chosen = Some((idx, nr));
+                    break;
+                }
+                Err(BlockError::Crashed) => self.mark_down(idx),
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((leader, nr)) = chosen else {
+            return Err(BlockError::Crashed);
+        };
+        let mut mirrored = vec![leader];
+        let mut queued: Vec<usize> = Vec::new();
+        for (idx, replica) in self.replicas.iter().enumerate() {
+            if idx == leader {
+                continue;
+            }
+            if replica.is_down() {
+                self.auto_down(idx, Intent::Allocate { nr });
+                queued.push(idx);
+                continue;
+            }
+            match replica.store.allocate_at(nr) {
+                Ok(()) => mirrored.push(idx),
+                Err(BlockError::Crashed) => {
+                    self.auto_down(idx, Intent::Allocate { nr });
+                    queued.push(idx);
+                }
+                Err(e) => {
+                    // Allocate collision (or disk failure): roll every mirror
+                    // back — including intentions already queued for down
+                    // replicas, which would otherwise replay a rolled-back
+                    // allocation at resync — and let the client retry.
+                    for &done in &mirrored {
+                        let _ = self.replicas[done].store.free(nr);
+                    }
+                    for &idx in &queued {
+                        self.retract_intent(
+                            idx,
+                            |i| matches!(i, Intent::Allocate { nr: n } if *n == nr),
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(nr)
+    }
+
+    fn allocate_at(&self, nr: BlockNr) -> Result<()> {
+        self.first_live()?;
+        let mut mirrored: Vec<usize> = Vec::new();
+        let mut queued: Vec<usize> = Vec::new();
+        for (idx, replica) in self.replicas.iter().enumerate() {
+            if replica.is_down() {
+                self.auto_down(idx, Intent::Allocate { nr });
+                queued.push(idx);
+                continue;
+            }
+            match replica.store.allocate_at(nr) {
+                Ok(()) => mirrored.push(idx),
+                Err(BlockError::Crashed) => {
+                    self.auto_down(idx, Intent::Allocate { nr });
+                    queued.push(idx);
+                }
+                Err(e) => {
+                    for &done in &mirrored {
+                        let _ = self.replicas[done].store.free(nr);
+                    }
+                    for &idx in &queued {
+                        self.retract_intent(
+                            idx,
+                            |i| matches!(i, Intent::Allocate { nr: n } if *n == nr),
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if mirrored.is_empty() {
+            // No live replica applied the allocation: report the failure and
+            // retract the queued intentions, which describe an allocation that
+            // never happened anywhere.
+            for &idx in &queued {
+                self.retract_intent(idx, |i| matches!(i, Intent::Allocate { nr: n } if *n == nr));
+            }
+            return Err(BlockError::Crashed);
+        }
+        Ok(())
+    }
+
+    fn free(&self, nr: BlockNr) -> Result<()> {
+        self.first_live()?;
+        let mut freed_any = false;
+        let mut queued: Vec<usize> = Vec::new();
+        for (idx, replica) in self.replicas.iter().enumerate() {
+            if replica.is_down() {
+                self.auto_down(idx, Intent::Free { nr });
+                queued.push(idx);
+                continue;
+            }
+            match replica.store.free(nr) {
+                Ok(()) => freed_any = true,
+                Err(BlockError::Crashed) => {
+                    self.auto_down(idx, Intent::Free { nr });
+                    queued.push(idx);
+                }
+                // A replica that never saw the allocation (healed corruption,
+                // partial collision rollback) has nothing to free.
+                Err(BlockError::NoSuchBlock(_)) => {}
+                Err(e) => {
+                    // The free is being reported failed: retract the queued
+                    // intentions so resync never replays it.
+                    for &idx in &queued {
+                        self.retract_intent(
+                            idx,
+                            |i| matches!(i, Intent::Free { nr: n } if *n == nr),
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if freed_any {
+            Ok(())
+        } else {
+            // Nothing was freed anywhere: undo the queued intentions so resync
+            // does not replay a free the caller was told failed.
+            for &idx in &queued {
+                self.retract_intent(idx, |i| matches!(i, Intent::Free { nr: n } if *n == nr));
+            }
+            Err(BlockError::NoSuchBlock(nr))
+        }
+    }
+
+    fn read(&self, nr: BlockNr) -> Result<Bytes> {
+        // Read-one with fail-over: serve from the first live replica; a crashed,
+        // corrupted or missing copy sends the read to the next replica.
+        let mut last = BlockError::Crashed;
+        let mut attempts = 0u64;
+        for (idx, replica) in self.replicas.iter().enumerate() {
+            if replica.is_down() {
+                continue;
+            }
+            attempts += 1;
+            match replica.store.read(nr) {
+                Ok(data) => {
+                    if attempts > 1 {
+                        self.failover_reads
+                            .fetch_add(attempts - 1, Ordering::Relaxed);
+                    }
+                    return Ok(data);
+                }
+                Err(BlockError::Crashed) => {
+                    // The disk below us crashed without going through crash():
+                    // remember it so writes start queuing intentions.
+                    self.mark_down(idx);
+                    last = BlockError::Crashed;
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn write(&self, nr: BlockNr, data: Bytes) -> Result<()> {
+        self.first_live()?;
+        let mut wrote_any = false;
+        let mut degraded = false;
+        let mut queued: Vec<usize> = Vec::new();
+        for (idx, replica) in self.replicas.iter().enumerate() {
+            if replica.is_down() {
+                degraded = true;
+                self.auto_down(
+                    idx,
+                    Intent::Put {
+                        nr,
+                        data: data.clone(),
+                    },
+                );
+                queued.push(idx);
+                continue;
+            }
+            match Self::apply_put(&replica.store, nr, data.clone()) {
+                Ok(()) => wrote_any = true,
+                Err(BlockError::Crashed) => {
+                    degraded = true;
+                    self.auto_down(
+                        idx,
+                        Intent::Put {
+                            nr,
+                            data: data.clone(),
+                        },
+                    );
+                    queued.push(idx);
+                }
+                Err(e) => {
+                    // The write is being reported failed: retract the queued
+                    // intentions.  A poisoned intent (e.g. an oversized
+                    // payload) would otherwise make every future resync fail,
+                    // leaving the replica down forever.
+                    for &idx in &queued {
+                        self.retract_intent(
+                            idx,
+                            |i| matches!(i, Intent::Put { nr: n, .. } if *n == nr),
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if degraded && wrote_any {
+            self.degraded_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        if wrote_any {
+            Ok(())
+        } else {
+            // The write landed nowhere: the caller gets an error, so resync
+            // must not replay it later as if it had been acknowledged.
+            for &idx in &queued {
+                self.retract_intent(idx, |i| matches!(i, Intent::Put { nr: n, .. } if *n == nr));
+            }
+            Err(BlockError::Crashed)
+        }
+    }
+
+    fn is_allocated(&self, nr: BlockNr) -> bool {
+        self.replicas
+            .iter()
+            .filter(|r| !r.is_down())
+            .any(|r| r.store.is_allocated(nr))
+    }
+
+    fn allocated_count(&self) -> usize {
+        match self.first_live() {
+            Ok(idx) => self.replicas[idx].store.allocated_count(),
+            Err(_) => 0,
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        match self.first_live() {
+            Ok(idx) => self.replicas[idx].store.stats(),
+            Err(_) => StoreStats::default(),
+        }
+    }
+
+    fn allocated_blocks(&self) -> Vec<BlockNr> {
+        match self.first_live() {
+            Ok(idx) => self.replicas[idx].store.allocated_blocks(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultyStore, MemStore};
+
+    fn set(n: usize) -> Arc<ReplicatedBlockStore> {
+        ReplicatedBlockStore::in_memory(n)
+    }
+
+    #[test]
+    fn writes_land_on_every_replica() {
+        let replicas = set(3);
+        let nr = replicas.allocate().unwrap();
+        replicas
+            .write(nr, Bytes::from_static(b"everywhere"))
+            .unwrap();
+        for idx in 0..3 {
+            assert_eq!(
+                replicas.replica(idx).read(nr).unwrap(),
+                Bytes::from_static(b"everywhere")
+            );
+        }
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn reads_fail_over_past_a_corrupted_copy() {
+        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..3)
+            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+            .collect();
+        let replicas = ReplicatedBlockStore::new(
+            disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+                .collect(),
+        );
+        let nr = replicas.allocate().unwrap();
+        replicas.write(nr, Bytes::from_static(b"safe")).unwrap();
+        disks[0].corrupt(nr);
+        assert_eq!(replicas.read(nr).unwrap(), Bytes::from_static(b"safe"));
+        assert_eq!(replicas.replica_stats().failover_reads, 1);
+    }
+
+    #[test]
+    fn crashed_replica_accumulates_intentions_and_resyncs() {
+        let replicas = set(3);
+        let nr = replicas.allocate().unwrap();
+        replicas.write(nr, Bytes::from_static(b"before")).unwrap();
+
+        replicas.crash(1);
+        replicas.write(nr, Bytes::from_static(b"during")).unwrap();
+        let nr2 = replicas.allocate().unwrap();
+        replicas.write(nr2, Bytes::from_static(b"new")).unwrap();
+        assert!(replicas.replica_stats().degraded_writes >= 2);
+        // The down replica is stale and divergent until resync.
+        assert_eq!(
+            replicas.replica(1).read(nr).unwrap(),
+            Bytes::from_static(b"before")
+        );
+        assert!(!replicas.divergent_blocks().is_empty());
+
+        let applied = replicas.resync(1).unwrap();
+        assert!(
+            applied >= 3,
+            "write + allocate + write replayed, got {applied}"
+        );
+        assert_eq!(
+            replicas.replica(1).read(nr).unwrap(),
+            Bytes::from_static(b"during")
+        );
+        assert_eq!(
+            replicas.replica(1).read(nr2).unwrap(),
+            Bytes::from_static(b"new")
+        );
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn a_crash_below_the_replica_layer_is_detected_on_write() {
+        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
+            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+            .collect();
+        let replicas = ReplicatedBlockStore::new(
+            disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+                .collect(),
+        );
+        let nr = replicas.allocate().unwrap();
+        // Kill replica 0's disk directly, as a mid-commit media crash would.
+        disks[0].crash();
+        replicas.write(nr, Bytes::from_static(b"survives")).unwrap();
+        assert!(replicas.is_down(0), "the crashed disk was auto-detected");
+        assert_eq!(replicas.replica_stats().auto_downed, 1);
+        assert_eq!(replicas.read(nr).unwrap(), Bytes::from_static(b"survives"));
+
+        // Recover the disk below, then resync the replica above.
+        disks[0].recover();
+        replicas.resync(0).unwrap();
+        assert_eq!(
+            replicas.replica(0).read(nr).unwrap(),
+            Bytes::from_static(b"survives")
+        );
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn frees_reach_recovering_replicas_too() {
+        let replicas = set(2);
+        let nr = replicas.allocate().unwrap();
+        replicas.crash(1);
+        replicas.free(nr).unwrap();
+        assert!(replicas.replica(1).is_allocated(nr));
+        replicas.resync(1).unwrap();
+        assert!(!replicas.replica(1).is_allocated(nr));
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn allocate_collision_rolls_back_all_mirrors() {
+        let replicas = set(3);
+        // Pre-allocate the number the leader will choose on replica 2 only, as a
+        // racing client through another path would.
+        replicas.replica(2).allocate_at(0).unwrap();
+        let err = replicas.allocate().unwrap_err();
+        assert_eq!(err, BlockError::AlreadyAllocated(0));
+        assert!(!replicas.replica(0).is_allocated(0));
+        assert!(!replicas.replica(1).is_allocated(0));
+        // A retry picks a fresh number and succeeds on every replica.
+        let nr = replicas.allocate().unwrap();
+        assert_ne!(nr, 0);
+        replicas.write(nr, Bytes::from_static(b"retry")).unwrap();
+        for idx in 0..3 {
+            assert_eq!(
+                replicas.replica(idx).read(nr).unwrap(),
+                Bytes::from_static(b"retry")
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_fails_over_past_a_crashed_leader_disk() {
+        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
+            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+            .collect();
+        let replicas = ReplicatedBlockStore::new(
+            disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+                .collect(),
+        );
+        // The would-be leader's disk dies below the replica layer: allocation
+        // must fail over to the healthy replica instead of bricking the set.
+        disks[0].crash();
+        let nr = replicas.allocate().expect("fail over to the live replica");
+        replicas.write(nr, Bytes::from_static(b"alive")).unwrap();
+        assert!(replicas.is_down(0), "the dead leader was auto-detected");
+        assert_eq!(replicas.read(nr).unwrap(), Bytes::from_static(b"alive"));
+
+        // Recovery replays what the dead disk missed.
+        disks[0].recover();
+        replicas.resync(0).unwrap();
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn collision_rollback_retracts_intentions_queued_for_down_replicas() {
+        let replicas = set(3);
+        replicas.crash(1);
+        // Replica 2 already holds the number the leader will choose: the
+        // allocation collides and rolls back everywhere — including the
+        // intention just queued for the down replica 1.
+        replicas.replica(2).allocate_at(0).unwrap();
+        let err = replicas.allocate().unwrap_err();
+        assert_eq!(err, BlockError::AlreadyAllocated(0));
+        let applied = replicas.resync(1).unwrap();
+        assert_eq!(
+            applied, 0,
+            "the rolled-back allocation must not be replayed at resync"
+        );
+        assert!(!replicas.replica(1).is_allocated(0));
+    }
+
+    #[test]
+    fn allocate_at_with_no_live_taker_is_an_error_and_queues_nothing() {
+        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
+            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+            .collect();
+        let replicas = ReplicatedBlockStore::new(
+            disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+                .collect(),
+        );
+        // Both disks crash below the layer (down flags still clear).
+        disks[0].crash();
+        disks[1].crash();
+        assert_eq!(
+            BlockStore::allocate_at(&*replicas, 7),
+            Err(BlockError::Crashed),
+            "an allocation applied nowhere must not be acknowledged"
+        );
+        disks[0].recover();
+        disks[1].recover();
+        assert_eq!(replicas.resync(0).unwrap(), 0);
+        assert_eq!(replicas.resync(1).unwrap(), 0);
+        assert!(!replicas.replica(0).is_allocated(7));
+        assert!(!replicas.replica(1).is_allocated(7));
+    }
+
+    #[test]
+    fn rejected_write_never_poisons_the_intentions_list() {
+        let replicas = set(2);
+        let nr = replicas.allocate().unwrap();
+        replicas.write(nr, Bytes::from_static(b"good")).unwrap();
+        replicas.crash(0);
+        // An oversized write is rejected by the live replica; the intent queued
+        // for the down replica must be retracted, or every future resync would
+        // replay (and fail on) it forever.
+        let oversized = Bytes::from(vec![0u8; replicas.block_size() + 1]);
+        assert!(matches!(
+            replicas.write(nr, oversized),
+            Err(BlockError::TooLarge { .. })
+        ));
+        assert_eq!(replicas.resync(0).unwrap(), 0);
+        assert!(!replicas.is_down(0));
+        assert!(replicas.divergent_blocks().is_empty());
+        assert_eq!(replicas.read(nr).unwrap(), Bytes::from_static(b"good"));
+    }
+
+    #[test]
+    fn whole_set_down_is_an_error() {
+        let replicas = set(2);
+        let nr = replicas.allocate().unwrap();
+        replicas.crash(0);
+        replicas.crash(1);
+        assert_eq!(replicas.read(nr), Err(BlockError::Crashed));
+        assert_eq!(
+            replicas.write(nr, Bytes::from_static(b"nope")),
+            Err(BlockError::Crashed)
+        );
+        assert_eq!(replicas.live_count(), 0);
+    }
+
+    #[test]
+    fn single_replica_set_degenerates_to_its_disk() {
+        let replicas = set(1);
+        let nr = replicas.allocate().unwrap();
+        replicas.write(nr, Bytes::from_static(b"solo")).unwrap();
+        assert_eq!(replicas.read(nr).unwrap(), Bytes::from_static(b"solo"));
+        assert_eq!(replicas.allocated_count(), 1);
+    }
+}

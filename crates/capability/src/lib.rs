@@ -43,12 +43,14 @@ mod error;
 mod minter;
 mod port;
 mod rights;
+mod shard;
 
-pub use capability::{Capability, ObjectId};
+pub use capability::{Capability, ObjectId, WIRE_SIZE};
 pub use error::CapError;
 pub use minter::Minter;
 pub use port::Port;
 pub use rights::Rights;
+pub use shard::shard_of;
 
 /// The one-way mixing function used to derive check fields.
 ///

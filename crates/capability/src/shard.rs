@@ -1,0 +1,78 @@
+//! Capability-based shard placement.
+//!
+//! The paper's file service is distributed: files live on multiple servers, and
+//! a client locates the server holding a file from the file's *capability* — no
+//! directory service is consulted.  This reproduction realises that property by
+//! partitioning the object-id namespace across shards: shard `i` of `n` mints
+//! only object ids congruent to `i` modulo `n` (see
+//! `afs_core::ServiceConfig::object_id_offset` / `object_id_stride`), so the
+//! shard holding any file or version is a pure function of its capability.
+//!
+//! [`shard_of`] is that function.  It is deliberately trivial — a modulo — so
+//! routing costs nothing and every party (client router, cache, experiment
+//! harness) computes the same answer.
+
+use crate::Capability;
+
+/// Returns the index of the shard that minted `cap`, in a deployment of
+/// `shards` shards whose object-id namespaces are partitioned by residue
+/// modulo `shards`.
+///
+/// With a single shard this is always 0, so unsharded deployments route
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_of(cap: &Capability, shards: usize) -> usize {
+    assert!(shards > 0, "a deployment has at least one shard");
+    (cap.object % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Port, Rights};
+
+    fn cap(object: u64) -> Capability {
+        Capability {
+            port: Port::from_raw(0xabc),
+            object,
+            rights: Rights::ALL,
+            check: 1,
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        for object in 0..64 {
+            assert_eq!(shard_of(&cap(object), 1), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_the_object_residue() {
+        assert_eq!(shard_of(&cap(3), 4), 3);
+        assert_eq!(shard_of(&cap(7), 4), 3);
+        assert_eq!(shard_of(&cap(8), 4), 0);
+        assert_eq!(shard_of(&cap(9), 4), 1);
+    }
+
+    #[test]
+    fn a_strided_namespace_always_routes_home() {
+        // Shard i of n mints ids i + n, i + 2n, ... — every one routes back to i.
+        let n = 5usize;
+        for shard in 0..n {
+            for k in 1..20u64 {
+                let object = shard as u64 + k * n as u64;
+                assert_eq!(shard_of(&cap(object), n), shard);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_a_configuration_error() {
+        shard_of(&cap(1), 0);
+    }
+}

@@ -37,10 +37,20 @@ struct FileEntry {
     pages: HashMap<PagePath, Bytes>,
 }
 
+/// Cache key for one file: the minting service's port plus the object id.  The
+/// port disambiguates shards — in a sharded deployment every shard mints from
+/// its own service port, so two files on different shards can never alias one
+/// cache entry even if their object ids collide.
+type FileKey = (u64, u64);
+
+fn file_key(file: &Capability) -> FileKey {
+    (file.port.raw(), file.object)
+}
+
 /// A per-client page cache over any [`FileStore`].
 pub struct ClientCache<S: FileStore> {
     store: S,
-    entries: HashMap<u64, FileEntry>,
+    entries: HashMap<FileKey, FileEntry>,
     stats: CacheStats,
 }
 
@@ -68,7 +78,7 @@ impl<S: FileStore> ClientCache<S> {
     /// pages had to be discarded.  Populates the entry's version on first use.
     pub fn revalidate(&mut self, file: &Capability) -> Result<usize, FsError> {
         self.stats.validations += 1;
-        let entry = self.entries.entry(file.object).or_default();
+        let entry = self.entries.entry(file_key(file)).or_default();
         let validation = self.store.validate_cache(file, entry.version_block)?;
         if validation.up_to_date {
             return Ok(0);
@@ -93,7 +103,7 @@ impl<S: FileStore> ClientCache<S> {
     /// conservative direction (an extra miss, never a stale hit), matching the
     /// paper's validate-on-open discipline.
     pub fn read(&mut self, file: &Capability, path: &PagePath) -> Result<Bytes, FsError> {
-        if let Some(entry) = self.entries.get(&file.object) {
+        if let Some(entry) = self.entries.get(&file_key(file)) {
             if let Some(data) = entry.pages.get(path) {
                 self.stats.hits += 1;
                 return Ok(data.clone());
@@ -102,7 +112,7 @@ impl<S: FileStore> ClientCache<S> {
         self.stats.misses += 1;
         let current = self.store.current_version(file)?;
         let data = self.store.read_committed_page(&current, path)?;
-        let entry = self.entries.entry(file.object).or_default();
+        let entry = self.entries.entry(file_key(file)).or_default();
         entry.pages.insert(path.clone(), data.clone());
         Ok(data)
     }
@@ -110,7 +120,7 @@ impl<S: FileStore> ClientCache<S> {
     /// Number of pages currently cached for `file`.
     pub fn cached_pages(&self, file: &Capability) -> usize {
         self.entries
-            .get(&file.object)
+            .get(&file_key(file))
             .map(|e| e.pages.len())
             .unwrap_or(0)
     }
@@ -204,6 +214,41 @@ mod tests {
             cache.read(&file, &paths[2]).unwrap(),
             Bytes::from_static(b"remote update")
         );
+    }
+
+    #[test]
+    fn sharded_files_on_different_shards_never_alias_cache_entries() {
+        use crate::ShardedStore;
+        use afs_core::FileStoreExt;
+
+        let (store, _replicas) = ShardedStore::local_replicated(2, 1);
+        // One file per shard, each holding different data at the same page path.
+        let mut files = Vec::new();
+        for i in 0..2u8 {
+            let file = store.create_file().unwrap();
+            let page = store
+                .update(&file, |tx| {
+                    tx.append(&PagePath::root(), Bytes::from(vec![i; 8]))
+                })
+                .unwrap();
+            files.push((file, page, i));
+        }
+        // The cache keys entries by (shard port, object id): reads of the two
+        // files must stay distinct even though their paths are identical.
+        let mut cache = ClientCache::new(&store);
+        for (file, page, i) in &files {
+            cache.revalidate(file).unwrap();
+            assert_eq!(cache.read(file, page).unwrap(), Bytes::from(vec![*i; 8]));
+        }
+        for (file, page, i) in &files {
+            assert_eq!(
+                cache.read(file, page).unwrap(),
+                Bytes::from(vec![*i; 8]),
+                "cache entry aliased across shards"
+            );
+        }
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

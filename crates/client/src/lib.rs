@@ -9,6 +9,11 @@
 //!   pages of the most recently used version of each file, revalidated with one
 //!   `ValidateCache` transaction when the file is opened again; no unsolicited
 //!   messages ever arrive.
+//! * [`ShardedStore`] — the client-side shard router: one [`afs_core::FileStore`]
+//!   over N independent shards (local services or remote connections), routed by
+//!   capability-based placement (`amoeba_capability::shard_of`) with per-shard
+//!   replicated block storage underneath; the whole trait-driven client stack
+//!   (cache, retry loop, workloads, conformance suite) runs over it unchanged.
 //! * [`retry_update`] — compatibility wrapper around the retry loop the paper
 //!   expects of clients, now provided generically by
 //!   [`afs_core::FileStoreExt::update`].
@@ -19,10 +24,12 @@
 mod cache;
 mod remote;
 mod retry;
+mod sharded;
 
 pub use cache::{CacheStats, ClientCache};
 pub use remote::RemoteFs;
 pub use retry::retry_update;
+pub use sharded::ShardedStore;
 
 /// Historical alias: the client-visible error type is the unified
 /// [`afs_core::FsError`] today.

@@ -56,6 +56,24 @@
 //! remote store ships one request per transport frame, so a k-page update
 //! costs O(1) round trips instead of O(k).
 //!
+//! ## Sharding: many services, one namespace
+//!
+//! One `FileService` is one *shard* of the paper's distributed service.  A
+//! sharded deployment runs N services side by side, each minting object ids
+//! from its own residue class — [`ServiceConfig::object_id_offset`] `= i`,
+//! [`ServiceConfig::object_id_stride`] `= n` for shard `i` of `n` (see
+//! [`FileService::for_shard`]) — so the shard holding any file or version is
+//! derivable from its capability alone via `amoeba_capability::shard_of`.  The
+//! client-side router (`afs_client::ShardedStore`) implements [`FileStore`]
+//! over the shard set, which is why every trait consumer (the update loop, the
+//! cache, the workloads, the conformance suite) runs over 1 or N shards
+//! unchanged.  Each shard keeps its blocks on an N-replica
+//! `amoeba_block::ReplicatedBlockStore` (read-one/write-all with intention
+//! recording and resync), and the per-shard commit keeps the
+//! durability-at-commit rule below, so a single replica crash anywhere loses
+//! no committed data.  [`FileStore::io_stats`] on a sharded store is the *sum*
+//! over shards; [`FileStore::shard_io_stats`] exposes the per-shard figures.
+//!
 //! ## Durability at commit
 //!
 //! The paper's commit protocol establishes durability exactly once, at the atomic
@@ -126,6 +144,6 @@ pub use update::{Committed, FileStoreExt, RetryPolicy, Update};
 pub use version::{FamilyTree, VersionOptions};
 
 // Re-export the substrate types callers need to construct a service.
-pub use amoeba_block::{BlockNr, BlockServer, MemStore};
-pub use amoeba_capability::{Capability, Port, Rights};
+pub use amoeba_block::{BlockNr, BlockServer, MemStore, ReplicatedBlockStore};
+pub use amoeba_capability::{shard_of, Capability, Port, Rights};
 pub use bytes::Bytes;

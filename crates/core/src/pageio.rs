@@ -73,6 +73,19 @@ impl PageIoStats {
             pages_flushed_at_commit: self.pages_flushed_at_commit - earlier.pages_flushed_at_commit,
         }
     }
+
+    /// Field-wise sum `self + other`: the aggregate I/O of several independent
+    /// services (the shards of a sharded store report one combined figure).
+    pub fn merged(&self, other: &PageIoStats) -> PageIoStats {
+        PageIoStats {
+            page_reads: self.page_reads + other.page_reads,
+            page_writes: self.page_writes + other.page_writes,
+            pages_allocated: self.pages_allocated + other.pages_allocated,
+            pages_freed: self.pages_freed + other.pages_freed,
+            cache_hits: self.cache_hits + other.cache_hits,
+            pages_flushed_at_commit: self.pages_flushed_at_commit + other.pages_flushed_at_commit,
+        }
+    }
 }
 
 /// Number of independent shards in the clean-page cache.
@@ -444,8 +457,8 @@ impl PageIo {
     /// For a block that lives in the write-back buffer the update is applied to the
     /// buffered copy under the buffer lock instead: such blocks belong to exactly
     /// one uncommitted version, and all mutation of that version is serialised by
-    /// its [`crate::service::VersionMeta`] lock, so the block-server lock adds
-    /// nothing but I/O.
+    /// its `VersionMeta` lock (in `crate::service`), so the block-server lock
+    /// adds nothing but I/O.
     pub fn update_page<R>(
         &self,
         nr: BlockNr,

@@ -44,6 +44,15 @@ pub struct ServiceConfig {
     pub write_back: bool,
     /// How many committed versions of each file the garbage collector retains.
     pub history_retention: usize,
+    /// First residue of the object-id namespace this service mints from.  A shard
+    /// `i` of an `n`-shard deployment uses `object_id_offset = i`,
+    /// `object_id_stride = n`, so every capability it issues satisfies
+    /// `cap.object % n == i` and clients can locate the shard holding any file or
+    /// version from the capability alone (`amoeba_capability::shard_of`).
+    pub object_id_offset: u64,
+    /// Stride of the object-id namespace (see [`ServiceConfig::object_id_offset`]).
+    /// The default `1` reproduces the unsharded dense namespace.
+    pub object_id_stride: u64,
     /// How long a lock waiter sleeps between checks of the lock field.
     pub lock_poll_interval: std::time::Duration,
     /// How long a waiter keeps retrying before concluding the lock holder is gone and
@@ -57,6 +66,8 @@ impl Default for ServiceConfig {
             flag_cache_capacity: Some(4096),
             write_back: true,
             history_retention: 8,
+            object_id_offset: 0,
+            object_id_stride: 1,
             lock_poll_interval: std::time::Duration::from_millis(1),
             lock_patience: std::time::Duration::from_millis(500),
         }
@@ -183,8 +194,37 @@ impl FileService {
         Self::new(Arc::new(BlockServer::new(Arc::new(MemStore::new()))))
     }
 
+    /// Creates a file service for shard `shard` of an `shards`-shard deployment:
+    /// its object-id namespace is the residue class `shard` modulo `shards`, so
+    /// every capability it mints routes back to it via
+    /// `amoeba_capability::shard_of`.
+    pub fn for_shard(
+        block_server: Arc<BlockServer>,
+        shard: usize,
+        shards: usize,
+        config: ServiceConfig,
+    ) -> Arc<Self> {
+        assert!(shards > 0 && shard < shards, "shard index out of range");
+        Self::with_config(
+            block_server,
+            ServiceConfig {
+                object_id_offset: shard as u64,
+                object_id_stride: shards as u64,
+                ..config
+            },
+        )
+    }
+
     /// Creates a file service with explicit configuration.
     pub fn with_config(block_server: Arc<BlockServer>, config: ServiceConfig) -> Arc<Self> {
+        assert!(
+            config.object_id_stride > 0,
+            "object-id stride must be positive"
+        );
+        assert!(
+            config.object_id_offset < config.object_id_stride,
+            "object-id offset must be a residue of the stride"
+        );
         let account = block_server.create_account();
         let port = Port::random();
         let pages = PageIo::with_cache(block_server, account, config.flag_cache_capacity);
@@ -243,7 +283,12 @@ impl FileService {
     }
 
     pub(crate) fn next_object_id(&self) -> u64 {
-        self.next_object.fetch_add(1, Ordering::Relaxed)
+        // Object ids walk the service's residue class: offset + stride, offset +
+        // 2·stride, …  With the default offset 0 / stride 1 this is the dense
+        // namespace 1, 2, 3, …; a shard of a sharded deployment skips the ids of
+        // its siblings so placement is derivable from any capability.
+        let counter = self.next_object.fetch_add(1, Ordering::Relaxed);
+        self.config.object_id_offset + self.config.object_id_stride * counter
     }
 
     // ------------------------------------------------------------------

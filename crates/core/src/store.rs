@@ -123,8 +123,20 @@ pub trait FileStore: Send + Sync {
     /// them.  A local service reports its counters (including
     /// [`crate::PageIoStats::pages_flushed_at_commit`], the write-back vs
     /// write-through delta); remote stores return `None`.
+    ///
+    /// A sharded store reports the *sum* over its shards here, never a single
+    /// shard's counters; per-shard figures are available from
+    /// [`FileStore::shard_io_stats`].
     fn io_stats(&self) -> Option<crate::PageIoStats> {
         None
+    }
+
+    /// Per-shard physical page I/O statistics, in shard order.  An unsharded
+    /// store is one shard: the default returns its [`FileStore::io_stats`] as a
+    /// one-element vector (or `None` when the store cannot see its counters, as
+    /// over RPC).
+    fn shard_io_stats(&self) -> Option<Vec<crate::PageIoStats>> {
+        self.io_stats().map(|stats| vec![stats])
     }
 }
 
@@ -259,6 +271,9 @@ macro_rules! forward_file_store {
             }
             fn io_stats(&self) -> Option<crate::PageIoStats> {
                 (**self).io_stats()
+            }
+            fn shard_io_stats(&self) -> Option<Vec<crate::PageIoStats>> {
+                (**self).shard_io_stats()
             }
         }
     };

@@ -10,9 +10,11 @@
 //! * [`ops`] — the wire protocol: operation codes and argument marshalling,
 //! * [`handler`] — a [`FileServerHandler`] that turns incoming transactions into
 //!   calls on an `Arc<FileService>`,
-//! * [`process`] — [`ServerProcess`] (one registered port that can crash and restart)
-//!   and [`ServerGroup`] (several replicated processes sharing the same file service
-//!   state, the paper's "replicated server processes").
+//! * [`process`] — [`ServerProcess`] (one registered port that can crash and restart),
+//!   [`ServerGroup`] (several replicated processes sharing the same file service
+//!   state, the paper's "replicated server processes"), and [`ShardedCluster`]
+//!   (the full distributed topology: N file-service shards, each over replicated
+//!   block storage, each fronted by its own server group).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,4 +26,4 @@ pub mod process;
 pub use afs_core::FsError;
 pub use handler::FileServerHandler;
 pub use ops::{FsOp, ServerError};
-pub use process::{ServerGroup, ServerProcess};
+pub use process::{ClusterShard, ServerGroup, ServerProcess, ShardedCluster};

@@ -1,8 +1,9 @@
-//! Server processes and replicated server groups.
+//! Server processes, replicated server groups, and the sharded multi-server
+//! cluster harness.
 
 use std::sync::Arc;
 
-use afs_core::FileService;
+use afs_core::{BlockServer, FileService, ReplicatedBlockStore, ServiceConfig};
 use amoeba_capability::Port;
 use amoeba_rpc::LocalNetwork;
 
@@ -89,6 +90,107 @@ impl ServerGroup {
     }
 }
 
+/// One shard of a [`ShardedCluster`]: a file service over its own replicated
+/// block storage, fronted by a group of replicated server processes.
+pub struct ClusterShard {
+    service: Arc<FileService>,
+    replicas: Arc<ReplicatedBlockStore>,
+    group: ServerGroup,
+}
+
+impl ClusterShard {
+    /// The shard's file service (shared by all its server processes).
+    pub fn service(&self) -> &Arc<FileService> {
+        &self.service
+    }
+
+    /// The shard's replica set (for crash/resync experiments).
+    pub fn replicas(&self) -> &Arc<ReplicatedBlockStore> {
+        &self.replicas
+    }
+
+    /// The shard's server-process group.
+    pub fn group(&self) -> &ServerGroup {
+        &self.group
+    }
+}
+
+/// The paper's full topology as a launchable harness: N independent file-service
+/// shards, each storing its blocks on an M-replica [`ReplicatedBlockStore`] and
+/// answering on a group of P replicated server processes.  The object-id
+/// namespace is partitioned across shards (`FileService::for_shard`), so a
+/// client routes every capability to its shard without any directory lookup —
+/// see `afs_client::ShardedStore`.
+pub struct ShardedCluster {
+    shards: Vec<ClusterShard>,
+}
+
+impl ShardedCluster {
+    /// Launches a cluster on `network`: `shards` file services, each over
+    /// `replicas_per_shard` in-memory disks, each served by
+    /// `processes_per_shard` server processes.
+    pub fn launch(
+        network: &Arc<LocalNetwork>,
+        shards: usize,
+        replicas_per_shard: usize,
+        processes_per_shard: usize,
+    ) -> Self {
+        Self::launch_with_config(
+            network,
+            shards,
+            replicas_per_shard,
+            processes_per_shard,
+            ServiceConfig::default(),
+        )
+    }
+
+    /// [`ShardedCluster::launch`] with an explicit per-shard service
+    /// configuration (the object-id partition fields are set per shard).
+    pub fn launch_with_config(
+        network: &Arc<LocalNetwork>,
+        shards: usize,
+        replicas_per_shard: usize,
+        processes_per_shard: usize,
+        config: ServiceConfig,
+    ) -> Self {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        let shards = (0..shards)
+            .map(|shard| {
+                let replicas = ReplicatedBlockStore::in_memory(replicas_per_shard);
+                let service = FileService::for_shard(
+                    Arc::new(BlockServer::new(Arc::clone(&replicas) as _)),
+                    shard,
+                    shards,
+                    config.clone(),
+                );
+                let group = ServerGroup::start(network, &service, processes_per_shard);
+                ClusterShard {
+                    service,
+                    replicas,
+                    group,
+                }
+            })
+            .collect();
+        ShardedCluster { shards }
+    }
+
+    /// Number of shards in the cluster.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Access to one shard.
+    pub fn shard(&self, idx: usize) -> &ClusterShard {
+        &self.shards[idx]
+    }
+
+    /// The server ports of every shard, in shard order — the argument
+    /// `afs_client::ShardedStore::connect` expects.
+    pub fn shard_ports(&self) -> Vec<Vec<Port>> {
+        self.shards.iter().map(|s| s.group.ports()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +212,32 @@ mod tests {
         );
         process.restart();
         assert!(network.transact(process.port(), request).is_ok());
+    }
+
+    #[test]
+    fn a_sharded_cluster_partitions_the_object_namespace() {
+        let network = Arc::new(LocalNetwork::new());
+        let cluster = ShardedCluster::launch(&network, 3, 2, 2);
+        assert_eq!(cluster.shard_count(), 3);
+        assert_eq!(cluster.shard_ports().len(), 3);
+        for shard in 0..3 {
+            assert_eq!(cluster.shard(shard).group().len(), 2);
+            assert_eq!(cluster.shard(shard).replicas().replica_count(), 2);
+            // Each shard mints from its own residue class.
+            let reply = network
+                .transact(
+                    cluster.shard(shard).group().ports()[0],
+                    Request::empty(FsOp::CreateFile as u32, Capability::null()),
+                )
+                .unwrap();
+            let cap = decode_capability(reply.payload).unwrap();
+            assert_eq!(
+                amoeba_capability::shard_of(&cap, 3),
+                shard,
+                "object {} minted by shard {shard} does not route home",
+                cap.object
+            );
+        }
     }
 
     #[test]

@@ -55,7 +55,12 @@ pub struct RunResult {
     /// Physical page I/O performed during the run (including
     /// `pages_flushed_at_commit`, the write-back flush traffic), when the
     /// mechanism exposes its counters; `None` for the baselines and remote stores.
+    /// For a sharded store this is the *sum* over all shards.
     pub io: Option<afs_core::PageIoStats>,
+    /// Per-shard physical page I/O for the run, in shard order, when the
+    /// mechanism exposes its counters.  An unsharded mechanism reports one
+    /// entry; use it to see hot-shard skew that the aggregate hides.
+    pub io_per_shard: Option<Vec<afs_core::PageIoStats>>,
 }
 
 impl RunResult {
@@ -95,6 +100,7 @@ where
     let aborts = AtomicU64::new(0);
     let gave_up = AtomicU64::new(0);
     let io_before = cc.io_stats();
+    let io_per_shard_before = cc.shard_io_stats();
     let start = Instant::now();
 
     let latencies: Vec<Duration> = std::thread::scope(|scope| {
@@ -169,6 +175,16 @@ where
         latency: LatencyStats::from_samples(latencies),
         io: match (io_before, cc.io_stats()) {
             (Some(before), Some(after)) => Some(after.since(&before)),
+            _ => None,
+        },
+        io_per_shard: match (io_per_shard_before, cc.shard_io_stats()) {
+            (Some(before), Some(after)) if before.len() == after.len() => Some(
+                after
+                    .iter()
+                    .zip(before.iter())
+                    .map(|(a, b)| a.since(b))
+                    .collect(),
+            ),
             _ => None,
         },
     }

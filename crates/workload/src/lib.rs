@@ -19,4 +19,4 @@ pub mod scenarios;
 pub use apply::{apply_spec, provision_file};
 pub use dist::AccessDistribution;
 pub use mix::{MixConfig, TxSpec, WorkloadGenerator};
-pub use scenarios::{airline_mix, compiler_temp_mix, hot_spot_mix, sccs_mix};
+pub use scenarios::{airline_mix, compiler_temp_mix, hot_spot_mix, sccs_mix, sharded_mix};

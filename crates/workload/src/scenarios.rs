@@ -55,6 +55,31 @@ pub fn sccs_mix(pages: usize, seed: u64) -> MixConfig {
     }
 }
 
+/// A multi-shard mix: many files spread round-robin across the shards of a
+/// sharded store, each transaction touching one file.  With `theta > 0` the
+/// file choice is Zipf-skewed, so a minority of files — and therefore a
+/// minority of *shards* — absorbs most of the traffic: the hot-shard scenario a
+/// sharded deployment must survive without starving the cold shards.  With
+/// `theta = 0` the load is uniform and throughput should scale with the shard
+/// count.
+pub fn sharded_mix(files: usize, pages_per_file: usize, theta: f64, seed: u64) -> MixConfig {
+    MixConfig {
+        files,
+        pages_per_file,
+        reads_per_tx: 1,
+        writes_per_tx: 1,
+        payload: 128,
+        file_skew: if theta > 0.0 {
+            AccessDistribution::Zipf { theta }
+        } else {
+            AccessDistribution::Uniform
+        },
+        page_skew: AccessDistribution::Uniform,
+        read_only_fraction: 0.2,
+        seed,
+    }
+}
+
 /// A hot-spot mix: every transaction reads and writes the same page — the worst case
 /// for optimistic concurrency control (§6's starvation discussion) and the best case
 /// for locking.
@@ -100,6 +125,25 @@ mod tests {
         let mut generator = WorkloadGenerator::new(hot_spot_mix(1));
         for tx in generator.batch(50) {
             assert_eq!(tx.writes, vec![0]);
+        }
+    }
+
+    #[test]
+    fn sharded_mix_skews_file_choice_when_asked() {
+        let mut skewed = WorkloadGenerator::new(sharded_mix(12, 32, 0.9, 7));
+        let batch = skewed.batch(600);
+        let hot = batch.iter().filter(|t| t.file == 0).count();
+        let cold = batch.iter().filter(|t| t.file == 11).count();
+        assert!(
+            hot > 3 * cold.max(1),
+            "Zipf skew must concentrate traffic (hot={hot}, cold={cold})"
+        );
+
+        let mut uniform = WorkloadGenerator::new(sharded_mix(12, 32, 0.0, 7));
+        let batch = uniform.batch(600);
+        for file in 0..12 {
+            let n = batch.iter().filter(|t| t.file == file).count();
+            assert!(n > 10, "uniform mix starved file {file} ({n} txs)");
         }
     }
 

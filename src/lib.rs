@@ -11,18 +11,54 @@
 //!   local or remote — implements, with the retrying
 //!   [`afs_core::FileStoreExt::update`] transaction API and batched page
 //!   operations on top,
-//! * [`amoeba_block`] — the block service (atomic blocks, stable storage, write-once
-//!   media, fault injection),
-//! * [`amoeba_capability`] — ports, capabilities and rights,
+//! * [`amoeba_block`] — the block service (atomic blocks, stable storage,
+//!   N-replica [`amoeba_block::ReplicatedBlockStore`] sets, write-once media,
+//!   fault injection),
+//! * [`amoeba_capability`] — ports, capabilities, rights, and the
+//!   [`amoeba_capability::shard_of`] placement function,
 //! * [`amoeba_rpc`] — transaction-style RPC (in-process and TCP transports),
 //! * [`afs_server`] / [`afs_client`] — server processes and the client library
 //!   ([`afs_client::RemoteFs`] implements `FileStore`, so everything written
 //!   against the trait runs over the wire unchanged, with k-page updates in
-//!   O(1) round trips),
+//!   O(1) round trips; [`afs_server::ShardedCluster`] launches the full
+//!   multi-server topology and [`afs_client::ShardedStore`] routes over it),
 //! * [`afs_baselines`] — the 2PL, timestamp-ordering and callback-cache comparators,
 //!   plus [`afs_baselines::StoreAdapter`], which drives any `FileStore` through
 //!   the uniform experiment interface,
 //! * [`afs_workload`] / [`afs_sim`] — workload generators and the experiment harness.
+//!
+//! ## Architecture: shards, replicas, capability-based placement
+//!
+//! The paper's service is *distributed*: "the file service operates using a
+//! number of server processes", blocks are duplicated on stable storage, and a
+//! client finds the server holding a file from the file's capability.  The
+//! reproduction realises that topology in three layers, each independently
+//! crash-tolerant:
+//!
+//! ```text
+//!                    ShardedStore  (client router, afs_client)
+//!                   /      |      \          routes by shard_of(capability)
+//!          shard 0        shard 1        shard 2
+//!        ServerGroup    ServerGroup    ServerGroup     (server processes;
+//!         /      \       /      \       /      \        any one suffices)
+//!       FileService    FileService    FileService      (OCC, versions, GC)
+//!            |              |              |
+//!     ReplicatedBlock  ReplicatedBlock  ReplicatedBlock  (read-one/write-all,
+//!      [disk] [disk]    [disk] [disk]    [disk] [disk]    intentions, resync)
+//! ```
+//!
+//! *Placement* is a pure function of the capability: shard `i` of `n` mints
+//! object ids congruent to `i` mod `n`
+//! ([`afs_core::ServiceConfig::object_id_offset`]/`object_id_stride`), so
+//! [`amoeba_capability::shard_of`] routes any file or version capability with a
+//! modulo — no directory service on the request path, exactly the paper's
+//! capability-addressed design.  *Durability* within a shard is the PR 2
+//! commit-time flush; *availability* comes from the replica set (any single
+//! replica crash loses nothing: survivors queue intentions, and
+//! [`amoeba_block::ReplicatedBlockStore::resync`] replays them on recovery)
+//! and from the server group (a crashed process is simply failed over).
+//!
+//! See `examples/sharded_service.rs` for the whole topology in motion.
 //!
 //! ## Quick start
 //!

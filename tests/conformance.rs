@@ -1,16 +1,19 @@
 //! The `FileStore` conformance suite: one generic battery of protocol checks
 //! run against every store implementation — the local `FileService`, a
-//! `RemoteFs` over the in-process network, and a `RemoteFs` whose primary
-//! server crashes mid-suite — plus round-trip accounting for the batched page
-//! operations, asserted through a counting transport.
+//! `RemoteFs` over the in-process network, a `RemoteFs` whose primary server
+//! crashes mid-suite, and a `ShardedStore` routing over three shards with
+//! two-replica block storage (local and remote) — plus round-trip accounting
+//! for the batched page operations, asserted through a counting transport, and
+//! a replica-divergence test that kills one replica mid-commit-stream and
+//! proves resync restores read-one/write-all agreement.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use afs_client::RemoteFs;
+use afs_client::{RemoteFs, ShardedStore};
 use afs_core::{FileService, FileStore, FileStoreExt, FsError, PagePath, RetryPolicy};
-use afs_server::ServerGroup;
-use amoeba_capability::Port;
+use afs_server::{ServerGroup, ShardedCluster};
+use amoeba_capability::{shard_of, Port};
 use amoeba_rpc::{LocalNetwork, Reply, Request, Transport};
 use bytes::Bytes;
 
@@ -246,6 +249,215 @@ fn remote_store_conforms_while_servers_crash() {
     group.process(0).restart();
     group.process(1).crash();
     exercise_store(&remote);
+}
+
+#[test]
+fn sharded_local_store_conforms() {
+    // Three shards, each over two-replica block storage: the full client
+    // protocol must behave identically to a single service.
+    let (store, _replicas) = ShardedStore::local_replicated(3, 2);
+    exercise_store(&store);
+}
+
+#[test]
+fn sharded_local_store_conforms_as_a_trait_object() {
+    let (store, _replicas) = ShardedStore::local_replicated(3, 2);
+    let store: &dyn FileStore = &store;
+    exercise_store(store);
+}
+
+#[test]
+fn sharded_local_store_conforms_while_replicas_crash() {
+    let (store, replica_sets) = ShardedStore::local_replicated(3, 2);
+    // One replica of every shard is down for the whole battery: every page
+    // lands on (and is served by) the survivor, with intentions queued.
+    for replicas in &replica_sets {
+        replicas.crash(0);
+    }
+    exercise_store(&store);
+    // The battery places its files round-robin starting at shard 0, so at
+    // least that shard ran degraded and queued intentions.
+    let queued: u64 = replica_sets
+        .iter()
+        .map(|r| r.replica_stats().intentions_recorded)
+        .sum();
+    assert!(queued > 0, "degraded commits must record intentions");
+    for replicas in &replica_sets {
+        replicas.resync(0).expect("resync after the battery");
+        assert!(
+            replicas.divergent_blocks().is_empty(),
+            "resync must restore replica agreement"
+        );
+    }
+    // And again at full strength.
+    exercise_store(&store);
+}
+
+#[test]
+fn sharded_remote_store_conforms() {
+    let network = Arc::new(LocalNetwork::new());
+    let cluster = ShardedCluster::launch(&network, 3, 2, 2);
+    let remote = ShardedStore::connect(Arc::clone(&network), cluster.shard_ports());
+    exercise_store(&remote);
+
+    // The same battery with one server process of every shard crashed: each
+    // transaction fails over to the shard's replica process.
+    for shard in 0..cluster.shard_count() {
+        cluster.shard(shard).group().process(0).crash();
+    }
+    exercise_store(&remote);
+}
+
+#[test]
+fn sharded_remote_store_conforms_over_tcp() {
+    use afs_core::{BlockServer, ReplicatedBlockStore, ServiceConfig};
+    use afs_server::FileServerHandler;
+    use amoeba_rpc::tcp::{TcpClient, TcpServer};
+
+    // The real multi-server topology: one TCP server *process* per shard, each
+    // hosting two logical service ports over its own file service and
+    // two-replica block storage; one socket client per shard behind the router.
+    let shards = 3;
+    let mut servers = Vec::new();
+    let mut stores = Vec::new();
+    for shard in 0..shards {
+        let replicas = ReplicatedBlockStore::in_memory(2);
+        let service = FileService::for_shard(
+            Arc::new(BlockServer::new(replicas as _)),
+            shard,
+            shards,
+            ServiceConfig::default(),
+        );
+        let server = TcpServer::bind("127.0.0.1:0").expect("bind shard server");
+        let ports: Vec<Port> = (0..2)
+            .map(|_| {
+                let port = Port::random();
+                server.register(port, Arc::new(FileServerHandler::new(Arc::clone(&service))));
+                port
+            })
+            .collect();
+        stores.push(RemoteFs::new(TcpClient::new(server.local_addr()), ports));
+        servers.push(server);
+    }
+    let store = ShardedStore::new(stores);
+    exercise_store(&store);
+}
+
+#[test]
+fn sharded_remote_batched_ops_cost_constant_round_trips() {
+    // The counting transport sits below the router: the O(1)-RPC discipline
+    // must survive sharding because a version's pages all live on one shard.
+    let network = Arc::new(LocalNetwork::new());
+    let cluster = ShardedCluster::launch(&network, 3, 2, 1);
+    let counting = Arc::new(CountingTransport::new(Arc::clone(&network)));
+    let remote = ShardedStore::connect(Arc::clone(&counting), cluster.shard_ports());
+    exercise_store(&remote);
+
+    let file = remote.create_file().unwrap();
+    let setup = remote.create_version(&file).unwrap();
+    let paths: Vec<PagePath> = (0..24u8)
+        .map(|i| {
+            remote
+                .append_page(&setup, &PagePath::root(), Bytes::from(vec![i]))
+                .unwrap()
+        })
+        .collect();
+    remote.commit(&setup).unwrap();
+
+    let before = counting.round_trips();
+    remote
+        .update_with(&file, RetryPolicy::default(), |tx| {
+            let writes: Vec<(PagePath, Bytes)> = paths
+                .iter()
+                .map(|p| (p.clone(), Bytes::from_static(b"sharded batch")))
+                .collect();
+            tx.write_many(&writes)?;
+            tx.read_many(&paths)
+        })
+        .unwrap();
+    let trips = counting.round_trips() - before;
+    assert_eq!(
+        trips, 4,
+        "a k-page batched update through the shard router must still cost \
+         O(1) round trips, used {trips}"
+    );
+}
+
+/// The replica-divergence proof: one replica of the file's shard is killed
+/// while a stream of concurrent commits is in flight, runs degraded, and is
+/// then resynced.  No committed update may be lost — even when the recovered
+/// replica is the *only* one left to serve reads.
+#[test]
+fn replica_killed_mid_commit_stream_resyncs_without_losing_data() {
+    // The page cache is disabled so the final read provably comes from the
+    // recovered replica's disk, not from server memory.
+    let (store, replica_sets) = ShardedStore::local_replicated_with_config(
+        3,
+        2,
+        afs_core::ServiceConfig {
+            flag_cache_capacity: None,
+            ..afs_core::ServiceConfig::default()
+        },
+    );
+    let store = Arc::new(store);
+
+    let file = store.create_file().unwrap();
+    let shard = shard_of(&file, 3);
+    let page = store
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from(0u32.to_le_bytes().to_vec()))
+        })
+        .unwrap();
+
+    // Kill replica 0 of the file's shard, then let four clients race 24
+    // counter increments through the OCC retry loop while the shard runs
+    // degraded: every commit's flush lands on the survivor and is queued as an
+    // intention for the corpse.
+    replica_sets[shard].crash(0);
+    let threads = 4;
+    let per_thread = 6;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let store = Arc::clone(&store);
+            let page = page.clone();
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    store
+                        .update_with(&file, RetryPolicy::with_max_attempts(10_000), |tx| {
+                            let old = tx.read(&page)?;
+                            let value = u32::from_le_bytes(old[..4].try_into().unwrap()) + 1;
+                            tx.write(&page, Bytes::from(value.to_le_bytes().to_vec()))
+                        })
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = replica_sets[shard].replica_stats();
+    assert!(
+        stats.intentions_recorded > 0,
+        "commits while a replica is down must record intentions"
+    );
+
+    // Resync the corpse and verify byte-level replica agreement.
+    let applied = replica_sets[shard].resync(0).expect("resync");
+    assert!(applied > 0);
+    assert!(
+        replica_sets[shard].divergent_blocks().is_empty(),
+        "read-one/write-all agreement must hold after resync"
+    );
+
+    // The acid test: kill the replica that survived the first crash, leaving
+    // only the recovered one.  Every committed increment must be readable.
+    replica_sets[shard].crash(1);
+    let current = store.current_version(&file).unwrap();
+    let raw = store.read_committed_page(&current, &page).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(raw[..4].try_into().unwrap()),
+        (threads * per_thread) as u32,
+        "the resynced replica must serve every committed update"
+    );
 }
 
 #[test]
