@@ -1,34 +1,62 @@
 //! Perf smoke: short, deterministic workload slices that run in seconds and
-//! write machine-readable throughput and I/O counters to `BENCH_3.json`, so CI
+//! write machine-readable throughput and I/O counters to `BENCH_4.json`, so CI
 //! can track the performance trajectory without a full Criterion run.
 //!
-//! Three families of rows are emitted:
+//! Four families of rows are emitted:
 //!
 //! * the `occ_vs_locking`-style mixed workload over a single service
-//!   (`occ_mixed`, kept from `BENCH_2.json` for continuity),
+//!   (`occ_mixed`, kept from earlier schemas for continuity),
 //! * the copy-on-write workload run write-through and write-back, carrying the
 //!   PR 2 physical-write delta,
-//! * the *sharded* mixed OCC workload over a `ShardedStore` with 1 and with
-//!   N shards (each shard on 2-replica block storage), carrying the 1-shard vs
-//!   N-shard ops/sec scaling the sharded topology exists to produce.
+//! * the commit-flush workload run unbatched and batched over latency-modelled
+//!   replica disks, carrying the PR 4 physical-write-**call** delta (the
+//!   k-pages-in-1-call claim, observable via `block_write_calls`),
+//! * the *sharded* workload over 1 and over N shards — each shard on 2-replica
+//!   latency-modelled block storage — driven by a constant pool of concurrent
+//!   client threads pinned to disjoint files, so the 1-vs-N comparison
+//!   measures shard capacity rather than OCC conflict behaviour or a
+//!   single-threaded driver's issue rate.
+//!
+//! The disks behind the sharded and flush rows are `DelayStore`s: a per-call
+//! positioning cost plus a per-block transfer cost, served one request at a
+//! time.  Against instantaneous in-memory disks neither batching nor sharding
+//! is observable — the delay model is what lets a smoke test show the scaling
+//! the design exists to produce.  A separate microbenchmark reports the
+//! replica fan-out wall-clock delta (parallel scoped-thread fan-out vs the old
+//! sequential loop) over the same delayed disks.
 //!
 //! Usage: `cargo run -p afs-bench --release --bin perf-smoke [-- OUTPUT.json]`
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
-use afs_baselines::{AmoebaAdapter, StoreAdapter};
+use afs_baselines::AmoebaAdapter;
 use afs_client::ShardedStore;
-use afs_core::{BlockServer, FileService, MemStore, PageIoStats, PagePath, ServiceConfig};
+use afs_core::shard_of;
+use afs_core::{
+    BlockServer, FileService, FileStore, MemStore, PageIoStats, PagePath, ServiceConfig,
+};
 use afs_sim::{run_workload, RunConfig};
-use afs_workload::{sharded_mix, MixConfig};
+use afs_workload::MixConfig;
+use amoeba_block::{BlockStore, DelayStore, ReplicatedBlockStore};
 
-/// Shard count of the "many servers" row.
+/// Shard count of the "many servers" rows.
 const SHARDS: usize = 3;
-/// Replicas per shard in the sharded rows.
+/// Replicas per shard in the sharded and flush rows.
 const REPLICAS: usize = 2;
+/// Concurrent client threads driving the sharded rows (constant across shard
+/// counts, so the comparison isolates server-side capacity).
+const CLIENT_THREADS: usize = 6;
+/// Committed transactions each client thread performs per sharded row.
+const TX_PER_THREAD: usize = 40;
+/// Pages written (and committed in one flush) per transaction.
+const WRITES_PER_TX: usize = 8;
+/// Positioning cost charged per physical disk call (the RPC/seek analogue).
+const DISK_PER_CALL: Duration = Duration::from_micros(100);
+/// Transfer cost charged per block moved.
+const DISK_PER_BLOCK: Duration = Duration::from_micros(2);
 
 /// One workload's headline numbers.
 struct Row {
@@ -42,13 +70,14 @@ impl Row {
         format!(
             concat!(
                 "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, ",
-                "\"page_reads\": {}, \"page_writes\": {}, \"cache_hits\": {}, ",
-                "\"pages_flushed_at_commit\": {}}}"
+                "\"page_reads\": {}, \"page_writes\": {}, \"block_write_calls\": {}, ",
+                "\"cache_hits\": {}, \"pages_flushed_at_commit\": {}}}"
             ),
             self.name,
             self.ops_per_sec,
             self.io.page_reads,
             self.io.page_writes,
+            self.io.block_write_calls,
             self.io.cache_hits,
             self.io.pages_flushed_at_commit,
         )
@@ -79,28 +108,6 @@ fn occ_mixed() -> Row {
     }
 }
 
-/// The sharded mixed OCC workload: `shards` shards, each over a
-/// `REPLICAS`-replica block store, uniform file placement, run with enough
-/// clients to keep every shard busy.  The file count is held constant across
-/// shard counts so the 1-shard vs N-shard comparison isolates sharding itself
-/// rather than a change in OCC contention.
-fn occ_sharded(shards: usize) -> Row {
-    let (store, _replicas) = ShardedStore::local_replicated(shards, REPLICAS);
-    let cc = StoreAdapter::over(store, "amoeba-occ-sharded");
-    let config = RunConfig {
-        clients: 8,
-        transactions_per_client: 100,
-        max_retries: 10_000,
-        mix: sharded_mix(12, 32, 0.0, 42),
-    };
-    let result = run_workload(&cc, &config);
-    Row {
-        name: format!("occ_sharded_{shards}"),
-        ops_per_sec: result.throughput(),
-        io: result.io.expect("local shards report I/O stats"),
-    }
-}
-
 /// A `cow_overhead`-style repeated-leaf-update workload: N transactions, each
 /// writing the same depth-2 leaf several times before committing.
 fn cow_repeated_write(name: &str, write_back: bool) -> Row {
@@ -124,7 +131,7 @@ fn cow_repeated_write(name: &str, write_back: bool) -> Row {
 
     const ROUNDS: usize = 200;
     const WRITES_PER_ROUND: usize = 8;
-    let before = service.io_stats();
+    let before = FileService::io_stats(&service);
     let start = Instant::now();
     for round in 0..ROUNDS {
         let v = service.create_version(&file).expect("create version");
@@ -139,48 +146,222 @@ fn cow_repeated_write(name: &str, write_back: bool) -> Row {
     Row {
         name: name.to_string(),
         ops_per_sec: (ROUNDS * WRITES_PER_ROUND) as f64 / elapsed,
-        io: service.io_stats().since(&before),
+        io: FileService::io_stats(&service).since(&before),
     }
 }
 
-fn find(rows: &[Row], name: &str) -> Option<(f64, u64)> {
-    rows.iter()
-        .find(|r| r.name == name)
-        .map(|r| (r.ops_per_sec, r.io.page_writes))
+/// A replica set of latency-modelled in-memory disks.
+fn delayed_replica_set(replicas: usize) -> Arc<ReplicatedBlockStore> {
+    ReplicatedBlockStore::new(
+        (0..replicas)
+            .map(|_| {
+                Arc::new(DelayStore::new(
+                    MemStore::new(),
+                    DISK_PER_CALL,
+                    DISK_PER_BLOCK,
+                )) as Arc<dyn BlockStore>
+            })
+            .collect(),
+    )
+}
+
+/// The multithreaded commit driver shared by the sharded and flush rows:
+/// `CLIENT_THREADS` concurrent clients, each pinned to its own file (so the
+/// rows measure server capacity, not OCC conflict retries), each committing
+/// `TX_PER_THREAD` transactions of `WRITES_PER_TX` page writes.  Returns
+/// committed transactions per second.
+fn drive_commits<S: FileStore + Sync>(store: &S) -> f64 {
+    // One 32-page file per client thread.
+    let files: Vec<_> = (0..CLIENT_THREADS)
+        .map(|_| {
+            let file = store.create_file().expect("create file");
+            let setup = store.create_version(&file).expect("setup version");
+            for i in 0..32u8 {
+                store
+                    .append_page(&setup, &PagePath::root(), Bytes::from(vec![i; 64]))
+                    .expect("append");
+            }
+            store.commit(&setup).expect("commit setup");
+            file
+        })
+        .collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (t, file) in files.iter().enumerate() {
+            scope.spawn(move || {
+                for round in 0..TX_PER_THREAD {
+                    let v = store.create_version(file).expect("create version");
+                    let writes: Vec<(PagePath, Bytes)> = (0..WRITES_PER_TX)
+                        .map(|i| {
+                            (
+                                PagePath::new(vec![((t * WRITES_PER_TX + i) % 32) as u16]),
+                                Bytes::from(vec![(round + i) as u8; 256]),
+                            )
+                        })
+                        .collect();
+                    store.write_pages(&v, &writes).expect("write pages");
+                    store.commit(&v).expect("commit");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(f64::EPSILON);
+    (CLIENT_THREADS * TX_PER_THREAD) as f64 / elapsed
+}
+
+/// The sharded workload: `shards` shards, each a `FileService` over its own
+/// 2-replica delayed block storage, behind a `ShardedStore` router, driven by
+/// the constant concurrent client pool.
+fn occ_sharded(shards: usize) -> Row {
+    let services: Vec<Arc<FileService>> = (0..shards)
+        .map(|shard| {
+            FileService::for_shard(
+                Arc::new(BlockServer::new(
+                    delayed_replica_set(REPLICAS) as Arc<dyn BlockStore>
+                )),
+                shard,
+                shards,
+                ServiceConfig::default(),
+            )
+        })
+        .collect();
+    let store = ShardedStore::new(services);
+    let ops_per_sec = drive_commits(&store);
+    // Sanity: the driver's files really spread over every shard.
+    if shards > 1 {
+        let file = store.create_file().expect("probe file");
+        assert_eq!(shard_of(&file, shards), CLIENT_THREADS % shards);
+    }
+    Row {
+        name: format!("occ_sharded_{shards}"),
+        ops_per_sec,
+        io: store.io_stats().expect("local shards report I/O stats"),
+    }
+}
+
+/// The commit-flush workload over one shard's delayed replica set, with the
+/// scatter-gather flush on or off: the before/after of batching.
+fn commit_flush(name: &str, batch_flush: bool) -> Row {
+    let service = FileService::with_config(
+        Arc::new(BlockServer::new(
+            delayed_replica_set(REPLICAS) as Arc<dyn BlockStore>
+        )),
+        ServiceConfig {
+            batch_flush,
+            ..ServiceConfig::default()
+        },
+    );
+    let before = FileService::io_stats(&service);
+    let ops_per_sec = drive_commits(&service);
+    Row {
+        name: name.to_string(),
+        ops_per_sec,
+        io: FileService::io_stats(&service).since(&before),
+    }
+}
+
+/// Measures the replica fan-out wall-clock: the same put batches applied to a
+/// 3-replica set of delayed disks through the parallel scoped-thread fan-out
+/// (the shipped `write_batch`) vs a sequential per-replica loop (the old
+/// behaviour, reconstructed by writing each replica's disk directly).
+/// Returns `(sequential_ms, parallel_ms)`.
+fn replica_fanout_delta() -> (f64, f64, usize) {
+    const FANOUT_REPLICAS: usize = 3;
+    const BATCHES: usize = 24;
+    const BATCH_BLOCKS: usize = 8;
+    let replicas = delayed_replica_set(FANOUT_REPLICAS);
+    let blocks: Vec<_> = (0..BATCH_BLOCKS)
+        .map(|_| replicas.allocate().expect("allocate"))
+        .collect();
+    let batch: Vec<(u32, Bytes)> = blocks
+        .iter()
+        .map(|&nr| (nr, Bytes::from(vec![0xEE; 512])))
+        .collect();
+
+    // Parallel: the shipped write-all fan-out.
+    let start = Instant::now();
+    for _ in 0..BATCHES {
+        replicas.write_batch(&batch).expect("parallel fan-out");
+    }
+    let parallel = start.elapsed();
+
+    // Sequential reference: one replica after another, as the pre-PR loop did.
+    let start = Instant::now();
+    for _ in 0..BATCHES {
+        for idx in 0..FANOUT_REPLICAS {
+            replicas
+                .replica(idx)
+                .write_batch(&batch)
+                .expect("sequential reference");
+        }
+    }
+    let sequential = start.elapsed();
+
+    (
+        sequential.as_secs_f64() * 1e3,
+        parallel.as_secs_f64() * 1e3,
+        FANOUT_REPLICAS,
+    )
+}
+
+fn find<'a>(rows: &'a [Row], name: &str) -> Option<&'a Row> {
+    rows.iter().find(|r| r.name == name)
 }
 
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
 
     let rows = [
         occ_mixed(),
         cow_repeated_write("cow_repeated_write_writethrough", false),
         cow_repeated_write("cow_repeated_write_writeback", true),
+        commit_flush("commit_flush_unbatched", false),
+        commit_flush("commit_flush_batched", true),
         occ_sharded(1),
         occ_sharded(SHARDS),
     ];
+    let (fanout_seq_ms, fanout_par_ms, fanout_replicas) = replica_fanout_delta();
 
-    let (_, wt_writes) = find(&rows, "cow_repeated_write_writethrough").unwrap_or((0.0, 0));
-    let (_, wb_writes) = find(&rows, "cow_repeated_write_writeback").unwrap_or((0.0, 0));
-    let (ops_1, _) = find(&rows, "occ_sharded_1").unwrap_or((0.0, 0));
-    let (ops_n, _) = find(&rows, &format!("occ_sharded_{SHARDS}")).unwrap_or((0.0, 0));
+    let wt = find(&rows, "cow_repeated_write_writethrough").unwrap();
+    let wb = find(&rows, "cow_repeated_write_writeback").unwrap();
+    let unbatched = find(&rows, "commit_flush_unbatched").unwrap();
+    let batched = find(&rows, "commit_flush_batched").unwrap();
+    let sharded_1 = find(&rows, "occ_sharded_1").unwrap();
+    let sharded_n = find(&rows, &format!("occ_sharded_{SHARDS}")).unwrap();
 
+    let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"afs-perf-smoke-v3\",\n",
+            "  \"schema\": \"afs-perf-smoke-v4\",\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"write_back_delta\": {{\n",
             "    \"cow_page_writes_before\": {},\n",
             "    \"cow_page_writes_after\": {},\n",
             "    \"write_reduction_factor\": {:.2}\n",
             "  }},\n",
+            "  \"batching_delta\": {{\n",
+            "    \"block_write_calls_before\": {},\n",
+            "    \"block_write_calls_after\": {},\n",
+            "    \"call_reduction_factor\": {:.2},\n",
+            "    \"ops_per_sec_before\": {:.1},\n",
+            "    \"ops_per_sec_after\": {:.1},\n",
+            "    \"throughput_speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"replica_fanout\": {{\n",
+            "    \"replicas\": {},\n",
+            "    \"sequential_ms\": {:.1},\n",
+            "    \"parallel_ms\": {:.1},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
             "  \"shard_scaling\": {{\n",
             "    \"shards\": {},\n",
             "    \"replicas_per_shard\": {},\n",
+            "    \"client_threads\": {},\n",
             "    \"ops_per_sec_1_shard\": {:.1},\n",
             "    \"ops_per_sec_n_shards\": {:.1},\n",
             "    \"scaling_factor\": {:.2}\n",
@@ -188,18 +369,28 @@ fn main() {
             "}}\n"
         ),
         body.join(",\n"),
-        wt_writes,
-        wb_writes,
-        if wb_writes > 0 {
-            wt_writes as f64 / wb_writes as f64
-        } else {
-            0.0
-        },
+        wt.io.page_writes,
+        wb.io.page_writes,
+        ratio(wt.io.page_writes as f64, wb.io.page_writes as f64),
+        unbatched.io.block_write_calls,
+        batched.io.block_write_calls,
+        ratio(
+            unbatched.io.block_write_calls as f64,
+            batched.io.block_write_calls as f64
+        ),
+        unbatched.ops_per_sec,
+        batched.ops_per_sec,
+        ratio(batched.ops_per_sec, unbatched.ops_per_sec),
+        fanout_replicas,
+        fanout_seq_ms,
+        fanout_par_ms,
+        ratio(fanout_seq_ms, fanout_par_ms),
         SHARDS,
         REPLICAS,
-        ops_1,
-        ops_n,
-        if ops_1 > 0.0 { ops_n / ops_1 } else { 0.0 },
+        CLIENT_THREADS,
+        sharded_1.ops_per_sec,
+        sharded_n.ops_per_sec,
+        ratio(sharded_n.ops_per_sec, sharded_1.ops_per_sec),
     );
 
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

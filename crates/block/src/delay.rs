@@ -1,0 +1,157 @@
+//! A latency-modelling block-store wrapper.
+//!
+//! `MemStore` is deliberately instantaneous, which makes it useless for
+//! studying *I/O-bound* behaviour: against a zero-latency disk, batching calls
+//! and parallelising replica fan-out are unobservable.  [`DelayStore`] wraps
+//! any [`BlockStore`] and charges a simple, honest cost model for reads and
+//! writes:
+//!
+//! * a **per-call** cost (positioning / request overhead — the RPC round trip
+//!   or the seek), paid once per `read`/`write`/`write_batch` call, and
+//! * a **per-block** cost (transfer), paid once per block moved.
+//!
+//! The device serves **one request at a time**: the delay is spent while an
+//! internal mutex is held, like a single disk head.  That is what lets the
+//! benchmarks show the two effects this model exists for — a k-block
+//! `write_batch` costs `per_call + k·per_block` instead of
+//! `k·(per_call + per_block)`, and a shard whose disks are saturated stops
+//! scaling until more shards (more disks) are added.
+//!
+//! Allocation and bookkeeping calls are free: they model in-memory metadata,
+//! and charging them would only blur what the experiments measure.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::store::{BlockStore, StoreStats};
+use crate::{BlockNr, Result};
+
+/// A [`BlockStore`] wrapper that charges per-call and per-block latency for
+/// reads and writes, serving one request at a time.
+pub struct DelayStore<S> {
+    inner: S,
+    per_call: Duration,
+    per_block: Duration,
+    /// The "disk head": held for the whole duration of a charged request.
+    busy: Mutex<()>,
+}
+
+impl<S: BlockStore> DelayStore<S> {
+    /// Wraps `inner`, charging `per_call` once per read/write call and
+    /// `per_block` once per block moved.
+    pub fn new(inner: S, per_call: Duration, per_block: Duration) -> Self {
+        DelayStore {
+            inner,
+            per_call,
+            per_block,
+            busy: Mutex::new(()),
+        }
+    }
+
+    /// Returns a reference to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn charge(&self, blocks: usize) {
+        let cost = self.per_call + self.per_block * blocks as u32;
+        if cost.is_zero() {
+            return;
+        }
+        let _head = self.busy.lock();
+        std::thread::sleep(cost);
+    }
+}
+
+impl<S: BlockStore> BlockStore for DelayStore<S> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn allocate(&self) -> Result<BlockNr> {
+        self.inner.allocate()
+    }
+
+    fn allocate_at(&self, nr: BlockNr) -> Result<()> {
+        self.inner.allocate_at(nr)
+    }
+
+    fn free(&self, nr: BlockNr) -> Result<()> {
+        self.inner.free(nr)
+    }
+
+    fn read(&self, nr: BlockNr) -> Result<Bytes> {
+        self.charge(1);
+        self.inner.read(nr)
+    }
+
+    fn write(&self, nr: BlockNr, data: Bytes) -> Result<()> {
+        self.charge(1);
+        self.inner.write(nr, data)
+    }
+
+    fn write_batch(&self, writes: &[(BlockNr, Bytes)]) -> Result<()> {
+        // The whole point: one positioning cost for the whole batch.
+        self.charge(writes.len());
+        self.inner.write_batch(writes)
+    }
+
+    fn is_allocated(&self, nr: BlockNr) -> bool {
+        self.inner.is_allocated(nr)
+    }
+
+    fn allocated_count(&self) -> usize {
+        self.inner.allocated_count()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn allocated_blocks(&self) -> Vec<BlockNr> {
+        self.inner.allocated_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use std::time::Instant;
+
+    #[test]
+    fn batch_pays_one_call_cost() {
+        let store = DelayStore::new(MemStore::new(), Duration::from_millis(10), Duration::ZERO);
+        let blocks: Vec<BlockNr> = (0..8).map(|_| store.allocate().unwrap()).collect();
+        let writes: Vec<(BlockNr, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from_static(b"x")))
+            .collect();
+
+        let start = Instant::now();
+        store.write_batch(&writes).unwrap();
+        let batched = start.elapsed();
+
+        let start = Instant::now();
+        for (nr, data) in &writes {
+            store.write(*nr, data.clone()).unwrap();
+        }
+        let unbatched = start.elapsed();
+
+        assert!(
+            batched < unbatched / 2,
+            "8 blocks in one call ({batched:?}) must beat 8 calls ({unbatched:?})"
+        );
+    }
+
+    #[test]
+    fn zero_delay_is_transparent() {
+        let store = DelayStore::new(MemStore::new(), Duration::ZERO, Duration::ZERO);
+        let nr = store.allocate().unwrap();
+        store.write(nr, Bytes::from_static(b"free")).unwrap();
+        assert_eq!(store.read(nr).unwrap(), Bytes::from_static(b"free"));
+        assert_eq!(store.stats().writes, 1);
+    }
+}

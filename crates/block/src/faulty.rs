@@ -15,7 +15,7 @@
 //!   retry logic in the stable-storage and file-service layers.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -52,6 +52,10 @@ impl Default for FaultPlan {
 pub struct FaultyStore<S> {
     inner: S,
     crashed: AtomicBool,
+    /// When non-negative: the number of further successful writes allowed
+    /// before the store crashes.  Lets tests kill a disk deterministically in
+    /// the middle of a `write_batch`.
+    crash_after_writes: AtomicI64,
     corrupted: Mutex<HashSet<BlockNr>>,
     plan: Mutex<FaultPlan>,
     rng: Mutex<StdRng>,
@@ -70,6 +74,7 @@ impl<S: BlockStore> FaultyStore<S> {
         FaultyStore {
             inner,
             crashed: AtomicBool::new(false),
+            crash_after_writes: AtomicI64::new(-1),
             corrupted: Mutex::new(HashSet::new()),
             rng: Mutex::new(StdRng::seed_from_u64(plan.seed)),
             plan: Mutex::new(plan),
@@ -89,6 +94,16 @@ impl<S: BlockStore> FaultyStore<S> {
     /// temporarily inaccessible).
     pub fn recover(&self) {
         self.crashed.store(false, Ordering::SeqCst);
+        self.crash_after_writes.store(-1, Ordering::SeqCst);
+    }
+
+    /// Arms a deterministic mid-stream crash: the store accepts `writes` more
+    /// successful block writes and then crashes, so a `write_batch` in flight
+    /// is cut off after exactly that many blocks.  Disarmed by
+    /// [`FaultyStore::recover`].
+    pub fn crash_after_writes(&self, writes: u64) {
+        self.crash_after_writes
+            .store(writes as i64, Ordering::SeqCst);
     }
 
     /// Returns true if the store is currently crashed.
@@ -174,6 +189,12 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
 
     fn write(&self, nr: BlockNr, data: Bytes) -> Result<()> {
         self.check_crashed()?;
+        if self.crash_after_writes.load(Ordering::SeqCst) == 0 {
+            // The armed write budget is exhausted: the disk dies now, before
+            // this write is applied.
+            self.crash();
+            return Err(BlockError::Crashed);
+        }
         let prob = self.plan.lock().write_failure_prob;
         if self.roll(prob) {
             self.injected_write_failures.fetch_add(1, Ordering::Relaxed);
@@ -183,9 +204,17 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
         if result.is_ok() {
             // A successful rewrite heals earlier corruption.
             self.corrupted.lock().remove(&nr);
+            if self.crash_after_writes.load(Ordering::SeqCst) > 0 {
+                self.crash_after_writes.fetch_sub(1, Ordering::SeqCst);
+            }
         }
         result
     }
+
+    // `write_batch` keeps the default per-block loop on purpose: faults are
+    // injected at block granularity, so an armed `crash_after_writes` cuts a
+    // batch off mid-stream with a strict prefix applied — exactly the partial
+    // batch the replica layer's resync must repair.
 
     fn is_allocated(&self, nr: BlockNr) -> bool {
         !self.is_crashed() && self.inner.is_allocated(nr)
@@ -271,6 +300,25 @@ mod tests {
             failures > 50 && failures < 150,
             "got {failures} failures out of 200"
         );
+    }
+
+    #[test]
+    fn crash_after_writes_cuts_a_batch_mid_stream() {
+        let store = FaultyStore::new(MemStore::new());
+        let blocks: Vec<BlockNr> = (0..4).map(|_| store.allocate().unwrap()).collect();
+        store.crash_after_writes(2);
+        let writes: Vec<(BlockNr, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from(vec![7u8; 8])))
+            .collect();
+        assert_eq!(store.write_batch(&writes), Err(BlockError::Crashed));
+        assert!(store.is_crashed());
+        store.recover();
+        // Exactly the two-block prefix landed.
+        assert_eq!(store.read(blocks[0]).unwrap(), Bytes::from(vec![7u8; 8]));
+        assert_eq!(store.read(blocks[1]).unwrap(), Bytes::from(vec![7u8; 8]));
+        assert_eq!(store.read(blocks[2]).unwrap(), Bytes::new());
+        assert_eq!(store.read(blocks[3]).unwrap(), Bytes::new());
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //! | [`mem`] | [`MemStore`]: in-memory store (the "electronic disk") |
 //! | [`disk`] | [`disk::FileStore`]: file-backed store (the "magnetic disk") |
 //! | [`optical`] | [`WriteOnceStore`]: write-once wrapper (the "optical disk", §6) |
-//! | [`faulty`] | [`FaultyStore`]: fault-injection wrapper (crashes, torn writes, corruption, latency) |
+//! | [`faulty`] | [`FaultyStore`]: fault-injection wrapper (crashes, torn writes, corruption) |
+//! | [`delay`] | [`DelayStore`]: latency-modelling wrapper (per-call + per-block cost, one request at a time) |
 //! | [`server`] | [`BlockServer`]: accounts, capabilities, per-block locks, recovery listing |
 //! | [`stable`] | [`StableStore`] (Lampson–Sturgis, 1 server × 2 disks) and [`CompanionPair`] (the paper's 2 server × 2 disk scheme) |
 //! | [`replica`] | [`ReplicatedBlockStore`]: N-replica read-one/write-all sets with intention recording and resync (the per-shard storage of the sharded service) |
@@ -38,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delay;
 pub mod disk;
 pub mod faulty;
 pub mod mem;
@@ -48,6 +50,7 @@ pub mod stable;
 pub mod store;
 mod types;
 
+pub use delay::DelayStore;
 pub use faulty::{FaultPlan, FaultyStore};
 pub use mem::MemStore;
 pub use optical::WriteOnceStore;

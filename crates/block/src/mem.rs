@@ -150,8 +150,34 @@ impl BlockStore for MemStore {
             return Err(BlockError::NoSuchBlock(nr));
         }
         inner.stats.writes += 1;
+        inner.stats.write_calls += 1;
         inner.stats.bytes_written += data.len() as u64;
         inner.blocks.insert(nr, data);
+        Ok(())
+    }
+
+    fn write_batch(&self, writes: &[(BlockNr, Bytes)]) -> Result<()> {
+        // One lock acquisition for the whole batch, validated up front so the
+        // call applies all entries or none (stronger than the trait's
+        // prefix-only guarantee, which in-memory atomicity makes free).
+        let mut inner = self.inner.lock();
+        for (nr, data) in writes {
+            if data.len() > self.block_size {
+                return Err(BlockError::TooLarge {
+                    got: data.len(),
+                    max: self.block_size,
+                });
+            }
+            if !inner.blocks.contains_key(nr) {
+                return Err(BlockError::NoSuchBlock(*nr));
+            }
+        }
+        for (nr, data) in writes {
+            inner.stats.writes += 1;
+            inner.stats.bytes_written += data.len() as u64;
+            inner.blocks.insert(*nr, data.clone());
+        }
+        inner.stats.write_calls += 1;
         Ok(())
     }
 
@@ -258,9 +284,49 @@ mod tests {
         let s = store.stats();
         assert_eq!(s.allocations, 1);
         assert_eq!(s.writes, 1);
+        assert_eq!(s.write_calls, 1);
         assert_eq!(s.reads, 1);
         assert_eq!(s.bytes_written, 4);
         assert_eq!(s.bytes_read, 4);
+    }
+
+    #[test]
+    fn write_batch_is_one_call_for_many_blocks() {
+        let store = MemStore::new();
+        let blocks: Vec<BlockNr> = (0..8).map(|_| store.allocate().unwrap()).collect();
+        let writes: Vec<(BlockNr, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from(vec![nr as u8; 16])))
+            .collect();
+        store.write_batch(&writes).unwrap();
+        for &nr in &blocks {
+            assert_eq!(store.read(nr).unwrap(), Bytes::from(vec![nr as u8; 16]));
+        }
+        let s = store.stats();
+        assert_eq!(s.writes, 8, "every block counts as written");
+        assert_eq!(s.write_calls, 1, "but the batch is one physical call");
+    }
+
+    #[test]
+    fn write_batch_applies_nothing_on_a_bad_entry() {
+        let store = MemStore::with_block_size(8);
+        let a = store.allocate().unwrap();
+        store.write(a, Bytes::from_static(b"old")).unwrap();
+        let writes = vec![
+            (a, Bytes::from_static(b"new")),
+            (a + 1, Bytes::from_static(b"none")),
+        ];
+        assert_eq!(
+            store.write_batch(&writes),
+            Err(BlockError::NoSuchBlock(a + 1))
+        );
+        assert_eq!(store.read(a).unwrap(), Bytes::from_static(b"old"));
+        let oversized = vec![(a, Bytes::from(vec![0u8; 9]))];
+        assert!(matches!(
+            store.write_batch(&oversized),
+            Err(BlockError::TooLarge { .. })
+        ));
+        assert_eq!(store.read(a).unwrap(), Bytes::from_static(b"old"));
     }
 
     #[test]

@@ -6,15 +6,22 @@
 //! replica *set* of N independent disks, which is what each shard of the sharded
 //! file service runs on:
 //!
-//! * **write-all** — a write (or allocation, or free) is applied to every live
-//!   replica before it is acknowledged, so any single replica can serve any
-//!   later read;
+//! * **write-all, in parallel** — a write (or allocation, or free) is applied
+//!   to every live replica before it is acknowledged, so any single replica can
+//!   serve any later read.  Puts fan out to the replicas on scoped threads, so
+//!   the wall-clock cost of a write is one replica's latency, not the sum;
+//! * **batched puts** — [`BlockStore::write_batch`] ships a whole commit
+//!   flush's dirty pages to each replica as a single scatter-gather call, one
+//!   call per replica instead of one per block;
 //! * **read-one** — a read is served by the first live replica, falling back to
 //!   the next replica when the local copy is crashed, corrupted or missing (the
 //!   fail-over discipline exercised through [`crate::FaultyStore`]);
 //! * **write intention recording** — writes that a crashed replica misses are
 //!   queued on its *intentions list* (§4's "the survivor keeps a list of blocks
-//!   that have been modified"), so degraded-mode operation loses nothing;
+//!   that have been modified"), so degraded-mode operation loses nothing.
+//!   Missed batches are queued at *batch granularity*: a replica that dies
+//!   mid-batch holds an unknown prefix of the entries, so the whole batch is
+//!   queued and resync re-puts every entry idempotently;
 //! * **resync on recovery** — a recovering replica "compares notes": its
 //!   intentions list is replayed onto its disk by [`ReplicatedBlockStore::resync`]
 //!   before it serves traffic again, restoring read-one/write-all agreement.
@@ -41,6 +48,11 @@ use crate::{BlockError, BlockNr, Result};
 enum Intent {
     /// Ensure the block is allocated and holds `data`.
     Put { nr: BlockNr, data: Bytes },
+    /// Ensure every `(block, data)` pair of a missed `write_batch` is applied.
+    /// Queued at batch granularity: a replica that crashed *mid*-batch may hold
+    /// an arbitrary prefix of the entries, so resync replays the whole batch
+    /// (puts are idempotent) rather than trying to guess where it was cut off.
+    PutMany { writes: Vec<(BlockNr, Bytes)> },
     /// Ensure the block is allocated (contents unchanged / empty).
     Allocate { nr: BlockNr },
     /// Ensure the block is freed.
@@ -189,6 +201,7 @@ impl ReplicatedBlockStore {
             for (pos, intent) in batch.iter().enumerate() {
                 let result = match intent {
                     Intent::Put { nr, data } => Self::apply_put(&replica.store, *nr, data.clone()),
+                    Intent::PutMany { writes } => Self::apply_puts(&replica.store, writes),
                     Intent::Allocate { nr } => {
                         if replica.store.is_allocated(*nr) {
                             Ok(())
@@ -216,7 +229,10 @@ impl ReplicatedBlockStore {
                         .fetch_add(applied as u64, Ordering::Relaxed);
                     return Err(e);
                 }
-                applied += 1;
+                applied += match intent {
+                    Intent::PutMany { writes } => writes.len(),
+                    _ => 1,
+                };
             }
         }
         self.resyncs_applied
@@ -224,11 +240,29 @@ impl ReplicatedBlockStore {
         Ok(applied)
     }
 
+    /// The **resync** put: repairs a missing allocation (a recovering disk may
+    /// have lost it) before writing.  Not used on the live fan-out path —
+    /// there the replicated `allocate` has already landed the allocation on
+    /// every live replica, and the extra `is_allocated` probe would cost one
+    /// RPC per block per replica over remote disks, re-paying exactly the
+    /// round trips the batch eliminates.
     fn apply_put(store: &Arc<dyn BlockStore>, nr: BlockNr, data: Bytes) -> Result<()> {
         if !store.is_allocated(nr) {
             store.allocate_at(nr)?;
         }
         store.write(nr, data)
+    }
+
+    /// The **resync** batch put: repairs missing allocations, then ships the
+    /// batch as one `write_batch` call.  See [`Self::apply_put`] for why the
+    /// live fan-out does not use this.
+    fn apply_puts(store: &Arc<dyn BlockStore>, writes: &[(BlockNr, Bytes)]) -> Result<()> {
+        for (nr, _) in writes {
+            if !store.is_allocated(*nr) {
+                store.allocate_at(*nr)?;
+            }
+        }
+        store.write_batch(writes)
     }
 
     /// Index of the first live replica, or an error when the whole set is down.
@@ -242,13 +276,149 @@ impl ReplicatedBlockStore {
     /// Marks a replica down after an operation observed its disk crashed, and
     /// queues the missed operation.
     fn auto_down(&self, idx: usize, intent: Intent) {
+        let ops = match &intent {
+            Intent::PutMany { writes } => writes.len() as u64,
+            _ => 1,
+        };
         let mut state = self.replicas[idx].state.lock();
         if !state.down {
             state.down = true;
             self.auto_downed.fetch_add(1, Ordering::Relaxed);
         }
         state.intentions.push(intent);
-        self.intentions_recorded.fetch_add(1, Ordering::Relaxed);
+        self.intentions_recorded.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// The shared write path of [`BlockStore::write`] and
+    /// [`BlockStore::write_batch`]: apply the put batch to every live replica
+    /// *in parallel* (scoped threads, the calling thread takes replica 0), then
+    /// queue the **whole batch** as one intention for every replica that was
+    /// down or died mid-way.
+    ///
+    /// Nothing is queued unless some part of the batch may exist on some disk
+    /// — a batch that exists nowhere must never be replayed by resync.  Once
+    /// any replica holds the batch (or died mid-way holding a prefix), every
+    /// replica that does not hold it in full gets the whole batch queued, so
+    /// resync re-puts every entry (idempotently), which is what restores
+    /// `divergent_blocks() == []`; the call is only acknowledged when at least
+    /// one live replica applied the batch completely.
+    ///
+    /// Single-entry puts take the same parallel path on purpose: over slow or
+    /// remote disks (the production case) a lone version-page write still
+    /// costs one replica's latency instead of the sum; the scoped-thread spawn
+    /// is only measurable against instantaneous in-memory test disks.
+    fn fan_out_puts(&self, writes: &[(BlockNr, Bytes)]) -> Result<()> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        self.first_live()?;
+        // Validate sizes once, up front: a size error must fail the call before
+        // any replica applies a partial batch, or the live replicas' native
+        // validate-then-apply batches could diverge from looping wrappers.
+        let max = self.block_size();
+        for (_, data) in writes {
+            if data.len() > max {
+                return Err(BlockError::TooLarge {
+                    got: data.len(),
+                    max,
+                });
+            }
+        }
+
+        enum Outcome {
+            /// The replica holds the whole batch.
+            Wrote,
+            /// Down before anything was attempted: holds none of the batch.
+            Skipped,
+            /// Attempted and crashed mid-way: may hold an arbitrary prefix.
+            Died,
+            /// A live disk rejected the batch.
+            Failed(BlockError),
+        }
+        let apply = |replica: &Replica| -> Outcome {
+            if replica.is_down() {
+                return Outcome::Skipped;
+            }
+            // Straight to the disk's scatter-gather call: blocks are already
+            // allocated on every live replica (allocation is write-all), so no
+            // per-block probes — over a remote disk this is the one RPC the
+            // whole design is about.
+            match replica.store.write_batch(writes) {
+                Ok(()) => Outcome::Wrote,
+                Err(BlockError::Crashed) => Outcome::Died,
+                Err(e) => Outcome::Failed(e),
+            }
+        };
+        let outcomes: Vec<Outcome> = if self.replicas.len() == 1 {
+            vec![apply(&self.replicas[0])]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self.replicas[1..]
+                    .iter()
+                    .map(|replica| scope.spawn(|| apply(replica)))
+                    .collect();
+                let mut outcomes = vec![apply(&self.replicas[0])];
+                outcomes.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("replica writer panicked")),
+                );
+                outcomes
+            })
+        };
+
+        let wrote_any = outcomes.iter().any(|o| matches!(o, Outcome::Wrote));
+        let died_any = outcomes.iter().any(|o| matches!(o, Outcome::Died));
+        let first_error = outcomes.iter().find_map(|o| match o {
+            Outcome::Failed(e) => Some(e.clone()),
+            _ => None,
+        });
+        if !wrote_any && !died_any {
+            // No replica holds any of the batch (skipped replicas never
+            // attempted it, rejecting disks applied nothing): report the
+            // failure with nothing queued, so a batch that exists nowhere can
+            // never resurface at resync.
+            return Err(first_error.unwrap_or(BlockError::Crashed));
+        }
+        // Some replica holds the batch — or a mid-crash prefix of it — and
+        // that state cannot be un-happened.  The only way back to agreement is
+        // forward: every replica that does not hold the whole batch (skipped,
+        // died mid-way, or rejecting) is taken down with the full batch
+        // queued, so resync converges the set instead of leaving silent
+        // divergence behind.  When no replica fully applied it the call still
+        // fails: the caller learns the write was not acknowledged, while the
+        // set is guaranteed to settle on one outcome.
+        for (idx, outcome) in outcomes.iter().enumerate() {
+            if matches!(
+                outcome,
+                Outcome::Skipped | Outcome::Died | Outcome::Failed(_)
+            ) {
+                let intent = if writes.len() == 1 {
+                    Intent::Put {
+                        nr: writes[0].0,
+                        data: writes[0].1.clone(),
+                    }
+                } else {
+                    Intent::PutMany {
+                        writes: writes.to_vec(),
+                    }
+                };
+                self.auto_down(idx, intent);
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        if !wrote_any {
+            return Err(BlockError::Crashed);
+        }
+        if outcomes
+            .iter()
+            .any(|o| matches!(o, Outcome::Skipped | Outcome::Died))
+        {
+            self.degraded_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Marks a replica down without queueing anything (used when an operation
@@ -489,64 +659,11 @@ impl BlockStore for ReplicatedBlockStore {
     }
 
     fn write(&self, nr: BlockNr, data: Bytes) -> Result<()> {
-        self.first_live()?;
-        let mut wrote_any = false;
-        let mut degraded = false;
-        let mut queued: Vec<usize> = Vec::new();
-        for (idx, replica) in self.replicas.iter().enumerate() {
-            if replica.is_down() {
-                degraded = true;
-                self.auto_down(
-                    idx,
-                    Intent::Put {
-                        nr,
-                        data: data.clone(),
-                    },
-                );
-                queued.push(idx);
-                continue;
-            }
-            match Self::apply_put(&replica.store, nr, data.clone()) {
-                Ok(()) => wrote_any = true,
-                Err(BlockError::Crashed) => {
-                    degraded = true;
-                    self.auto_down(
-                        idx,
-                        Intent::Put {
-                            nr,
-                            data: data.clone(),
-                        },
-                    );
-                    queued.push(idx);
-                }
-                Err(e) => {
-                    // The write is being reported failed: retract the queued
-                    // intentions.  A poisoned intent (e.g. an oversized
-                    // payload) would otherwise make every future resync fail,
-                    // leaving the replica down forever.
-                    for &idx in &queued {
-                        self.retract_intent(
-                            idx,
-                            |i| matches!(i, Intent::Put { nr: n, .. } if *n == nr),
-                        );
-                    }
-                    return Err(e);
-                }
-            }
-        }
-        if degraded && wrote_any {
-            self.degraded_writes.fetch_add(1, Ordering::Relaxed);
-        }
-        if wrote_any {
-            Ok(())
-        } else {
-            // The write landed nowhere: the caller gets an error, so resync
-            // must not replay it later as if it had been acknowledged.
-            for &idx in &queued {
-                self.retract_intent(idx, |i| matches!(i, Intent::Put { nr: n, .. } if *n == nr));
-            }
-            Err(BlockError::Crashed)
-        }
+        self.fan_out_puts(&[(nr, data)])
+    }
+
+    fn write_batch(&self, writes: &[(BlockNr, Bytes)]) -> Result<()> {
+        self.fan_out_puts(writes)
     }
 
     fn is_allocated(&self, nr: BlockNr) -> bool {
@@ -600,6 +717,228 @@ mod tests {
                 Bytes::from_static(b"everywhere")
             );
         }
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn write_batch_lands_on_every_replica_as_one_call() {
+        let replicas = set(3);
+        let blocks: Vec<BlockNr> = (0..6).map(|_| replicas.allocate().unwrap()).collect();
+        let writes: Vec<(BlockNr, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from(vec![nr as u8; 32])))
+            .collect();
+        replicas.write_batch(&writes).unwrap();
+        for idx in 0..3 {
+            for &nr in &blocks {
+                assert_eq!(
+                    replicas.replica(idx).read(nr).unwrap(),
+                    Bytes::from(vec![nr as u8; 32])
+                );
+            }
+            let s = replicas.replica(idx).stats();
+            assert_eq!(s.writes, 6, "replica {idx} wrote every block");
+            assert_eq!(
+                s.write_calls, 1,
+                "replica {idx} served the batch in one call"
+            );
+        }
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn down_replica_gets_the_whole_batch_queued_and_resynced() {
+        let replicas = set(3);
+        let blocks: Vec<BlockNr> = (0..5).map(|_| replicas.allocate().unwrap()).collect();
+        replicas.crash(2);
+        let writes: Vec<(BlockNr, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from(vec![0xAB; 16])))
+            .collect();
+        replicas.write_batch(&writes).unwrap();
+        assert_eq!(replicas.replica_stats().intentions_recorded, 5);
+        assert!(!replicas.divergent_blocks().is_empty());
+        let applied = replicas.resync(2).unwrap();
+        assert_eq!(applied, 5, "the whole batch is replayed");
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn replica_killed_mid_batch_gets_the_whole_batch_replayed() {
+        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..3)
+            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+            .collect();
+        let replicas = ReplicatedBlockStore::new(
+            disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+                .collect(),
+        );
+        let blocks: Vec<BlockNr> = (0..6).map(|_| replicas.allocate().unwrap()).collect();
+        // Replica 1's disk dies after accepting 3 of the 6 batch entries: the
+        // batch is cut off mid-stream with an arbitrary prefix applied.
+        disks[1].crash_after_writes(3);
+        let writes: Vec<(BlockNr, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from(vec![nr as u8 + 1; 24])))
+            .collect();
+        replicas.write_batch(&writes).unwrap();
+        assert!(replicas.is_down(1), "the mid-batch crash was auto-detected");
+        // The survivors hold the full batch; the corpse holds a prefix.
+        assert!(!replicas.divergent_blocks().is_empty());
+
+        // Resync must replay the *whole* batch, not just the missing suffix.
+        disks[1].recover();
+        let applied = replicas.resync(1).unwrap();
+        assert_eq!(
+            applied, 6,
+            "batch-granularity intention replays every entry"
+        );
+        assert!(
+            replicas.divergent_blocks().is_empty(),
+            "read-one/write-all agreement restored after a mid-batch crash"
+        );
+        for &nr in &blocks {
+            assert_eq!(
+                replicas.replica(1).read(nr).unwrap(),
+                Bytes::from(vec![nr as u8 + 1; 24])
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_batch_queues_nothing() {
+        let replicas = set(2);
+        let a = replicas.allocate().unwrap();
+        replicas.write(a, Bytes::from_static(b"keep")).unwrap();
+        replicas.crash(1);
+        let oversized = vec![
+            (a, Bytes::from_static(b"fits")),
+            (a, Bytes::from(vec![0u8; replicas.block_size() + 1])),
+        ];
+        assert!(matches!(
+            replicas.write_batch(&oversized),
+            Err(BlockError::TooLarge { .. })
+        ));
+        // The rejected batch must not poison the intentions list — and the
+        // up-front validation means not even its valid prefix was applied.
+        assert_eq!(replicas.resync(1).unwrap(), 0);
+        assert_eq!(replicas.read(a).unwrap(), Bytes::from_static(b"keep"));
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn live_replica_rejecting_an_applied_batch_is_downed_and_converged() {
+        // Replica 1's disk rejects every write with a transient I/O error
+        // while replica 0 applies the batch: the data exists, so the call must
+        // fail *and* queue the batch for replica 1 — otherwise the set stays
+        // silently divergent with both replicas live.
+        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
+            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+            .collect();
+        let replicas = ReplicatedBlockStore::new(
+            disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+                .collect(),
+        );
+        let blocks: Vec<BlockNr> = (0..3).map(|_| replicas.allocate().unwrap()).collect();
+        disks[1].set_plan(crate::FaultPlan {
+            write_failure_prob: 1.0,
+            read_failure_prob: 0.0,
+            seed: 1,
+        });
+        let writes: Vec<(BlockNr, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from_static(b"half-landed")))
+            .collect();
+        assert!(matches!(
+            replicas.write_batch(&writes),
+            Err(BlockError::Io(_))
+        ));
+        assert!(
+            replicas.is_down(1),
+            "the rejecting replica must be taken out of the set"
+        );
+        // Resync after the disk heals: the set converges to the applied state.
+        disks[1].set_plan(crate::FaultPlan::default());
+        replicas.resync(1).unwrap();
+        assert!(
+            replicas.divergent_blocks().is_empty(),
+            "a rejected-but-applied batch must not leave silent divergence"
+        );
+        for &nr in &blocks {
+            assert_eq!(
+                replicas.replica(1).read(nr).unwrap(),
+                Bytes::from_static(b"half-landed")
+            );
+        }
+    }
+
+    #[test]
+    fn unacknowledged_batch_with_a_mid_crash_prefix_still_converges() {
+        // The nastiest corner: NO replica fully applied the batch, but replica
+        // 0 died mid-way holding a prefix while replica 1's disk rejected it.
+        // The prefix cannot be un-happened, so both replicas must be taken
+        // down with the batch queued — resync then settles the whole set on
+        // one outcome instead of leaving a half-written prefix live.
+        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
+            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+            .collect();
+        let replicas = ReplicatedBlockStore::new(
+            disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+                .collect(),
+        );
+        let blocks: Vec<BlockNr> = (0..4).map(|_| replicas.allocate().unwrap()).collect();
+        disks[0].crash_after_writes(2);
+        disks[1].set_plan(crate::FaultPlan {
+            write_failure_prob: 1.0,
+            read_failure_prob: 0.0,
+            seed: 7,
+        });
+        let writes: Vec<(BlockNr, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from_static(b"prefix-only")))
+            .collect();
+        assert!(replicas.write_batch(&writes).is_err(), "not acknowledged");
+        assert!(replicas.is_down(0) && replicas.is_down(1));
+
+        disks[0].recover();
+        disks[1].set_plan(crate::FaultPlan::default());
+        replicas.resync(0).unwrap();
+        replicas.resync(1).unwrap();
+        assert!(
+            replicas.divergent_blocks().is_empty(),
+            "the set must settle on one outcome after an unacknowledged \
+             batch left a prefix behind"
+        );
+    }
+
+    #[test]
+    fn concurrent_batches_keep_replicas_in_agreement() {
+        let replicas = set(3);
+        let blocks: Vec<BlockNr> = (0..16).map(|_| replicas.allocate().unwrap()).collect();
+        let blocks = Arc::new(blocks);
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let replicas = Arc::clone(&replicas);
+                let blocks = Arc::clone(&blocks);
+                scope.spawn(move || {
+                    // Each thread owns a disjoint block slice, batch-writing it
+                    // repeatedly while the other threads fan out concurrently.
+                    let mine = &blocks[(t as usize * 4)..(t as usize * 4 + 4)];
+                    for round in 0..25u8 {
+                        let writes: Vec<(BlockNr, Bytes)> = mine
+                            .iter()
+                            .map(|&nr| (nr, Bytes::from(vec![t.wrapping_mul(31) ^ round; 16])))
+                            .collect();
+                        replicas.write_batch(&writes).unwrap();
+                    }
+                });
+            }
+        });
         assert!(replicas.divergent_blocks().is_empty());
     }
 

@@ -140,6 +140,17 @@ impl BlockServer {
         Ok(nr)
     }
 
+    /// Allocates a *specific* block number owned by the account of `cap` (the
+    /// mirror half of the replica protocols; see [`BlockStore::allocate_at`]).
+    pub fn allocate_at(&self, cap: &Capability, nr: BlockNr) -> Result<()> {
+        let account = self.check(cap, Rights::CREATE)?;
+        self.store.allocate_at(nr)?;
+        let mut accounts = self.accounts.lock();
+        accounts.owner.insert(nr, account);
+        accounts.owned.entry(account).or_default().insert(nr);
+        Ok(())
+    }
+
     /// Allocates a block and writes its first contents in one call, as the companion
     /// protocol of §4 does.
     pub fn allocate_and_write(&self, cap: &Capability, data: Bytes) -> Result<BlockNr> {
@@ -165,6 +176,19 @@ impl BlockServer {
         let account = self.check(cap, Rights::WRITE)?;
         self.check_owned(account, nr)?;
         self.store.write(nr, data)
+    }
+
+    /// Writes a batch of blocks owned by the account of `cap` in one
+    /// scatter-gather call (entries applied in order; see
+    /// [`BlockStore::write_batch`]).  The capability is verified once and
+    /// ownership per block *before* any entry is applied, so a permission
+    /// failure never leaves a partial batch behind.
+    pub fn write_batch(&self, cap: &Capability, writes: &[(BlockNr, Bytes)]) -> Result<()> {
+        let account = self.check(cap, Rights::WRITE)?;
+        for (nr, _) in writes {
+            self.check_owned(account, *nr)?;
+        }
+        self.store.write_batch(writes)
     }
 
     /// Frees a block owned by the account of `cap`.
@@ -310,6 +334,37 @@ mod tests {
             Err(BlockError::PermissionDenied)
         );
         assert_eq!(server.free(&bob, nr), Err(BlockError::PermissionDenied));
+    }
+
+    #[test]
+    fn write_batch_checks_ownership_of_every_block_first() {
+        let (server, alice) = server();
+        let bob = server.create_account();
+        let mine = server.allocate(&alice).unwrap();
+        server
+            .write(&alice, mine, Bytes::from_static(b"old"))
+            .unwrap();
+        let theirs = server.allocate(&bob).unwrap();
+        let batch = vec![
+            (mine, Bytes::from_static(b"new")),
+            (theirs, Bytes::from_static(b"stolen")),
+        ];
+        assert_eq!(
+            server.write_batch(&alice, &batch),
+            Err(BlockError::PermissionDenied)
+        );
+        // The permission failure left the owned prefix untouched too.
+        assert_eq!(
+            server.read(&alice, mine).unwrap(),
+            Bytes::from_static(b"old")
+        );
+        // An all-owned batch goes through as one store call.
+        let ok = vec![(mine, Bytes::from_static(b"new"))];
+        server.write_batch(&alice, &ok).unwrap();
+        assert_eq!(
+            server.read(&alice, mine).unwrap(),
+            Bytes::from_static(b"new")
+        );
     }
 
     #[test]

@@ -117,16 +117,17 @@ impl FileService {
         drop(meta);
         // The new current version must not carry stale lock fields.  Versions are
         // created with both fields NULL, so rewriting the page is only needed in
-        // the rare case something actually set one; skipping the no-op write saves
-        // one physical write on every fast-path commit.
+        // the rare case something actually set one; the read-only probe costs
+        // neither a physical write nor a page copy on the common fast path.
         self.pages.update_page(my_block, |page| {
             let header = page
                 .version
-                .as_mut()
+                .as_ref()
                 .ok_or_else(|| FsError::CorruptPage("expected version page".into()))?;
             if header.top_lock.is_null() && header.inner_lock.is_null() {
                 return Ok((false, ()));
             }
+            let header = page.version.as_mut().expect("checked above");
             header.top_lock = Port::NULL;
             header.inner_lock = Port::NULL;
             Ok((true, ()))
@@ -151,6 +152,15 @@ impl FileService {
     /// this version that are no longer reachable (their references were removed
     /// again before commit) are freed without ever being written.  Returns the
     /// number of pages flushed.
+    ///
+    /// With [`crate::ServiceConfig::batch_flush`] (the default) the physical
+    /// shape is **one scatter-gather batch of all data pages, then the version
+    /// page by itself**: two block-write calls per commit instead of one per
+    /// dirty page, and over replicated storage two RPCs per replica.  The
+    /// children-first order is preserved *inside* the batch and stores apply
+    /// batch entries in order, so the crash invariant is unchanged; keeping the
+    /// version page out of the batch keeps it strictly last — it becomes
+    /// durable only after every data page it references.
     pub(crate) fn flush_version_to_disk(&self, meta: &mut VersionMeta) -> Result<usize> {
         if meta.dirty_blocks.is_empty() {
             return Ok(0);
@@ -159,11 +169,26 @@ impl FileService {
         // block-store failure leaves it intact, so a retried commit flushes the
         // remaining pages instead of "committing" a version whose pages were
         // never made durable.  (Already-flushed blocks are no longer in the
-        // buffer; re-flushing them is a no-op.)
+        // buffer; re-flushing them is a no-op, and a batch retried after a
+        // partial failure re-puts its prefix idempotently.)
         let mut order = Vec::with_capacity(meta.dirty_blocks.len());
         let mut visited = std::collections::HashSet::new();
         self.collect_flush_order(meta.block, &mut visited, &mut order)?;
-        let flushed = self.pages.flush_blocks(order)?;
+        let flushed = if self.config.batch_flush {
+            match order.split_last() {
+                // The walk pushes its root — the version page — last.
+                Some((&version_page, data_pages)) => {
+                    let mut flushed = self
+                        .pages
+                        .flush_blocks_batched(data_pages.iter().copied())?;
+                    flushed += self.pages.flush_blocks_batched([version_page])?;
+                    flushed
+                }
+                None => 0,
+            }
+        } else {
+            self.pages.flush_blocks(order)?
+        };
         let dirty = std::mem::take(&mut meta.dirty_blocks);
         for nr in dirty {
             // Still buffered and not reached by the walk: never written, no
@@ -213,11 +238,16 @@ impl FileService {
         self.pages.update_page(base_block, |page| {
             let header = page
                 .version
-                .as_mut()
+                .as_ref()
                 .ok_or_else(|| FsError::CorruptPage("expected version page".into()))?;
             match header.commit_reference {
                 None => {
-                    header.commit_reference = Some(new_block);
+                    // Only the successful set pays for a private page copy;
+                    // the failed test returns without cloning anything.
+                    page.version
+                        .as_mut()
+                        .expect("checked above")
+                        .commit_reference = Some(new_block);
                     Ok((true, None))
                 }
                 Some(existing) => Ok((false, Some(existing))),

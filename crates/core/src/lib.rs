@@ -74,20 +74,36 @@
 //! no committed data.  [`FileStore::io_stats`] on a sharded store is the *sum*
 //! over shards; [`FileStore::shard_io_stats`] exposes the per-shard figures.
 //!
-//! ## Durability at commit
+//! ## Durability at commit — one batch, then the version page
 //!
 //! The paper's commit protocol establishes durability exactly once, at the atomic
 //! commit point: "First it ascertains that all of V.b's pages are safely on disk",
 //! *then* it tests and sets the commit reference.  The service therefore buffers
 //! all page writes of an uncommitted version in memory (the write-back buffer of
-//! [`pageio::PageIo`]) and flushes them — children before parents, version page
-//! last — at the start of [`FileService::commit`].  A k-write update to one page
-//! costs 0 physical writes until commit and O(dirty pages) at commit; aborted
-//! versions never touch the disk at all, and crash recovery treats an unflushed
-//! uncommitted version as aborted, which is the paper's redo rule.  Set
-//! [`ServiceConfig::write_back`] to `false` to restore write-through page I/O
-//! (used by experiments to measure the delta, reported in
-//! [`PageIoStats::pages_flushed_at_commit`]).
+//! [`pageio::PageIo`]) and flushes them at the start of [`FileService::commit`]
+//! in two physical steps:
+//!
+//! 1. **every dirty data page, as one scatter-gather
+//!    [`amoeba_block::BlockStore::write_batch`] call**, with the children-first
+//!    order preserved inside the batch (stores apply batch entries in order, so
+//!    a crash mid-batch leaves a children-first prefix durable, never a parent
+//!    pointing at an unwritten child), then
+//! 2. **the version page, by itself, strictly last** — it becomes durable only
+//!    after every page it references.
+//!
+//! A k-write update to one page costs 0 physical writes until commit; the commit
+//! itself writes O(dirty pages) *pages* but only O(1) physical write **calls**
+//! ([`PageIoStats::block_write_calls`] vs [`PageIoStats::page_writes`] is the
+//! realised batching factor), and over replicated storage the batch travels to
+//! each replica as one call — one `WriteBlocks` RPC per replica when the disks
+//! are behind RPC.  Aborted versions never touch the disk at all, and crash
+//! recovery treats an unflushed uncommitted version as aborted, which is the
+//! paper's redo rule.  Set [`ServiceConfig::write_back`] to `false` to restore
+//! write-through page I/O, and [`ServiceConfig::batch_flush`] to `false` to
+//! restore the per-page flush (both used by the `perf-smoke` benchmark to
+//! measure their deltas, reported in
+//! [`PageIoStats::pages_flushed_at_commit`] and
+//! [`PageIoStats::block_write_calls`]).
 //!
 //! ## Module map
 //!
@@ -134,7 +150,7 @@ pub use flags::PageFlags;
 pub use gc::{GarbageCollector, GcReport};
 pub use locking::{LockRecoveryReport, SuperUpdate};
 pub use page::{Page, PageRef, VersionHeader, MAX_PAGE_DATA};
-pub use pageio::PageIoStats;
+pub use pageio::{PageIoStats, PageMut};
 pub use path::PagePath;
 pub use recover::RecoveryReport;
 pub use service::{CommitStatsSnapshot, FileService, ServiceConfig, VersionState};

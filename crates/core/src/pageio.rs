@@ -7,14 +7,17 @@
 //!   that a version's pages be safely on disk *at commit time* ("First it ascertains
 //!   that all of V.b's pages are safely on disk").  Page writes for uncommitted
 //!   versions therefore land in an in-memory overlay ([`PageIo::write_page_buffered`]
-//!   / [`PageIo::allocate_page_buffered`]) and are made durable in one batch by
-//!   [`PageIo::flush_blocks`], which [`crate::commit`] calls — children before
-//!   parents, version page last — immediately before the commit-reference
-//!   test-and-set.  Aborts simply drop the buffer; crash recovery treats an
-//!   unflushed uncommitted version as aborted, which is exactly the paper's
-//!   "uncommitted versions need not be salvaged" rule.  The overlay is
-//!   *authoritative* for the blocks it holds: every read path consults it first,
-//!   because a buffered block's on-disk contents do not exist yet.
+//!   / [`PageIo::allocate_page_buffered`]) and are made durable by
+//!   [`crate::commit`] immediately before the commit-reference test-and-set:
+//!   one scatter-gather [`PageIo::flush_blocks_batched`] call carrying every
+//!   dirty data page (children-first order preserved inside the batch), then
+//!   the version page by itself, strictly last.  ([`PageIo::flush_blocks`] is
+//!   the per-page fallback, kept for the before/after measurement.)  Aborts
+//!   simply drop the buffer; crash recovery treats an unflushed uncommitted
+//!   version as aborted, which is exactly the paper's "uncommitted versions
+//!   need not be salvaged" rule.  The overlay is *authoritative* for the blocks
+//!   it holds: every read path consults it first, because a buffered block's
+//!   on-disk contents do not exist yet.
 //!
 //! * **A sharded clean-page cache of `Arc<Page>`.**  The optional flag cache of
 //!   §5.4 ("The Amoeba File Servers can also conveniently cache the concurrency
@@ -27,6 +30,9 @@
 //!   wall-clock time alone.  `page_writes` counts *physical* writes only: a k-write
 //!   update to one page costs 0 physical writes until commit, then O(dirty pages)
 //!   at flush time (visible separately as `pages_flushed_at_commit`).
+//!   `block_write_calls` counts write *calls*: the batched flush makes it O(1)
+//!   per commit while `page_writes` stays O(dirty pages) — the counter pair is
+//!   what proves the k-pages-in-1-call claim instead of inferring it.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +65,12 @@ pub struct PageIoStats {
     /// buffered (logical) writes; the difference is the I/O the write-back design
     /// elides.
     pub pages_flushed_at_commit: u64,
+    /// Physical block-write *calls* issued to the block service, as opposed to
+    /// pages written: a batched k-page commit flush counts one call, a
+    /// write-through page write counts one call per page.
+    /// `page_writes / block_write_calls` is the realised batching factor — the
+    /// observable form of the k-pages-in-1-call claim.
+    pub block_write_calls: u64,
 }
 
 impl PageIoStats {
@@ -71,6 +83,7 @@ impl PageIoStats {
             pages_freed: self.pages_freed - earlier.pages_freed,
             cache_hits: self.cache_hits - earlier.cache_hits,
             pages_flushed_at_commit: self.pages_flushed_at_commit - earlier.pages_flushed_at_commit,
+            block_write_calls: self.block_write_calls - earlier.block_write_calls,
         }
     }
 
@@ -84,6 +97,7 @@ impl PageIoStats {
             pages_freed: self.pages_freed + other.pages_freed,
             cache_hits: self.cache_hits + other.cache_hits,
             pages_flushed_at_commit: self.pages_flushed_at_commit + other.pages_flushed_at_commit,
+            block_write_calls: self.block_write_calls + other.block_write_calls,
         }
     }
 }
@@ -232,6 +246,65 @@ impl Overlay {
     }
 }
 
+/// The page view handed to [`PageIo::update_page`] closures: dereferences to
+/// [`Page`] for reading, and clones the page **only on the first mutable
+/// access** (auto-deref makes this invisible at the call site).  A closure
+/// that merely examines the page — the common "test" half of test-and-set,
+/// which returns `(false, …)` — therefore costs no page copy at all.
+pub struct PageMut<'a> {
+    /// The shared original; `None` when the view was constructed over an owned
+    /// page (the disk path, where the decoded page is already private).
+    base: Option<&'a Page>,
+    /// The private copy, made lazily on first mutable access.
+    copy: Option<Page>,
+}
+
+impl<'a> PageMut<'a> {
+    fn shared(base: &'a Page) -> PageMut<'a> {
+        PageMut {
+            base: Some(base),
+            copy: None,
+        }
+    }
+
+    fn owned(page: Page) -> PageMut<'static> {
+        PageMut {
+            base: None,
+            copy: Some(page),
+        }
+    }
+
+    /// The page to write back, if the closure asked for one: the private copy
+    /// when the page was touched mutably, `None` when a shared page was only
+    /// read (nothing changed, so there is nothing to write).
+    fn into_written(self) -> Option<Page> {
+        self.copy
+    }
+}
+
+impl std::ops::Deref for PageMut<'_> {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        self.copy
+            .as_ref()
+            .or(self.base)
+            .expect("PageMut holds a base or a copy")
+    }
+}
+
+impl std::ops::DerefMut for PageMut<'_> {
+    fn deref_mut(&mut self) -> &mut Page {
+        if self.copy.is_none() {
+            self.copy = Some(
+                self.base
+                    .expect("PageMut without a copy holds a base")
+                    .clone(),
+            );
+        }
+        self.copy.as_mut().expect("copy just ensured")
+    }
+}
+
 /// Page-granularity I/O over a [`BlockServer`] account.
 pub struct PageIo {
     server: Arc<BlockServer>,
@@ -240,6 +313,7 @@ pub struct PageIo {
     overlay: Overlay,
     reads: AtomicU64,
     writes: AtomicU64,
+    write_calls: AtomicU64,
     allocated: AtomicU64,
     freed: AtomicU64,
     cache_hits: AtomicU64,
@@ -266,6 +340,7 @@ impl PageIo {
             overlay: Overlay::new(),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            write_calls: AtomicU64::new(0),
             allocated: AtomicU64::new(0),
             freed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -292,6 +367,7 @@ impl PageIo {
             pages_freed: self.freed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             pages_flushed_at_commit: self.flushed_at_commit.load(Ordering::Relaxed),
+            block_write_calls: self.write_calls.load(Ordering::Relaxed),
         }
     }
 
@@ -305,6 +381,7 @@ impl PageIo {
         let nr = self.server.allocate_and_write(&self.account, encoded)?;
         self.allocated.fetch_add(1, Ordering::Relaxed);
         self.writes.fetch_add(1, Ordering::Relaxed);
+        self.write_calls.fetch_add(1, Ordering::Relaxed);
         if let Some(cache) = &self.cache {
             cache.insert(nr, page);
         }
@@ -316,6 +393,7 @@ impl PageIo {
         let encoded = page.encode()?;
         self.server.write(&self.account, nr, encoded)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        self.write_calls.fetch_add(1, Ordering::Relaxed);
         // Disk is now authoritative again for this block.
         self.overlay.remove(nr);
         if let Some(cache) = &self.cache {
@@ -354,13 +432,16 @@ impl PageIo {
         self.overlay.remove(nr);
     }
 
-    /// Physically writes the buffered pages of `blocks`, in the given order, and
-    /// removes them from the write-back buffer.  Blocks with no buffered contents
-    /// are skipped.  Returns the number of pages written.
+    /// Physically writes the buffered pages of `blocks` one page per write
+    /// call, in the given order, and removes them from the write-back buffer.
+    /// Blocks with no buffered contents are skipped.  Returns the number of
+    /// pages written.
     ///
-    /// The caller is responsible for ordering: [`crate::commit`] passes children
-    /// before parents with the version page last, so a crash mid-flush can never
-    /// leave a durable page referencing a page that was not written.
+    /// This is the unbatched flush ([`crate::ServiceConfig::batch_flush`] off);
+    /// [`PageIo::flush_blocks_batched`] is the one-scatter-gather-call fast
+    /// path.  The caller is responsible for ordering: [`crate::commit`] passes
+    /// children before parents with the version page last, so a crash mid-flush
+    /// can never leave a durable page referencing a page that was not written.
     pub fn flush_blocks<I: IntoIterator<Item = BlockNr>>(&self, blocks: I) -> Result<usize> {
         let mut flushed = 0usize;
         for nr in blocks {
@@ -377,11 +458,68 @@ impl PageIo {
                 return Err(e);
             }
             self.writes.fetch_add(1, Ordering::Relaxed);
+            self.write_calls.fetch_add(1, Ordering::Relaxed);
             self.flushed_at_commit.fetch_add(1, Ordering::Relaxed);
             if let Some(cache) = &self.cache {
                 cache.insert(nr, &page);
             }
             flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    /// Physically writes the buffered pages of `blocks` as **one scatter-gather
+    /// block-write call**, preserving the given order within the batch, and
+    /// removes them from the write-back buffer.  Blocks with no buffered
+    /// contents are skipped.  Returns the number of pages written.
+    ///
+    /// Ordering still matters even batched: stores apply batch entries in
+    /// order (see [`amoeba_block::BlockStore::write_batch`]), so a crash
+    /// mid-batch leaves a children-first prefix durable, never a parent without
+    /// its children.  On failure every taken page is restored to the buffer —
+    /// re-flushing an already-applied prefix is an idempotent re-put.
+    pub fn flush_blocks_batched<I: IntoIterator<Item = BlockNr>>(
+        &self,
+        blocks: I,
+    ) -> Result<usize> {
+        let mut taken: Vec<(BlockNr, Arc<Page>)> = Vec::new();
+        let mut encoded: Vec<(BlockNr, bytes::Bytes)> = Vec::new();
+        for nr in blocks {
+            let Some(page) = self.overlay.remove(nr) else {
+                continue;
+            };
+            match page.encode() {
+                Ok(bytes) => {
+                    encoded.push((nr, bytes));
+                    taken.push((nr, page));
+                }
+                Err(e) => {
+                    self.overlay.insert(nr, page);
+                    for (nr, page) in taken {
+                        self.overlay.insert(nr, page);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if encoded.is_empty() {
+            return Ok(0);
+        }
+        if let Err(e) = self.server.write_batch(&self.account, &encoded) {
+            for (nr, page) in taken {
+                self.overlay.insert(nr, page);
+            }
+            return Err(e.into());
+        }
+        let flushed = taken.len();
+        self.writes.fetch_add(flushed as u64, Ordering::Relaxed);
+        self.write_calls.fetch_add(1, Ordering::Relaxed);
+        self.flushed_at_commit
+            .fetch_add(flushed as u64, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            for (nr, page) in &taken {
+                cache.insert(*nr, page);
+            }
         }
         Ok(flushed)
     }
@@ -449,10 +587,15 @@ impl PageIo {
         }
     }
 
-    /// The commit critical section: lock block `nr`, give the closure the decoded
-    /// page, optionally write back the page it returns, unlock.  Mirrors
-    /// [`BlockServer::update_block`] at page granularity; closure errors pass
-    /// through typed via [`BlockServer::update_block_with`].
+    /// The commit critical section: lock block `nr`, give the closure a
+    /// [`PageMut`] view of the decoded page, optionally write back the page it
+    /// mutated, unlock.  Mirrors [`BlockServer::update_block`] at page
+    /// granularity; closure errors pass through typed via
+    /// [`BlockServer::update_block_with`].
+    ///
+    /// The view clones the page only on the closure's first mutable access, so
+    /// the read-only `(false, …)` outcome — a failed test-and-set, an
+    /// already-clear lock field — costs no page copy.
     ///
     /// For a block that lives in the write-back buffer the update is applied to the
     /// buffered copy under the buffer lock instead: such blocks belong to exactly
@@ -462,7 +605,7 @@ impl PageIo {
     pub fn update_page<R>(
         &self,
         nr: BlockNr,
-        f: impl FnOnce(&mut Page) -> Result<(bool, R)>,
+        f: impl FnOnce(&mut PageMut<'_>) -> Result<(bool, R)>,
     ) -> Result<R> {
         // Cheap read-locked membership probe first: the common case (a committed
         // block) must not contend on the overlay's write locks at all.
@@ -470,30 +613,37 @@ impl PageIo {
             let mut shard = self.overlay.shard(nr).write();
             if let Some(entry) = shard.get_mut(&nr) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                let mut page = (**entry).clone();
-                let (write_back, value) = f(&mut page)?;
+                let mut view = PageMut::shared(entry);
+                let (write_back, value) = f(&mut view)?;
                 if write_back {
-                    *entry = Arc::new(page);
+                    if let Some(written) = view.into_written() {
+                        *entry = Arc::new(written);
+                    }
                 }
                 return Ok(value);
             }
             // Raced with a flush: fall through to the disk path below.
         }
-        let result: Result<(R, bool, Page)> =
+        let result: Result<(R, Option<Page>)> =
             self.server.update_block_with(&self.account, nr, |raw| {
-                let mut page = Page::decode(raw)?;
-                let (write_back, value) = f(&mut page)?;
+                let page = Page::decode(raw)?;
+                // The decoded page is already private, so the view starts
+                // owned: mutable access costs nothing extra.
+                let mut view = PageMut::owned(page);
+                let (write_back, value) = f(&mut view)?;
                 if write_back {
-                    let encoded = page.encode()?;
-                    Ok((Some(encoded), (value, true, page)))
+                    let written = view.into_written().expect("owned view keeps its page");
+                    let encoded = written.encode()?;
+                    Ok((Some(encoded), (value, Some(written))))
                 } else {
-                    Ok((None, (value, false, page)))
+                    Ok((None, (value, None)))
                 }
             });
-        let (value, wrote, page) = result?;
+        let (value, written) = result?;
         self.reads.fetch_add(1, Ordering::Relaxed);
-        if wrote {
+        if let Some(page) = written {
             self.writes.fetch_add(1, Ordering::Relaxed);
+            self.write_calls.fetch_add(1, Ordering::Relaxed);
             if let Some(cache) = &self.cache {
                 cache.insert(nr, &Arc::new(page));
             }
@@ -613,6 +763,53 @@ mod tests {
         assert_eq!(
             io.read_page_uncached(nr).unwrap().data,
             Bytes::from(vec![9u8])
+        );
+    }
+
+    #[test]
+    fn batched_flush_is_one_write_call_for_many_pages() {
+        let io = page_io(Some(16));
+        let before = io.stats();
+        let blocks: Vec<BlockNr> = (0..6u8)
+            .map(|i| {
+                io.allocate_page_buffered(&Arc::new(Page::leaf(Bytes::from(vec![i]))))
+                    .unwrap()
+            })
+            .collect();
+        let flushed = io.flush_blocks_batched(blocks.iter().copied()).unwrap();
+        assert_eq!(flushed, 6);
+        let delta = io.stats().since(&before);
+        assert_eq!(delta.page_writes, 6, "every page is physically written");
+        assert_eq!(delta.block_write_calls, 1, "…in one scatter-gather call");
+        assert_eq!(delta.pages_flushed_at_commit, 6);
+        for (i, nr) in blocks.iter().enumerate() {
+            assert!(!io.is_buffered(*nr));
+            assert_eq!(
+                io.read_page_uncached(*nr).unwrap().data,
+                Bytes::from(vec![i as u8])
+            );
+        }
+        // Flushing blocks with no buffered contents is a no-call no-op.
+        let before = io.stats();
+        assert_eq!(io.flush_blocks_batched(blocks).unwrap(), 0);
+        assert_eq!(io.stats().since(&before).block_write_calls, 0);
+    }
+
+    #[test]
+    fn update_page_read_only_outcome_leaves_the_buffered_arc_untouched() {
+        let io = page_io(Some(16));
+        let nr = io.allocate_page_buffered(&leaf(b"shared")).unwrap();
+        let original = io.read_page(nr).unwrap();
+        let observed: Bytes = io
+            .update_page(nr, |page| Ok((false, page.data.clone())))
+            .unwrap();
+        assert_eq!(observed, Bytes::from_static(b"shared"));
+        // The no-mutation path must not have replaced (or copied into) the
+        // buffered entry: the same allocation is still served.
+        let after = io.read_page(nr).unwrap();
+        assert!(
+            Arc::ptr_eq(&original, &after),
+            "a (false, _) update must leave the buffered Arc<Page> in place"
         );
     }
 

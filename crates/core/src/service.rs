@@ -42,6 +42,13 @@ pub struct ServiceConfig {
     /// The `perf-smoke` benchmark binary uses the toggle to measure the
     /// write-through vs write-back delta.
     pub write_back: bool,
+    /// Flush a commit's dirty data pages as one scatter-gather
+    /// [`amoeba_block::BlockStore::write_batch`] call (children-first order
+    /// preserved inside the batch, version page still written strictly last,
+    /// by itself).  When `false` the flush issues one write call per page —
+    /// the pre-batching behaviour, kept so the `perf-smoke` benchmark can
+    /// measure the before/after physical-write-call delta.
+    pub batch_flush: bool,
     /// How many committed versions of each file the garbage collector retains.
     pub history_retention: usize,
     /// First residue of the object-id namespace this service mints from.  A shard
@@ -65,6 +72,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             flag_cache_capacity: Some(4096),
             write_back: true,
+            batch_flush: true,
             history_retention: 8,
             object_id_offset: 0,
             object_id_stride: 1,

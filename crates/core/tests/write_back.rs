@@ -263,3 +263,161 @@ fn concurrent_committers_share_the_cache_and_stay_correct() {
     }
     assert!(service.io_stats().cache_hits > 0);
 }
+
+// ---------------------------------------------------------------------------
+// Batched commit flush (PR 4).
+// ---------------------------------------------------------------------------
+
+/// Commits a version with `dirty` freshly appended pages and returns the
+/// `(page_writes, block_write_calls)` delta of the commit itself.
+fn commit_cost(service: &FileService, file: &Capability, dirty: usize) -> (u64, u64) {
+    let v = service.create_version(file).unwrap();
+    for i in 0..dirty {
+        service
+            .append_page(&v, &PagePath::root(), Bytes::from(vec![i as u8; 64]))
+            .unwrap();
+    }
+    let before = service.io_stats();
+    service.commit(&v).unwrap();
+    let delta = service.io_stats().since(&before);
+    (delta.page_writes, delta.block_write_calls)
+}
+
+#[test]
+fn a_k_dirty_page_commit_costs_o1_block_write_calls() {
+    let service = service_with(true);
+    let file = service.create_file().unwrap();
+
+    let (writes_small, calls_small) = commit_cost(&service, &file, 4);
+    let (writes_large, calls_large) = commit_cost(&service, &file, 32);
+
+    // Pages written grow with the dirty set…
+    assert!(writes_large > writes_small);
+    assert!(writes_large >= 32);
+    // …but the physical write calls do not: one data-page batch, one version
+    // page, one commit-reference test-and-set.
+    assert_eq!(
+        calls_small, calls_large,
+        "write calls must not grow with the dirty-page count"
+    );
+    assert!(
+        calls_large <= 3,
+        "a commit is 1 batch + 1 version page + 1 test-and-set, got {calls_large}"
+    );
+}
+
+#[test]
+fn unbatched_flush_pays_one_call_per_page_and_stays_equivalent() {
+    let batched = service_with(true);
+    let unbatched = {
+        let server = Arc::new(BlockServer::new(Arc::new(MemStore::new())));
+        FileService::with_config(
+            server,
+            ServiceConfig {
+                write_back: true,
+                batch_flush: false,
+                ..ServiceConfig::default()
+            },
+        )
+    };
+
+    let mut currents = Vec::new();
+    for service in [&batched, &unbatched] {
+        let file = service.create_file().unwrap();
+        let (_, calls) = commit_cost(service, &file, 16);
+        let io = service.io_stats();
+        if std::ptr::eq(service, &batched) {
+            assert!(calls <= 3, "batched flush is O(1) calls, got {calls}");
+        } else {
+            assert!(
+                calls >= 17,
+                "unbatched flush pays one call per dirty page, got {calls}"
+            );
+            assert_eq!(
+                io.page_writes, io.block_write_calls,
+                "without batching, calls equal pages written"
+            );
+        }
+        // Identical logical state either way.
+        let current = service.current_version(&file).unwrap();
+        let mut pages = Vec::new();
+        for i in 0..16u16 {
+            pages.push(
+                service
+                    .read_committed_page(&current, &PagePath::new(vec![i]))
+                    .unwrap(),
+            );
+        }
+        currents.push(pages);
+    }
+    assert_eq!(currents[0], currents[1]);
+}
+
+#[test]
+fn replica_killed_mid_commit_batch_is_fully_replayed_by_resync() {
+    use amoeba_block::{BlockStore, FaultyStore, ReplicatedBlockStore};
+
+    let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
+        .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+        .collect();
+    let replicas = ReplicatedBlockStore::new(
+        disks
+            .iter()
+            .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+            .collect(),
+    );
+    // The page cache is disabled so the final reads provably come from the
+    // recovered replica's disk.
+    let service = FileService::with_config(
+        Arc::new(BlockServer::new(
+            Arc::clone(&replicas) as Arc<dyn BlockStore>
+        )),
+        ServiceConfig {
+            flag_cache_capacity: None,
+            ..ServiceConfig::default()
+        },
+    );
+    let file = service.create_file().unwrap();
+    let v = service.create_version(&file).unwrap();
+    let paths: Vec<PagePath> = (0..8u8)
+        .map(|i| {
+            service
+                .append_page(&v, &PagePath::root(), Bytes::from(vec![i; 48]))
+                .unwrap()
+        })
+        .collect();
+
+    // Replica 1's disk dies after 3 more block writes: the commit's data-page
+    // batch is cut off mid-stream on that replica.  The commit must still
+    // succeed on the survivor, with the whole batch queued as an intention.
+    disks[1].crash_after_writes(3);
+    service.commit(&v).unwrap();
+    assert!(
+        replicas.is_down(1),
+        "the mid-batch corpse was auto-detected"
+    );
+    assert!(
+        replicas.replica_stats().intentions_recorded > 0,
+        "the missed batch must be queued for resync"
+    );
+    assert!(!replicas.divergent_blocks().is_empty());
+
+    // Recover the disk, resync the replica: the whole batch is replayed.
+    disks[1].recover();
+    replicas.resync(1).unwrap();
+    assert!(
+        replicas.divergent_blocks().is_empty(),
+        "resync must replay the full batch, not just a suffix"
+    );
+
+    // The acid test: serve everything from the recovered replica alone.
+    replicas.crash(0);
+    let current = service.current_version(&file).unwrap();
+    for (i, path) in paths.iter().enumerate() {
+        assert_eq!(
+            service.read_committed_page(&current, path).unwrap(),
+            Bytes::from(vec![i as u8; 48]),
+            "committed page {i} lost on the resynced replica"
+        );
+    }
+}

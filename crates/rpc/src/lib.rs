@@ -20,11 +20,15 @@
 //!   [`RequestHandler`]s, with configurable latency, message loss and partitions for
 //!   the robustness experiments, and
 //! * [`tcp`] — a real TCP transport (`std::net`, one thread per connection) so the
-//!   same servers can be run across actual machine boundaries.
+//!   same servers can be run across actual machine boundaries, and
+//! * [`block`] — the wire protocol of the block service, including the
+//!   [`block::BlockOp::WriteBlocks`] scatter-gather op that carries a commit
+//!   flush to each replica disk as a single request.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod codec;
 mod error;
 mod local;

@@ -8,9 +8,11 @@ use amoeba_capability::Capability;
 pub const MAX_PAYLOAD: usize = 32 * 1024;
 
 /// Extra headroom allowed on top of [`MAX_PAYLOAD`] for the fixed-size page header
-/// that the file service attaches to a page; the *client data* in a page is still
-/// bounded by [`MAX_PAYLOAD`].
-pub const MAX_FRAME_PAYLOAD: usize = MAX_PAYLOAD + 4096;
+/// that the file service attaches to a page, plus the block-service framing
+/// (block number and length prefix) around one full 36 KiB block in a
+/// [`crate::block::BlockOp::Write`] / `WriteBlocks` payload; the *client data*
+/// in a page is still bounded by [`MAX_PAYLOAD`].
+pub const MAX_FRAME_PAYLOAD: usize = MAX_PAYLOAD + 6144;
 
 /// A request: an operation code, the capability naming the object operated on, and an
 /// opaque payload interpreted by the service.
@@ -118,6 +120,7 @@ mod tests {
     #[test]
     fn page_bound_is_32k() {
         assert_eq!(MAX_PAYLOAD, 32768);
-        assert_eq!(MAX_FRAME_PAYLOAD, MAX_PAYLOAD + 4096);
+        // Headroom covers a full 36 KiB block plus its batch-entry framing.
+        assert_eq!(MAX_FRAME_PAYLOAD, 36 * 1024 + 2048);
     }
 }

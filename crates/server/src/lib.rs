@@ -14,16 +14,22 @@
 //!   [`ServerGroup`] (several replicated processes sharing the same file service
 //!   state, the paper's "replicated server processes"), and [`ShardedCluster`]
 //!   (the full distributed topology: N file-service shards, each over replicated
-//!   block storage, each fronted by its own server group).
+//!   block storage, each fronted by its own server group),
+//! * [`block`] — the same façade one layer down: [`BlockServerProcess`] serves a
+//!   disk over the network, [`RemoteBlockStore`] is the client-side
+//!   `BlockStore` that talks to it, and a commit flush reaches each remote
+//!   replica as a single `WriteBlocks` scatter-gather RPC.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod handler;
 pub mod ops;
 pub mod process;
 
 pub use afs_core::FsError;
+pub use block::{remote_replica_set, BlockServerHandler, BlockServerProcess, RemoteBlockStore};
 pub use handler::FileServerHandler;
 pub use ops::{FsOp, ServerError};
 pub use process::{ClusterShard, ServerGroup, ServerProcess, ShardedCluster};

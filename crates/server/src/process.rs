@@ -96,6 +96,10 @@ pub struct ClusterShard {
     service: Arc<FileService>,
     replicas: Arc<ReplicatedBlockStore>,
     group: ServerGroup,
+    /// The shard's block-server processes when its replica disks live behind
+    /// RPC ([`ShardedCluster::launch_remote_storage`]); empty for in-process
+    /// disks.
+    block_processes: Vec<crate::block::BlockServerProcess>,
 }
 
 impl ClusterShard {
@@ -112,6 +116,12 @@ impl ClusterShard {
     /// The shard's server-process group.
     pub fn group(&self) -> &ServerGroup {
         &self.group
+    }
+
+    /// The shard's block-server processes (empty unless the cluster was
+    /// launched with remote storage).
+    pub fn block_processes(&self) -> &[crate::block::BlockServerProcess] {
+        &self.block_processes
     }
 }
 
@@ -168,6 +178,44 @@ impl ShardedCluster {
                     service,
                     replicas,
                     group,
+                    block_processes: Vec::new(),
+                }
+            })
+            .collect();
+        ShardedCluster { shards }
+    }
+
+    /// The paper's topology with the storage tier behind RPC too: each shard's
+    /// replica disks are [`crate::block::BlockServerProcess`]es reached through
+    /// [`crate::block::RemoteBlockStore`] connections, so every commit flush
+    /// travels to each replica as one `WriteBlocks` scatter-gather request.
+    /// Crash a block process via [`ClusterShard::block_processes`] and the
+    /// shard runs degraded, queueing intentions until the process restarts and
+    /// the replica is resynced.
+    pub fn launch_remote_storage(
+        network: &Arc<LocalNetwork>,
+        shards: usize,
+        replicas_per_shard: usize,
+        processes_per_shard: usize,
+        config: ServiceConfig,
+    ) -> Self {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        let shards = (0..shards)
+            .map(|shard| {
+                let (replicas, block_processes) =
+                    crate::block::remote_replica_set(network, replicas_per_shard);
+                let service = FileService::for_shard(
+                    Arc::new(BlockServer::new(Arc::clone(&replicas) as _)),
+                    shard,
+                    shards,
+                    config.clone(),
+                );
+                let group = ServerGroup::start(network, &service, processes_per_shard);
+                ClusterShard {
+                    service,
+                    replicas,
+                    group,
+                    block_processes,
                 }
             })
             .collect();

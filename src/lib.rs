@@ -52,11 +52,19 @@
 //! ([`afs_core::ServiceConfig::object_id_offset`]/`object_id_stride`), so
 //! [`amoeba_capability::shard_of`] routes any file or version capability with a
 //! modulo — no directory service on the request path, exactly the paper's
-//! capability-addressed design.  *Durability* within a shard is the PR 2
-//! commit-time flush; *availability* comes from the replica set (any single
-//! replica crash loses nothing: survivors queue intentions, and
-//! [`amoeba_block::ReplicatedBlockStore::resync`] replays them on recovery)
-//! and from the server group (a crashed process is simply failed over).
+//! capability-addressed design.  *Durability* within a shard is the commit-time
+//! flush, and it is **batched**: the commit's dirty pages leave the write-back
+//! buffer as one [`amoeba_block::BlockStore::write_batch`] scatter-gather call
+//! (children-first order preserved inside the batch), followed by the version
+//! page strictly last — so a k-page commit costs a constant number of physical
+//! write calls, and over remote block servers one `WriteBlocks` RPC per replica
+//! ([`amoeba_rpc::block`], `afs_server::RemoteBlockStore`).  *Availability*
+//! comes from the replica set, which fans every put out to its replicas on
+//! parallel scoped threads (wall-clock of one replica, not the sum; any single
+//! replica crash loses nothing: survivors queue the whole missed batch as an
+//! intention, and [`amoeba_block::ReplicatedBlockStore::resync`] replays it on
+//! recovery) and from the server group (a crashed process is simply failed
+//! over).
 //!
 //! See `examples/sharded_service.rs` for the whole topology in motion.
 //!

@@ -43,6 +43,38 @@ impl<T: Transport> Transport for CountingTransport<T> {
     }
 }
 
+/// A transport wrapper that counts round trips per `(port, op)`, for the
+/// per-replica block-write accounting.
+struct OpCountingTransport<T: Transport> {
+    inner: T,
+    counts: std::sync::Mutex<std::collections::HashMap<(Port, u32), u64>>,
+}
+
+impl<T: Transport> OpCountingTransport<T> {
+    fn new(inner: T) -> Self {
+        OpCountingTransport {
+            inner,
+            counts: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    fn count(&self, port: Port, op: u32) -> u64 {
+        *self.counts.lock().unwrap().get(&(port, op)).unwrap_or(&0)
+    }
+}
+
+impl<T: Transport> Transport for OpCountingTransport<T> {
+    fn transact(&self, port: Port, request: Request) -> amoeba_rpc::Result<Reply> {
+        *self
+            .counts
+            .lock()
+            .unwrap()
+            .entry((port, request.op))
+            .or_insert(0) += 1;
+        self.inner.transact(port, request)
+    }
+}
+
 /// The generic conformance battery: exercises the full client-visible protocol
 /// against any store.
 fn exercise_store<S: FileStore + ?Sized>(store: &S) {
@@ -458,6 +490,122 @@ fn replica_killed_mid_commit_stream_resyncs_without_losing_data() {
         (threads * per_thread) as u32,
         "the resynced replica must serve every committed update"
     );
+}
+
+/// The block-level half of the O(1)-RPC discipline: with the replica disks
+/// behind RPC, a commit's dirty pages must reach each replica as one
+/// `WriteBlocks` scatter-gather request (plus the version-page write and the
+/// commit-reference test-and-set) — a *constant* number of block-write RPCs per
+/// replica, independent of how many pages the commit dirtied.
+#[test]
+fn a_k_page_commit_costs_o1_block_write_rpcs_per_replica() {
+    use afs_core::BlockServer;
+    use afs_server::{BlockServerProcess, RemoteBlockStore};
+    use amoeba_block::{BlockStore, MemStore, ReplicatedBlockStore};
+    use amoeba_rpc::block::BlockOp;
+
+    let network = Arc::new(LocalNetwork::new());
+    let counting = Arc::new(OpCountingTransport::new(Arc::clone(&network)));
+    let processes: Vec<BlockServerProcess> = (0..2)
+        .map(|_| BlockServerProcess::start(Arc::clone(&network), Arc::new(MemStore::new())))
+        .collect();
+    let ports: Vec<Port> = processes.iter().map(|p| p.port()).collect();
+    let stores: Vec<Arc<dyn BlockStore>> = ports
+        .iter()
+        .map(|&port| {
+            Arc::new(RemoteBlockStore::connect(Arc::clone(&counting), port).unwrap())
+                as Arc<dyn BlockStore>
+        })
+        .collect();
+    let replicas = ReplicatedBlockStore::new(stores);
+    let service = FileService::new(Arc::new(BlockServer::new(replicas as Arc<dyn BlockStore>)));
+
+    // The whole conformance battery runs over remote replicated block storage.
+    exercise_store(&*service);
+
+    let write_rpcs = |port: Port| {
+        counting.count(port, BlockOp::Write as u32)
+            + counting.count(port, BlockOp::WriteBlocks as u32)
+    };
+    let commit_write_rpcs = |dirty: usize| -> Vec<u64> {
+        let file = service.create_file().unwrap();
+        let v = service.create_version(&file).unwrap();
+        for i in 0..dirty {
+            service
+                .append_page(&v, &PagePath::root(), Bytes::from(vec![i as u8; 32]))
+                .unwrap();
+        }
+        let before: Vec<u64> = ports.iter().map(|&p| write_rpcs(p)).collect();
+        service.commit(&v).unwrap();
+        ports
+            .iter()
+            .zip(before)
+            .map(|(&p, b)| write_rpcs(p) - b)
+            .collect()
+    };
+
+    let small = commit_write_rpcs(4);
+    let large = commit_write_rpcs(32);
+    for (replica, (s, l)) in small.iter().zip(&large).enumerate() {
+        assert_eq!(
+            s, l,
+            "replica {replica}: block-write RPCs grew with the dirty-page count"
+        );
+        assert!(
+            *l <= 3,
+            "replica {replica}: a commit is 1 WriteBlocks batch + 1 version-page \
+             write + 1 test-and-set, got {l} write RPCs for a 32-page commit"
+        );
+    }
+}
+
+/// The full topology with the storage tier behind RPC: shards × replicated
+/// remote block servers × server processes, with a block-server process killed
+/// and resynced mid-suite.
+#[test]
+fn sharded_cluster_with_remote_block_storage_conforms() {
+    let network = Arc::new(LocalNetwork::new());
+    let cluster = ShardedCluster::launch_remote_storage(
+        &network,
+        3,
+        2,
+        1,
+        afs_core::ServiceConfig::default(),
+    );
+    let remote = ShardedStore::connect(Arc::clone(&network), cluster.shard_ports());
+    exercise_store(&remote);
+
+    // Kill one block-server process of every shard: each shard's replica set
+    // runs degraded, queueing intentions, while the battery runs again.
+    for shard in 0..cluster.shard_count() {
+        cluster.shard(shard).block_processes()[0].crash();
+    }
+    exercise_store(&remote);
+    let queued: u64 = (0..cluster.shard_count())
+        .map(|s| {
+            cluster
+                .shard(s)
+                .replicas()
+                .replica_stats()
+                .intentions_recorded
+        })
+        .sum();
+    assert!(queued > 0, "degraded commits must record intentions");
+
+    // Restart and resync: byte-level replica agreement is restored everywhere.
+    for shard in 0..cluster.shard_count() {
+        cluster.shard(shard).block_processes()[0].restart();
+        cluster.shard(shard).replicas().resync(0).expect("resync");
+        assert!(
+            cluster
+                .shard(shard)
+                .replicas()
+                .divergent_blocks()
+                .is_empty(),
+            "shard {shard}: resync over RPC must restore replica agreement"
+        );
+    }
+    exercise_store(&remote);
 }
 
 #[test]
