@@ -1,8 +1,15 @@
 //! Perf smoke: short, deterministic workload slices that run in seconds and
-//! write machine-readable throughput and I/O counters to `BENCH_4.json`, so CI
+//! write machine-readable throughput and I/O counters to `BENCH_5.json`, so CI
 //! can track the performance trajectory without a full Criterion run.
 //!
-//! Four families of rows are emitted:
+//! Schema v5 adds the naming layer: a `path_resolution` block with
+//! cold-vs-warm prefix-cache ops/sec (a warm `NamedStore::resolve` touches no
+//! server at all, which is the cache's whole argument) and a `dir_churn` block
+//! with the OCC retry rate of Zipf-skewed hot-directory churn (every mutation
+//! of a hot directory contends on its root page; the retry rate is what the
+//! lock-free redo discipline pays for it).
+//!
+//! Four families of workload rows are emitted:
 //!
 //! * the `occ_vs_locking`-style mixed workload over a single service
 //!   (`occ_mixed`, kept from earlier schemas for continuity),
@@ -33,12 +40,14 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use afs_baselines::AmoebaAdapter;
-use afs_client::ShardedStore;
+use afs_client::{NamedStore, ShardedStore};
 use afs_core::shard_of;
 use afs_core::{
-    BlockServer, FileService, FileStore, MemStore, PageIoStats, PagePath, ServiceConfig,
+    BlockServer, FileService, FileStore, MemStore, PageIoStats, PagePath, RetryPolicy, Rights,
+    ServiceConfig,
 };
-use afs_sim::{run_workload, RunConfig};
+use afs_dir::DirStore;
+use afs_sim::{run_dir_churn, run_workload, DirChurnRun, RunConfig};
 use afs_workload::MixConfig;
 use amoeba_block::{BlockStore, DelayStore, ReplicatedBlockStore};
 
@@ -305,6 +314,88 @@ fn replica_fanout_delta() -> (f64, f64, usize) {
     )
 }
 
+/// Path-resolution throughput with a cold vs a warm prefix cache: a directory
+/// tree of `FANOUT`² directories with `FANOUT` leaf files each, every leaf
+/// path resolved once with an empty cache (cold — each miss fetches the
+/// directory tables) and then repeatedly with a populated one (warm — zero
+/// server operations).  The service runs over a latency-modelled disk with
+/// the server-side page cache off, so a cold resolve pays real positioning
+/// costs — against instantaneous memory the prefix cache is barely
+/// observable, exactly like batching and sharding in the rows above.
+/// Returns `(paths, cold_ops_per_sec, warm_ops_per_sec)`.
+fn path_resolution() -> (usize, f64, f64) {
+    const FANOUT: usize = 6;
+    const WARM_PASSES: usize = 5;
+    let service = FileService::with_config(
+        Arc::new(BlockServer::new(Arc::new(DelayStore::new(
+            MemStore::new(),
+            DISK_PER_CALL,
+            DISK_PER_BLOCK,
+        )) as Arc<dyn BlockStore>)),
+        ServiceConfig {
+            flag_cache_capacity: None,
+            ..ServiceConfig::default()
+        },
+    );
+    let builder = NamedStore::create(Arc::clone(&service)).expect("create root");
+    let mut paths = Vec::new();
+    for a in 0..FANOUT {
+        for b in 0..FANOUT {
+            builder
+                .mkdir_all(&format!("/d{a}/d{b}"), Rights::ALL)
+                .expect("mkdir_all");
+            for c in 0..FANOUT {
+                let path = format!("/d{a}/d{b}/f{c}");
+                builder.create_file(&path, Rights::ALL).expect("create");
+                paths.push(path);
+            }
+        }
+    }
+
+    // Cold: a fresh client with an empty cache resolves every path once.
+    let cold_client = NamedStore::with_root(Arc::clone(&service), builder.root());
+    let start = Instant::now();
+    for path in &paths {
+        cold_client.resolve(path).expect("cold resolve");
+    }
+    let cold = paths.len() as f64 / start.elapsed().as_secs_f64().max(f64::EPSILON);
+
+    // Warm: the same client again — every table is cached now.
+    let start = Instant::now();
+    for _ in 0..WARM_PASSES {
+        for path in &paths {
+            cold_client.resolve(path).expect("warm resolve");
+        }
+    }
+    let warm = (WARM_PASSES * paths.len()) as f64 / start.elapsed().as_secs_f64().max(f64::EPSILON);
+    (paths.len(), cold, warm)
+}
+
+/// The `dir_churn` retry rate: Zipf-skewed naming churn, reporting committed
+/// ops/sec and the extra OCC attempts per committed operation that
+/// hot-directory contention cost.  Runs over a latency-modelled disk so
+/// commits genuinely overlap — against instantaneous memory the four clients
+/// barely collide and the retry rate reads as zero.
+fn dir_churn_delta() -> (afs_sim::DirChurnResult, usize, usize) {
+    const CLIENTS: usize = 4;
+    const OPS_PER_CLIENT: usize = 60;
+    let service = FileService::new(Arc::new(BlockServer::new(Arc::new(DelayStore::new(
+        MemStore::new(),
+        DISK_PER_CALL,
+        DISK_PER_BLOCK,
+    )) as Arc<dyn BlockStore>)));
+    let dirs = DirStore::new(Arc::clone(&service));
+    let root = dirs.create_root().expect("create root");
+    let run = DirChurnRun {
+        clients: CLIENTS,
+        ops_per_client: OPS_PER_CLIENT,
+        policy: RetryPolicy::with_max_attempts(10_000),
+        config: afs_workload::dir_churn(3, 0.95, 42),
+    };
+    let result = run_dir_churn(&*service, &root, &run);
+    (result, CLIENTS, OPS_PER_CLIENT)
+}
+
 fn find<'a>(rows: &'a [Row], name: &str) -> Option<&'a Row> {
     rows.iter().find(|r| r.name == name)
 }
@@ -312,7 +403,7 @@ fn find<'a>(rows: &'a [Row], name: &str) -> Option<&'a Row> {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
 
     let rows = [
         occ_mixed(),
@@ -324,6 +415,8 @@ fn main() {
         occ_sharded(SHARDS),
     ];
     let (fanout_seq_ms, fanout_par_ms, fanout_replicas) = replica_fanout_delta();
+    let (resolution_paths, resolution_cold, resolution_warm) = path_resolution();
+    let (churn, churn_clients, churn_ops_per_client) = dir_churn_delta();
 
     let wt = find(&rows, "cow_repeated_write_writethrough").unwrap();
     let wb = find(&rows, "cow_repeated_write_writeback").unwrap();
@@ -337,7 +430,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"afs-perf-smoke-v4\",\n",
+            "  \"schema\": \"afs-perf-smoke-v5\",\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"write_back_delta\": {{\n",
             "    \"cow_page_writes_before\": {},\n",
@@ -365,6 +458,20 @@ fn main() {
             "    \"ops_per_sec_1_shard\": {:.1},\n",
             "    \"ops_per_sec_n_shards\": {:.1},\n",
             "    \"scaling_factor\": {:.2}\n",
+            "  }},\n",
+            "  \"path_resolution\": {{\n",
+            "    \"paths\": {},\n",
+            "    \"cold_ops_per_sec\": {:.1},\n",
+            "    \"warm_ops_per_sec\": {:.1},\n",
+            "    \"warm_speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"dir_churn\": {{\n",
+            "    \"clients\": {},\n",
+            "    \"ops_per_client\": {},\n",
+            "    \"committed\": {},\n",
+            "    \"ops_per_sec\": {:.1},\n",
+            "    \"retries\": {},\n",
+            "    \"retry_rate\": {:.3}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -391,6 +498,16 @@ fn main() {
         sharded_1.ops_per_sec,
         sharded_n.ops_per_sec,
         ratio(sharded_n.ops_per_sec, sharded_1.ops_per_sec),
+        resolution_paths,
+        resolution_cold,
+        resolution_warm,
+        ratio(resolution_warm, resolution_cold),
+        churn_clients,
+        churn_ops_per_client,
+        churn.committed,
+        churn.throughput(),
+        churn.retries,
+        churn.retry_rate(),
     );
 
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

@@ -10,6 +10,12 @@
 //! [`BlockError::WriteOnce`].  Frees do not reclaim space (the medium cannot be
 //! erased); they only mark the block as logically dead so the space-accounting
 //! experiment (E14) can report how much of the medium is garbage.
+//!
+//! The batched commit flush is served natively: `write_batch` checks and
+//! reserves every slot in one pass under one lock and forwards the whole batch
+//! to the inner store's native `write_batch`, so a k-page commit over optical
+//! media is still one physical write call (one `StoreStats::write_calls`
+//! tick), comparable with the magnetic stores in the benches.
 
 use std::collections::HashSet;
 
@@ -101,6 +107,41 @@ impl<S: BlockStore> BlockStore for WriteOnceStore<S> {
         }
     }
 
+    fn write_batch(&self, writes: &[(BlockNr, Bytes)]) -> Result<()> {
+        // Native single-pass batch: check every entry against the burn ledger
+        // (and against the rest of the batch) under one lock, reserve all the
+        // slots, then hand the whole batch to the inner store's own
+        // `write_batch` — so a commit flush over optical media still costs one
+        // physical write call, counted once in `StoreStats::write_calls` by
+        // the inner store, and bench comparisons against magnetic disks are
+        // fair.  A violation anywhere rejects the batch before anything is
+        // burned.
+        {
+            let mut written = self.written.lock();
+            let mut in_batch = HashSet::with_capacity(writes.len());
+            for (nr, _) in writes {
+                if written.contains(nr) || !in_batch.insert(*nr) {
+                    return Err(BlockError::WriteOnce(*nr));
+                }
+            }
+            written.extend(in_batch);
+        }
+        match self.inner.write_batch(writes) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // UNLIKE the single-write rule, a failed batch keeps every
+                // slot burned.  A single `write` is atomic — on error nothing
+                // reached the medium, so the slot can be released.  A batch is
+                // applied in order, and an error means some unknown *prefix*
+                // is already durable; releasing those slots would let a later
+                // write hit a burned block twice, the one unrecoverable
+                // mistake on write-once media.  The unburned remainder is
+                // bounded garbage, the same kind `dead_blocks` accounts for.
+                Err(e)
+            }
+        }
+    }
+
     fn is_allocated(&self, nr: BlockNr) -> bool {
         self.inner.is_allocated(nr)
     }
@@ -162,6 +203,90 @@ mod tests {
         store.free(nr).unwrap();
         assert!(!store.is_allocated(nr));
         assert_eq!(store.dead_blocks(), 0);
+    }
+
+    #[test]
+    fn native_write_batch_burns_all_blocks_in_one_call() {
+        let store = WriteOnceStore::new(MemStore::new());
+        let blocks: Vec<BlockNr> = (0..8).map(|_| store.allocate().unwrap()).collect();
+        let batch: Vec<(BlockNr, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from(vec![nr as u8; 16])))
+            .collect();
+        let before = store.stats();
+        store.write_batch(&batch).unwrap();
+        let delta = store.stats().since(&before);
+        assert_eq!(delta.writes, 8, "every block of the batch is written");
+        assert_eq!(
+            delta.write_calls, 1,
+            "the batch must reach the medium as ONE physical write call"
+        );
+        assert_eq!(store.written_blocks(), 8);
+        for &nr in &blocks {
+            assert_eq!(store.read(nr).unwrap(), Bytes::from(vec![nr as u8; 16]));
+        }
+    }
+
+    #[test]
+    fn a_batch_touching_a_burned_block_is_rejected_whole() {
+        let store = WriteOnceStore::new(MemStore::new());
+        let burned = store.allocate().unwrap();
+        let fresh = store.allocate().unwrap();
+        store.write(burned, Bytes::from_static(b"old")).unwrap();
+        let before = store.stats();
+        assert_eq!(
+            store.write_batch(&[
+                (fresh, Bytes::from_static(b"new")),
+                (burned, Bytes::from_static(b"overwrite")),
+            ]),
+            Err(BlockError::WriteOnce(burned))
+        );
+        // Nothing was burned or written: the fresh block is still writable.
+        assert_eq!(store.stats().since(&before).writes, 0);
+        assert_eq!(store.written_blocks(), 1);
+        store.write(fresh, Bytes::from_static(b"ok")).unwrap();
+    }
+
+    #[test]
+    fn a_batch_writing_one_block_twice_is_rejected() {
+        let store = WriteOnceStore::new(MemStore::new());
+        let nr = store.allocate().unwrap();
+        assert_eq!(
+            store.write_batch(&[
+                (nr, Bytes::from_static(b"first")),
+                (nr, Bytes::from_static(b"second")),
+            ]),
+            Err(BlockError::WriteOnce(nr))
+        );
+        // The duplicate never reserved the slot: a clean write still works.
+        store.write(nr, Bytes::from_static(b"ok")).unwrap();
+    }
+
+    #[test]
+    fn failed_batches_keep_their_slots_burned() {
+        let store = WriteOnceStore::new(MemStore::with_block_size(4));
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        // The second entry is oversized: the inner store rejects it mid-batch,
+        // AFTER durably applying the first entry (in-order application).
+        assert!(store
+            .write_batch(&[
+                (a, Bytes::from_static(b"ok")),
+                (b, Bytes::from(vec![0u8; 10])),
+            ])
+            .is_err());
+        // The wrapper cannot know which prefix (if any) reached the medium —
+        // an in-memory inner store applies none, a disk mid-batch may have
+        // applied some — so every slot stays burned: re-writing block `a`
+        // could be a second physical write to write-once media.
+        assert_eq!(
+            store.write(a, Bytes::from_static(b"again")),
+            Err(BlockError::WriteOnce(a))
+        );
+        assert_eq!(
+            store.write(b, Bytes::from_static(b"b")),
+            Err(BlockError::WriteOnce(b))
+        );
     }
 
     #[test]

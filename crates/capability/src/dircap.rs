@@ -1,0 +1,99 @@
+//! [`DirCap`]: the capability of a *directory* object.
+//!
+//! The naming layer (crate `afs-dir`) stores every directory as an ordinary
+//! file of the file service, so at the transport level a directory is named by
+//! a plain file [`Capability`].  `DirCap` is a zero-cost newtype that keeps the
+//! two roles apart in client and server APIs: a function taking a `DirCap`
+//! declares that it will interpret the file's pages as a directory table, and a
+//! `Capability` fished out of a directory entry cannot be passed where a
+//! directory is required without an explicit, visible conversion.
+//!
+//! The wrapper adds no protection of its own — protection is the check field of
+//! the wrapped capability, exactly as for any other object.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+
+use crate::Capability;
+
+/// The capability of a directory: an ordinary file capability whose pages hold
+/// a serialized `name → (capability, rights mask)` table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirCap(Capability);
+
+impl DirCap {
+    /// Wraps a file capability that is known to name a directory (e.g. because
+    /// it came out of `mkdir` or a directory entry of kind *directory*).
+    pub fn new(cap: Capability) -> Self {
+        DirCap(cap)
+    }
+
+    /// The underlying file capability (for routing, version creation, commit).
+    pub fn cap(&self) -> &Capability {
+        &self.0
+    }
+
+    /// Unwraps into the underlying file capability.
+    pub fn into_cap(self) -> Capability {
+        self.0
+    }
+
+    /// Serialises the directory capability (same wire form as a capability).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        self.0.encode(buf);
+    }
+
+    /// Deserialises a directory capability written by [`DirCap::encode`].
+    pub fn decode(buf: &mut impl Buf) -> Option<Self> {
+        Capability::decode(buf).map(DirCap)
+    }
+}
+
+impl From<DirCap> for Capability {
+    fn from(dir: DirCap) -> Capability {
+        dir.0
+    }
+}
+
+impl fmt::Debug for DirCap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DirCap({:?})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Port, Rights};
+    use bytes::BytesMut;
+
+    fn cap() -> Capability {
+        Capability {
+            port: Port::from_raw(0xd1b),
+            object: 99,
+            rights: Rights::ALL,
+            check: 0xfeed_f00d,
+        }
+    }
+
+    #[test]
+    fn wraps_and_unwraps_without_loss() {
+        let dir = DirCap::new(cap());
+        assert_eq!(*dir.cap(), cap());
+        assert_eq!(dir.into_cap(), cap());
+        assert_eq!(Capability::from(DirCap::new(cap())), cap());
+    }
+
+    #[test]
+    fn encodes_like_the_wrapped_capability() {
+        let dir = DirCap::new(cap());
+        let mut a = BytesMut::new();
+        let mut b = BytesMut::new();
+        dir.encode(&mut a);
+        cap().encode(&mut b);
+        assert_eq!(a, b);
+        let decoded = DirCap::decode(&mut a.freeze()).unwrap();
+        assert_eq!(decoded, dir);
+    }
+}

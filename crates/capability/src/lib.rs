@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod capability;
+mod dircap;
 mod error;
 mod minter;
 mod port;
@@ -46,6 +47,7 @@ mod rights;
 mod shard;
 
 pub use capability::{Capability, ObjectId, WIRE_SIZE};
+pub use dircap::DirCap;
 pub use error::CapError;
 pub use minter::Minter;
 pub use port::Port;

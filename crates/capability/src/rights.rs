@@ -51,6 +51,15 @@ impl Rights {
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
+
+    /// Attenuates this rights set by a grant `mask`: the result carries only the
+    /// rights present in *both*.  This is the rights arithmetic of the naming
+    /// layer — a directory entry stores a capability together with a grant
+    /// mask, and a lookup may convey at most `cap.rights.attenuate(mask)`; a
+    /// holder can always give away fewer rights, never more.
+    pub fn attenuate(self, mask: Rights) -> Rights {
+        self & mask
+    }
 }
 
 impl BitOr for Rights {
@@ -139,6 +148,16 @@ mod tests {
         assert!(rw.contains(Rights::WRITE));
         assert!(!rw.contains(Rights::COMMIT));
         assert_eq!(rw & Rights::READ, Rights::READ);
+    }
+
+    #[test]
+    fn attenuation_never_adds_rights() {
+        let rw = Rights::READ | Rights::WRITE;
+        assert_eq!(rw.attenuate(Rights::READ), Rights::READ);
+        assert_eq!(rw.attenuate(Rights::ALL), rw);
+        assert_eq!(Rights::READ.attenuate(Rights::WRITE), Rights::NONE);
+        // Attenuating by a superset is the identity; by a subset, the subset.
+        assert!(rw.contains(rw.attenuate(Rights::READ | Rights::COMMIT)));
     }
 
     #[test]

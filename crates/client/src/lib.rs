@@ -17,17 +17,30 @@
 //! * [`retry_update`] — compatibility wrapper around the retry loop the paper
 //!   expects of clients, now provided generically by
 //!   [`afs_core::FileStoreExt::update`].
+//! * [`NamedStore`] — the naming layer: slash-separated path resolution
+//!   (`/a/b/c` → capability) over any [`afs_core::FileStore`], backed by a
+//!   generation-checked prefix cache keyed like [`ClientCache`]; directories
+//!   are ordinary files (crate `afs-dir`), so naming inherits OCC, durability,
+//!   replication and sharding wholesale.
+//! * [`RemoteDir`] — the client stub of the directory-server protocol
+//!   (`afs_server::DirServerHandler`): one transaction per operation, with a
+//!   k-entry `ReadDir` in a single round trip, failing over across directory
+//!   server processes like [`RemoteFs`] does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
+mod named;
 mod remote;
+mod remote_dir;
 mod retry;
 mod sharded;
 
 pub use cache::{CacheStats, ClientCache};
+pub use named::{NameCacheStats, NamedStore};
 pub use remote::RemoteFs;
+pub use remote_dir::RemoteDir;
 pub use retry::retry_update;
 pub use sharded::ShardedStore;
 

@@ -1,0 +1,207 @@
+//! [`RemoteDir`]: the directory-service client stub.
+//!
+//! One directory operation is one transaction to a directory-server port
+//! (`afs_server::DirServerHandler`), failing over across replica processes
+//! exactly like [`crate::RemoteFs`].  A k-entry [`RemoteDir::read_dir`] is a
+//! single round trip — the server walks its (ordinary-file) directory table
+//! and ships every entry in one reply — which the conformance suite asserts
+//! through a counting transport.
+
+use bytes::Bytes;
+
+use afs_core::FsError;
+use afs_dir::{DirCap, DirEntry, DirError};
+use afs_server::dir::{decode_dir_error, entry_from_wire, entry_to_wire};
+use amoeba_capability::{Capability, Port, Rights};
+use amoeba_rpc::dir::{
+    decode_dir_cap, decode_entries, decode_entry, encode_entry, encode_lookup, encode_mkdir,
+    encode_rename, encode_unlink, DirOp,
+};
+use amoeba_rpc::{Reply, Request, RpcError, Transport};
+
+/// A connection to a directory service: a transport plus the ports of the
+/// directory-server processes, in preference order.
+pub struct RemoteDir<T: Transport> {
+    transport: T,
+    servers: Vec<Port>,
+}
+
+impl<T: Transport> RemoteDir<T> {
+    /// Creates a client that talks to the given directory-server ports (first
+    /// is preferred).
+    pub fn new(transport: T, servers: Vec<Port>) -> Self {
+        assert!(!servers.is_empty(), "need at least one directory server");
+        RemoteDir { transport, servers }
+    }
+
+    /// The underlying transport (for instrumentation).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Performs one transaction, failing over to the next server when safe.
+    ///
+    /// Reads fail over on every transient transport error.  *Mutations* fail
+    /// over only on errors that prove the request was never executed (the
+    /// server was unreachable); a `Timeout`/`Dropped` after the request went
+    /// out is ambiguous — the server may have committed the mutation and only
+    /// the reply was lost, and blindly replaying e.g. a rename that committed
+    /// would resurface as a spurious `NotFound` (the file layer handles the
+    /// same ambiguity with its `AlreadyCommitted` rule; the directory
+    /// protocol has no equivalent receipt, so the ambiguity is surfaced to
+    /// the caller as a transport error instead of being guessed away).
+    fn transact(&self, op: DirOp, cap: Capability, payload: Bytes) -> Result<Reply, DirError> {
+        let read_only = matches!(op, DirOp::Root | DirOp::Lookup | DirOp::ReadDir);
+        let mut last = FsError::Transport("no servers configured".into());
+        for &port in &self.servers {
+            let request = Request::new(op as u32, cap, payload.clone());
+            match self.transport.transact(port, request) {
+                Ok(reply) => return Ok(reply),
+                // The server never saw the request: always safe to fail over.
+                Err(RpcError::ServerCrashed) | Err(RpcError::NoSuchPort) => {
+                    last = FsError::Transport(format!("directory server {port} unavailable"));
+                    continue;
+                }
+                // Ambiguous: the request may have executed and the reply was
+                // lost.  Safe to retry reads, not mutations.
+                Err(e @ RpcError::Timeout) | Err(e @ RpcError::Dropped) if read_only => {
+                    last = FsError::Transport(format!("directory server {port}: {e}"));
+                    continue;
+                }
+                Err(e) => return Err(DirError::Fs(FsError::Transport(e.to_string()))),
+            }
+        }
+        Err(DirError::Fs(last))
+    }
+
+    fn expect_ok(&self, op: DirOp, cap: Capability, payload: Bytes) -> Result<Bytes, DirError> {
+        let reply = self.transact(op, cap, payload)?;
+        if reply.is_ok() {
+            Ok(reply.payload)
+        } else {
+            Err(decode_dir_error(reply.payload))
+        }
+    }
+
+    fn protocol(what: &str) -> DirError {
+        DirError::Fs(FsError::Protocol(format!("bad {what} reply")))
+    }
+
+    /// Asks the server for its root directory.
+    pub fn root(&self) -> Result<DirCap, DirError> {
+        let payload = self.expect_ok(DirOp::Root, Capability::null(), Bytes::new())?;
+        decode_dir_cap(payload)
+            .map(DirCap::new)
+            .ok_or_else(|| Self::protocol("root"))
+    }
+
+    /// Looks up `name` in `dir`, demanding `required` rights of the entry's
+    /// grant mask.  One round trip.
+    pub fn lookup(&self, dir: &DirCap, name: &str, required: Rights) -> Result<DirEntry, DirError> {
+        let payload = self.expect_ok(
+            DirOp::Lookup,
+            *dir.cap(),
+            encode_lookup(name, required.bits()),
+        )?;
+        let wire = decode_entry(payload).ok_or_else(|| Self::protocol("lookup"))?;
+        entry_from_wire(&wire).ok_or_else(|| Self::protocol("lookup"))
+    }
+
+    /// Lists `dir`, sorted by name.  One round trip for any entry count.
+    pub fn read_dir(&self, dir: &DirCap) -> Result<Vec<DirEntry>, DirError> {
+        let payload = self.expect_ok(DirOp::ReadDir, *dir.cap(), Bytes::new())?;
+        let wire = decode_entries(payload).ok_or_else(|| Self::protocol("readdir"))?;
+        wire.iter()
+            .map(|w| entry_from_wire(w).ok_or_else(|| Self::protocol("readdir")))
+            .collect()
+    }
+
+    /// Binds `name` in `dir` to `cap` with grant mask `mask`.
+    pub fn link(
+        &self,
+        dir: &DirCap,
+        name: &str,
+        cap: Capability,
+        mask: Rights,
+        kind: afs_dir::EntryKind,
+    ) -> Result<(), DirError> {
+        let entry = DirEntry {
+            name: name.to_string(),
+            cap,
+            mask,
+            kind,
+        };
+        self.expect_ok(
+            DirOp::Link,
+            *dir.cap(),
+            encode_entry(&entry_to_wire(&entry)),
+        )?;
+        Ok(())
+    }
+
+    /// Removes the binding of `name` from `dir` and returns the removed entry.
+    pub fn unlink(&self, dir: &DirCap, name: &str) -> Result<DirEntry, DirError> {
+        let payload = self.expect_ok(DirOp::Unlink, *dir.cap(), encode_unlink(name))?;
+        let wire = decode_entry(payload).ok_or_else(|| Self::protocol("unlink"))?;
+        entry_from_wire(&wire).ok_or_else(|| Self::protocol("unlink"))
+    }
+
+    /// Renames `from` in `src` to `to` in `dst` (the server runs the OCC
+    /// rename, same- or cross-directory).
+    pub fn rename(&self, src: &DirCap, from: &str, dst: &DirCap, to: &str) -> Result<(), DirError> {
+        self.expect_ok(
+            DirOp::Rename,
+            *src.cap(),
+            encode_rename(from, dst.cap(), to),
+        )?;
+        Ok(())
+    }
+
+    /// Creates a directory named `name` in `dir` with grant mask `mask` and
+    /// returns its capability.
+    pub fn mkdir(&self, dir: &DirCap, name: &str, mask: Rights) -> Result<DirCap, DirError> {
+        let payload = self.expect_ok(DirOp::MkDir, *dir.cap(), encode_mkdir(name, mask.bits()))?;
+        decode_dir_cap(payload)
+            .map(DirCap::new)
+            .ok_or_else(|| Self::protocol("mkdir"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_core::FileService;
+    use afs_dir::EntryKind;
+    use afs_server::DirServerProcess;
+    use amoeba_rpc::LocalNetwork;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_directory_cycle_over_rpc_with_failover() {
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let primary = DirServerProcess::create(Arc::clone(&network), Arc::clone(&service)).unwrap();
+        let replica =
+            DirServerProcess::start(Arc::clone(&network), Arc::clone(&service), primary.root());
+        let client = RemoteDir::new(Arc::clone(&network), vec![primary.port(), replica.port()]);
+
+        let root = client.root().unwrap();
+        let sub = client.mkdir(&root, "sub", Rights::ALL).unwrap();
+        let file = service.create_file().unwrap();
+        client
+            .link(&sub, "f", file, Rights::READ, EntryKind::File)
+            .unwrap();
+        assert_eq!(client.lookup(&sub, "f", Rights::READ).unwrap().cap, file);
+
+        // Primary down: the client fails over to the replica process.
+        primary.crash();
+        client.rename(&sub, "f", &sub, "g").unwrap();
+        assert_eq!(client.read_dir(&sub).unwrap()[0].name, "g");
+        let removed = client.unlink(&sub, "g").unwrap();
+        assert_eq!(removed.cap, file);
+        assert!(matches!(
+            client.lookup(&sub, "g", Rights::NONE).unwrap_err(),
+            DirError::NotFound(_)
+        ));
+    }
+}

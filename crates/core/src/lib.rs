@@ -74,6 +74,24 @@
 //! no committed data.  [`FileStore::io_stats`] on a sharded store is the *sum*
 //! over shards; [`FileStore::shard_io_stats`] exposes the per-shard figures.
 //!
+//! ## Naming: directories are ordinary files
+//!
+//! This crate knows nothing about names, and that is deliberate: the paper
+//! locates files by capability alone and delegates naming to a separate
+//! directory server.  The reproduction's directory service (crate `afs-dir`)
+//! is a *client* of this crate: each directory is an ordinary file whose
+//! pages hold a serialized `name → (capability, rights mask)` table, and
+//! every directory mutation is one retrying [`FileStoreExt::update`]
+//! transaction that reads and rewrites the directory's root page.  Concurrent
+//! mutations of one directory therefore conflict exactly like any other
+//! concurrent update and are redone via OCC retry; durability-at-commit, the
+//! batched flush, replication and sharded placement all apply to directory
+//! state automatically because nothing distinguishes it from file state.
+//! Cross-directory rename is an ordered pair of idempotent commits (insert at
+//! the destination, then remove at the source), so a renamed entry is never
+//! unreachable.  Path resolution and its prefix cache live in
+//! `afs_client::NamedStore`; the RPC façade in `afs_server::dir`.
+//!
 //! ## Durability at commit — one batch, then the version page
 //!
 //! The paper's commit protocol establishes durability exactly once, at the atomic

@@ -1,0 +1,74 @@
+//! The directory-service error type.
+
+use std::error::Error;
+use std::fmt;
+
+use afs_core::FsError;
+
+/// Errors returned by the directory service.
+///
+/// Directory state lives in ordinary files of the file service, so every
+/// operation can also fail with a file-service error; those travel in the
+/// [`DirError::Fs`] variant unchanged (including
+/// [`FsError::SerialisabilityConflict`] when an OCC retry budget is
+/// exhausted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirError {
+    /// No entry with this name exists in the directory.
+    NotFound(String),
+    /// An entry with this name already exists (and names a different object).
+    AlreadyExists(String),
+    /// The entry exists but does not name a directory.
+    NotADirectory(String),
+    /// The name is not a legal entry name (empty, too long, contains `/`, or
+    /// one of the reserved names `.` / `..`).
+    InvalidName(String),
+    /// The entry's rights mask does not cover the rights the caller asked for
+    /// (lookup), or the mask exceeds the stored capability's rights (link).
+    InsufficientGrant,
+    /// The directory still holds entries and cannot be unlinked.
+    NotEmpty(String),
+    /// The file's pages do not decode as a directory table.
+    Corrupt(String),
+    /// The underlying file service failed.
+    Fs(FsError),
+}
+
+impl fmt::Display for DirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirError::NotFound(name) => write!(f, "no entry named {name:?}"),
+            DirError::AlreadyExists(name) => write!(f, "entry {name:?} already exists"),
+            DirError::NotADirectory(name) => write!(f, "entry {name:?} is not a directory"),
+            DirError::InvalidName(name) => write!(f, "illegal entry name {name:?}"),
+            DirError::InsufficientGrant => write!(f, "rights mask does not cover the request"),
+            DirError::NotEmpty(name) => write!(f, "directory {name:?} is not empty"),
+            DirError::Corrupt(msg) => write!(f, "corrupt directory table: {msg}"),
+            DirError::Fs(e) => write!(f, "file service error: {e}"),
+        }
+    }
+}
+
+impl Error for DirError {}
+
+impl From<FsError> for DirError {
+    fn from(e: FsError) -> Self {
+        DirError::Fs(e)
+    }
+}
+
+/// Result alias for directory-service operations.
+pub type Result<T> = std::result::Result<T, DirError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_errors_convert_and_display() {
+        let e = DirError::from(FsError::NoSuchFile);
+        assert_eq!(e, DirError::Fs(FsError::NoSuchFile));
+        assert!(e.to_string().contains("no such file"));
+        assert!(DirError::NotFound("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,687 @@
+//! [`DirStore`]: directory operations as OCC transactions over ordinary files.
+//!
+//! Every mutation — [`DirStore::mkdir`], [`DirStore::link`],
+//! [`DirStore::unlink`], [`DirStore::rename`] — runs as one retrying
+//! [`FileStoreExt::update`] transaction against the directory's backing file:
+//! read the root header and entry chunks, apply the change to the decoded
+//! table, bump the generation, write the table back (one batched
+//! `write_pages` call), commit.  Because the transaction reads *and* writes
+//! the root page, any two concurrent mutations of the same directory are a
+//! serialisability conflict the file service detects at commit, and the loser
+//! redoes its whole mutation on a fresh version — the same lock-free retry
+//! discipline every other update in the system uses.  Durability,
+//! replication, batched flushing and sharded placement are inherited wholesale:
+//! a directory is just a file.
+//!
+//! Cross-directory [`DirStore::rename`] is an OCC **multi-object** transaction
+//! ordered deterministically: the entry is inserted at the destination first
+//! and removed from the source second, each half an idempotent OCC retry loop.
+//! No interleaving of crashes, conflicts or concurrent renames can make the
+//! entry unreachable — the worst transient state is the entry visible under
+//! both names, which the second half resolves.  Same-directory renames are a
+//! single commit and therefore atomic outright.
+
+use bytes::Bytes;
+
+use afs_core::{FileStore, FileStoreExt, FsError, PagePath, RetryPolicy};
+use amoeba_capability::{Capability, DirCap, Rights};
+
+use crate::error::{DirError, Result};
+use crate::table::{validate_name, DirEntry, DirHeader, DirTable, EntryKind};
+
+/// What a committed directory mutation reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirOutcome<T> {
+    /// The operation's result value.
+    pub value: T,
+    /// OCC attempts used across the operation's commits (1 = no conflict; a
+    /// cross-directory rename sums the attempts of its two halves, so its
+    /// conflict-free baseline is 2).
+    pub attempts: usize,
+}
+
+/// The directory service over any [`FileStore`].
+///
+/// `DirStore` holds no directory state of its own — directories live entirely
+/// in the files they are stored in, so any number of `DirStore` instances
+/// (local or behind different server processes) can operate on the same tree
+/// concurrently, coordinated only by the file service's OCC validation.
+pub struct DirStore<S: FileStore> {
+    store: S,
+}
+
+impl<S: FileStore> DirStore<S> {
+    /// Wraps a file store with the directory protocol.
+    pub fn new(store: S) -> Self {
+        DirStore { store }
+    }
+
+    /// The underlying file store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Creates a fresh, empty directory file and returns its capability.  Used
+    /// for the root of a hierarchy; directories below the root come from
+    /// [`DirStore::mkdir`].
+    pub fn create_root(&self) -> Result<DirCap> {
+        self.create_dir_file()
+    }
+
+    fn create_dir_file(&self) -> Result<DirCap> {
+        let cap = self.store.create_file()?;
+        let version = self.store.create_version(&cap)?;
+        self.store
+            .write_page(&version, &PagePath::root(), DirHeader::empty().encode())?;
+        self.store.commit(&version)?;
+        Ok(DirCap::new(cap))
+    }
+
+    // ------------------------------------------------------------------
+    // The shared OCC mutation loop.
+    // ------------------------------------------------------------------
+
+    /// Runs `op` against the decoded table of `dir` inside one retrying update
+    /// transaction and writes the mutated table back with a bumped generation.
+    ///
+    /// `op` may be re-run on a fresh snapshot after a serialisability
+    /// conflict, so it must be a pure function of the table it is given.  An
+    /// error from `op` aborts the attempt without committing anything.
+    pub fn mutate_with<R>(
+        &self,
+        dir: &DirCap,
+        policy: RetryPolicy,
+        mut op: impl FnMut(&mut DirTable) -> Result<R>,
+    ) -> Result<DirOutcome<R>> {
+        let mut dir_err: Option<DirError> = None;
+        let committed = self.store.update_with(dir.cap(), policy, |tx| {
+            dir_err = None;
+            // Abort the attempt, remembering the directory-level error; the
+            // sentinel FsError is never surfaced (see the match below).
+            macro_rules! bail {
+                ($e:expr) => {{
+                    dir_err = Some($e);
+                    return Err(FsError::WouldBlock);
+                }};
+            }
+            let root = tx.read(&PagePath::root())?;
+            let header = match DirHeader::decode(root) {
+                Ok(header) => header,
+                Err(e) => bail!(e),
+            };
+            let old_chunks = header.chunk_count as usize;
+            let chunk_paths: Vec<PagePath> = (0..old_chunks)
+                .map(|i| PagePath::new(vec![i as u16]))
+                .collect();
+            let chunks = tx.read_many(&chunk_paths)?;
+            let mut table = match DirTable::decode_chunks(&chunks) {
+                Ok(table) => table,
+                Err(e) => bail!(e),
+            };
+            let value = match op(&mut table) {
+                Ok(value) => value,
+                Err(e) => bail!(e),
+            };
+            let new_chunks = table.encode_chunks();
+            let new_header = DirHeader {
+                generation: header.generation + 1,
+                entry_count: table.len() as u32,
+                chunk_count: new_chunks.len() as u32,
+            };
+            // Header and overwritten chunks travel as one batched call; the
+            // (rare) chunk-count changes append or trim the tail.
+            let mut writes: Vec<(PagePath, Bytes)> = Vec::with_capacity(1 + new_chunks.len());
+            writes.push((PagePath::root(), new_header.encode()));
+            for (i, chunk) in new_chunks.iter().enumerate().take(old_chunks) {
+                writes.push((PagePath::new(vec![i as u16]), chunk.clone()));
+            }
+            tx.write_many(&writes)?;
+            for chunk in new_chunks.iter().skip(old_chunks) {
+                tx.append(&PagePath::root(), chunk.clone())?;
+            }
+            for i in (new_chunks.len()..old_chunks).rev() {
+                tx.remove(&PagePath::new(vec![i as u16]))?;
+            }
+            Ok(value)
+        });
+        match committed {
+            Ok(committed) => Ok(DirOutcome {
+                value: committed.value,
+                attempts: committed.attempts,
+            }),
+            Err(e) => Err(dir_err.take().unwrap_or(DirError::Fs(e))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads.
+    // ------------------------------------------------------------------
+
+    /// Loads the committed header and table of `dir`: one `current_version`
+    /// call, the root page, and the chunk pages — a constant number of
+    /// operations for any directory that fits its chunks' budget.
+    pub fn load_committed(&self, dir: &DirCap) -> Result<(DirHeader, DirTable)> {
+        let current = self.store.current_version(dir.cap())?;
+        let root = self
+            .store
+            .read_committed_page(&current, &PagePath::root())?;
+        let header = DirHeader::decode(root)?;
+        let mut chunks = Vec::with_capacity(header.chunk_count as usize);
+        for i in 0..header.chunk_count {
+            chunks.push(
+                self.store
+                    .read_committed_page(&current, &PagePath::new(vec![i as u16]))?,
+            );
+        }
+        Ok((header, DirTable::decode_chunks(&chunks)?))
+    }
+
+    /// The directory's current generation (bumped by every mutation).
+    pub fn generation(&self, dir: &DirCap) -> Result<u64> {
+        let current = self.store.current_version(dir.cap())?;
+        let root = self
+            .store
+            .read_committed_page(&current, &PagePath::root())?;
+        Ok(DirHeader::decode(root)?.generation)
+    }
+
+    /// Looks up `name` in `dir`, requiring the entry's grant mask to cover
+    /// `required`.  An entry can grant *fewer* rights than the capability it
+    /// stores carries (attenuation at the naming layer), never more.
+    pub fn lookup(&self, dir: &DirCap, name: &str, required: Rights) -> Result<DirEntry> {
+        validate_name(name)?;
+        let (_, table) = self.load_committed(dir)?;
+        let entry = table
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DirError::NotFound(name.to_string()))?;
+        if !entry.mask.contains(required) {
+            return Err(DirError::InsufficientGrant);
+        }
+        Ok(entry)
+    }
+
+    /// Looks up `name` without demanding any rights.
+    pub fn lookup_any(&self, dir: &DirCap, name: &str) -> Result<DirEntry> {
+        self.lookup(dir, name, Rights::NONE)
+    }
+
+    /// All entries of `dir`, sorted by name.
+    pub fn read_dir(&self, dir: &DirCap) -> Result<Vec<DirEntry>> {
+        let (_, table) = self.load_committed(dir)?;
+        Ok(table.entries().cloned().collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations.
+    // ------------------------------------------------------------------
+
+    /// Creates a new empty directory and links it into `parent` under `name`
+    /// with grant mask `mask`.  Default retry policy.
+    pub fn mkdir(&self, parent: &DirCap, name: &str, mask: Rights) -> Result<DirCap> {
+        self.mkdir_with(parent, name, mask, RetryPolicy::default())
+            .map(|o| o.value)
+    }
+
+    /// [`DirStore::mkdir`] with an explicit retry policy.
+    ///
+    /// The child's backing file is created *before* the parent link commits;
+    /// if the link loses (e.g. the name is taken), the orphaned empty file is
+    /// left for the file service's garbage collection and the error reports
+    /// the link failure.
+    pub fn mkdir_with(
+        &self,
+        parent: &DirCap,
+        name: &str,
+        mask: Rights,
+        policy: RetryPolicy,
+    ) -> Result<DirOutcome<DirCap>> {
+        validate_name(name)?;
+        let child = self.create_dir_file()?;
+        let cap = child.into_cap();
+        let entry = DirEntry {
+            name: name.to_string(),
+            cap,
+            mask,
+            kind: EntryKind::Directory,
+        };
+        let outcome = self.link_entry(parent, entry, policy)?;
+        Ok(DirOutcome {
+            value: DirCap::new(cap),
+            attempts: outcome.attempts,
+        })
+    }
+
+    /// Binds `name` in `dir` to `cap` with grant mask `mask`.  Default retry
+    /// policy.
+    pub fn link(
+        &self,
+        dir: &DirCap,
+        name: &str,
+        cap: Capability,
+        mask: Rights,
+        kind: EntryKind,
+    ) -> Result<()> {
+        self.link_with(dir, name, cap, mask, kind, RetryPolicy::default())
+            .map(|o| o.value)
+    }
+
+    /// [`DirStore::link`] with an explicit retry policy.  Fails with
+    /// [`DirError::AlreadyExists`] when the name is bound to a *different*
+    /// object; re-linking the identical entry is an idempotent no-op (which is
+    /// what makes replayed rename halves safe).  The grant `mask` must not
+    /// exceed the stored capability's rights.
+    pub fn link_with(
+        &self,
+        dir: &DirCap,
+        name: &str,
+        cap: Capability,
+        mask: Rights,
+        kind: EntryKind,
+        policy: RetryPolicy,
+    ) -> Result<DirOutcome<()>> {
+        validate_name(name)?;
+        let entry = DirEntry {
+            name: name.to_string(),
+            cap,
+            mask,
+            kind,
+        };
+        self.link_entry(dir, entry, policy)
+    }
+
+    fn link_entry(
+        &self,
+        dir: &DirCap,
+        entry: DirEntry,
+        policy: RetryPolicy,
+    ) -> Result<DirOutcome<()>> {
+        if !entry.cap.rights.contains(entry.mask) {
+            return Err(DirError::InsufficientGrant);
+        }
+        self.mutate_with(dir, policy, |table| {
+            match table.get(&entry.name) {
+                Some(existing) if *existing == entry => Ok(()), // idempotent re-link
+                Some(_) => Err(DirError::AlreadyExists(entry.name.clone())),
+                None => {
+                    table.insert(entry.clone());
+                    Ok(())
+                }
+            }
+        })
+    }
+
+    /// Removes the binding of `name` from `dir` and returns the removed entry.
+    /// Default retry policy.
+    pub fn unlink(&self, dir: &DirCap, name: &str) -> Result<DirEntry> {
+        self.unlink_with(dir, name, RetryPolicy::default())
+            .map(|o| o.value)
+    }
+
+    /// [`DirStore::unlink`] with an explicit retry policy.  Unlinking a
+    /// directory entry whose directory still holds entries fails with
+    /// [`DirError::NotEmpty`]; the check reads the child's committed table
+    /// outside the parent's transaction, so it is best-effort under races (a
+    /// concurrent link into the child can slip past it).
+    pub fn unlink_with(
+        &self,
+        dir: &DirCap,
+        name: &str,
+        policy: RetryPolicy,
+    ) -> Result<DirOutcome<DirEntry>> {
+        validate_name(name)?;
+        if let Ok(entry) = self.lookup_any(dir, name) {
+            if let Some(child) = entry.as_dir() {
+                if let Ok((header, _)) = self.load_committed(&child) {
+                    if header.entry_count > 0 {
+                        return Err(DirError::NotEmpty(name.to_string()));
+                    }
+                }
+            }
+        }
+        self.mutate_with(dir, policy, |table| {
+            table
+                .remove(name)
+                .ok_or_else(|| DirError::NotFound(name.to_string()))
+        })
+    }
+
+    /// Renames `from` in `src` to `to` in `dst`.  Default retry policy.
+    pub fn rename(&self, src: &DirCap, from: &str, dst: &DirCap, to: &str) -> Result<()> {
+        self.rename_with(src, from, dst, to, RetryPolicy::default())
+            .map(|o| o.value)
+    }
+
+    /// [`DirStore::rename_with`]: the OCC rename.
+    ///
+    /// * **Same directory** — one commit: the entry is rebound atomically, so
+    ///   no observer ever sees the name half-moved, and concurrent renames of
+    ///   sibling entries serialise through OCC retry without losing either.
+    /// * **Cross-directory** — two commits in a deterministic order: insert at
+    ///   the destination *first*, remove from the source *second*.  Both
+    ///   halves are idempotent (re-linking the identical entry and removing an
+    ///   already-removed entry are no-ops), so any retry, crash or concurrent
+    ///   completion converges; the entry is reachable under at least one name
+    ///   at every intermediate point.
+    ///
+    /// Fails with [`DirError::AlreadyExists`] when `to` is bound to a
+    /// different object, changing nothing.
+    pub fn rename_with(
+        &self,
+        src: &DirCap,
+        from: &str,
+        dst: &DirCap,
+        to: &str,
+        policy: RetryPolicy,
+    ) -> Result<DirOutcome<()>> {
+        validate_name(from)?;
+        validate_name(to)?;
+        let same_dir = src.cap().port == dst.cap().port && src.cap().object == dst.cap().object;
+        if same_dir {
+            return self.mutate_with(src, policy, |table| {
+                let entry = table
+                    .get(from)
+                    .cloned()
+                    .ok_or_else(|| DirError::NotFound(from.to_string()))?;
+                if from == to {
+                    return Ok(());
+                }
+                match table.get(to) {
+                    Some(existing) if existing.cap == entry.cap => {}
+                    Some(_) => return Err(DirError::AlreadyExists(to.to_string())),
+                    None => {}
+                }
+                table.remove(from);
+                table.insert(DirEntry {
+                    name: to.to_string(),
+                    ..entry
+                });
+                Ok(())
+            });
+        }
+
+        let entry = self.lookup_any(src, from)?;
+        let moved = DirEntry {
+            name: to.to_string(),
+            ..entry.clone()
+        };
+        // Phase 1: make the entry reachable at the destination.
+        let inserted = self.link_entry(dst, moved, policy)?;
+        // Phase 2: retire the source name — but only while it still names the
+        // moved object; if a concurrent mutation rebound or removed it, the
+        // removal is already done from this rename's point of view.
+        let removed = self.mutate_with(src, policy, |table| {
+            if let Some(existing) = table.get(from) {
+                if existing.cap == entry.cap {
+                    table.remove(from);
+                }
+            }
+            Ok(())
+        })?;
+        Ok(DirOutcome {
+            value: (),
+            attempts: inserted.attempts + removed.attempts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_core::FileService;
+    use std::sync::Arc;
+
+    fn dir_store() -> DirStore<Arc<FileService>> {
+        DirStore::new(FileService::in_memory())
+    }
+
+    fn file_cap(dirs: &DirStore<Arc<FileService>>) -> Capability {
+        dirs.store().create_file().unwrap()
+    }
+
+    #[test]
+    fn mkdir_link_lookup_readdir_round_trip() {
+        let dirs = dir_store();
+        let root = dirs.create_root().unwrap();
+        let sub = dirs.mkdir(&root, "projects", Rights::ALL).unwrap();
+        let file = file_cap(&dirs);
+        dirs.link(
+            &sub,
+            "report",
+            file,
+            Rights::READ | Rights::WRITE,
+            EntryKind::File,
+        )
+        .unwrap();
+
+        let entry = dirs.lookup(&sub, "report", Rights::READ).unwrap();
+        assert_eq!(entry.cap, file);
+        assert_eq!(entry.kind, EntryKind::File);
+
+        let listed = dirs.read_dir(&root).unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name, "projects");
+        assert_eq!(listed[0].as_dir().unwrap(), sub);
+
+        // Sorted listing.
+        dirs.link(
+            &sub,
+            "aardvark",
+            file_cap(&dirs),
+            Rights::READ,
+            EntryKind::File,
+        )
+        .unwrap();
+        let names: Vec<String> = dirs
+            .read_dir(&sub)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["aardvark", "report"]);
+    }
+
+    #[test]
+    fn lookup_enforces_the_grant_mask() {
+        let dirs = dir_store();
+        let root = dirs.create_root().unwrap();
+        let file = file_cap(&dirs);
+        dirs.link(&root, "ro", file, Rights::READ, EntryKind::File)
+            .unwrap();
+        assert!(dirs.lookup(&root, "ro", Rights::READ).is_ok());
+        assert_eq!(
+            dirs.lookup(&root, "ro", Rights::WRITE).unwrap_err(),
+            DirError::InsufficientGrant
+        );
+        // The mask cannot exceed the stored capability's rights.
+        let weak = Capability {
+            rights: Rights::READ,
+            ..file
+        };
+        assert_eq!(
+            dirs.link(
+                &root,
+                "bad",
+                weak,
+                Rights::READ | Rights::WRITE,
+                EntryKind::File
+            )
+            .unwrap_err(),
+            DirError::InsufficientGrant
+        );
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_but_identical_relinks_are_idempotent() {
+        let dirs = dir_store();
+        let root = dirs.create_root().unwrap();
+        let file = file_cap(&dirs);
+        dirs.link(&root, "x", file, Rights::READ, EntryKind::File)
+            .unwrap();
+        // Identical re-link: fine (replayed rename halves rely on this).
+        dirs.link(&root, "x", file, Rights::READ, EntryKind::File)
+            .unwrap();
+        // Different object under the same name: rejected.
+        assert_eq!(
+            dirs.link(&root, "x", file_cap(&dirs), Rights::READ, EntryKind::File)
+                .unwrap_err(),
+            DirError::AlreadyExists("x".into())
+        );
+        assert_eq!(dirs.read_dir(&root).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unlink_removes_and_protects_non_empty_directories() {
+        let dirs = dir_store();
+        let root = dirs.create_root().unwrap();
+        let sub = dirs.mkdir(&root, "sub", Rights::ALL).unwrap();
+        dirs.link(&sub, "f", file_cap(&dirs), Rights::READ, EntryKind::File)
+            .unwrap();
+        assert_eq!(
+            dirs.unlink(&root, "sub").unwrap_err(),
+            DirError::NotEmpty("sub".into())
+        );
+        dirs.unlink(&sub, "f").unwrap();
+        let removed = dirs.unlink(&root, "sub").unwrap();
+        assert_eq!(removed.as_dir().unwrap(), sub);
+        assert_eq!(
+            dirs.unlink(&root, "sub").unwrap_err(),
+            DirError::NotFound("sub".into())
+        );
+    }
+
+    #[test]
+    fn same_directory_rename_is_atomic_and_checks_the_target() {
+        let dirs = dir_store();
+        let root = dirs.create_root().unwrap();
+        let a = file_cap(&dirs);
+        let b = file_cap(&dirs);
+        dirs.link(&root, "a", a, Rights::READ, EntryKind::File)
+            .unwrap();
+        dirs.link(&root, "b", b, Rights::READ, EntryKind::File)
+            .unwrap();
+        dirs.rename(&root, "a", &root, "c").unwrap();
+        assert_eq!(dirs.lookup_any(&root, "c").unwrap().cap, a);
+        assert!(matches!(
+            dirs.lookup_any(&root, "a").unwrap_err(),
+            DirError::NotFound(_)
+        ));
+        // Renaming onto an existing different binding is refused whole.
+        assert_eq!(
+            dirs.rename(&root, "c", &root, "b").unwrap_err(),
+            DirError::AlreadyExists("b".into())
+        );
+        assert_eq!(dirs.lookup_any(&root, "c").unwrap().cap, a);
+        assert_eq!(dirs.lookup_any(&root, "b").unwrap().cap, b);
+    }
+
+    #[test]
+    fn cross_directory_rename_moves_the_entry() {
+        let dirs = dir_store();
+        let root = dirs.create_root().unwrap();
+        let src = dirs.mkdir(&root, "src", Rights::ALL).unwrap();
+        let dst = dirs.mkdir(&root, "dst", Rights::ALL).unwrap();
+        let file = file_cap(&dirs);
+        dirs.link(&src, "f", file, Rights::READ, EntryKind::File)
+            .unwrap();
+        dirs.rename(&src, "f", &dst, "g").unwrap();
+        assert_eq!(dirs.lookup_any(&dst, "g").unwrap().cap, file);
+        assert!(matches!(
+            dirs.lookup_any(&src, "f").unwrap_err(),
+            DirError::NotFound(_)
+        ));
+        // Replaying the same rename converges without error or duplication.
+        assert!(matches!(
+            dirs.rename(&src, "f", &dst, "g").unwrap_err(),
+            DirError::NotFound(_)
+        ));
+        assert_eq!(dirs.read_dir(&dst).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mutations_bump_the_generation() {
+        let dirs = dir_store();
+        let root = dirs.create_root().unwrap();
+        assert_eq!(dirs.generation(&root).unwrap(), 0);
+        dirs.link(&root, "f", file_cap(&dirs), Rights::READ, EntryKind::File)
+            .unwrap();
+        assert_eq!(dirs.generation(&root).unwrap(), 1);
+        dirs.unlink(&root, "f").unwrap();
+        assert_eq!(dirs.generation(&root).unwrap(), 2);
+    }
+
+    #[test]
+    fn a_plain_file_is_not_a_directory() {
+        let dirs = dir_store();
+        let file = file_cap(&dirs);
+        let bogus = DirCap::new(file);
+        assert!(matches!(
+            dirs.read_dir(&bogus).unwrap_err(),
+            DirError::Corrupt(_)
+        ));
+        assert!(matches!(
+            dirs.link(&bogus, "x", file, Rights::READ, EntryKind::File)
+                .unwrap_err(),
+            DirError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn large_directories_spill_into_chunks_and_survive_mutation() {
+        let dirs = dir_store();
+        let root = dirs.create_root().unwrap();
+        let file = file_cap(&dirs);
+        for i in 0..400 {
+            dirs.link(
+                &root,
+                &format!("{:0>60}", i),
+                file,
+                Rights::READ,
+                EntryKind::File,
+            )
+            .unwrap();
+        }
+        let (header, table) = dirs.load_committed(&root).unwrap();
+        assert!(header.chunk_count > 1, "400 wide entries must span chunks");
+        assert_eq!(table.len(), 400);
+        // Shrink back below one chunk: tail chunk pages are removed.
+        for i in 0..399 {
+            dirs.unlink(&root, &format!("{:0>60}", i)).unwrap();
+        }
+        let (header, table) = dirs.load_committed(&root).unwrap();
+        assert_eq!(header.chunk_count, 1);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_links_into_one_directory_all_commit() {
+        let dirs = Arc::new(dir_store());
+        let root = dirs.create_root().unwrap();
+        let threads = 4;
+        let per_thread = 8;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let dirs = Arc::clone(&dirs);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let file = dirs.store().create_file().unwrap();
+                        dirs.link_with(
+                            &root,
+                            &format!("t{t}_{i}"),
+                            file,
+                            Rights::READ,
+                            EntryKind::File,
+                            RetryPolicy::with_max_attempts(10_000),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            dirs.read_dir(&root).unwrap().len(),
+            threads * per_thread,
+            "no link may be lost under contention"
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Wire protocol for the **directory** service: operation codes and payload
+//! marshalling.
+//!
+//! The directory service names things: it maps human-readable entry names to
+//! capabilities, stored in ordinary files of the file service (crate
+//! `afs-dir`).  This module defines only the frames — the handler lives in
+//! `afs_server::dir`, the client stub in `afs_client::RemoteDir` — so the
+//! codec is testable without either.
+//!
+//! The capability in a request names the *directory* operated on (except for
+//! [`DirOp::Root`], which asks the server for its root directory and carries
+//! the null capability).  One request is one transaction: a k-entry `ReadDir`
+//! is a single round trip whose reply carries every entry, which is what the
+//! conformance suite asserts through a counting transport.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use amoeba_capability::Capability;
+
+/// Operations a directory server understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum DirOp {
+    /// The server's root directory.  Request capability: null.
+    /// Reply: the root directory capability.
+    Root = 1,
+    /// Look up a name.  Payload: name + required-rights byte.
+    /// Reply: one entry.
+    Lookup = 2,
+    /// List the directory.  Reply: entry count + entries, sorted by name.
+    ReadDir = 3,
+    /// Bind a name.  Payload: one entry (name, kind, mask, capability).
+    Link = 4,
+    /// Remove a binding.  Payload: name.  Reply: the removed entry.
+    Unlink = 5,
+    /// Rename `from` (in the request-capability directory) to `to` in the
+    /// destination directory.  Payload: from-name + destination directory
+    /// capability + to-name.
+    Rename = 6,
+    /// Create a directory and bind it.  Payload: name + mask byte.
+    /// Reply: the new directory's capability.
+    MkDir = 7,
+}
+
+impl DirOp {
+    /// Decodes an operation code.
+    pub fn from_u32(v: u32) -> Option<DirOp> {
+        Some(match v {
+            1 => DirOp::Root,
+            2 => DirOp::Lookup,
+            3 => DirOp::ReadDir,
+            4 => DirOp::Link,
+            5 => DirOp::Unlink,
+            6 => DirOp::Rename,
+            7 => DirOp::MkDir,
+            _ => return None,
+        })
+    }
+}
+
+/// One directory entry in wire form.  The `kind` and `mask` bytes are opaque
+/// to the transport; `afs-dir` gives them meaning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireEntry {
+    /// Entry name (UTF-8, at most 255 bytes at the directory layer).
+    pub name: String,
+    /// The capability the name is bound to.
+    pub cap: Capability,
+    /// Rights-grant mask byte.
+    pub mask: u8,
+    /// Entry kind byte (file / directory).
+    pub kind: u8,
+}
+
+/// Encodes a length-prefixed name.
+pub fn encode_name(buf: &mut BytesMut, name: &str) {
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+}
+
+/// Decodes a length-prefixed name.
+pub fn decode_name(buf: &mut Bytes) -> Option<String> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let name = String::from_utf8(buf.slice(..len).to_vec()).ok()?;
+    buf.advance(len);
+    Some(name)
+}
+
+/// Encodes one entry (the `Link` payload and the `Lookup`/`Unlink` reply).
+pub fn encode_entry(entry: &WireEntry) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_entry(&mut buf, entry);
+    buf.freeze()
+}
+
+fn put_entry(buf: &mut BytesMut, entry: &WireEntry) {
+    encode_name(buf, &entry.name);
+    buf.put_u8(entry.kind);
+    buf.put_u8(entry.mask);
+    entry.cap.encode(buf);
+}
+
+fn get_entry(buf: &mut Bytes) -> Option<WireEntry> {
+    let name = decode_name(buf)?;
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let kind = buf.get_u8();
+    let mask = buf.get_u8();
+    let cap = Capability::decode(buf)?;
+    Some(WireEntry {
+        name,
+        cap,
+        mask,
+        kind,
+    })
+}
+
+/// Decodes one entry.
+pub fn decode_entry(mut payload: Bytes) -> Option<WireEntry> {
+    get_entry(&mut payload)
+}
+
+/// Encodes the `ReadDir` reply: entry count, then the entries in name order.
+pub fn encode_entries(entries: &[WireEntry]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(entries.len() as u32);
+    for entry in entries {
+        put_entry(&mut buf, entry);
+    }
+    buf.freeze()
+}
+
+/// Decodes the `ReadDir` reply.
+pub fn decode_entries(mut payload: Bytes) -> Option<Vec<WireEntry>> {
+    if payload.remaining() < 4 {
+        return None;
+    }
+    let count = payload.get_u32_le() as usize;
+    let mut entries = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        entries.push(get_entry(&mut payload)?);
+    }
+    Some(entries)
+}
+
+/// Encodes the `Lookup` payload: name + required-rights byte.
+pub fn encode_lookup(name: &str, required: u8) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_name(&mut buf, name);
+    buf.put_u8(required);
+    buf.freeze()
+}
+
+/// Decodes the `Lookup` payload.
+pub fn decode_lookup(mut payload: Bytes) -> Option<(String, u8)> {
+    let name = decode_name(&mut payload)?;
+    if payload.remaining() < 1 {
+        return None;
+    }
+    Some((name, payload.get_u8()))
+}
+
+/// Encodes the `Unlink` payload: just the name.
+pub fn encode_unlink(name: &str) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_name(&mut buf, name);
+    buf.freeze()
+}
+
+/// Decodes the `Unlink` payload.
+pub fn decode_unlink(mut payload: Bytes) -> Option<String> {
+    decode_name(&mut payload)
+}
+
+/// Encodes the `Rename` payload: from-name, destination directory capability,
+/// to-name.  The source directory is the request capability.
+pub fn encode_rename(from: &str, dst: &Capability, to: &str) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_name(&mut buf, from);
+    dst.encode(&mut buf);
+    encode_name(&mut buf, to);
+    buf.freeze()
+}
+
+/// Decodes the `Rename` payload.
+pub fn decode_rename(mut payload: Bytes) -> Option<(String, Capability, String)> {
+    let from = decode_name(&mut payload)?;
+    let dst = Capability::decode(&mut payload)?;
+    let to = decode_name(&mut payload)?;
+    Some((from, dst, to))
+}
+
+/// Encodes the `MkDir` payload: name + grant-mask byte.
+pub fn encode_mkdir(name: &str, mask: u8) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_name(&mut buf, name);
+    buf.put_u8(mask);
+    buf.freeze()
+}
+
+/// Decodes the `MkDir` payload.
+pub fn decode_mkdir(mut payload: Bytes) -> Option<(String, u8)> {
+    let name = decode_name(&mut payload)?;
+    if payload.remaining() < 1 {
+        return None;
+    }
+    Some((name, payload.get_u8()))
+}
+
+/// Encodes a capability reply (`Root`, `MkDir`).
+pub fn encode_dir_cap(cap: &Capability) -> Bytes {
+    let mut buf = BytesMut::new();
+    cap.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decodes a capability reply.
+pub fn decode_dir_cap(mut payload: Bytes) -> Option<Capability> {
+    Capability::decode(&mut payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_capability::{Port, Rights};
+
+    fn cap(object: u64) -> Capability {
+        Capability {
+            port: Port::from_raw(0xabc),
+            object,
+            rights: Rights::ALL,
+            check: 42,
+        }
+    }
+
+    fn entry(name: &str) -> WireEntry {
+        WireEntry {
+            name: name.to_string(),
+            cap: cap(7),
+            mask: Rights::READ.bits(),
+            kind: 0,
+        }
+    }
+
+    #[test]
+    fn op_codes_round_trip() {
+        for op in [
+            DirOp::Root,
+            DirOp::Lookup,
+            DirOp::ReadDir,
+            DirOp::Link,
+            DirOp::Unlink,
+            DirOp::Rename,
+            DirOp::MkDir,
+        ] {
+            assert_eq!(DirOp::from_u32(op as u32), Some(op));
+        }
+        assert_eq!(DirOp::from_u32(0), None);
+        assert_eq!(DirOp::from_u32(99), None);
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let e = entry("report");
+        assert_eq!(decode_entry(encode_entry(&e)).unwrap(), e);
+        let many = vec![entry("a"), entry("b"), entry("c")];
+        assert_eq!(decode_entries(encode_entries(&many)).unwrap(), many);
+        assert_eq!(decode_entries(Bytes::new()), None);
+        let truncated = encode_entries(&many);
+        assert_eq!(decode_entries(truncated.slice(..truncated.len() - 4)), None);
+    }
+
+    #[test]
+    fn request_payloads_round_trip() {
+        assert_eq!(
+            decode_lookup(encode_lookup("name", 3)).unwrap(),
+            ("name".to_string(), 3)
+        );
+        assert_eq!(
+            decode_unlink(encode_unlink("gone")).unwrap(),
+            "gone".to_string()
+        );
+        assert_eq!(
+            decode_rename(encode_rename("from", &cap(9), "to")).unwrap(),
+            ("from".to_string(), cap(9), "to".to_string())
+        );
+        assert_eq!(
+            decode_mkdir(encode_mkdir("sub", 0x7f)).unwrap(),
+            ("sub".to_string(), 0x7f)
+        );
+        assert_eq!(decode_dir_cap(encode_dir_cap(&cap(5))).unwrap(), cap(5));
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        assert_eq!(decode_lookup(Bytes::new()), None);
+        assert_eq!(decode_lookup(encode_unlink("only a name")), None);
+        assert_eq!(decode_rename(encode_unlink("from only")), None);
+        assert_eq!(decode_mkdir(encode_unlink("no mask")), None);
+        assert_eq!(decode_name(&mut Bytes::from_static(b"\xff\xff")), None);
+    }
+}

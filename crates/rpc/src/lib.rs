@@ -23,13 +23,17 @@
 //!   same servers can be run across actual machine boundaries, and
 //! * [`block`] — the wire protocol of the block service, including the
 //!   [`block::BlockOp::WriteBlocks`] scatter-gather op that carries a commit
-//!   flush to each replica disk as a single request.
+//!   flush to each replica disk as a single request, and
+//! * [`dir`] — the wire protocol of the directory service: name → capability
+//!   bindings served over the same transaction model, with a k-entry
+//!   [`dir::DirOp::ReadDir`] as one round trip.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod block;
 pub mod codec;
+pub mod dir;
 mod error;
 mod local;
 mod message;

@@ -1,0 +1,364 @@
+//! Directory-server processes: the RPC façade over the directory service.
+//!
+//! The paper keeps naming out of the file service: "a directory server maps
+//! names onto capabilities", as a separate service reached through the same
+//! transaction RPC.  [`DirServerHandler`] is that server: it wraps an
+//! [`afs_dir::DirStore`] over any [`FileStore`] (a local shard service, a
+//! remote connection, or a sharded router), decodes [`DirOp`] requests and
+//! serves them — so directories are servable over `LocalNetwork` *and* TCP
+//! next to the file shards, and the directory state itself still lives in
+//! ordinary files with all their durability and replication guarantees.
+//!
+//! Because directory state is entirely in the file service, a directory-server
+//! process is as stateless as a file-server process: crash it and restart it
+//! ([`DirServerProcess::crash`]/[`DirServerProcess::restart`]) and nothing
+//! needs recovery; several processes can serve the same tree concurrently,
+//! coordinated only by OCC validation underneath.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use afs_core::FileStore;
+use afs_dir::{DirCap, DirEntry, DirError, DirStore, EntryKind};
+use amoeba_capability::{Port, Rights};
+use amoeba_rpc::dir::{
+    decode_lookup, decode_mkdir, decode_rename, decode_unlink, encode_dir_cap, encode_entries,
+    encode_entry, DirOp, WireEntry,
+};
+use amoeba_rpc::{LocalNetwork, Reply, Request, RequestHandler};
+
+use crate::ops;
+
+// ---------------------------------------------------------------------------
+// Error marshalling: one code byte + detail, mirroring the file-service ops.
+// The file-service variant nests the standard FsError encoding.
+// ---------------------------------------------------------------------------
+
+const ERR_FS: u8 = 0;
+const ERR_NOT_FOUND: u8 = 1;
+const ERR_ALREADY_EXISTS: u8 = 2;
+const ERR_NOT_A_DIRECTORY: u8 = 3;
+const ERR_INVALID_NAME: u8 = 4;
+const ERR_INSUFFICIENT_GRANT: u8 = 5;
+const ERR_NOT_EMPTY: u8 = 6;
+const ERR_CORRUPT: u8 = 7;
+
+/// Encodes a [`DirError`] into an error-reply payload.
+pub fn encode_dir_error(err: &DirError) -> Bytes {
+    let mut buf = BytesMut::new();
+    let mut with_name = |code: u8, name: &str| {
+        buf.put_u8(code);
+        buf.put_slice(name.as_bytes());
+    };
+    match err {
+        DirError::NotFound(name) => with_name(ERR_NOT_FOUND, name),
+        DirError::AlreadyExists(name) => with_name(ERR_ALREADY_EXISTS, name),
+        DirError::NotADirectory(name) => with_name(ERR_NOT_A_DIRECTORY, name),
+        DirError::InvalidName(name) => with_name(ERR_INVALID_NAME, name),
+        DirError::NotEmpty(name) => with_name(ERR_NOT_EMPTY, name),
+        DirError::Corrupt(msg) => with_name(ERR_CORRUPT, msg),
+        DirError::InsufficientGrant => buf.put_u8(ERR_INSUFFICIENT_GRANT),
+        DirError::Fs(fs) => {
+            buf.put_u8(ERR_FS);
+            buf.put_slice(&ops::encode_error(fs));
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes an error-reply payload back into a [`DirError`].
+pub fn decode_dir_error(mut payload: Bytes) -> DirError {
+    if payload.is_empty() {
+        return DirError::Fs(afs_core::FsError::Protocol("empty error reply".into()));
+    }
+    let code = payload.get_u8();
+    let text = || String::from_utf8_lossy(&payload).into_owned();
+    match code {
+        ERR_NOT_FOUND => DirError::NotFound(text()),
+        ERR_ALREADY_EXISTS => DirError::AlreadyExists(text()),
+        ERR_NOT_A_DIRECTORY => DirError::NotADirectory(text()),
+        ERR_INVALID_NAME => DirError::InvalidName(text()),
+        ERR_NOT_EMPTY => DirError::NotEmpty(text()),
+        ERR_CORRUPT => DirError::Corrupt(text()),
+        ERR_INSUFFICIENT_GRANT => DirError::InsufficientGrant,
+        ERR_FS => DirError::Fs(ops::decode_error(payload)),
+        _ => DirError::Fs(afs_core::FsError::Protocol(format!(
+            "unknown directory error code {code}"
+        ))),
+    }
+}
+
+/// Converts a directory entry to its wire form.
+pub fn entry_to_wire(entry: &DirEntry) -> WireEntry {
+    WireEntry {
+        name: entry.name.clone(),
+        cap: entry.cap,
+        mask: entry.mask.bits(),
+        kind: entry.kind.to_u8(),
+    }
+}
+
+/// Converts a wire entry back to a directory entry.  Fails on an unknown kind
+/// byte.
+pub fn entry_from_wire(wire: &WireEntry) -> Option<DirEntry> {
+    Some(DirEntry {
+        name: wire.name.clone(),
+        cap: wire.cap,
+        mask: Rights::from_bits(wire.mask),
+        kind: EntryKind::from_u8(wire.kind)?,
+    })
+}
+
+/// The service-side handler of the directory protocol: decodes requests,
+/// drives the [`DirStore`], encodes replies.  Stateless apart from the wrapped
+/// store and the root capability, so any number of handler instances can serve
+/// the same hierarchy.
+pub struct DirServerHandler<S: FileStore> {
+    dirs: DirStore<S>,
+    root: DirCap,
+}
+
+impl<S: FileStore> DirServerHandler<S> {
+    /// Creates a handler over `store`, creating a fresh root directory.
+    pub fn create(store: S) -> Result<Self, DirError> {
+        let dirs = DirStore::new(store);
+        let root = dirs.create_root()?;
+        Ok(DirServerHandler { dirs, root })
+    }
+
+    /// Creates a handler serving an existing root (e.g. a second server
+    /// process over the same hierarchy).
+    pub fn with_root(store: S, root: DirCap) -> Self {
+        DirServerHandler {
+            dirs: DirStore::new(store),
+            root,
+        }
+    }
+
+    /// The root directory this server hands to clients.
+    pub fn root(&self) -> DirCap {
+        self.root
+    }
+
+    /// The wrapped directory store.
+    pub fn dirs(&self) -> &DirStore<S> {
+        &self.dirs
+    }
+
+    fn dispatch(&self, request: Request) -> Result<Bytes, Reply> {
+        let op = DirOp::from_u32(request.op)
+            .ok_or_else(|| Reply::error(ops::protocol_error("unknown operation")))?;
+        let dir_err = |e: DirError| Reply::error(encode_dir_error(&e));
+        let bad_args = || Reply::error(ops::protocol_error("bad arguments"));
+        let dir = DirCap::new(request.cap);
+        match op {
+            DirOp::Root => Ok(encode_dir_cap(self.root.cap())),
+            DirOp::Lookup => {
+                let (name, required) = decode_lookup(request.payload).ok_or_else(bad_args)?;
+                let entry = self
+                    .dirs
+                    .lookup(&dir, &name, Rights::from_bits(required))
+                    .map_err(dir_err)?;
+                Ok(encode_entry(&entry_to_wire(&entry)))
+            }
+            DirOp::ReadDir => {
+                let entries = self.dirs.read_dir(&dir).map_err(dir_err)?;
+                let wire: Vec<WireEntry> = entries.iter().map(entry_to_wire).collect();
+                Ok(encode_entries(&wire))
+            }
+            DirOp::Link => {
+                let wire = amoeba_rpc::dir::decode_entry(request.payload).ok_or_else(bad_args)?;
+                let entry = entry_from_wire(&wire).ok_or_else(bad_args)?;
+                self.dirs
+                    .link(&dir, &entry.name, entry.cap, entry.mask, entry.kind)
+                    .map_err(dir_err)?;
+                Ok(Bytes::new())
+            }
+            DirOp::Unlink => {
+                let name = decode_unlink(request.payload).ok_or_else(bad_args)?;
+                let removed = self.dirs.unlink(&dir, &name).map_err(dir_err)?;
+                Ok(encode_entry(&entry_to_wire(&removed)))
+            }
+            DirOp::Rename => {
+                let (from, dst, to) = decode_rename(request.payload).ok_or_else(bad_args)?;
+                self.dirs
+                    .rename(&dir, &from, &DirCap::new(dst), &to)
+                    .map_err(dir_err)?;
+                Ok(Bytes::new())
+            }
+            DirOp::MkDir => {
+                let (name, mask) = decode_mkdir(request.payload).ok_or_else(bad_args)?;
+                let child = self
+                    .dirs
+                    .mkdir(&dir, &name, Rights::from_bits(mask))
+                    .map_err(dir_err)?;
+                Ok(encode_dir_cap(child.cap()))
+            }
+        }
+    }
+}
+
+impl<S: FileStore> RequestHandler for DirServerHandler<S> {
+    fn handle(&self, request: Request) -> Reply {
+        match self.dispatch(request) {
+            Ok(payload) => Reply::ok(payload),
+            Err(error_reply) => error_reply,
+        }
+    }
+}
+
+/// One directory-server process: a port on the network behind which a
+/// [`DirServerHandler`] serves a hierarchy.  Crashing the process makes the
+/// port unreachable; the hierarchy itself lives in the file service and is
+/// unaffected.
+pub struct DirServerProcess {
+    port: Port,
+    network: std::sync::Arc<LocalNetwork>,
+    root: DirCap,
+}
+
+impl DirServerProcess {
+    /// Starts a directory-server process on a fresh port of `network`, serving
+    /// a new root directory stored in `store`.
+    pub fn create<S: FileStore + 'static>(
+        network: std::sync::Arc<LocalNetwork>,
+        store: S,
+    ) -> Result<Self, DirError> {
+        let handler = DirServerHandler::create(store)?;
+        let root = handler.root();
+        Ok(Self::register(network, handler, root))
+    }
+
+    /// Starts a process serving an existing root through `store` (a replica
+    /// process of the same hierarchy).
+    pub fn start<S: FileStore + 'static>(
+        network: std::sync::Arc<LocalNetwork>,
+        store: S,
+        root: DirCap,
+    ) -> Self {
+        let handler = DirServerHandler::with_root(store, root);
+        Self::register(network, handler, root)
+    }
+
+    fn register<S: FileStore + 'static>(
+        network: std::sync::Arc<LocalNetwork>,
+        handler: DirServerHandler<S>,
+        root: DirCap,
+    ) -> Self {
+        let port = Port::random();
+        network.register(port, std::sync::Arc::new(handler));
+        DirServerProcess {
+            port,
+            network,
+            root,
+        }
+    }
+
+    /// The port clients address this process by.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// The root directory this process serves.
+    pub fn root(&self) -> DirCap {
+        self.root
+    }
+
+    /// Simulates a crash: the process stops answering.  Directory state is
+    /// untouched because it lives in the file service.
+    pub fn crash(&self) {
+        self.network.isolate(self.port);
+    }
+
+    /// Restarts the process after a crash.  No recovery is needed.
+    pub fn restart(&self) {
+        self.network.restore(self.port);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_core::FileService;
+    use amoeba_capability::Capability;
+    use amoeba_rpc::dir::{decode_dir_cap, decode_entries};
+    use amoeba_rpc::Transport;
+    use std::sync::Arc;
+
+    #[test]
+    fn dir_errors_survive_the_wire() {
+        for err in [
+            DirError::NotFound("x".into()),
+            DirError::AlreadyExists("y".into()),
+            DirError::NotADirectory("z".into()),
+            DirError::InvalidName("a/b".into()),
+            DirError::InsufficientGrant,
+            DirError::NotEmpty("full".into()),
+            DirError::Corrupt("bad magic".into()),
+            DirError::Fs(afs_core::FsError::SerialisabilityConflict),
+            DirError::Fs(afs_core::FsError::NoSuchFile),
+        ] {
+            assert_eq!(decode_dir_error(encode_dir_error(&err)), err);
+        }
+    }
+
+    #[test]
+    fn handler_serves_the_protocol_end_to_end() {
+        let service = FileService::in_memory();
+        let handler = DirServerHandler::create(Arc::clone(&service)).unwrap();
+        let root = handler.root();
+
+        // Root discovery.
+        let reply = handler.handle(Request::empty(DirOp::Root as u32, Capability::null()));
+        assert_eq!(decode_dir_cap(reply.payload).unwrap(), *root.cap());
+
+        // MkDir + Link + ReadDir.
+        let reply = handler.handle(Request::new(
+            DirOp::MkDir as u32,
+            *root.cap(),
+            amoeba_rpc::dir::encode_mkdir("sub", Rights::ALL.bits()),
+        ));
+        assert!(reply.is_ok());
+        let sub = decode_dir_cap(reply.payload).unwrap();
+
+        let file = service.create_file().unwrap();
+        let reply = handler.handle(Request::new(
+            DirOp::Link as u32,
+            sub,
+            encode_entry(&WireEntry {
+                name: "f".into(),
+                cap: file,
+                mask: Rights::READ.bits(),
+                kind: EntryKind::File.to_u8(),
+            }),
+        ));
+        assert!(reply.is_ok());
+
+        let reply = handler.handle(Request::empty(DirOp::ReadDir as u32, sub));
+        let entries = decode_entries(reply.payload).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "f");
+        assert_eq!(entries[0].cap, file);
+
+        // Lookup with too many rights demanded → structured error.
+        let reply = handler.handle(Request::new(
+            DirOp::Lookup as u32,
+            sub,
+            amoeba_rpc::dir::encode_lookup("f", Rights::ALL.bits()),
+        ));
+        assert!(!reply.is_ok());
+        assert_eq!(decode_dir_error(reply.payload), DirError::InsufficientGrant);
+    }
+
+    #[test]
+    fn crashed_process_stops_answering_until_restart() {
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let process = DirServerProcess::create(Arc::clone(&network), service).unwrap();
+        let request = Request::empty(DirOp::Root as u32, Capability::null());
+        assert!(network.transact(process.port(), request.clone()).is_ok());
+        process.crash();
+        assert!(network.transact(process.port(), request.clone()).is_err());
+        process.restart();
+        assert!(network.transact(process.port(), request).is_ok());
+    }
+}

@@ -8,9 +8,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dir_driver;
 pub mod driver;
 pub mod experiments;
 pub mod metrics;
 
+pub use dir_driver::{provision_dirs, run_dir_churn, DirChurnResult, DirChurnRun};
 pub use driver::{run_workload, RunConfig, RunResult};
 pub use metrics::LatencyStats;

@@ -1,0 +1,305 @@
+//! The `dir_churn` scenario: naming-layer traffic.
+//!
+//! The directory service stores every directory in an ordinary file, so
+//! concurrent mutations of one *hot* directory all contend on that file's root
+//! page and serialise through OCC retry.  This generator produces the mix that
+//! stresses exactly that: mkdir / create / lookup / readdir / rename over a
+//! set of directories chosen with Zipf skew, so a minority of hot directories
+//! absorbs most of the mutation traffic — the worst case for a naming layer
+//! built on optimistic concurrency, and the scenario the sim tests use to
+//! prove that racing renames on one directory never lose an entry.
+//!
+//! Each generator instance models one client: the names it creates are
+//! namespaced by its seed, so concurrent clients never collide on *names*
+//! (every one of their operations can succeed) while still colliding on
+//! *directories* (every one of their commits can conflict).  Lookups and
+//! renames draw from the client's own previously created names; when the
+//! chosen directory holds none yet, the operation degrades to a create.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::AccessDistribution;
+
+/// One generated naming operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirChurnOp {
+    /// Create a sub-directory `name` in directory `dir`.
+    MkDir {
+        /// Index of the target directory.
+        dir: usize,
+        /// Fresh, client-unique name.
+        name: String,
+    },
+    /// Create a file and bind it as `name` in directory `dir`.
+    Create {
+        /// Index of the target directory.
+        dir: usize,
+        /// Fresh, client-unique name.
+        name: String,
+    },
+    /// Look up `name` in directory `dir`.
+    Lookup {
+        /// Index of the target directory.
+        dir: usize,
+        /// A name this client created earlier in `dir`.
+        name: String,
+    },
+    /// List directory `dir`.
+    ReadDir {
+        /// Index of the target directory.
+        dir: usize,
+    },
+    /// Rename `from` to `to` within directory `dir` (same-directory rename —
+    /// the atomic single-commit case, and the one hot directories contend on).
+    Rename {
+        /// Index of the target directory.
+        dir: usize,
+        /// A name this client created earlier in `dir`.
+        from: String,
+        /// Fresh, client-unique name.
+        to: String,
+    },
+}
+
+impl DirChurnOp {
+    /// The index of the directory this operation touches.
+    pub fn dir(&self) -> usize {
+        match self {
+            DirChurnOp::MkDir { dir, .. }
+            | DirChurnOp::Create { dir, .. }
+            | DirChurnOp::Lookup { dir, .. }
+            | DirChurnOp::ReadDir { dir }
+            | DirChurnOp::Rename { dir, .. } => *dir,
+        }
+    }
+
+    /// True if the operation mutates its directory.
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, DirChurnOp::Lookup { .. } | DirChurnOp::ReadDir { .. })
+    }
+}
+
+/// Configuration of a `dir_churn` mix.  The five weights are relative; they
+/// need not sum to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirChurnConfig {
+    /// Number of directories in the working set.
+    pub dirs: usize,
+    /// Relative frequency of `MkDir`.
+    pub mkdir_weight: f64,
+    /// Relative frequency of `Create`.
+    pub create_weight: f64,
+    /// Relative frequency of `Lookup`.
+    pub lookup_weight: f64,
+    /// Relative frequency of `ReadDir`.
+    pub readdir_weight: f64,
+    /// Relative frequency of `Rename`.
+    pub rename_weight: f64,
+    /// How directories are chosen ([`AccessDistribution::Zipf`] concentrates
+    /// the churn on a few hot directories).
+    pub dir_skew: AccessDistribution,
+    /// RNG seed; also namespaces this client's entry names.
+    pub seed: u64,
+}
+
+/// A deterministic stream of [`DirChurnOp`]s for one client.
+#[derive(Debug)]
+pub struct DirChurnGenerator {
+    config: DirChurnConfig,
+    rng: StdRng,
+    /// Names this client currently owns, per directory.
+    owned: Vec<Vec<String>>,
+    next_name: u64,
+}
+
+impl DirChurnGenerator {
+    /// Creates a generator for the given mix.
+    pub fn new(config: DirChurnConfig) -> Self {
+        assert!(config.dirs > 0, "dir_churn needs at least one directory");
+        let owned = vec![Vec::new(); config.dirs];
+        let rng = StdRng::seed_from_u64(config.seed);
+        DirChurnGenerator {
+            config,
+            rng,
+            owned,
+            next_name: 0,
+        }
+    }
+
+    /// The configuration the generator was built with.
+    pub fn config(&self) -> &DirChurnConfig {
+        &self.config
+    }
+
+    fn fresh_name(&mut self) -> String {
+        let name = format!("c{}-{}", self.config.seed, self.next_name);
+        self.next_name += 1;
+        name
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> DirChurnOp {
+        let cfg = &self.config;
+        let dir = cfg.dir_skew.sample(&mut self.rng, cfg.dirs);
+        let total = cfg.mkdir_weight
+            + cfg.create_weight
+            + cfg.lookup_weight
+            + cfg.readdir_weight
+            + cfg.rename_weight;
+        let mut draw = self.rng.gen_range(0.0..total.max(f64::EPSILON));
+        let mut pick = 4usize; // default to the last bucket (rename)
+        for (i, w) in [
+            cfg.mkdir_weight,
+            cfg.create_weight,
+            cfg.lookup_weight,
+            cfg.readdir_weight,
+            cfg.rename_weight,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if draw < w {
+                pick = i;
+                break;
+            }
+            draw -= w;
+        }
+        match pick {
+            0 => {
+                let name = self.fresh_name();
+                DirChurnOp::MkDir { dir, name }
+            }
+            1 => {
+                let name = self.fresh_name();
+                self.owned[dir].push(name.clone());
+                DirChurnOp::Create { dir, name }
+            }
+            2 => match self.pick_owned(dir) {
+                Some(name) => DirChurnOp::Lookup { dir, name },
+                None => {
+                    let name = self.fresh_name();
+                    self.owned[dir].push(name.clone());
+                    DirChurnOp::Create { dir, name }
+                }
+            },
+            3 => DirChurnOp::ReadDir { dir },
+            _ => match self.pick_owned_index(dir) {
+                Some(idx) => {
+                    let to = self.fresh_name();
+                    let from = std::mem::replace(&mut self.owned[dir][idx], to.clone());
+                    DirChurnOp::Rename { dir, from, to }
+                }
+                None => {
+                    let name = self.fresh_name();
+                    self.owned[dir].push(name.clone());
+                    DirChurnOp::Create { dir, name }
+                }
+            },
+        }
+    }
+
+    fn pick_owned_index(&mut self, dir: usize) -> Option<usize> {
+        if self.owned[dir].is_empty() {
+            return None;
+        }
+        Some(self.rng.gen_range(0..self.owned[dir].len()))
+    }
+
+    fn pick_owned(&mut self, dir: usize) -> Option<String> {
+        self.pick_owned_index(dir)
+            .map(|idx| self.owned[dir][idx].clone())
+    }
+
+    /// Produces a batch of `count` operations.
+    pub fn batch(&mut self, count: usize) -> Vec<DirChurnOp> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::dir_churn;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = DirChurnGenerator::new(dir_churn(8, 0.9, 7)).batch(100);
+        let b = DirChurnGenerator::new(dir_churn(8, 0.9, 7)).batch(100);
+        assert_eq!(a, b);
+        let c = DirChurnGenerator::new(dir_churn(8, 0.9, 8)).batch(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn names_are_namespaced_by_seed() {
+        let a = DirChurnGenerator::new(dir_churn(4, 0.0, 1)).batch(50);
+        let b = DirChurnGenerator::new(dir_churn(4, 0.0, 2)).batch(50);
+        let names = |ops: &[DirChurnOp]| -> Vec<String> {
+            ops.iter()
+                .filter_map(|op| match op {
+                    DirChurnOp::Create { name, .. } | DirChurnOp::MkDir { name, .. } => {
+                        Some(name.clone())
+                    }
+                    DirChurnOp::Rename { to, .. } => Some(to.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        for name in names(&a) {
+            assert!(
+                !names(&b).contains(&name),
+                "clients must never collide on names ({name})"
+            );
+        }
+    }
+
+    #[test]
+    fn lookups_and_renames_only_touch_owned_names() {
+        let mut generator = DirChurnGenerator::new(dir_churn(4, 0.5, 3));
+        let mut created: Vec<(usize, String)> = Vec::new();
+        for op in generator.batch(300) {
+            match op {
+                DirChurnOp::Create { dir, name } => created.push((dir, name)),
+                DirChurnOp::Lookup { dir, name } => {
+                    assert!(created.contains(&(dir, name.clone())));
+                }
+                DirChurnOp::Rename { dir, from, to } => {
+                    let idx = created
+                        .iter()
+                        .position(|(d, n)| *d == dir && *n == from)
+                        .expect("rename source must have been created");
+                    created[idx] = (dir, to);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_churn_on_hot_directories() {
+        let mut generator = DirChurnGenerator::new(dir_churn(12, 0.95, 11));
+        let ops = generator.batch(600);
+        let hot = ops.iter().filter(|op| op.dir() == 0).count();
+        let cold = ops.iter().filter(|op| op.dir() == 11).count();
+        assert!(
+            hot > 3 * cold.max(1),
+            "Zipf skew must concentrate directory traffic (hot={hot}, cold={cold})"
+        );
+    }
+
+    #[test]
+    fn the_mix_contains_every_operation_kind() {
+        let mut generator = DirChurnGenerator::new(dir_churn(4, 0.0, 5));
+        let ops = generator.batch(400);
+        assert!(ops.iter().any(|op| matches!(op, DirChurnOp::MkDir { .. })));
+        assert!(ops.iter().any(|op| matches!(op, DirChurnOp::Create { .. })));
+        assert!(ops.iter().any(|op| matches!(op, DirChurnOp::Lookup { .. })));
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, DirChurnOp::ReadDir { .. })));
+        assert!(ops.iter().any(|op| matches!(op, DirChurnOp::Rename { .. })));
+        assert!(ops.iter().any(|op| op.is_mutation()));
+        assert!(ops.iter().any(|op| !op.is_mutation()));
+    }
+}

@@ -12,11 +12,15 @@
 #![warn(missing_docs)]
 
 pub mod apply;
+pub mod dir_churn;
 pub mod dist;
 pub mod mix;
 pub mod scenarios;
 
 pub use apply::{apply_spec, provision_file};
+pub use dir_churn::{DirChurnConfig, DirChurnGenerator, DirChurnOp};
 pub use dist::AccessDistribution;
 pub use mix::{MixConfig, TxSpec, WorkloadGenerator};
-pub use scenarios::{airline_mix, compiler_temp_mix, hot_spot_mix, sccs_mix, sharded_mix};
+pub use scenarios::{
+    airline_mix, compiler_temp_mix, dir_churn, hot_spot_mix, sccs_mix, sharded_mix,
+};

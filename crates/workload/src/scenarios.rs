@@ -80,6 +80,29 @@ pub fn sharded_mix(files: usize, pages_per_file: usize, theta: f64, seed: u64) -
     }
 }
 
+/// The naming-layer churn mix: mkdir / create / lookup / readdir / rename over
+/// `dirs` directories, with the directory choice Zipf-skewed by `theta` so a
+/// few hot directories absorb most of the mutations.  Directories are ordinary
+/// files, so every mutation of a hot directory contends on one root page and
+/// serialises through OCC retry — the scenario the sim uses to prove racing
+/// renames never lose an entry.
+pub fn dir_churn(dirs: usize, theta: f64, seed: u64) -> crate::dir_churn::DirChurnConfig {
+    crate::dir_churn::DirChurnConfig {
+        dirs,
+        mkdir_weight: 0.05,
+        create_weight: 0.25,
+        lookup_weight: 0.35,
+        readdir_weight: 0.1,
+        rename_weight: 0.25,
+        dir_skew: if theta > 0.0 {
+            AccessDistribution::Zipf { theta }
+        } else {
+            AccessDistribution::Uniform
+        },
+        seed,
+    }
+}
+
 /// A hot-spot mix: every transaction reads and writes the same page — the worst case
 /// for optimistic concurrency control (§6's starvation discussion) and the best case
 /// for locking.

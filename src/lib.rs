@@ -14,9 +14,15 @@
 //! * [`amoeba_block`] — the block service (atomic blocks, stable storage,
 //!   N-replica [`amoeba_block::ReplicatedBlockStore`] sets, write-once media,
 //!   fault injection),
-//! * [`amoeba_capability`] — ports, capabilities, rights, and the
-//!   [`amoeba_capability::shard_of`] placement function,
+//! * [`amoeba_capability`] — ports, capabilities, rights, the
+//!   [`amoeba_capability::shard_of`] placement function, and the
+//!   [`amoeba_capability::DirCap`] directory-capability newtype,
 //! * [`amoeba_rpc`] — transaction-style RPC (in-process and TCP transports),
+//! * [`afs_dir`] — the **directory service**: a capability-named hierarchy
+//!   whose directories are ordinary files of the file service, every mutation
+//!   an OCC transaction ([`afs_dir::DirStore`]; served over RPC by
+//!   [`afs_server::DirServerHandler`], resolved client-side by
+//!   [`afs_client::NamedStore`] with a generation-checked prefix cache),
 //! * [`afs_server`] / [`afs_client`] — server processes and the client library
 //!   ([`afs_client::RemoteFs`] implements `FileStore`, so everything written
 //!   against the trait runs over the wire unchanged, with k-page updates in
@@ -68,6 +74,37 @@
 //!
 //! See `examples/sharded_service.rs` for the whole topology in motion.
 //!
+//! ## Naming: the directory service over ordinary files
+//!
+//! The paper deliberately keeps names *out* of the file service: files are
+//! located by capability alone, and "a directory server maps names onto
+//! capabilities" as a separate service.  The reproduction's directory service
+//! (crate [`afs_dir`]) stores every directory as an ordinary file whose pages
+//! hold a serialized `name → (capability, rights mask)` table, so the naming
+//! layer sits **on top of** the stack above rather than beside it:
+//!
+//! ```text
+//!   NamedStore (path resolution /a/b/c + prefix cache, afs_client)
+//!       │                 RemoteDir ── DirServerHandler (afs_server::dir)
+//!       └──────► DirStore (OCC directory transactions, afs_dir)
+//!                    │  directories are ordinary files
+//!                    ▼
+//!            any FileStore (local service, RemoteFs, ShardedStore)
+//! ```
+//!
+//! Every directory mutation is one retrying
+//! [`afs_core::FileStoreExt::update`] transaction that reads and rewrites the
+//! directory's root page, so concurrent mutations of one directory are
+//! serialisability conflicts resolved by lock-free OCC retry; durability,
+//! batched flushing, replication/resync and sharded placement are inherited
+//! unchanged (a directory's capability routes by residue like any file, so
+//! directories spread over the shards).  Cross-directory rename is an ordered
+//! pair of idempotent OCC commits — insert at the destination, then remove at
+//! the source — so a renamed entry is reachable under at least one name at
+//! every intermediate point and never lost.  Entries attenuate rights: a
+//! lookup demanding rights outside the entry's grant mask is refused at the
+//! naming layer.  See `examples/named_files.rs` for the whole naming flow.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -94,6 +131,7 @@
 pub use afs_baselines;
 pub use afs_client;
 pub use afs_core;
+pub use afs_dir;
 pub use afs_server;
 pub use afs_sim;
 pub use afs_workload;

@@ -6,6 +6,15 @@
 //! for the batched page operations, asserted through a counting transport, and
 //! a replica-divergence test that kills one replica mid-commit-stream and
 //! proves resync restores read-one/write-all agreement.
+//!
+//! The **directory service** rides the same suite: a generic naming battery
+//! (`exercise_named_store`) runs over the local service and the sharded
+//! router, the counting transport proves a k-entry `ReadDir` through a
+//! directory server costs O(1) RPCs, a TCP sharded cluster survives a replica
+//! killed mid-rename (resync restores `divergent_blocks() == []` and every
+//! path still resolves to the same capability from the recovered replica
+//! alone), and two clients racing renames of sibling entries in one directory
+//! both succeed without losing either entry.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -706,4 +715,302 @@ fn update_retries_conflicts_over_the_wire() {
         u32::from_le_bytes(raw[..4].try_into().unwrap()),
         (threads * per_thread) as u32
     );
+}
+
+// ===========================================================================
+// Directory-service conformance.
+// ===========================================================================
+
+use afs_client::{NamedStore, RemoteDir};
+use afs_dir::{DirError, DirStore, EntryKind};
+use afs_server::DirServerProcess;
+use amoeba_capability::Rights;
+
+/// The generic naming battery: hierarchy building, path resolution, rights
+/// attenuation, listing, rename (same- and cross-directory), unlink — over any
+/// `FileStore`.
+fn exercise_named_store<S: FileStore>(store: S) {
+    let ns = NamedStore::create(store).expect("create root");
+
+    // -- Hierarchy building and resolution --------------------------------
+    ns.mkdir_all("/projects/amoeba", Rights::ALL)
+        .expect("mkdir_all");
+    let report = ns
+        .create_file("/projects/amoeba/report", Rights::ALL)
+        .expect("create_file at path");
+    assert_eq!(ns.resolve("/projects/amoeba/report").unwrap().cap, report);
+
+    // The named file is an ordinary file: write through the store, read back.
+    let page = ns
+        .store()
+        .update(&report, |tx| {
+            tx.append(&PagePath::root(), Bytes::from_static(b"named data"))
+        })
+        .expect("update named file");
+    let current = ns.store().current_version(&report).unwrap();
+    assert_eq!(
+        ns.store().read_committed_page(&current, &page).unwrap(),
+        Bytes::from_static(b"named data")
+    );
+
+    // -- Rights attenuation at the naming layer ---------------------------
+    let ro = ns
+        .create_file("/projects/amoeba/readonly", Rights::READ)
+        .expect("create read-only entry");
+    assert_eq!(
+        ns.resolve_with("/projects/amoeba/readonly", Rights::READ)
+            .unwrap()
+            .cap,
+        ro
+    );
+    assert_eq!(
+        ns.resolve_with("/projects/amoeba/readonly", Rights::WRITE)
+            .unwrap_err(),
+        DirError::InsufficientGrant
+    );
+
+    // -- Listing is sorted -------------------------------------------------
+    let names: Vec<String> = ns
+        .read_dir("/projects/amoeba")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(names, vec!["readonly", "report"]);
+
+    // -- Same-directory rename is atomic ----------------------------------
+    ns.rename("/projects/amoeba/report", "/projects/amoeba/final")
+        .expect("same-dir rename");
+    assert_eq!(ns.resolve("/projects/amoeba/final").unwrap().cap, report);
+    assert!(matches!(
+        ns.resolve("/projects/amoeba/report").unwrap_err(),
+        DirError::NotFound(_)
+    ));
+
+    // -- Cross-directory rename --------------------------------------------
+    ns.mkdir("/archive", Rights::ALL).expect("mkdir archive");
+    ns.rename("/projects/amoeba/final", "/archive/final-2026")
+        .expect("cross-dir rename");
+    assert_eq!(ns.resolve("/archive/final-2026").unwrap().cap, report);
+    assert!(ns.resolve("/projects/amoeba/final").is_err());
+
+    // -- Unlink and the non-empty guard ------------------------------------
+    assert!(matches!(
+        ns.unlink("/projects/amoeba").unwrap_err(),
+        DirError::NotEmpty(_)
+    ));
+    ns.unlink("/projects/amoeba/readonly").expect("unlink file");
+    ns.unlink("/projects/amoeba").expect("unlink empty dir");
+    assert!(ns.resolve("/projects/amoeba").is_err());
+
+    // -- The prefix cache serves warm resolutions without the server -------
+    let before = ns.cache_stats();
+    for _ in 0..4 {
+        assert_eq!(ns.resolve("/archive/final-2026").unwrap().cap, report);
+    }
+    let after = ns.cache_stats();
+    assert!(after.hits > before.hits, "warm resolves must hit the cache");
+}
+
+#[test]
+fn named_store_conforms_over_a_local_service() {
+    exercise_named_store(FileService::in_memory());
+}
+
+#[test]
+fn named_store_conforms_over_a_sharded_store() {
+    let (store, _replicas) = ShardedStore::local_replicated(3, 2);
+    exercise_named_store(store);
+}
+
+#[test]
+fn named_store_conforms_over_a_remote_sharded_cluster() {
+    let network = Arc::new(LocalNetwork::new());
+    let cluster = ShardedCluster::launch(&network, 3, 2, 2);
+    let remote = ShardedStore::connect(Arc::clone(&network), cluster.shard_ports());
+    exercise_named_store(remote);
+}
+
+/// A k-entry `ReadDir` through a directory server is ONE transaction: the
+/// server walks its (ordinary-file) directory table and ships every entry in a
+/// single reply, independent of k.
+#[test]
+fn a_k_entry_read_dir_costs_o1_rpcs() {
+    let network = Arc::new(LocalNetwork::new());
+    let service = FileService::in_memory();
+    let process =
+        DirServerProcess::create(Arc::clone(&network), Arc::clone(&service)).expect("dir server");
+    let counting = CountingTransport::new(Arc::clone(&network));
+    let client = RemoteDir::new(counting, vec![process.port()]);
+
+    let root = client.root().expect("root over RPC");
+    let k = 40;
+    for i in 0..k {
+        let file = service.create_file().unwrap();
+        client
+            .link(
+                &root,
+                &format!("entry{i:02}"),
+                file,
+                Rights::READ,
+                EntryKind::File,
+            )
+            .expect("link over RPC");
+    }
+
+    let before = client.transport().round_trips();
+    let entries = client.read_dir(&root).expect("readdir over RPC");
+    let trips = client.transport().round_trips() - before;
+    assert_eq!(entries.len(), k);
+    assert_eq!(
+        trips, 1,
+        "a {k}-entry ReadDir must cost exactly one RPC, used {trips}"
+    );
+
+    // Lookup and rename are single transactions too.
+    let before = client.transport().round_trips();
+    client.lookup(&root, "entry00", Rights::READ).unwrap();
+    assert_eq!(client.transport().round_trips() - before, 1);
+    let before = client.transport().round_trips();
+    client.rename(&root, "entry00", &root, "renamed").unwrap();
+    assert_eq!(client.transport().round_trips() - before, 1);
+}
+
+/// The acceptance race: two clients rename *sibling* entries of one directory
+/// concurrently.  Both contend on the same directory file, both must commit
+/// via OCC retry, and neither entry may be lost.
+#[test]
+fn racing_sibling_renames_both_succeed_without_losing_entries() {
+    let (store, _replicas) = ShardedStore::local_replicated(3, 2);
+    let store = Arc::new(store);
+    let dirs = DirStore::new(Arc::clone(&store));
+    let root = dirs.create_root().unwrap();
+    let a = store.create_file().unwrap();
+    let b = store.create_file().unwrap();
+    dirs.link(&root, "a", a, Rights::ALL, EntryKind::File)
+        .unwrap();
+    dirs.link(&root, "b", b, Rights::ALL, EntryKind::File)
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        for (from, to) in [("a", "x"), ("b", "y")] {
+            let dirs = DirStore::new(Arc::clone(&store));
+            scope.spawn(move || {
+                dirs.rename_with(
+                    &root,
+                    from,
+                    &root,
+                    to,
+                    RetryPolicy::with_max_attempts(10_000),
+                )
+                .expect("racing rename must eventually commit");
+            });
+        }
+    });
+
+    let entries = dirs.read_dir(&root).unwrap();
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, vec!["x", "y"], "neither sibling entry may be lost");
+    assert_eq!(dirs.lookup_any(&root, "x").unwrap().cap, a);
+    assert_eq!(dirs.lookup_any(&root, "y").unwrap().cap, b);
+}
+
+/// The full acceptance scenario over TCP: a 3-shard / 2-replica cluster, paths
+/// created through `NamedStore`, one replica killed mid-rename-stream, resync
+/// to `divergent_blocks() == []` — and every path must resolve to the same
+/// capability afterwards, for EITHER choice of victim replica, even when the
+/// recovered replica is the only one serving reads.
+#[test]
+fn named_paths_survive_any_single_replica_kill_and_resync_over_tcp() {
+    use afs_core::{BlockServer, ReplicatedBlockStore, ServiceConfig};
+    use afs_server::FileServerHandler;
+    use amoeba_rpc::tcp::{TcpClient, TcpServer};
+
+    let shards = 3;
+    let mut servers = Vec::new();
+    let mut stores = Vec::new();
+    let mut replica_sets = Vec::new();
+    for shard in 0..shards {
+        let replicas = ReplicatedBlockStore::in_memory(2);
+        // No server-side page cache: post-resync reads provably come from the
+        // recovered replica's disk.
+        let service = FileService::for_shard(
+            Arc::new(BlockServer::new(Arc::clone(&replicas) as _)),
+            shard,
+            shards,
+            ServiceConfig {
+                flag_cache_capacity: None,
+                ..ServiceConfig::default()
+            },
+        );
+        let server = TcpServer::bind("127.0.0.1:0").expect("bind shard server");
+        let ports: Vec<Port> = (0..2)
+            .map(|_| {
+                let port = Port::random();
+                server.register(port, Arc::new(FileServerHandler::new(Arc::clone(&service))));
+                port
+            })
+            .collect();
+        stores.push(RemoteFs::new(TcpClient::new(server.local_addr()), ports));
+        servers.push(server);
+        replica_sets.push(replicas);
+    }
+    let ns = NamedStore::create(ShardedStore::new(stores)).expect("named store over TCP");
+
+    ns.mkdir_all("/data/set", Rights::ALL).unwrap();
+    let caps: Vec<_> = (0..4)
+        .map(|i| {
+            ns.create_file(&format!("/data/set/f{i}-r0"), Rights::ALL)
+                .unwrap()
+        })
+        .collect();
+
+    for (round, victim) in [(1usize, 0usize), (2, 1)] {
+        // Kill the victim replica of every shard, then rename every path while
+        // the cluster runs degraded: each rename's commits land only on the
+        // survivor, queueing intentions for the corpse.
+        for replicas in &replica_sets {
+            replicas.crash(victim);
+        }
+        for (i, _) in caps.iter().enumerate() {
+            ns.rename(
+                &format!("/data/set/f{i}-r{}", round - 1),
+                &format!("/data/set/f{i}-r{round}"),
+            )
+            .expect("rename during degraded operation");
+        }
+        let queued: u64 = replica_sets
+            .iter()
+            .map(|r| r.replica_stats().intentions_recorded)
+            .sum();
+        assert!(queued > 0, "degraded renames must record intentions");
+
+        // Resync the corpse: byte-level replica agreement everywhere.
+        for (shard, replicas) in replica_sets.iter().enumerate() {
+            replicas.resync(victim).expect("resync");
+            assert!(
+                replicas.divergent_blocks().is_empty(),
+                "shard {shard}: resync must restore replica agreement (round {round})"
+            );
+        }
+
+        // The acid test: kill the OTHER replica, so every read is served by
+        // the freshly recovered one, and resolve each renamed path cold.
+        let other = 1 - victim;
+        for replicas in &replica_sets {
+            replicas.crash(other);
+        }
+        ns.clear_cache();
+        for (i, cap) in caps.iter().enumerate() {
+            assert_eq!(
+                ns.resolve(&format!("/data/set/f{i}-r{round}")).unwrap().cap,
+                *cap,
+                "path f{i} must resolve to the same capability from the \
+                 recovered replica alone (round {round})"
+            );
+        }
+        for replicas in &replica_sets {
+            replicas.resync(other).expect("restore the other replica");
+        }
+    }
 }
