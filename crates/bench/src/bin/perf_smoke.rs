@@ -1,8 +1,16 @@
 //! Perf smoke: short, deterministic workload slices that run in seconds and
-//! write machine-readable throughput and I/O counters to `BENCH_5.json`, so CI
+//! write machine-readable throughput and I/O counters to `BENCH_7.json`, so CI
 //! can track the performance trajectory without a full Criterion run.
 //!
-//! Schema v5 adds the naming layer: a `path_resolution` block with
+//! Schema v7 adds the quorum-commit layer: a `quorum_commit` block comparing
+//! commit-flush latency under `CommitRule::WriteAll` vs the default
+//! `CommitRule::Quorum` over a 3-replica set whose third disk carries a
+//! scripted extra stall per call.  Write-all is gated by the straggler on
+//! every commit; quorum acks at 2-of-3 and lets the straggler catch up in the
+//! background — the headline robustness-to-latency trade of the epoch-managed
+//! replica sets.
+//!
+//! Schema v5 added the naming layer: a `path_resolution` block with
 //! cold-vs-warm prefix-cache ops/sec (a warm `NamedStore::resolve` touches no
 //! server at all, which is the cache's whole argument) and a `dir_churn` block
 //! with the OCC retry rate of Zipf-skewed hot-directory churn (every mutation
@@ -49,7 +57,7 @@ use afs_core::{
 use afs_dir::DirStore;
 use afs_sim::{run_dir_churn, run_workload, DirChurnRun, RunConfig};
 use afs_workload::MixConfig;
-use amoeba_block::{BlockStore, DelayStore, ReplicatedBlockStore};
+use amoeba_block::{BlockStore, CommitRule, DelayStore, ReplicatedBlockStore};
 
 /// Shard count of the "many servers" rows.
 const SHARDS: usize = 3;
@@ -314,6 +322,70 @@ fn replica_fanout_delta() -> (f64, f64, usize) {
     )
 }
 
+/// The quorum-commit latency delta: the same commit batches fanned out to a
+/// 3-replica set of delayed disks whose third replica carries a scripted
+/// extra stall per call, once under `CommitRule::WriteAll` (the pre-quorum
+/// behaviour: every commit waits for the straggler) and once under the
+/// default `CommitRule::Quorum` (ack at 2-of-3; the straggler drains its FIFO
+/// in the background and stays convergent).  Returns
+/// `(replicas, slow_extra_ms, write_all_ms_per_commit, quorum_ms_per_commit)`.
+fn quorum_latency_delta() -> (usize, f64, f64, f64) {
+    const QUORUM_REPLICAS: usize = 3;
+    const SLOW_EXTRA: Duration = Duration::from_millis(2);
+    const BATCHES: usize = 20;
+    const BATCH_BLOCKS: usize = 8;
+
+    let run = |rule: CommitRule| -> f64 {
+        let disks: Vec<Arc<DelayStore<MemStore>>> = (0..QUORUM_REPLICAS)
+            .map(|_| {
+                Arc::new(DelayStore::new(
+                    MemStore::new(),
+                    DISK_PER_CALL,
+                    DISK_PER_BLOCK,
+                ))
+            })
+            .collect();
+        disks[QUORUM_REPLICAS - 1].set_slow(SLOW_EXTRA);
+        let replicas = ReplicatedBlockStore::with_rule(
+            disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+                .collect(),
+            rule,
+        );
+        let blocks: Vec<_> = (0..BATCH_BLOCKS)
+            .map(|_| replicas.allocate().expect("allocate"))
+            .collect();
+        let batch: Vec<(u32, Bytes)> = blocks
+            .iter()
+            .map(|&nr| (nr, Bytes::from(vec![0xAB; 512])))
+            .collect();
+        let start = Instant::now();
+        for _ in 0..BATCHES {
+            replicas.write_batch(&batch).expect("commit fan-out");
+        }
+        let acked = start.elapsed();
+        // Only the ack latency is the commit's cost; the straggler finishes
+        // off-path.  Quiesce outside the timed window so the next run starts
+        // from drained queues.
+        replicas.quiesce();
+        assert!(
+            replicas.divergent_blocks().is_empty(),
+            "the straggler must still converge"
+        );
+        acked.as_secs_f64() * 1e3 / BATCHES as f64
+    };
+
+    let write_all = run(CommitRule::WriteAll);
+    let quorum = run(CommitRule::Quorum);
+    (
+        QUORUM_REPLICAS,
+        SLOW_EXTRA.as_secs_f64() * 1e3,
+        write_all,
+        quorum,
+    )
+}
+
 /// Path-resolution throughput with a cold vs a warm prefix cache: a directory
 /// tree of `FANOUT`² directories with `FANOUT` leaf files each, every leaf
 /// path resolved once with an empty cache (cold — each miss fetches the
@@ -403,7 +475,7 @@ fn find<'a>(rows: &'a [Row], name: &str) -> Option<&'a Row> {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
 
     let rows = [
         occ_mixed(),
@@ -415,6 +487,7 @@ fn main() {
         occ_sharded(SHARDS),
     ];
     let (fanout_seq_ms, fanout_par_ms, fanout_replicas) = replica_fanout_delta();
+    let (quorum_replicas, slow_extra_ms, write_all_ms, quorum_ms) = quorum_latency_delta();
     let (resolution_paths, resolution_cold, resolution_warm) = path_resolution();
     let (churn, churn_clients, churn_ops_per_client) = dir_churn_delta();
 
@@ -430,7 +503,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"afs-perf-smoke-v5\",\n",
+            "  \"schema\": \"afs-perf-smoke-v7\",\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"write_back_delta\": {{\n",
             "    \"cow_page_writes_before\": {},\n",
@@ -450,6 +523,13 @@ fn main() {
             "    \"sequential_ms\": {:.1},\n",
             "    \"parallel_ms\": {:.1},\n",
             "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"quorum_commit\": {{\n",
+            "    \"replicas\": {},\n",
+            "    \"slow_replica_extra_ms\": {:.1},\n",
+            "    \"write_all_ms_per_commit\": {:.2},\n",
+            "    \"quorum_ms_per_commit\": {:.2},\n",
+            "    \"straggler_shielding_factor\": {:.2}\n",
             "  }},\n",
             "  \"shard_scaling\": {{\n",
             "    \"shards\": {},\n",
@@ -492,6 +572,11 @@ fn main() {
         fanout_seq_ms,
         fanout_par_ms,
         ratio(fanout_seq_ms, fanout_par_ms),
+        quorum_replicas,
+        slow_extra_ms,
+        write_all_ms,
+        quorum_ms,
+        ratio(write_all_ms, quorum_ms),
         SHARDS,
         REPLICAS,
         CLIENT_THREADS,

@@ -34,6 +34,10 @@ pub struct DelayStore<S> {
     inner: S,
     per_call: Duration,
     per_block: Duration,
+    /// Scripted extra stall added to every charged request while set — the
+    /// "slow replica" fault mode (a partitioned-but-alive disk that answers,
+    /// eventually).  [`Duration::ZERO`] means off.
+    slow: Mutex<Duration>,
     /// The "disk head": held for the whole duration of a charged request.
     busy: Mutex<()>,
 }
@@ -46,6 +50,7 @@ impl<S: BlockStore> DelayStore<S> {
             inner,
             per_call,
             per_block,
+            slow: Mutex::new(Duration::ZERO),
             busy: Mutex::new(()),
         }
     }
@@ -55,8 +60,22 @@ impl<S: BlockStore> DelayStore<S> {
         &self.inner
     }
 
+    /// Scripts a slow window: every subsequent charged request stalls an extra
+    /// `extra` on top of the cost model, until called again with
+    /// [`Duration::ZERO`].  This is the "straggler replica" fault mode — the
+    /// disk stays alive and correct, it just stops keeping up — used to show
+    /// quorum commits are not gated by the slowest replica.
+    pub fn set_slow(&self, extra: Duration) {
+        *self.slow.lock() = extra;
+    }
+
+    /// The currently scripted extra stall ([`Duration::ZERO`] when none).
+    pub fn slow_for(&self) -> Duration {
+        *self.slow.lock()
+    }
+
     fn charge(&self, blocks: usize) {
-        let cost = self.per_call + self.per_block * blocks as u32;
+        let cost = self.per_call + self.per_block * blocks as u32 + *self.slow.lock();
         if cost.is_zero() {
             return;
         }
@@ -113,6 +132,10 @@ impl<S: BlockStore> BlockStore for DelayStore<S> {
     fn allocated_blocks(&self) -> Vec<BlockNr> {
         self.inner.allocated_blocks()
     }
+
+    fn set_epoch(&self, epoch: u64) {
+        self.inner.set_epoch(epoch)
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +167,20 @@ mod tests {
             batched < unbatched / 2,
             "8 blocks in one call ({batched:?}) must beat 8 calls ({unbatched:?})"
         );
+    }
+
+    #[test]
+    fn scripted_slow_window_stalls_and_clears() {
+        let store = DelayStore::new(MemStore::new(), Duration::ZERO, Duration::ZERO);
+        let nr = store.allocate().unwrap();
+        store.set_slow(Duration::from_millis(30));
+        let start = Instant::now();
+        store.write(nr, Bytes::from_static(b"slow")).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        store.set_slow(Duration::ZERO);
+        let start = Instant::now();
+        store.write(nr, Bytes::from_static(b"fast")).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(30));
     }
 
     #[test]

@@ -12,7 +12,16 @@
 //! * **torn writes** — a write is acknowledged as failed but the old contents remain
 //!   (the atomicity guarantee holds; the failure is visible);
 //! * **random write failures** — every write fails with a given probability, to test
-//!   retry logic in the stable-storage and file-service layers.
+//!   retry logic in the stable-storage and file-service layers;
+//! * **partition** — the store is alive and keeps its data, but every call fails
+//!   for the duration of the scripted window.  To a *client* a partitioned store
+//!   is indistinguishable from a crashed one (both surface as
+//!   [`BlockError::Crashed`] — a caller cannot tell a dead peer from an
+//!   unreachable one), so the distinction lives in the injection API:
+//!   [`FaultyStore::is_partitioned`], the data surviving intact, and a separate
+//!   [`FaultyStore::rejected_while_partitioned`] counter.  This is what lets the
+//!   conformance suite test "partitioned, not crashed" replicas rejoining a
+//!   quorum via resync.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -61,6 +70,8 @@ pub struct FaultyStore<S> {
     rng: Mutex<StdRng>,
     injected_read_failures: AtomicU64,
     injected_write_failures: AtomicU64,
+    partitioned: AtomicBool,
+    partition_rejections: AtomicU64,
 }
 
 impl<S: BlockStore> FaultyStore<S> {
@@ -80,6 +91,8 @@ impl<S: BlockStore> FaultyStore<S> {
             plan: Mutex::new(plan),
             injected_read_failures: AtomicU64::new(0),
             injected_write_failures: AtomicU64::new(0),
+            partitioned: AtomicBool::new(false),
+            partition_rejections: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +124,30 @@ impl<S: BlockStore> FaultyStore<S> {
         self.crashed.load(Ordering::SeqCst)
     }
 
+    /// Partitions the store away from its callers: every subsequent operation
+    /// fails with [`BlockError::Crashed`] (a caller cannot distinguish a dead
+    /// peer from an unreachable one) until [`FaultyStore::heal`] is called.
+    /// Unlike [`FaultyStore::crash`], the window is scripted as a *network*
+    /// fault: the store itself keeps running and its data stays intact.
+    pub fn partition(&self) {
+        self.partitioned.store(true, Ordering::SeqCst);
+    }
+
+    /// Heals a partition: the store is reachable again, its data untouched.
+    pub fn heal(&self) {
+        self.partitioned.store(false, Ordering::SeqCst);
+    }
+
+    /// Returns true if the store is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::SeqCst)
+    }
+
+    /// Number of operations rejected because of an active partition.
+    pub fn rejected_while_partitioned(&self) -> u64 {
+        self.partition_rejections.load(Ordering::Relaxed)
+    }
+
     /// Marks a block as corrupted: reads of it will fail with
     /// [`BlockError::Corrupted`] until it is rewritten.
     pub fn corrupt(&self, nr: BlockNr) {
@@ -140,10 +177,13 @@ impl<S: BlockStore> FaultyStore<S> {
 
     fn check_crashed(&self) -> Result<()> {
         if self.is_crashed() {
-            Err(BlockError::Crashed)
-        } else {
-            Ok(())
+            return Err(BlockError::Crashed);
         }
+        if self.is_partitioned() {
+            self.partition_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(BlockError::Crashed);
+        }
+        Ok(())
     }
 
     fn roll(&self, prob: f64) -> bool {
@@ -217,7 +257,7 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
     // batch the replica layer's resync must repair.
 
     fn is_allocated(&self, nr: BlockNr) -> bool {
-        !self.is_crashed() && self.inner.is_allocated(nr)
+        !self.is_crashed() && !self.is_partitioned() && self.inner.is_allocated(nr)
     }
 
     fn allocated_count(&self) -> usize {
@@ -230,6 +270,13 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
 
     fn allocated_blocks(&self) -> Vec<BlockNr> {
         self.inner.allocated_blocks()
+    }
+
+    fn set_epoch(&self, epoch: u64) {
+        // Control-plane signal, not a data operation: forwarded even while
+        // crashed or partitioned (the epoch is re-propagated on every bump, so
+        // a wrapper must never silently swallow the newest one it has seen).
+        self.inner.set_epoch(epoch)
     }
 }
 
@@ -319,6 +366,29 @@ mod tests {
         assert_eq!(store.read(blocks[1]).unwrap(), Bytes::from(vec![7u8; 8]));
         assert_eq!(store.read(blocks[2]).unwrap(), Bytes::new());
         assert_eq!(store.read(blocks[3]).unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn partition_rejects_like_a_crash_but_keeps_state_and_is_distinguishable() {
+        let store = FaultyStore::new(MemStore::new());
+        let nr = store.allocate().unwrap();
+        store.write(nr, Bytes::from_static(b"kept")).unwrap();
+        store.partition();
+        // To a caller the partition looks exactly like a crash...
+        assert_eq!(store.read(nr), Err(BlockError::Crashed));
+        assert_eq!(
+            store.write(nr, Bytes::from_static(b"no")),
+            Err(BlockError::Crashed)
+        );
+        assert!(!store.is_allocated(nr));
+        // ...but the injection API can tell them apart, and the store below is
+        // alive with its data intact.
+        assert!(store.is_partitioned());
+        assert!(!store.is_crashed());
+        assert_eq!(store.rejected_while_partitioned(), 2);
+        assert_eq!(store.inner().read(nr).unwrap(), Bytes::from_static(b"kept"));
+        store.heal();
+        assert_eq!(store.read(nr).unwrap(), Bytes::from_static(b"kept"));
     }
 
     #[test]

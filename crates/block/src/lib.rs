@@ -30,7 +30,9 @@
 //! | [`delay`] | [`DelayStore`]: latency-modelling wrapper (per-call + per-block cost, one request at a time) |
 //! | [`server`] | [`BlockServer`]: accounts, capabilities, per-block locks, recovery listing |
 //! | [`stable`] | [`StableStore`] (Lampson–Sturgis, 1 server × 2 disks) and [`CompanionPair`] (the paper's 2 server × 2 disk scheme) |
-//! | [`replica`] | [`ReplicatedBlockStore`]: N-replica read-one/write-all sets with intention recording and resync (the per-shard storage of the sharded service) |
+//! | [`replica`] | [`ReplicatedBlockStore`]: N-replica sets with quorum commits, read-repair, epoch-stamped intention recording and resync (the per-shard storage of the sharded service) |
+//! | [`quorum`] | [`CommitRule`] and the majority arithmetic (quorum-intersection invariants as pure functions) |
+//! | [`membership`] | [`Membership`]: viewstamped In/Out/Resyncing replica status with an epoch bumped on every join/leave |
 //!
 //! Block numbers are 28 bits wide ([`BlockNr`]), matching the page-reference layout of
 //! the file service (Fig. 3: "Amoeba uses 28 bits for a block number and four bits for
@@ -43,7 +45,9 @@ pub mod delay;
 pub mod disk;
 pub mod faulty;
 pub mod mem;
+pub mod membership;
 pub mod optical;
+pub mod quorum;
 pub mod replica;
 pub mod server;
 pub mod stable;
@@ -53,7 +57,9 @@ mod types;
 pub use delay::DelayStore;
 pub use faulty::{FaultPlan, FaultyStore};
 pub use mem::MemStore;
+pub use membership::{Epoch, Membership, MembershipView, ReplicaStatus};
 pub use optical::WriteOnceStore;
+pub use quorum::{majority, CommitRule};
 pub use replica::{ReplicaSetStats, ReplicatedBlockStore};
 pub use server::{AccountId, BlockServer};
 pub use stable::{CompanionPair, StableStore};

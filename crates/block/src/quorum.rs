@@ -1,0 +1,122 @@
+//! The quorum arithmetic of the replicated write path, kept separate so its
+//! invariants are testable as pure functions.
+//!
+//! A write through [`crate::ReplicatedBlockStore`] is acknowledged once
+//! "enough" of the current epoch's members have durably applied it.  *Enough*
+//! is decided by a [`CommitRule`]:
+//!
+//! * [`CommitRule::Quorum`] (the default) acks at a strict **majority** of the
+//!   In members — the slowest replica no longer gates commit latency, and any
+//!   two acknowledged writes share at least one replica (the intersection
+//!   property proven below), so no later quorum can miss an earlier ack;
+//! * [`CommitRule::WriteAll`] is the compatibility toggle: ack only when every
+//!   current member applied, the PR 3 behaviour (useful when a deployment
+//!   wants read-one to *always* hit fresh data without read-repair).
+//!
+//! Both rules are evaluated against the **current** membership, not the
+//! membership at submission time: when a member is deposed mid-write the
+//! denominator shrinks with the epoch bump, which is exactly how a 2-replica
+//! set keeps acknowledging with one replica down (majority of {survivor} = 1).
+
+/// Majority of `n` members: the smallest quorum size such that any two
+/// quorums of an `n`-member set intersect.
+pub fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// How many of the current epoch's members must durably apply a write before
+/// it is acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitRule {
+    /// Acknowledge at a strict majority of the In members; stragglers finish
+    /// in the background and are deposed (then resynced) if they fail.
+    #[default]
+    Quorum,
+    /// Acknowledge only when every In member applied — the pre-quorum
+    /// behaviour, kept as a compatibility toggle.
+    WriteAll,
+}
+
+impl CommitRule {
+    /// The ack threshold for a member set of `members` In replicas.  Never
+    /// less than 1: an acknowledged write must exist somewhere.
+    pub fn needed(self, members: usize) -> usize {
+        match self {
+            CommitRule::Quorum => majority(members),
+            CommitRule::WriteAll => members.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_table() {
+        for (n, m) in [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (6, 4), (7, 4)] {
+            assert_eq!(majority(n), m, "majority({n})");
+        }
+    }
+
+    /// The intersection property, by exhaustive bitmask enumeration: any two
+    /// subsets of an `n`-replica set that each reach `majority(n)` share at
+    /// least one replica.  This is what makes a quorum ack durable across
+    /// coordinator hand-offs — there is no pair of disjoint quorums that
+    /// could ack conflicting histories.
+    #[test]
+    fn any_two_majorities_of_one_replica_set_intersect() {
+        for n in 1..=10usize {
+            let need = majority(n);
+            for a in 0u32..(1 << n) {
+                if (a.count_ones() as usize) < need {
+                    continue;
+                }
+                for b in 0u32..(1 << n) {
+                    if (b.count_ones() as usize) < need {
+                        continue;
+                    }
+                    assert!(
+                        a & b != 0,
+                        "majorities {a:#b} and {b:#b} of an {n}-set must intersect"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The threshold is tight: for every set of 2 or more, two *sub*-majority
+    /// subsets exist that are disjoint — so acking below a majority really
+    /// does allow split-brain histories.
+    #[test]
+    fn sub_majorities_can_be_disjoint() {
+        for n in 2..=10usize {
+            let k = majority(n) - 1;
+            let a: u32 = (1 << k) - 1; // replicas 0..k
+            let b: u32 = ((1 << k) - 1) << (n - k); // the top k replicas
+            assert_eq!(
+                a & b,
+                0,
+                "two {k}-subsets of an {n}-set should be constructible disjoint"
+            );
+        }
+    }
+
+    #[test]
+    fn write_all_needs_every_member_and_quorum_needs_a_majority() {
+        assert_eq!(CommitRule::WriteAll.needed(3), 3);
+        assert_eq!(CommitRule::Quorum.needed(3), 2);
+        assert_eq!(CommitRule::Quorum.needed(2), 2, "a pair still needs both");
+        assert_eq!(CommitRule::Quorum.needed(1), 1);
+        // Degenerate empty member set: the threshold stays at least one, so an
+        // ack can never be granted with no members (the write path refuses
+        // earlier anyway).
+        assert_eq!(CommitRule::WriteAll.needed(0), 1);
+        assert_eq!(CommitRule::Quorum.needed(0), 1);
+    }
+
+    #[test]
+    fn quorum_is_the_default_rule() {
+        assert_eq!(CommitRule::default(), CommitRule::Quorum);
+    }
+}

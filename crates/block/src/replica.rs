@@ -6,44 +6,68 @@
 //! replica *set* of N independent disks, which is what each shard of the sharded
 //! file service runs on:
 //!
-//! * **write-all, in parallel** — a write (or allocation, or free) is applied
-//!   to every live replica before it is acknowledged, so any single replica can
-//!   serve any later read.  Puts fan out to the replicas on scoped threads, so
-//!   the wall-clock cost of a write is one replica's latency, not the sum;
+//! * **quorum writes** — a write (or batch of writes) is submitted to every
+//!   member of the current epoch's replica set and acknowledged once a
+//!   **majority** of them has durably applied it ([`CommitRule::Quorum`], the
+//!   default).  Each replica applies its stream through a dedicated worker in
+//!   strict submission order, so the slowest replica no longer gates commit
+//!   latency: stragglers finish in the background, and a straggler that fails
+//!   is deposed and queues the missed batch as an intention.
+//!   [`CommitRule::WriteAll`] is the compatibility toggle restoring the PR 3
+//!   ack-everyone behaviour;
+//! * **epoch-managed membership** — who is In, who is Out, and who is
+//!   Resyncing lives in a viewstamped [`Membership`] view whose epoch bumps on
+//!   every join or leave.  The quorum denominator is always the *current*
+//!   epoch's In members, which is how a 2-replica set keeps committing with
+//!   one replica down (majority of the survivor set is 1) and how two
+//!   majorities can never ack conflicting histories (see [`crate::quorum`]);
 //! * **batched puts** — [`BlockStore::write_batch`] ships a whole commit
 //!   flush's dirty pages to each replica as a single scatter-gather call, one
 //!   call per replica instead of one per block;
-//! * **read-one** — a read is served by the first live replica, falling back to
-//!   the next replica when the local copy is crashed, corrupted or missing (the
-//!   fail-over discipline exercised through [`crate::FaultyStore`]);
-//! * **write intention recording** — writes that a crashed replica misses are
-//!   queued on its *intentions list* (§4's "the survivor keeps a list of blocks
-//!   that have been modified"), so degraded-mode operation loses nothing.
-//!   Missed batches are queued at *batch granularity*: a replica that dies
-//!   mid-batch holds an unknown prefix of the entries, so the whole batch is
-//!   queued and resync re-puts every entry idempotently;
-//! * **resync on recovery** — a recovering replica "compares notes": its
-//!   intentions list is replayed onto its disk by [`ReplicatedBlockStore::resync`]
-//!   before it serves traffic again, restoring read-one/write-all agreement.
+//! * **read-one with read-repair** — a read is served by the first In replica,
+//!   failing over past crashed, corrupted or missing copies; when the fail-over
+//!   succeeds, every replica whose copy was detectably stale (missing or
+//!   corrupted) gets the fresh block re-put in the background.  Resyncing
+//!   replicas serve no reads: a straggler may not answer until it has caught
+//!   up to the current epoch;
+//! * **epoch-stamped intention recording** — writes an absent replica misses
+//!   are queued on its *intentions list* (§4's "the survivor keeps a list of
+//!   blocks that have been modified"), each stamped with the global submission
+//!   sequence number and the epoch it was acknowledged under.  Missed batches
+//!   are queued at *batch granularity*: a replica that dies mid-batch holds an
+//!   unknown prefix, so the whole batch is queued and resync re-puts every
+//!   entry idempotently;
+//! * **resync on recovery** — a recovering replica "compares notes": it moves
+//!   Out → Resyncing (still barred from quorums and reads), drains its worker
+//!   queue behind a barrier, replays its intentions in sequence order under
+//!   the drain lock, and only when the list is empty is it readmitted —
+//!   bumping the epoch, like any other membership change.  Resync is
+//!   idempotent and safe to race with live commits: writes submitted during
+//!   the drain keep landing on the intentions list and are replayed before
+//!   the flip.
 //!
 //! An allocate collision (two clients racing the same block number onto
 //! different replicas) is detected while mirroring the allocation and rolled
-//! back, exactly as in the two-server protocol.
+//! back, exactly as in the two-server protocol.  Allocation and free remain
+//! all-member metadata operations (they are not charged by the latency model
+//! and carry no payload); only put traffic is quorum-acknowledged.
 //!
 //! The store implements [`BlockStore`], so a whole `FileService` — one shard of
 //! the sharded deployment — runs over a replica set by handing
 //! `BlockServer::new` an `Arc<ReplicatedBlockStore>`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use crate::membership::{Epoch, Membership, ReplicaStatus};
+use crate::quorum::CommitRule;
 use crate::store::{BlockStore, StoreStats};
 use crate::{BlockError, BlockNr, Result};
 
-/// One queued operation a crashed replica missed while it was down.
+/// One queued operation an absent replica missed.
 #[derive(Debug, Clone)]
 enum Intent {
     /// Ensure the block is allocated and holds `data`.
@@ -59,185 +83,189 @@ enum Intent {
     Free { nr: BlockNr },
 }
 
+impl Intent {
+    fn for_writes(writes: &[(BlockNr, Bytes)]) -> Intent {
+        if writes.len() == 1 {
+            Intent::Put {
+                nr: writes[0].0,
+                data: writes[0].1.clone(),
+            }
+        } else {
+            Intent::PutMany {
+                writes: writes.to_vec(),
+            }
+        }
+    }
+
+    fn ops(&self) -> u64 {
+        match self {
+            Intent::PutMany { writes } => writes.len() as u64,
+            _ => 1,
+        }
+    }
+}
+
+/// An [`Intent`] on a replica's list, stamped with the global submission
+/// sequence number (replay order) and the epoch it was queued under (the
+/// configuration the write was acknowledged in — what "epoch-stamped resync"
+/// replays).
+#[derive(Debug, Clone)]
+struct QueuedIntent {
+    seq: u64,
+    epoch: Epoch,
+    intent: Intent,
+}
+
 #[derive(Debug, Default)]
 struct ReplicaState {
-    /// True while the replica is not accepting writes (crashed or isolated).
-    down: bool,
-    /// Operations the replica missed while down, in arrival order.
-    intentions: Vec<Intent>,
+    /// Missed operations in submission-sequence order.
+    intentions: Vec<QueuedIntent>,
 }
 
 struct Replica {
     store: Arc<dyn BlockStore>,
     state: Mutex<ReplicaState>,
-}
-
-impl Replica {
-    fn is_down(&self) -> bool {
-        self.state.lock().down
-    }
+    /// Serialises concurrent [`ReplicatedBlockStore::resync`] calls on this
+    /// replica (the satellite "idempotent-and-safe" rule: a second resync
+    /// waits, then finds the replica In and returns 0).
+    resync_lock: Mutex<()>,
 }
 
 /// Counters describing degraded-mode and fail-over activity of a replica set.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ReplicaSetStats {
-    /// Writes applied while at least one replica was down.
+    /// Writes acknowledged while at least one replica was absent or died.
     pub degraded_writes: u64,
-    /// Operations queued on intentions lists for crashed replicas.
+    /// Operations queued on intentions lists for absent replicas.
     pub intentions_recorded: u64,
-    /// Reads that had to fail over past the first live replica.
+    /// Reads that had to fail over past the first In replica.
     pub failover_reads: u64,
     /// Intentions applied by [`ReplicatedBlockStore::resync`] over the set's lifetime.
     pub resyncs_applied: u64,
-    /// Replicas marked down automatically because a write observed them crashed.
+    /// Replicas deposed automatically because an operation observed them crashed
+    /// or failing.
     pub auto_downed: u64,
+    /// Writes acknowledged at quorum while at least one straggler was still
+    /// applying in the background (the latency the quorum rule saves).
+    pub quorum_short_acks: u64,
+    /// Stale copies re-put by read-repair after a fail-over read.
+    pub read_repairs: u64,
 }
 
-/// A set of N replica disks behind one [`BlockStore`] interface, with
-/// read-one/write-all semantics, intention recording and recovery resync.
-pub struct ReplicatedBlockStore {
+/// The work stream of one replica: every mutation the coordinator submits
+/// flows through here in global submission order, so per-replica apply order
+/// equals submission order even when the coordinator acks at quorum and moves
+/// on.
+enum Job {
+    /// Apply a put batch (or queue it as an intention when the replica is not
+    /// In), reporting the outcome to the coordinator.
+    Put {
+        seq: u64,
+        epoch: Epoch,
+        writes: Arc<Vec<(BlockNr, Bytes)>>,
+        done: mpsc::Sender<PutOutcome>,
+    },
+    /// Free a block (or queue the free), reporting the outcome.
+    Free {
+        seq: u64,
+        epoch: Epoch,
+        nr: BlockNr,
+        done: mpsc::Sender<FreeOutcome>,
+    },
+    /// Serve a read from this replica's disk.  Routed through the worker so a
+    /// read submitted after an acknowledged write always sees it (the read
+    /// queues behind the write on the same stream).
+    Read {
+        nr: BlockNr,
+        done: mpsc::Sender<Result<Bytes>>,
+    },
+    /// Re-put a block whose copy here was detectably stale on a fail-over
+    /// read.  Applied only if the copy is *still* stale when the job runs, so
+    /// a repair can never clobber a newer write that raced it.
+    Repair { nr: BlockNr, data: Bytes },
+    /// Fence: replies once every job submitted before it has been processed.
+    Barrier { done: mpsc::Sender<()> },
+}
+
+enum PutOutcome {
+    /// The replica durably holds the whole batch.
+    Wrote,
+    /// The replica was not In; the batch was queued as an intention.
+    Queued,
+    /// The disk died mid-batch: it may hold an arbitrary prefix.  Deposed,
+    /// batch queued.
+    Died,
+    /// A live disk rejected the batch.  Deposed, batch queued.
+    Failed(BlockError),
+}
+
+enum FreeOutcome {
+    Freed,
+    /// The replica never saw the allocation (healed corruption, partial
+    /// collision rollback): nothing to free, not a failure.
+    NothingToFree,
+    Queued,
+    Died,
+    Failed(BlockError),
+}
+
+/// Counters and state shared between the coordinator and the replica workers.
+struct Shared {
+    rule: CommitRule,
+    membership: Membership,
     replicas: Vec<Replica>,
+    next_seq: AtomicU64,
     degraded_writes: AtomicU64,
     intentions_recorded: AtomicU64,
     failover_reads: AtomicU64,
     resyncs_applied: AtomicU64,
     auto_downed: AtomicU64,
+    quorum_short_acks: AtomicU64,
+    read_repairs: AtomicU64,
 }
 
-impl ReplicatedBlockStore {
-    /// Creates a replica set over the given disks.  At least one replica is
-    /// required; two or more are needed for any fault tolerance.
-    pub fn new(stores: Vec<Arc<dyn BlockStore>>) -> Arc<Self> {
-        assert!(!stores.is_empty(), "a replica set needs at least one disk");
-        Arc::new(ReplicatedBlockStore {
-            replicas: stores
-                .into_iter()
-                .map(|store| Replica {
-                    store,
-                    state: Mutex::new(ReplicaState::default()),
-                })
-                .collect(),
-            degraded_writes: AtomicU64::new(0),
-            intentions_recorded: AtomicU64::new(0),
-            failover_reads: AtomicU64::new(0),
-            resyncs_applied: AtomicU64::new(0),
-            auto_downed: AtomicU64::new(0),
-        })
+impl Shared {
+    /// Appends an intention in sequence order.  Both the coordinator (replica
+    /// absent at submission) and a worker (apply failed) append through here;
+    /// the sorted insert keeps replay order equal to submission order no
+    /// matter which side got there first.
+    fn queue_intention(&self, idx: usize, seq: u64, epoch: Epoch, intent: Intent) {
+        let ops = intent.ops();
+        let mut state = self.replicas[idx].state.lock();
+        let pos = state.intentions.partition_point(|q| q.seq <= seq);
+        state
+            .intentions
+            .insert(pos, QueuedIntent { seq, epoch, intent });
+        self.intentions_recorded.fetch_add(ops, Ordering::Relaxed);
     }
 
-    /// Creates a replica set of `replicas` in-memory disks (the common test and
-    /// benchmark topology).
-    pub fn in_memory(replicas: usize) -> Arc<Self> {
-        Self::new(
-            (0..replicas)
-                .map(|_| Arc::new(crate::MemStore::new()) as Arc<dyn BlockStore>)
-                .collect(),
-        )
-    }
-
-    /// Number of replicas in the set (live or down).
-    pub fn replica_count(&self) -> usize {
-        self.replicas.len()
-    }
-
-    /// Number of replicas currently accepting traffic.
-    pub fn live_count(&self) -> usize {
-        self.replicas.iter().filter(|r| !r.is_down()).count()
-    }
-
-    /// Direct access to a replica's disk, for test assertions and fault injection.
-    pub fn replica(&self, idx: usize) -> &Arc<dyn BlockStore> {
-        &self.replicas[idx].store
-    }
-
-    /// Accumulated degraded-mode / fail-over statistics.  (Named distinctly from
-    /// [`BlockStore::stats`], which reports the first live disk's I/O counters.)
-    pub fn replica_stats(&self) -> ReplicaSetStats {
-        ReplicaSetStats {
-            degraded_writes: self.degraded_writes.load(Ordering::Relaxed),
-            intentions_recorded: self.intentions_recorded.load(Ordering::Relaxed),
-            failover_reads: self.failover_reads.load(Ordering::Relaxed),
-            resyncs_applied: self.resyncs_applied.load(Ordering::Relaxed),
-            auto_downed: self.auto_downed.load(Ordering::Relaxed),
+    /// Removes the intention queued under `seq` from every replica — the undo
+    /// half of an operation that turned out to have happened nowhere (such an
+    /// operation must never resurface at resync).
+    fn retract_seq(&self, seq: u64) {
+        for replica in &self.replicas {
+            replica.state.lock().intentions.retain(|q| q.seq != seq);
         }
     }
 
-    /// Marks replica `idx` as crashed: it stops receiving writes and reads, and
-    /// every write it misses is queued on its intentions list until
-    /// [`ReplicatedBlockStore::resync`] brings it back.
-    pub fn crash(&self, idx: usize) {
-        self.replicas[idx].state.lock().down = true;
-    }
-
-    /// True if replica `idx` is currently down.
-    pub fn is_down(&self, idx: usize) -> bool {
-        self.replicas[idx].is_down()
-    }
-
-    /// Recovers replica `idx`: replays its intentions list onto its disk
-    /// ("compares notes with its companions") and only then marks it live again.
-    /// Returns the number of operations applied.
-    ///
-    /// The caller must first restore the underlying disk itself (e.g.
-    /// [`crate::FaultyStore::recover`]) if the crash was injected below this
-    /// layer; a replay failure leaves the replica down with the unapplied
-    /// intentions requeued.
-    pub fn resync(&self, idx: usize) -> Result<usize> {
-        let replica = &self.replicas[idx];
-        let mut applied = 0usize;
-        // Writers that observe the replica down queue intentions under the same
-        // state lock this loop drains, so the replica is only marked live when
-        // the lock is held *and* the list is empty — no write can slip between
-        // the final drain and the flip.
-        loop {
-            let batch: Vec<Intent> = {
-                let mut state = replica.state.lock();
-                if state.intentions.is_empty() {
-                    state.down = false;
-                    break;
-                }
-                std::mem::take(&mut state.intentions)
-            };
-            for (pos, intent) in batch.iter().enumerate() {
-                let result = match intent {
-                    Intent::Put { nr, data } => Self::apply_put(&replica.store, *nr, data.clone()),
-                    Intent::PutMany { writes } => Self::apply_puts(&replica.store, writes),
-                    Intent::Allocate { nr } => {
-                        if replica.store.is_allocated(*nr) {
-                            Ok(())
-                        } else {
-                            replica.store.allocate_at(*nr)
-                        }
-                    }
-                    Intent::Free { nr } => {
-                        if replica.store.is_allocated(*nr) {
-                            replica.store.free(*nr)
-                        } else {
-                            Ok(())
-                        }
-                    }
-                };
-                if let Err(e) = result {
-                    // Requeue what we could not apply (including the failed one)
-                    // and stay down; the operator retries resync after fixing
-                    // the disk.
-                    let mut state = replica.state.lock();
-                    let mut rest: Vec<Intent> = batch[pos..].to_vec();
-                    rest.append(&mut state.intentions);
-                    state.intentions = rest;
-                    self.resyncs_applied
-                        .fetch_add(applied as u64, Ordering::Relaxed);
-                    return Err(e);
-                }
-                applied += match intent {
-                    Intent::PutMany { writes } => writes.len(),
-                    _ => 1,
-                };
+    /// Takes a replica out of the membership (bumping the epoch) and
+    /// propagates the new epoch to every replica store.  Idempotent.
+    fn depose(&self, idx: usize, auto: bool) {
+        let bumped = self.membership.lock().depose(idx);
+        if let Some(epoch) = bumped {
+            if auto {
+                self.auto_downed.fetch_add(1, Ordering::Relaxed);
             }
+            self.propagate_epoch(epoch);
         }
-        self.resyncs_applied
-            .fetch_add(applied as u64, Ordering::Relaxed);
-        Ok(applied)
+    }
+
+    /// Tells every replica store the current epoch, so epoch-carrying RPCs
+    /// (`amoeba_rpc::block`) let a stale server reject a stale coordinator.
+    fn propagate_epoch(&self, epoch: Epoch) {
+        for replica in &self.replicas {
+            replica.store.set_epoch(epoch);
+        }
     }
 
     /// The **resync** put: repairs a missing allocation (a recovering disk may
@@ -265,53 +293,410 @@ impl ReplicatedBlockStore {
         store.write_batch(writes)
     }
 
-    /// Index of the first live replica, or an error when the whole set is down.
-    fn first_live(&self) -> Result<usize> {
-        self.replicas
-            .iter()
-            .position(|r| !r.is_down())
-            .ok_or(BlockError::Crashed)
+    fn apply_intent(&self, idx: usize, intent: &Intent) -> Result<()> {
+        let store = &self.replicas[idx].store;
+        match intent {
+            Intent::Put { nr, data } => Self::apply_put(store, *nr, data.clone()),
+            Intent::PutMany { writes } => Self::apply_puts(store, writes),
+            Intent::Allocate { nr } => {
+                if store.is_allocated(*nr) {
+                    Ok(())
+                } else {
+                    store.allocate_at(*nr)
+                }
+            }
+            Intent::Free { nr } => {
+                if store.is_allocated(*nr) {
+                    store.free(*nr)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// The per-replica worker: drains the replica's job stream in FIFO order.
+/// The worker is the only code that applies put traffic to its disk, which is
+/// what keeps "version page strictly last" true per replica even though the
+/// coordinator acks at quorum and stops waiting.
+fn worker_loop(shared: Arc<Shared>, idx: usize, jobs: mpsc::Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Put {
+                seq,
+                epoch,
+                writes,
+                done,
+            } => {
+                if shared.membership.status(idx) != ReplicaStatus::In {
+                    // Deposed between submission and processing: the stream
+                    // position is preserved by queueing under the job's seq.
+                    shared.queue_intention(idx, seq, epoch, Intent::for_writes(&writes));
+                    let _ = done.send(PutOutcome::Queued);
+                    continue;
+                }
+                match shared.replicas[idx].store.write_batch(&writes) {
+                    Ok(()) => {
+                        let _ = done.send(PutOutcome::Wrote);
+                    }
+                    Err(e) => {
+                        shared.depose(idx, true);
+                        shared.queue_intention(idx, seq, epoch, Intent::for_writes(&writes));
+                        let _ = done.send(match e {
+                            BlockError::Crashed => PutOutcome::Died,
+                            other => PutOutcome::Failed(other),
+                        });
+                    }
+                }
+            }
+            Job::Free {
+                seq,
+                epoch,
+                nr,
+                done,
+            } => {
+                if shared.membership.status(idx) != ReplicaStatus::In {
+                    shared.queue_intention(idx, seq, epoch, Intent::Free { nr });
+                    let _ = done.send(FreeOutcome::Queued);
+                    continue;
+                }
+                match shared.replicas[idx].store.free(nr) {
+                    Ok(()) => {
+                        let _ = done.send(FreeOutcome::Freed);
+                    }
+                    Err(BlockError::NoSuchBlock(_)) => {
+                        let _ = done.send(FreeOutcome::NothingToFree);
+                    }
+                    Err(BlockError::Crashed) => {
+                        shared.depose(idx, true);
+                        shared.queue_intention(idx, seq, epoch, Intent::Free { nr });
+                        let _ = done.send(FreeOutcome::Died);
+                    }
+                    Err(e) => {
+                        let _ = done.send(FreeOutcome::Failed(e));
+                    }
+                }
+            }
+            Job::Read { nr, done } => {
+                let result = if shared.membership.status(idx) != ReplicaStatus::In {
+                    Err(BlockError::Crashed)
+                } else {
+                    match shared.replicas[idx].store.read(nr) {
+                        Err(BlockError::Crashed) => {
+                            // The disk below crashed without going through
+                            // crash(): depose it so writes queue intentions.
+                            shared.depose(idx, true);
+                            Err(BlockError::Crashed)
+                        }
+                        other => other,
+                    }
+                };
+                let _ = done.send(result);
+            }
+            Job::Repair { nr, data } => {
+                // Apply only if the copy is still detectably stale: a write
+                // acknowledged after the triggering read may have queued
+                // behind this job's submission and must not be clobbered.
+                if shared.membership.status(idx) == ReplicaStatus::In
+                    && matches!(
+                        shared.replicas[idx].store.read(nr),
+                        Err(BlockError::NoSuchBlock(_)) | Err(BlockError::Corrupted(_))
+                    )
+                    && Shared::apply_put(&shared.replicas[idx].store, nr, data).is_ok()
+                {
+                    shared.read_repairs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Job::Barrier { done } => {
+                let _ = done.send(());
+            }
+        }
+    }
+}
+
+/// The submission side of the worker streams.  Sends happen under this lock,
+/// so channel order equals sequence order on every replica.
+struct SubmitState {
+    senders: Vec<mpsc::Sender<Job>>,
+}
+
+/// A set of N replica disks behind one [`BlockStore`] interface, with
+/// majority-quorum writes over epoch-managed membership, read-one reads with
+/// read-repair, epoch-stamped intention recording and recovery resync.
+pub struct ReplicatedBlockStore {
+    shared: Arc<Shared>,
+    submit: Mutex<SubmitState>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ReplicatedBlockStore {
+    /// Creates a replica set over the given disks with the default
+    /// [`CommitRule::Quorum`].  At least one replica is required; two or more
+    /// are needed for any fault tolerance.
+    pub fn new(stores: Vec<Arc<dyn BlockStore>>) -> Arc<Self> {
+        Self::with_rule(stores, CommitRule::default())
     }
 
-    /// Marks a replica down after an operation observed its disk crashed, and
-    /// queues the missed operation.
-    fn auto_down(&self, idx: usize, intent: Intent) {
-        let ops = match &intent {
-            Intent::PutMany { writes } => writes.len() as u64,
-            _ => 1,
-        };
-        let mut state = self.replicas[idx].state.lock();
-        if !state.down {
-            state.down = true;
-            self.auto_downed.fetch_add(1, Ordering::Relaxed);
+    /// Creates a replica set with an explicit commit rule —
+    /// [`CommitRule::WriteAll`] is the compatibility toggle restoring the
+    /// ack-every-member behaviour.
+    pub fn with_rule(stores: Vec<Arc<dyn BlockStore>>, rule: CommitRule) -> Arc<Self> {
+        assert!(!stores.is_empty(), "a replica set needs at least one disk");
+        let n = stores.len();
+        let shared = Arc::new(Shared {
+            rule,
+            membership: Membership::new(n),
+            replicas: stores
+                .into_iter()
+                .map(|store| Replica {
+                    store,
+                    state: Mutex::new(ReplicaState::default()),
+                    resync_lock: Mutex::new(()),
+                })
+                .collect(),
+            next_seq: AtomicU64::new(1),
+            degraded_writes: AtomicU64::new(0),
+            intentions_recorded: AtomicU64::new(0),
+            failover_reads: AtomicU64::new(0),
+            resyncs_applied: AtomicU64::new(0),
+            auto_downed: AtomicU64::new(0),
+            quorum_short_acks: AtomicU64::new(0),
+            read_repairs: AtomicU64::new(0),
+        });
+        let mut senders = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for idx in 0..n {
+            let (tx, rx) = mpsc::channel();
+            let worker_shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("replica-worker-{idx}"))
+                    .spawn(move || worker_loop(worker_shared, idx, rx))
+                    .expect("spawn replica worker"),
+            );
+            senders.push(tx);
         }
-        state.intentions.push(intent);
-        self.intentions_recorded.fetch_add(ops, Ordering::Relaxed);
+        Arc::new(ReplicatedBlockStore {
+            shared,
+            submit: Mutex::new(SubmitState { senders }),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Creates a replica set of `replicas` in-memory disks (the common test and
+    /// benchmark topology).
+    pub fn in_memory(replicas: usize) -> Arc<Self> {
+        Self::new(
+            (0..replicas)
+                .map(|_| Arc::new(crate::MemStore::new()) as Arc<dyn BlockStore>)
+                .collect(),
+        )
+    }
+
+    /// Number of replicas in the set (any status).
+    pub fn replica_count(&self) -> usize {
+        self.shared.replicas.len()
+    }
+
+    /// Number of replicas currently In (serving reads and acking quorums).
+    pub fn live_count(&self) -> usize {
+        self.shared.membership.in_count()
+    }
+
+    /// The commit rule the set acknowledges under.
+    pub fn commit_rule(&self) -> CommitRule {
+        self.shared.rule
+    }
+
+    /// The current membership epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.shared.membership.epoch()
+    }
+
+    /// The membership status of replica `idx`.
+    pub fn replica_status(&self, idx: usize) -> ReplicaStatus {
+        self.shared.membership.status(idx)
+    }
+
+    /// Direct access to a replica's disk, for test assertions and fault injection.
+    pub fn replica(&self, idx: usize) -> &Arc<dyn BlockStore> {
+        &self.shared.replicas[idx].store
+    }
+
+    /// The epochs the intentions queued for replica `idx` were acknowledged
+    /// under, in replay order — test introspection for the epoch-stamped
+    /// resync rule.
+    pub fn intention_epochs(&self, idx: usize) -> Vec<Epoch> {
+        self.shared.replicas[idx]
+            .state
+            .lock()
+            .intentions
+            .iter()
+            .map(|q| q.epoch)
+            .collect()
+    }
+
+    /// Accumulated degraded-mode / fail-over statistics.  (Named distinctly from
+    /// [`BlockStore::stats`], which reports the first In disk's I/O counters.)
+    pub fn replica_stats(&self) -> ReplicaSetStats {
+        let s = &self.shared;
+        ReplicaSetStats {
+            degraded_writes: s.degraded_writes.load(Ordering::Relaxed),
+            intentions_recorded: s.intentions_recorded.load(Ordering::Relaxed),
+            failover_reads: s.failover_reads.load(Ordering::Relaxed),
+            resyncs_applied: s.resyncs_applied.load(Ordering::Relaxed),
+            auto_downed: s.auto_downed.load(Ordering::Relaxed),
+            quorum_short_acks: s.quorum_short_acks.load(Ordering::Relaxed),
+            read_repairs: s.read_repairs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Deposes replica `idx` (epoch bump): it stops serving reads and counting
+    /// towards quorums, and every write it misses is queued on its intentions
+    /// list until [`ReplicatedBlockStore::resync`] readmits it.
+    pub fn crash(&self, idx: usize) {
+        self.shared.depose(idx, false);
+    }
+
+    /// True if replica `idx` is currently absent (Out or Resyncing).
+    pub fn is_down(&self, idx: usize) -> bool {
+        self.shared.membership.status(idx) != ReplicaStatus::In
+    }
+
+    /// Waits until every replica worker has drained all jobs submitted so far
+    /// — including background stragglers of quorum-acknowledged writes.  Test
+    /// and audit fencing; never needed for correctness of the write path.
+    pub fn quiesce(&self) {
+        let (tx, rx) = mpsc::channel();
+        let count = {
+            let submit = self.submit.lock();
+            for sender in &submit.senders {
+                let _ = sender.send(Job::Barrier { done: tx.clone() });
+            }
+            submit.senders.len()
+        };
+        drop(tx);
+        for _ in 0..count {
+            if rx.recv().is_err() {
+                break;
+            }
+        }
+    }
+
+    /// Fences a single replica's worker stream.
+    fn barrier_one(&self, idx: usize) {
+        let (tx, rx) = mpsc::channel();
+        {
+            let submit = self.submit.lock();
+            let _ = submit.senders[idx].send(Job::Barrier { done: tx });
+        }
+        let _ = rx.recv();
+    }
+
+    /// Recovers replica `idx`: moves it Out → Resyncing (still barred from
+    /// quorums and reads), fences its worker stream, replays its epoch-stamped
+    /// intentions in submission order, and readmits it under a new epoch once
+    /// the list drains empty.  Returns the number of operations applied.
+    ///
+    /// Idempotent and safe against live traffic: calling it on an In replica
+    /// returns `Ok(0)`; concurrent calls serialise on a per-replica lock; and
+    /// writes racing the drain keep landing on the intentions list (the
+    /// replica is not In, so the coordinator queues for it) and are replayed
+    /// before the flip — the replica is only readmitted while the membership
+    /// and intention locks are both held *and* the list is empty.
+    ///
+    /// The caller must first restore the underlying disk itself (e.g.
+    /// [`crate::FaultyStore::recover`]) if the crash was injected below this
+    /// layer; a replay failure leaves the replica Out with the unapplied
+    /// intentions requeued.
+    pub fn resync(&self, idx: usize) -> Result<usize> {
+        let shared = &self.shared;
+        let replica = &shared.replicas[idx];
+        let _serialise = replica.resync_lock.lock();
+        {
+            let mut view = shared.membership.lock();
+            match view.status(idx) {
+                ReplicaStatus::In => return Ok(0),
+                ReplicaStatus::Out => {
+                    view.begin_resync(idx);
+                }
+                // Unreachable while the resync lock is held (resync always
+                // leaves In or Out), but harmless to proceed.
+                ReplicaStatus::Resyncing => {}
+            }
+        }
+        // Fence the worker: any job still in flight from when the replica was
+        // In lands on the intentions list (in sequence order) before we drain.
+        self.barrier_one(idx);
+        let mut applied = 0usize;
+        let readmitted = loop {
+            let batch: Vec<QueuedIntent> = {
+                let mut view = shared.membership.lock();
+                let mut state = replica.state.lock();
+                if state.intentions.is_empty() {
+                    // Both locks held and the list is empty: no write can slip
+                    // between the final drain and the flip.  `None` means the
+                    // replica was deposed again mid-resync and stays Out.
+                    break view.complete_resync(idx);
+                }
+                std::mem::take(&mut state.intentions)
+            };
+            for (pos, queued) in batch.iter().enumerate() {
+                if let Err(e) = shared.apply_intent(idx, &queued.intent) {
+                    // Requeue what we could not apply (including the failed
+                    // one) and go back Out; the operator retries resync after
+                    // fixing the disk.
+                    let mut view = shared.membership.lock();
+                    let mut state = replica.state.lock();
+                    let mut rest: Vec<QueuedIntent> = batch[pos..].to_vec();
+                    rest.append(&mut state.intentions);
+                    rest.sort_by_key(|q| q.seq);
+                    state.intentions = rest;
+                    view.abort_resync(idx);
+                    drop(state);
+                    drop(view);
+                    shared
+                        .resyncs_applied
+                        .fetch_add(applied as u64, Ordering::Relaxed);
+                    return Err(e);
+                }
+                applied += queued.intent.ops() as usize;
+            }
+        };
+        if let Some(epoch) = readmitted {
+            shared.propagate_epoch(epoch);
+        }
+        shared
+            .resyncs_applied
+            .fetch_add(applied as u64, Ordering::Relaxed);
+        Ok(applied)
     }
 
     /// The shared write path of [`BlockStore::write`] and
-    /// [`BlockStore::write_batch`]: apply the put batch to every live replica
-    /// *in parallel* (scoped threads, the calling thread takes replica 0), then
-    /// queue the **whole batch** as one intention for every replica that was
-    /// down or died mid-way.
+    /// [`BlockStore::write_batch`]: submit the put batch to every member of
+    /// the current epoch's replica set (queueing an epoch-stamped intention
+    /// for every absent replica), then wait for outcomes until the commit
+    /// rule's threshold of the *current* membership is reached.
     ///
-    /// Nothing is queued unless some part of the batch may exist on some disk
-    /// — a batch that exists nowhere must never be replayed by resync.  Once
-    /// any replica holds the batch (or died mid-way holding a prefix), every
-    /// replica that does not hold it in full gets the whole batch queued, so
-    /// resync re-puts every entry (idempotently), which is what restores
-    /// `divergent_blocks() == []`; the call is only acknowledged when at least
-    /// one live replica applied the batch completely.
+    /// Under [`CommitRule::Quorum`] that is a strict majority of the In
+    /// members: stragglers keep applying in the background in stream order,
+    /// and a straggler that fails is deposed by its worker with the batch
+    /// queued.  The threshold is re-evaluated against the current membership
+    /// on every outcome, so a member that dies mid-write shrinks the
+    /// denominator (with an epoch bump) instead of wedging the ack.
     ///
-    /// Single-entry puts take the same parallel path on purpose: over slow or
-    /// remote disks (the production case) a lone version-page write still
-    /// costs one replica's latency instead of the sum; the scoped-thread spawn
-    /// is only measurable against instantaneous in-memory test disks.
+    /// Nothing stays queued unless some part of the batch may exist on some
+    /// disk — a batch that exists nowhere must never be replayed by resync.
+    /// A batch rejected by a live disk fails the call even if others applied
+    /// it (the rejection is evidence of a real fault, and the old write-all
+    /// promise that an error means "not every live replica holds this" is
+    /// worth keeping), with the rejecting replica deposed and converged
+    /// forward via resync.
     fn fan_out_puts(&self, writes: &[(BlockNr, Bytes)]) -> Result<()> {
         if writes.is_empty() {
             return Ok(());
         }
-        self.first_live()?;
         // Validate sizes once, up front: a size error must fail the call before
         // any replica applies a partial batch, or the live replicas' native
         // validate-then-apply batches could diverge from looping wrappers.
@@ -325,130 +710,122 @@ impl ReplicatedBlockStore {
             }
         }
 
-        enum Outcome {
-            /// The replica holds the whole batch.
-            Wrote,
-            /// Down before anything was attempted: holds none of the batch.
-            Skipped,
-            /// Attempted and crashed mid-way: may hold an arbitrary prefix.
-            Died,
-            /// A live disk rejected the batch.
-            Failed(BlockError),
-        }
-        let apply = |replica: &Replica| -> Outcome {
-            if replica.is_down() {
-                return Outcome::Skipped;
+        let payload = Arc::new(writes.to_vec());
+        let (tx, rx) = mpsc::channel();
+        let (members, seq, mut degraded) = {
+            let submit = self.submit.lock();
+            let view = self.shared.membership.lock();
+            let members = view.members();
+            if members.is_empty() {
+                // The whole set is absent: refuse with nothing queued.
+                return Err(BlockError::Crashed);
             }
-            // Straight to the disk's scatter-gather call: blocks are already
-            // allocated on every live replica (allocation is write-all), so no
-            // per-block probes — over a remote disk this is the one RPC the
-            // whole design is about.
-            match replica.store.write_batch(writes) {
-                Ok(()) => Outcome::Wrote,
-                Err(BlockError::Crashed) => Outcome::Died,
-                Err(e) => Outcome::Failed(e),
+            let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+            let epoch = view.epoch();
+            let mut degraded = false;
+            for idx in 0..view.len() {
+                if view.status(idx) != ReplicaStatus::In {
+                    self.shared
+                        .queue_intention(idx, seq, epoch, Intent::for_writes(&payload));
+                    degraded = true;
+                }
             }
+            for &idx in &members {
+                let _ = submit.senders[idx].send(Job::Put {
+                    seq,
+                    epoch,
+                    writes: Arc::clone(&payload),
+                    done: tx.clone(),
+                });
+            }
+            (members, seq, degraded)
         };
-        let outcomes: Vec<Outcome> = if self.replicas.len() == 1 {
-            vec![apply(&self.replicas[0])]
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self.replicas[1..]
-                    .iter()
-                    .map(|replica| scope.spawn(|| apply(replica)))
-                    .collect();
-                let mut outcomes = vec![apply(&self.replicas[0])];
-                outcomes.extend(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("replica writer panicked")),
-                );
-                outcomes
-            })
-        };
+        drop(tx);
 
-        let wrote_any = outcomes.iter().any(|o| matches!(o, Outcome::Wrote));
-        let died_any = outcomes.iter().any(|o| matches!(o, Outcome::Died));
-        let first_error = outcomes.iter().find_map(|o| match o {
-            Outcome::Failed(e) => Some(e.clone()),
-            _ => None,
-        });
+        // The quorum denominator starts as the members the batch was submitted
+        // to and shrinks as outcomes prove members gone (died, deposed by a
+        // concurrent operation, rejected).  Deriving it from *received*
+        // outcomes rather than the live membership keeps the decision
+        // deterministic: a worker deposes its replica before reporting, so
+        // reading the live count could see the shrunken denominator while the
+        // explaining outcome (say, a rejection that must fail the call) is
+        // still in flight.
+        let total = members.len();
+        let mut denom = total;
+        let mut received = 0usize;
+        let mut successes = 0usize;
+        let mut wrote_any = false;
+        let mut died_any = false;
+        let mut first_error: Option<BlockError> = None;
+        while received < total {
+            let Ok(outcome) = rx.recv() else {
+                break; // A worker vanished; settle with what we have.
+            };
+            received += 1;
+            match outcome {
+                PutOutcome::Wrote => {
+                    successes += 1;
+                    wrote_any = true;
+                }
+                PutOutcome::Queued => {
+                    // Deposed by a concurrent operation between submission and
+                    // processing; the batch is queued on its intentions list.
+                    denom -= 1;
+                    degraded = true;
+                }
+                PutOutcome::Died => {
+                    denom -= 1;
+                    died_any = true;
+                }
+                PutOutcome::Failed(e) => {
+                    denom -= 1;
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+            if first_error.is_none() && successes >= self.shared.rule.needed(denom) {
+                if received < total {
+                    self.shared
+                        .quorum_short_acks
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                if degraded || died_any {
+                    self.shared.degraded_writes.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(());
+            }
+        }
+        // Every member reported and no quorum ack was granted along the way.
         if !wrote_any && !died_any {
-            // No replica holds any of the batch (skipped replicas never
+            // No replica holds any of the batch (absent replicas never
             // attempted it, rejecting disks applied nothing): report the
             // failure with nothing queued, so a batch that exists nowhere can
             // never resurface at resync.
+            self.shared.retract_seq(seq);
             return Err(first_error.unwrap_or(BlockError::Crashed));
         }
         // Some replica holds the batch — or a mid-crash prefix of it — and
         // that state cannot be un-happened.  The only way back to agreement is
-        // forward: every replica that does not hold the whole batch (skipped,
-        // died mid-way, or rejecting) is taken down with the full batch
-        // queued, so resync converges the set instead of leaving silent
-        // divergence behind.  When no replica fully applied it the call still
-        // fails: the caller learns the write was not acknowledged, while the
-        // set is guaranteed to settle on one outcome.
-        for (idx, outcome) in outcomes.iter().enumerate() {
-            if matches!(
-                outcome,
-                Outcome::Skipped | Outcome::Died | Outcome::Failed(_)
-            ) {
-                let intent = if writes.len() == 1 {
-                    Intent::Put {
-                        nr: writes[0].0,
-                        data: writes[0].1.clone(),
-                    }
-                } else {
-                    Intent::PutMany {
-                        writes: writes.to_vec(),
-                    }
-                };
-                self.auto_down(idx, intent);
-            }
-        }
+        // forward: the workers have already deposed every replica that failed,
+        // with the full batch queued, so resync converges the set instead of
+        // leaving silent divergence behind.
         if let Some(e) = first_error {
             return Err(e);
         }
-        if !wrote_any {
-            return Err(BlockError::Crashed);
-        }
-        if outcomes
-            .iter()
-            .any(|o| matches!(o, Outcome::Skipped | Outcome::Died))
-        {
-            self.degraded_writes.fetch_add(1, Ordering::Relaxed);
-        }
-        Ok(())
-    }
-
-    /// Marks a replica down without queueing anything (used when an operation
-    /// observed the disk crashed before any state was chosen to replay).
-    fn mark_down(&self, idx: usize) {
-        let mut state = self.replicas[idx].state.lock();
-        if !state.down {
-            state.down = true;
-            self.auto_downed.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Retracts the most recently queued intention on `idx` matching `pred` —
-    /// the undo half of a rolled-back operation.  If a concurrent resync
-    /// already consumed the intention this finds nothing, which is harmless for
-    /// `Free`/`Put` retractions and leaves at worst a spurious allocation for
-    /// `Allocate` (repaired by the next resync's divergence audit or free).
-    fn retract_intent(&self, idx: usize, pred: impl Fn(&Intent) -> bool) {
-        let mut state = self.replicas[idx].state.lock();
-        if let Some(pos) = state.intentions.iter().rposition(pred) {
-            state.intentions.remove(pos);
-        }
+        Err(BlockError::Crashed)
     }
 
     /// Compares all replicas block by block and returns the numbers where any
-    /// two live-or-down replicas disagree on allocation or contents.  Empty
-    /// means the set is in read-one/write-all agreement (the §4 invariant the
-    /// divergence tests assert after crash + resync).
+    /// two replicas disagree on allocation or contents.  Empty means the set
+    /// is in agreement (the §4 invariant the divergence tests assert after
+    /// crash/partition + resync).  Quiesces the worker streams first, so
+    /// background stragglers of quorum-acknowledged writes are not reported
+    /// as divergence.
     pub fn divergent_blocks(&self) -> Vec<BlockNr> {
+        self.quiesce();
         let mut blocks: Vec<BlockNr> = self
+            .shared
             .replicas
             .iter()
             .flat_map(|r| r.store.allocated_blocks())
@@ -459,7 +836,7 @@ impl ReplicatedBlockStore {
             .into_iter()
             .filter(|&nr| {
                 let mut contents: Option<Option<Bytes>> = None;
-                for replica in &self.replicas {
+                for replica in &self.shared.replicas {
                     let this = if replica.store.is_allocated(nr) {
                         replica.store.read(nr).ok()
                     } else {
@@ -477,64 +854,70 @@ impl ReplicatedBlockStore {
     }
 }
 
+impl Drop for ReplicatedBlockStore {
+    fn drop(&mut self) {
+        // Close the job streams, then wait for the workers to drain and exit.
+        self.submit.get_mut().senders.clear();
+        for handle in self.workers.get_mut().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 impl BlockStore for ReplicatedBlockStore {
     fn block_size(&self) -> usize {
-        self.replicas[0].store.block_size()
+        self.shared.replicas[0].store.block_size()
     }
 
     fn allocate(&self) -> Result<BlockNr> {
-        // Choose a live leader to pick the block number, failing over past
+        // Choose an In leader to pick the block number, failing over past
         // disks that turn out to be crashed below the replica layer (otherwise
         // a dead leader would brick allocation for the whole set while healthy
         // replicas exist).
+        let shared = &self.shared;
         let mut chosen = None;
-        for (idx, replica) in self.replicas.iter().enumerate() {
-            if replica.is_down() {
+        for idx in 0..shared.replicas.len() {
+            if shared.membership.status(idx) != ReplicaStatus::In {
                 continue;
             }
-            match replica.store.allocate() {
+            match shared.replicas[idx].store.allocate() {
                 Ok(nr) => {
                     chosen = Some((idx, nr));
                     break;
                 }
-                Err(BlockError::Crashed) => self.mark_down(idx),
+                Err(BlockError::Crashed) => shared.depose(idx, true),
                 Err(e) => return Err(e),
             }
         }
         let Some((leader, nr)) = chosen else {
             return Err(BlockError::Crashed);
         };
+        let seq = shared.next_seq.fetch_add(1, Ordering::Relaxed);
+        let epoch = shared.membership.epoch();
         let mut mirrored = vec![leader];
-        let mut queued: Vec<usize> = Vec::new();
-        for (idx, replica) in self.replicas.iter().enumerate() {
+        for idx in 0..shared.replicas.len() {
             if idx == leader {
                 continue;
             }
-            if replica.is_down() {
-                self.auto_down(idx, Intent::Allocate { nr });
-                queued.push(idx);
+            if shared.membership.status(idx) != ReplicaStatus::In {
+                shared.queue_intention(idx, seq, epoch, Intent::Allocate { nr });
                 continue;
             }
-            match replica.store.allocate_at(nr) {
+            match shared.replicas[idx].store.allocate_at(nr) {
                 Ok(()) => mirrored.push(idx),
                 Err(BlockError::Crashed) => {
-                    self.auto_down(idx, Intent::Allocate { nr });
-                    queued.push(idx);
+                    shared.depose(idx, true);
+                    shared.queue_intention(idx, seq, epoch, Intent::Allocate { nr });
                 }
                 Err(e) => {
                     // Allocate collision (or disk failure): roll every mirror
-                    // back — including intentions already queued for down
+                    // back — including intentions already queued for absent
                     // replicas, which would otherwise replay a rolled-back
                     // allocation at resync — and let the client retry.
                     for &done in &mirrored {
-                        let _ = self.replicas[done].store.free(nr);
+                        let _ = shared.replicas[done].store.free(nr);
                     }
-                    for &idx in &queued {
-                        self.retract_intent(
-                            idx,
-                            |i| matches!(i, Intent::Allocate { nr: n } if *n == nr),
-                        );
-                    }
+                    shared.retract_seq(seq);
                     return Err(e);
                 }
             }
@@ -543,31 +926,29 @@ impl BlockStore for ReplicatedBlockStore {
     }
 
     fn allocate_at(&self, nr: BlockNr) -> Result<()> {
-        self.first_live()?;
+        let shared = &self.shared;
+        if shared.membership.in_count() == 0 {
+            return Err(BlockError::Crashed);
+        }
+        let seq = shared.next_seq.fetch_add(1, Ordering::Relaxed);
+        let epoch = shared.membership.epoch();
         let mut mirrored: Vec<usize> = Vec::new();
-        let mut queued: Vec<usize> = Vec::new();
-        for (idx, replica) in self.replicas.iter().enumerate() {
-            if replica.is_down() {
-                self.auto_down(idx, Intent::Allocate { nr });
-                queued.push(idx);
+        for idx in 0..shared.replicas.len() {
+            if shared.membership.status(idx) != ReplicaStatus::In {
+                shared.queue_intention(idx, seq, epoch, Intent::Allocate { nr });
                 continue;
             }
-            match replica.store.allocate_at(nr) {
+            match shared.replicas[idx].store.allocate_at(nr) {
                 Ok(()) => mirrored.push(idx),
                 Err(BlockError::Crashed) => {
-                    self.auto_down(idx, Intent::Allocate { nr });
-                    queued.push(idx);
+                    shared.depose(idx, true);
+                    shared.queue_intention(idx, seq, epoch, Intent::Allocate { nr });
                 }
                 Err(e) => {
                     for &done in &mirrored {
-                        let _ = self.replicas[done].store.free(nr);
+                        let _ = shared.replicas[done].store.free(nr);
                     }
-                    for &idx in &queued {
-                        self.retract_intent(
-                            idx,
-                            |i| matches!(i, Intent::Allocate { nr: n } if *n == nr),
-                        );
-                    }
+                    shared.retract_seq(seq);
                     return Err(e);
                 }
             }
@@ -576,83 +957,120 @@ impl BlockStore for ReplicatedBlockStore {
             // No live replica applied the allocation: report the failure and
             // retract the queued intentions, which describe an allocation that
             // never happened anywhere.
-            for &idx in &queued {
-                self.retract_intent(idx, |i| matches!(i, Intent::Allocate { nr: n } if *n == nr));
-            }
+            shared.retract_seq(seq);
             return Err(BlockError::Crashed);
         }
         Ok(())
     }
 
     fn free(&self, nr: BlockNr) -> Result<()> {
-        self.first_live()?;
+        // Frees flow through the worker streams like puts, so a free never
+        // overtakes a still-queued write to the same block on a straggler
+        // (which would strand a stale re-allocation at resync).  All member
+        // outcomes are awaited: frees are uncharged metadata, and collision
+        // rollback wants a definite answer.
+        let (tx, rx) = mpsc::channel();
+        let (members, seq) = {
+            let submit = self.submit.lock();
+            let view = self.shared.membership.lock();
+            let members = view.members();
+            if members.is_empty() {
+                return Err(BlockError::Crashed);
+            }
+            let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+            let epoch = view.epoch();
+            for idx in 0..view.len() {
+                if view.status(idx) != ReplicaStatus::In {
+                    self.shared
+                        .queue_intention(idx, seq, epoch, Intent::Free { nr });
+                }
+            }
+            for &idx in &members {
+                let _ = submit.senders[idx].send(Job::Free {
+                    seq,
+                    epoch,
+                    nr,
+                    done: tx.clone(),
+                });
+            }
+            (members, seq)
+        };
+        drop(tx);
         let mut freed_any = false;
-        let mut queued: Vec<usize> = Vec::new();
-        for (idx, replica) in self.replicas.iter().enumerate() {
-            if replica.is_down() {
-                self.auto_down(idx, Intent::Free { nr });
-                queued.push(idx);
-                continue;
-            }
-            match replica.store.free(nr) {
-                Ok(()) => freed_any = true,
-                Err(BlockError::Crashed) => {
-                    self.auto_down(idx, Intent::Free { nr });
-                    queued.push(idx);
-                }
-                // A replica that never saw the allocation (healed corruption,
-                // partial collision rollback) has nothing to free.
-                Err(BlockError::NoSuchBlock(_)) => {}
-                Err(e) => {
-                    // The free is being reported failed: retract the queued
-                    // intentions so resync never replays it.
-                    for &idx in &queued {
-                        self.retract_intent(
-                            idx,
-                            |i| matches!(i, Intent::Free { nr: n } if *n == nr),
-                        );
+        let mut first_error: Option<BlockError> = None;
+        for _ in 0..members.len() {
+            match rx.recv() {
+                Ok(FreeOutcome::Freed) => freed_any = true,
+                Ok(FreeOutcome::NothingToFree | FreeOutcome::Queued | FreeOutcome::Died) => {}
+                Ok(FreeOutcome::Failed(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
                     }
-                    return Err(e);
                 }
+                Err(_) => break,
             }
+        }
+        if let Some(e) = first_error {
+            // The free is being reported failed: retract the queued
+            // intentions so resync never replays it.
+            self.shared.retract_seq(seq);
+            return Err(e);
         }
         if freed_any {
             Ok(())
         } else {
             // Nothing was freed anywhere: undo the queued intentions so resync
             // does not replay a free the caller was told failed.
-            for &idx in &queued {
-                self.retract_intent(idx, |i| matches!(i, Intent::Free { nr: n } if *n == nr));
-            }
+            self.shared.retract_seq(seq);
             Err(BlockError::NoSuchBlock(nr))
         }
     }
 
     fn read(&self, nr: BlockNr) -> Result<Bytes> {
-        // Read-one with fail-over: serve from the first live replica; a crashed,
-        // corrupted or missing copy sends the read to the next replica.
+        // Read-one with fail-over, through the worker stream: the read queues
+        // behind every previously acknowledged write on the serving replica,
+        // so a quorum ack is immediately readable even from a straggler.
+        // Resyncing replicas are skipped entirely — a straggler may not serve
+        // reads until it has caught up to the current epoch.
+        let members = self.shared.membership.members();
         let mut last = BlockError::Crashed;
         let mut attempts = 0u64;
-        for (idx, replica) in self.replicas.iter().enumerate() {
-            if replica.is_down() {
-                continue;
-            }
+        let mut repairable: Vec<usize> = Vec::new();
+        for &idx in &members {
             attempts += 1;
-            match replica.store.read(nr) {
-                Ok(data) => {
+            let (tx, rx) = mpsc::channel();
+            {
+                let submit = self.submit.lock();
+                let _ = submit.senders[idx].send(Job::Read { nr, done: tx });
+            }
+            match rx.recv() {
+                Ok(Ok(data)) => {
                     if attempts > 1 {
-                        self.failover_reads
+                        self.shared
+                            .failover_reads
                             .fetch_add(attempts - 1, Ordering::Relaxed);
+                    }
+                    if !repairable.is_empty() {
+                        // Read-repair: re-put the fresh block on every replica
+                        // whose copy was detectably stale (missing or
+                        // corrupted), in the background via its worker.
+                        let submit = self.submit.lock();
+                        for &stale in &repairable {
+                            let _ = submit.senders[stale].send(Job::Repair {
+                                nr,
+                                data: data.clone(),
+                            });
+                        }
                     }
                     return Ok(data);
                 }
-                Err(BlockError::Crashed) => {
-                    // The disk below us crashed without going through crash():
-                    // remember it so writes start queuing intentions.
-                    self.mark_down(idx);
-                    last = BlockError::Crashed;
+                Ok(Err(e)) => {
+                    if matches!(e, BlockError::NoSuchBlock(_) | BlockError::Corrupted(_)) {
+                        repairable.push(idx);
+                    }
+                    last = e;
                 }
-                Err(e) => last = e,
+                Err(_) => last = BlockError::Crashed,
             }
         }
         Err(last)
@@ -667,30 +1085,31 @@ impl BlockStore for ReplicatedBlockStore {
     }
 
     fn is_allocated(&self, nr: BlockNr) -> bool {
-        self.replicas
+        self.shared
+            .membership
+            .members()
             .iter()
-            .filter(|r| !r.is_down())
-            .any(|r| r.store.is_allocated(nr))
+            .any(|&idx| self.shared.replicas[idx].store.is_allocated(nr))
     }
 
     fn allocated_count(&self) -> usize {
-        match self.first_live() {
-            Ok(idx) => self.replicas[idx].store.allocated_count(),
-            Err(_) => 0,
+        match self.shared.membership.members().first() {
+            Some(&idx) => self.shared.replicas[idx].store.allocated_count(),
+            None => 0,
         }
     }
 
     fn stats(&self) -> StoreStats {
-        match self.first_live() {
-            Ok(idx) => self.replicas[idx].store.stats(),
-            Err(_) => StoreStats::default(),
+        match self.shared.membership.members().first() {
+            Some(&idx) => self.shared.replicas[idx].store.stats(),
+            None => StoreStats::default(),
         }
     }
 
     fn allocated_blocks(&self) -> Vec<BlockNr> {
-        match self.first_live() {
-            Ok(idx) => self.replicas[idx].store.allocated_blocks(),
-            Err(_) => Vec::new(),
+        match self.shared.membership.members().first() {
+            Some(&idx) => self.shared.replicas[idx].store.allocated_blocks(),
+            None => Vec::new(),
         }
     }
 }
@@ -698,10 +1117,24 @@ impl BlockStore for ReplicatedBlockStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FaultyStore, MemStore};
+    use crate::{DelayStore, FaultyStore, MemStore};
+    use std::time::{Duration, Instant};
 
     fn set(n: usize) -> Arc<ReplicatedBlockStore> {
         ReplicatedBlockStore::in_memory(n)
+    }
+
+    fn faulty_set(n: usize) -> (Vec<Arc<FaultyStore<MemStore>>>, Arc<ReplicatedBlockStore>) {
+        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..n)
+            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+            .collect();
+        let replicas = ReplicatedBlockStore::new(
+            disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+                .collect(),
+        );
+        (disks, replicas)
     }
 
     #[test]
@@ -711,6 +1144,9 @@ mod tests {
         replicas
             .write(nr, Bytes::from_static(b"everywhere"))
             .unwrap();
+        // The ack needs only a majority; quiesce drains the straggler before
+        // asserting all three copies.
+        replicas.quiesce();
         for idx in 0..3 {
             assert_eq!(
                 replicas.replica(idx).read(nr).unwrap(),
@@ -729,6 +1165,7 @@ mod tests {
             .map(|&nr| (nr, Bytes::from(vec![nr as u8; 32])))
             .collect();
         replicas.write_batch(&writes).unwrap();
+        replicas.quiesce();
         for idx in 0..3 {
             for &nr in &blocks {
                 assert_eq!(
@@ -765,15 +1202,7 @@ mod tests {
 
     #[test]
     fn replica_killed_mid_batch_gets_the_whole_batch_replayed() {
-        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..3)
-            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
-            .collect();
-        let replicas = ReplicatedBlockStore::new(
-            disks
-                .iter()
-                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
-                .collect(),
-        );
+        let (disks, replicas) = faulty_set(3);
         let blocks: Vec<BlockNr> = (0..6).map(|_| replicas.allocate().unwrap()).collect();
         // Replica 1's disk dies after accepting 3 of the 6 batch entries: the
         // batch is cut off mid-stream with an arbitrary prefix applied.
@@ -783,6 +1212,9 @@ mod tests {
             .map(|&nr| (nr, Bytes::from(vec![nr as u8 + 1; 24])))
             .collect();
         replicas.write_batch(&writes).unwrap();
+        // The ack comes from the surviving majority; quiesce so the corpse's
+        // worker has definitely reported before asserting.
+        replicas.quiesce();
         assert!(replicas.is_down(1), "the mid-batch crash was auto-detected");
         // The survivors hold the full batch; the corpse holds a prefix.
         assert!(!replicas.divergent_blocks().is_empty());
@@ -796,7 +1228,7 @@ mod tests {
         );
         assert!(
             replicas.divergent_blocks().is_empty(),
-            "read-one/write-all agreement restored after a mid-batch crash"
+            "agreement restored after a mid-batch crash"
         );
         for &nr in &blocks {
             assert_eq!(
@@ -833,15 +1265,7 @@ mod tests {
         // while replica 0 applies the batch: the data exists, so the call must
         // fail *and* queue the batch for replica 1 — otherwise the set stays
         // silently divergent with both replicas live.
-        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
-            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
-            .collect();
-        let replicas = ReplicatedBlockStore::new(
-            disks
-                .iter()
-                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
-                .collect(),
-        );
+        let (disks, replicas) = faulty_set(2);
         let blocks: Vec<BlockNr> = (0..3).map(|_| replicas.allocate().unwrap()).collect();
         disks[1].set_plan(crate::FaultPlan {
             write_failure_prob: 1.0,
@@ -882,15 +1306,7 @@ mod tests {
         // The prefix cannot be un-happened, so both replicas must be taken
         // down with the batch queued — resync then settles the whole set on
         // one outcome instead of leaving a half-written prefix live.
-        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
-            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
-            .collect();
-        let replicas = ReplicatedBlockStore::new(
-            disks
-                .iter()
-                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
-                .collect(),
-        );
+        let (disks, replicas) = faulty_set(2);
         let blocks: Vec<BlockNr> = (0..4).map(|_| replicas.allocate().unwrap()).collect();
         disks[0].crash_after_writes(2);
         disks[1].set_plan(crate::FaultPlan {
@@ -943,21 +1359,23 @@ mod tests {
     }
 
     #[test]
-    fn reads_fail_over_past_a_corrupted_copy() {
-        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..3)
-            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
-            .collect();
-        let replicas = ReplicatedBlockStore::new(
-            disks
-                .iter()
-                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
-                .collect(),
-        );
+    fn reads_fail_over_past_a_corrupted_copy_and_repair_it() {
+        let (disks, replicas) = faulty_set(3);
         let nr = replicas.allocate().unwrap();
         replicas.write(nr, Bytes::from_static(b"safe")).unwrap();
+        replicas.quiesce();
         disks[0].corrupt(nr);
         assert_eq!(replicas.read(nr).unwrap(), Bytes::from_static(b"safe"));
         assert_eq!(replicas.replica_stats().failover_reads, 1);
+        // Read-repair re-put the fresh block on the corrupted copy in the
+        // background: after the streams drain, replica 0 serves it again.
+        replicas.quiesce();
+        assert_eq!(
+            replicas.replica(0).read(nr).unwrap(),
+            Bytes::from_static(b"safe")
+        );
+        assert_eq!(replicas.replica_stats().read_repairs, 1);
+        assert!(replicas.divergent_blocks().is_empty());
     }
 
     #[test]
@@ -972,6 +1390,7 @@ mod tests {
         replicas.write(nr2, Bytes::from_static(b"new")).unwrap();
         assert!(replicas.replica_stats().degraded_writes >= 2);
         // The down replica is stale and divergent until resync.
+        replicas.quiesce();
         assert_eq!(
             replicas.replica(1).read(nr).unwrap(),
             Bytes::from_static(b"before")
@@ -996,15 +1415,7 @@ mod tests {
 
     #[test]
     fn a_crash_below_the_replica_layer_is_detected_on_write() {
-        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
-            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
-            .collect();
-        let replicas = ReplicatedBlockStore::new(
-            disks
-                .iter()
-                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
-                .collect(),
-        );
+        let (disks, replicas) = faulty_set(2);
         let nr = replicas.allocate().unwrap();
         // Kill replica 0's disk directly, as a mid-commit media crash would.
         disks[0].crash();
@@ -1049,6 +1460,7 @@ mod tests {
         let nr = replicas.allocate().unwrap();
         assert_ne!(nr, 0);
         replicas.write(nr, Bytes::from_static(b"retry")).unwrap();
+        replicas.quiesce();
         for idx in 0..3 {
             assert_eq!(
                 replicas.replica(idx).read(nr).unwrap(),
@@ -1059,15 +1471,7 @@ mod tests {
 
     #[test]
     fn allocation_fails_over_past_a_crashed_leader_disk() {
-        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
-            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
-            .collect();
-        let replicas = ReplicatedBlockStore::new(
-            disks
-                .iter()
-                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
-                .collect(),
-        );
+        let (disks, replicas) = faulty_set(2);
         // The would-be leader's disk dies below the replica layer: allocation
         // must fail over to the healthy replica instead of bricking the set.
         disks[0].crash();
@@ -1102,16 +1506,8 @@ mod tests {
 
     #[test]
     fn allocate_at_with_no_live_taker_is_an_error_and_queues_nothing() {
-        let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..2)
-            .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
-            .collect();
-        let replicas = ReplicatedBlockStore::new(
-            disks
-                .iter()
-                .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
-                .collect(),
-        );
-        // Both disks crash below the layer (down flags still clear).
+        let (disks, replicas) = faulty_set(2);
+        // Both disks crash below the layer (membership still shows them In).
         disks[0].crash();
         disks[1].crash();
         assert_eq!(
@@ -1168,5 +1564,188 @@ mod tests {
         replicas.write(nr, Bytes::from_static(b"solo")).unwrap();
         assert_eq!(replicas.read(nr).unwrap(), Bytes::from_static(b"solo"));
         assert_eq!(replicas.allocated_count(), 1);
+    }
+
+    // ---- quorum / epoch behaviour -------------------------------------------
+
+    #[test]
+    fn quorum_ack_is_not_gated_by_one_slow_replica() {
+        // Two instantaneous disks plus one slow disk: under the quorum rule a
+        // write is acknowledged by the fast majority while the straggler
+        // applies in the background, so the ack latency must be far below the
+        // straggler's service time.
+        let slow = Duration::from_millis(120);
+        let stores: Vec<Arc<dyn BlockStore>> = vec![
+            Arc::new(MemStore::new()),
+            Arc::new(MemStore::new()),
+            Arc::new(DelayStore::new(MemStore::new(), slow, Duration::ZERO)),
+        ];
+        let replicas = ReplicatedBlockStore::new(stores);
+        let nr = replicas.allocate().unwrap();
+        let start = Instant::now();
+        replicas.write(nr, Bytes::from_static(b"fast")).unwrap();
+        let acked = start.elapsed();
+        assert!(
+            acked < slow / 2,
+            "quorum ack took {acked:?}, gated by the {slow:?} straggler"
+        );
+        assert!(replicas.replica_stats().quorum_short_acks >= 1);
+        // The straggler still applies everything, in order.
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn write_all_toggle_waits_for_every_member() {
+        let slow = Duration::from_millis(60);
+        let stores: Vec<Arc<dyn BlockStore>> = vec![
+            Arc::new(MemStore::new()),
+            Arc::new(MemStore::new()),
+            Arc::new(DelayStore::new(MemStore::new(), slow, Duration::ZERO)),
+        ];
+        let replicas = ReplicatedBlockStore::with_rule(stores, CommitRule::WriteAll);
+        assert_eq!(replicas.commit_rule(), CommitRule::WriteAll);
+        let nr = replicas.allocate().unwrap();
+        let start = Instant::now();
+        replicas.write(nr, Bytes::from_static(b"all")).unwrap();
+        let acked = start.elapsed();
+        assert!(
+            acked >= slow,
+            "write-all must wait for the {slow:?} straggler, acked in {acked:?}"
+        );
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn epochs_bump_on_depose_and_rejoin_and_stamp_intentions() {
+        let replicas = set(3);
+        assert_eq!(replicas.epoch(), 1);
+        let nr = replicas.allocate().unwrap();
+
+        replicas.crash(1);
+        assert_eq!(replicas.epoch(), 2, "a depose is a membership change");
+        replicas.write(nr, Bytes::from_static(b"ep2")).unwrap();
+        assert_eq!(
+            replicas.intention_epochs(1),
+            vec![2],
+            "the missed write is stamped with the epoch it was acked under"
+        );
+
+        replicas.resync(1).unwrap();
+        assert_eq!(replicas.epoch(), 3, "a rejoin is a membership change too");
+        assert!(replicas.intention_epochs(1).is_empty());
+        assert!(replicas.divergent_blocks().is_empty());
+    }
+
+    #[test]
+    fn partitioned_replica_is_deposed_and_rejoins_via_resync() {
+        // Partition (do not crash) one replica: its store stays alive and
+        // keeps its data, but every call errors for the duration.  The quorum
+        // keeps committing; the partitioned replica is deposed with the missed
+        // writes queued, and heals back in through the epoch-stamped resync.
+        let (disks, replicas) = faulty_set(3);
+        let nr = replicas.allocate().unwrap();
+        replicas.write(nr, Bytes::from_static(b"pre")).unwrap();
+        replicas.quiesce();
+
+        disks[2].partition();
+        replicas.write(nr, Bytes::from_static(b"during")).unwrap();
+        replicas.quiesce();
+        assert!(replicas.is_down(2), "the partitioned replica was deposed");
+        assert!(disks[2].rejected_while_partitioned() >= 1);
+        assert_eq!(
+            disks[2].inner().read(nr).unwrap(),
+            Bytes::from_static(b"pre"),
+            "a partitioned disk keeps its (stale) data, unlike a crashed one"
+        );
+
+        disks[2].heal();
+        let applied = replicas.resync(2).unwrap();
+        assert!(applied >= 1);
+        assert!(replicas.divergent_blocks().is_empty());
+        assert_eq!(
+            replicas.replica(2).read(nr).unwrap(),
+            Bytes::from_static(b"during")
+        );
+    }
+
+    #[test]
+    fn an_acknowledged_write_is_never_lost_across_epoch_churn() {
+        // Epoch-change safety, end to end: acknowledged writes survive any
+        // sequence of deposals and rejoins — intentions stamped with an old
+        // epoch are replayed or superseded, never dropped.
+        let replicas = set(3);
+        let blocks: Vec<BlockNr> = (0..6).map(|_| replicas.allocate().unwrap()).collect();
+        let mut acked: Vec<(BlockNr, Vec<u8>)> = Vec::new();
+        for round in 0..12u8 {
+            let victim = (round % 3) as usize;
+            replicas.crash(victim);
+            for (i, &nr) in blocks.iter().enumerate() {
+                let value = vec![round.wrapping_mul(7) ^ i as u8; 16];
+                replicas.write(nr, Bytes::from(value.clone())).unwrap();
+                acked.push((nr, value));
+            }
+            replicas.resync(victim).unwrap();
+        }
+        assert!(replicas.epoch() > 2 * 12, "24 membership changes");
+        assert!(replicas.divergent_blocks().is_empty());
+        // The final acked value of every block is readable from every replica.
+        let mut last: std::collections::HashMap<BlockNr, Vec<u8>> = Default::default();
+        for (nr, v) in acked {
+            last.insert(nr, v);
+        }
+        for idx in 0..3 {
+            for (&nr, v) in &last {
+                assert_eq!(
+                    replicas.replica(idx).read(nr).unwrap(),
+                    Bytes::from(v.clone()),
+                    "replica {idx} lost an acknowledged write to block {nr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resync_is_idempotent_and_races_a_live_commit_stream_safely() {
+        let replicas = set(3);
+        assert_eq!(replicas.resync(0).unwrap(), 0, "resync of an In replica");
+        let blocks: Vec<BlockNr> = (0..8).map(|_| replicas.allocate().unwrap()).collect();
+        let blocks = Arc::new(blocks);
+        std::thread::scope(|scope| {
+            // Four writers hammer disjoint slices...
+            for t in 0..4u8 {
+                let replicas = Arc::clone(&replicas);
+                let blocks = Arc::clone(&blocks);
+                scope.spawn(move || {
+                    let mine = &blocks[(t as usize * 2)..(t as usize * 2 + 2)];
+                    for round in 0..30u8 {
+                        let writes: Vec<(BlockNr, Bytes)> = mine
+                            .iter()
+                            .map(|&nr| (nr, Bytes::from(vec![t ^ round; 16])))
+                            .collect();
+                        replicas.write_batch(&writes).unwrap();
+                    }
+                });
+            }
+            // ...while replica 1 is repeatedly deposed and resynced, with two
+            // racing resync callers.
+            for _ in 0..2 {
+                let replicas = Arc::clone(&replicas);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        replicas.crash(1);
+                        std::thread::yield_now();
+                        // One of the racers may find the other already
+                        // readmitted the replica: Ok(0), not an error.
+                        replicas.resync(1).unwrap();
+                    }
+                });
+            }
+        });
+        // Settle: the final resync drains anything the last depose queued.
+        replicas.resync(1).unwrap();
+        assert!(
+            replicas.divergent_blocks().is_empty(),
+            "resync racing a live commit stream must converge the set"
+        );
     }
 }

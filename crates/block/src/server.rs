@@ -50,6 +50,9 @@ pub struct BlockServer {
     locks: Mutex<Locks>,
     lock_released: Condvar,
     next_account: AtomicU64,
+    /// The newest replica-membership epoch any request has carried (see
+    /// `crate::membership`); 0 until the first epoch-stamped request arrives.
+    epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for BlockServer {
@@ -85,7 +88,34 @@ impl BlockServer {
             locks: Mutex::new(Locks::default()),
             lock_released: Condvar::new(),
             next_account: AtomicU64::new(1),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The newest membership epoch this server has seen (0 before any
+    /// epoch-stamped request).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Admits a request stamped with membership epoch `sent`: adopts it when it
+    /// is the newest seen so far, rejects it with a retriable
+    /// [`BlockError::EpochMismatch`] when this server has already served a
+    /// newer configuration — a coordinator holding a stale view of the replica
+    /// set must refresh before its writes are honoured.  `sent == 0` means
+    /// unstamped (a single-replica or legacy client) and is always admitted.
+    fn admit_epoch(&self, sent: u64) -> Result<()> {
+        if sent == 0 {
+            return Ok(());
+        }
+        let seen = self.epoch.fetch_max(sent, Ordering::SeqCst);
+        if sent < seen {
+            return Err(BlockError::EpochMismatch {
+                sent,
+                current: seen,
+            });
+        }
+        Ok(())
     }
 
     /// The maximum block payload size of the underlying store.
@@ -184,6 +214,20 @@ impl BlockServer {
     /// ownership per block *before* any entry is applied, so a permission
     /// failure never leaves a partial batch behind.
     pub fn write_batch(&self, cap: &Capability, writes: &[(BlockNr, Bytes)]) -> Result<()> {
+        self.write_batch_epoch(cap, 0, writes)
+    }
+
+    /// [`BlockServer::write_batch`] with the sender's membership-epoch stamp:
+    /// the epoch gate runs *before* the capability and ownership checks (and
+    /// therefore before any entry is applied), so a stale coordinator's batch
+    /// is rejected whole with [`BlockError::EpochMismatch`].
+    pub fn write_batch_epoch(
+        &self,
+        cap: &Capability,
+        epoch: u64,
+        writes: &[(BlockNr, Bytes)],
+    ) -> Result<()> {
+        self.admit_epoch(epoch)?;
         let account = self.check(cap, Rights::WRITE)?;
         for (nr, _) in writes {
             self.check_owned(account, *nr)?;
@@ -421,6 +465,34 @@ mod tests {
         assert_eq!(server.try_lock(&alice, nr), Err(BlockError::Locked(nr)));
         server.unlock(&alice, nr).unwrap();
         server.try_lock(&alice, nr).unwrap();
+    }
+
+    #[test]
+    fn stale_epoch_batches_are_rejected_and_newer_ones_adopted() {
+        let (server, alice) = server();
+        let nr = server.allocate(&alice).unwrap();
+        let batch = vec![(nr, Bytes::from_static(b"v1"))];
+        assert_eq!(server.epoch(), 0);
+        // Unstamped requests are always admitted (single-replica clients).
+        server.write_batch(&alice, &batch).unwrap();
+        // The first stamped request is adopted...
+        server.write_batch_epoch(&alice, 3, &batch).unwrap();
+        assert_eq!(server.epoch(), 3);
+        // ...a newer one advances the watermark...
+        server.write_batch_epoch(&alice, 5, &batch).unwrap();
+        assert_eq!(server.epoch(), 5);
+        // ...and a stale coordinator is turned away before anything applies.
+        let stale = vec![(nr, Bytes::from_static(b"stale"))];
+        assert_eq!(
+            server.write_batch_epoch(&alice, 4, &stale),
+            Err(BlockError::EpochMismatch {
+                sent: 4,
+                current: 5
+            })
+        );
+        assert_eq!(server.read(&alice, nr).unwrap(), Bytes::from_static(b"v1"));
+        // Unstamped requests still work after the set has an epoch.
+        server.write_batch(&alice, &batch).unwrap();
     }
 
     #[test]

@@ -107,6 +107,14 @@ pub trait BlockStore: Send + Sync {
     /// Lists all currently allocated block numbers (used for recovery and by the
     /// garbage collector's mark-and-sweep audit).
     fn allocated_blocks(&self) -> Vec<BlockNr>;
+
+    /// Informs the store of the replica set's current membership epoch (see
+    /// `amoeba_block::membership`).  Local disks have no use for it, so the
+    /// default is a no-op; stores that front a *remote* server override this to
+    /// stamp the epoch into their write RPCs, letting a server that has seen a
+    /// newer configuration reject a stale coordinator with
+    /// [`crate::BlockError::EpochMismatch`].  Wrapper stores must forward it.
+    fn set_epoch(&self, _epoch: u64) {}
 }
 
 /// Convenience: any `Arc<S>` where `S: BlockStore` is itself a `BlockStore`.
@@ -143,6 +151,9 @@ impl<S: BlockStore + ?Sized> BlockStore for std::sync::Arc<S> {
     }
     fn allocated_blocks(&self) -> Vec<BlockNr> {
         (**self).allocated_blocks()
+    }
+    fn set_epoch(&self, epoch: u64) {
+        (**self).set_epoch(epoch)
     }
 }
 

@@ -49,6 +49,15 @@ pub enum BlockError {
     Unsupported(&'static str),
     /// An I/O error from the underlying medium.
     Io(String),
+    /// The request carried a membership epoch older than the one the server
+    /// has already seen: the sender's view of the replica set is stale.
+    /// Retriable — the client refreshes its membership view and retries.
+    EpochMismatch {
+        /// The epoch the request was stamped with.
+        sent: u64,
+        /// The newer epoch the server is serving under.
+        current: u64,
+    },
 }
 
 impl fmt::Display for BlockError {
@@ -72,6 +81,12 @@ impl fmt::Display for BlockError {
             BlockError::PermissionDenied => write!(f, "permission denied"),
             BlockError::Unsupported(what) => write!(f, "operation not supported: {what}"),
             BlockError::Io(msg) => write!(f, "I/O error: {msg}"),
+            BlockError::EpochMismatch { sent, current } => {
+                write!(
+                    f,
+                    "membership epoch {sent} is stale (server is at epoch {current})"
+                )
+            }
         }
     }
 }

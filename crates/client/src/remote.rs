@@ -16,20 +16,25 @@ use afs_server::ops::{
     encode_writes, encoded_path_len, encoded_write_len, FsOp,
 };
 use amoeba_capability::{Capability, Port};
-use amoeba_rpc::{Reply, Request, RpcError, Transport, MAX_PAYLOAD};
+use amoeba_rpc::{Backoff, Reply, Request, RpcError, Transport, MAX_PAYLOAD};
 
 /// A connection to the file service: a transport plus the ports of the server
 /// processes, in preference order.
 pub struct RemoteFs<T: Transport> {
     transport: T,
     servers: Vec<Port>,
+    retries: std::sync::atomic::AtomicU64,
 }
 
 impl<T: Transport> RemoteFs<T> {
     /// Creates a client that talks to the given server ports (first is preferred).
     pub fn new(transport: T, servers: Vec<Port>) -> Self {
         assert!(!servers.is_empty(), "need at least one server port");
-        RemoteFs { transport, servers }
+        RemoteFs {
+            transport,
+            servers,
+            retries: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// The underlying transport (for instrumentation, e.g. round-trip counting).
@@ -37,25 +42,42 @@ impl<T: Transport> RemoteFs<T> {
         &self.transport
     }
 
-    /// Performs one transaction, failing over to the next server when a server does
-    /// not answer.
+    /// How many backed-off retry rounds this client has performed — a whole
+    /// pass over the server list found nobody answering, and the client slept
+    /// and swept again rather than giving up.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Performs one transaction, failing over to the next server when a server
+    /// does not answer.  A pass over the whole list with no answer does not
+    /// fail immediately: the client sleeps a capped, jittered, exponentially
+    /// growing delay and sweeps again, so a transient outage (a server
+    /// restarting, a partition healing) is ridden out rather than surfaced.
     fn transact(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Reply, FsError> {
-        let mut last = FsError::Transport("no servers configured".into());
-        for &port in &self.servers {
-            let request = Request::new(op as u32, cap, payload.clone());
-            match self.transport.transact(port, request) {
-                Ok(reply) => return Ok(reply),
-                Err(RpcError::ServerCrashed)
-                | Err(RpcError::NoSuchPort)
-                | Err(RpcError::Timeout)
-                | Err(RpcError::Dropped) => {
-                    last = FsError::Transport(format!("server {port} unavailable"));
-                    continue;
+        let mut backoff = Backoff::client_default(self.servers[0].raw());
+        loop {
+            let mut last = FsError::Transport("no servers configured".into());
+            for &port in &self.servers {
+                let request = Request::new(op as u32, cap, payload.clone());
+                match self.transport.transact(port, request) {
+                    Ok(reply) => return Ok(reply),
+                    Err(RpcError::ServerCrashed)
+                    | Err(RpcError::NoSuchPort)
+                    | Err(RpcError::Timeout)
+                    | Err(RpcError::Dropped) => {
+                        last = FsError::Transport(format!("server {port} unavailable"));
+                        continue;
+                    }
+                    Err(e) => return Err(FsError::Transport(e.to_string())),
                 }
-                Err(e) => return Err(FsError::Transport(e.to_string())),
             }
+            if !backoff.sleep_next() {
+                return Err(last);
+            }
+            self.retries
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
-        Err(last)
     }
 
     fn expect_ok(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Bytes, FsError> {
@@ -344,6 +366,39 @@ mod tests {
         let group = ServerGroup::start(&network, &service, 2);
         let client = RemoteFs::new(Arc::clone(&network), group.ports());
         (network, group, client)
+    }
+
+    #[test]
+    fn a_whole_set_outage_is_retried_with_backoff_and_counted() {
+        let (network, group, client) = remote();
+        let file = client.create_file().unwrap();
+        assert_eq!(client.retries(), 0, "healthy traffic never backs off");
+
+        // Total outage that heals while the client is backing off: the
+        // transaction rides it out instead of surfacing an error.
+        group.process(0).crash();
+        group.process(1).crash();
+        let healer = {
+            let network = Arc::clone(&network);
+            let port = group.process(1).port();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                network.restore(port);
+            })
+        };
+        client.create_version(&file).unwrap();
+        healer.join().unwrap();
+        let healed_after = client.retries();
+        assert!(
+            healed_after >= 1,
+            "the outage forced at least one retry round"
+        );
+
+        // Permanent outage: the schedule is bounded, so the client still
+        // reports an error rather than spinning forever.
+        group.process(1).crash();
+        assert!(client.create_version(&file).is_err());
+        assert!(client.retries() > healed_after);
     }
 
     #[test]

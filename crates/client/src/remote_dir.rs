@@ -24,6 +24,7 @@ use amoeba_rpc::{Reply, Request, RpcError, Transport};
 pub struct RemoteDir<T: Transport> {
     transport: T,
     servers: Vec<Port>,
+    retries: std::sync::atomic::AtomicU64,
 }
 
 impl<T: Transport> RemoteDir<T> {
@@ -31,12 +32,23 @@ impl<T: Transport> RemoteDir<T> {
     /// is preferred).
     pub fn new(transport: T, servers: Vec<Port>) -> Self {
         assert!(!servers.is_empty(), "need at least one directory server");
-        RemoteDir { transport, servers }
+        RemoteDir {
+            transport,
+            servers,
+            retries: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// The underlying transport (for instrumentation).
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// How many backed-off retry rounds this client has performed (a full
+    /// pass over the server list found nobody it could safely talk to, and
+    /// the client slept and swept again).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Performs one transaction, failing over to the next server when safe.
@@ -52,26 +64,37 @@ impl<T: Transport> RemoteDir<T> {
     /// the caller as a transport error instead of being guessed away).
     fn transact(&self, op: DirOp, cap: Capability, payload: Bytes) -> Result<Reply, DirError> {
         let read_only = matches!(op, DirOp::Root | DirOp::Lookup | DirOp::ReadDir);
-        let mut last = FsError::Transport("no servers configured".into());
-        for &port in &self.servers {
-            let request = Request::new(op as u32, cap, payload.clone());
-            match self.transport.transact(port, request) {
-                Ok(reply) => return Ok(reply),
-                // The server never saw the request: always safe to fail over.
-                Err(RpcError::ServerCrashed) | Err(RpcError::NoSuchPort) => {
-                    last = FsError::Transport(format!("directory server {port} unavailable"));
-                    continue;
+        // A pass that only skipped servers (every skip is by construction safe
+        // to retry — see the match arms) may be repeated after a backed-off
+        // sleep: the mutation-safety rule is enforced per-error, not
+        // per-round, so the rounds never replay an ambiguous mutation.
+        let mut backoff = amoeba_rpc::Backoff::client_default(self.servers[0].raw());
+        loop {
+            let mut last = FsError::Transport("no servers configured".into());
+            for &port in &self.servers {
+                let request = Request::new(op as u32, cap, payload.clone());
+                match self.transport.transact(port, request) {
+                    Ok(reply) => return Ok(reply),
+                    // The server never saw the request: always safe to fail over.
+                    Err(RpcError::ServerCrashed) | Err(RpcError::NoSuchPort) => {
+                        last = FsError::Transport(format!("directory server {port} unavailable"));
+                        continue;
+                    }
+                    // Ambiguous: the request may have executed and the reply was
+                    // lost.  Safe to retry reads, not mutations.
+                    Err(e @ RpcError::Timeout) | Err(e @ RpcError::Dropped) if read_only => {
+                        last = FsError::Transport(format!("directory server {port}: {e}"));
+                        continue;
+                    }
+                    Err(e) => return Err(DirError::Fs(FsError::Transport(e.to_string()))),
                 }
-                // Ambiguous: the request may have executed and the reply was
-                // lost.  Safe to retry reads, not mutations.
-                Err(e @ RpcError::Timeout) | Err(e @ RpcError::Dropped) if read_only => {
-                    last = FsError::Transport(format!("directory server {port}: {e}"));
-                    continue;
-                }
-                Err(e) => return Err(DirError::Fs(FsError::Transport(e.to_string()))),
             }
+            if !backoff.sleep_next() {
+                return Err(DirError::Fs(last));
+            }
+            self.retries
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
-        Err(DirError::Fs(last))
     }
 
     fn expect_ok(&self, op: DirOp, cap: Capability, payload: Bytes) -> Result<Bytes, DirError> {

@@ -161,6 +161,17 @@ impl FileService {
     /// batch entries in order, so the crash invariant is unchanged; keeping the
     /// version page out of the batch keeps it strictly last — it becomes
     /// durable only after every data page it references.
+    ///
+    /// Under quorum commits (`amoeba_block::CommitRule::Quorum`, the replica
+    /// set's default) each call is acknowledged once a majority of the current
+    /// membership epoch applied it, so the strictly-last guarantee holds **per
+    /// acknowledged quorum** rather than per replica: the version-page call is
+    /// issued only after the data batch was quorum-acked, each replica
+    /// receives both through one FIFO stream (never the version page before
+    /// the data), and a replica that missed either is barred from reads until
+    /// an epoch-stamped resync replays its ordered intentions.  Any replica
+    /// eligible to serve a read therefore saw the version page only after
+    /// every page it references — the same invariant, quorum-wide.
     pub(crate) fn flush_version_to_disk(&self, meta: &mut VersionMeta) -> Result<usize> {
         if meta.dirty_blocks.is_empty() {
             return Ok(0);

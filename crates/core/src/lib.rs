@@ -68,10 +68,15 @@
 //! over the shard set, which is why every trait consumer (the update loop, the
 //! cache, the workloads, the conformance suite) runs over 1 or N shards
 //! unchanged.  Each shard keeps its blocks on an N-replica
-//! `amoeba_block::ReplicatedBlockStore` (read-one/write-all with intention
-//! recording and resync), and the per-shard commit keeps the
-//! durability-at-commit rule below, so a single replica crash anywhere loses
-//! no committed data.  [`FileStore::io_stats`] on a sharded store is the *sum*
+//! `amoeba_block::ReplicatedBlockStore`: a write is acknowledged once a
+//! majority of the current membership epoch has durably applied it
+//! (`CommitRule::Quorum`, the default — `WriteAll` is kept as a toggle),
+//! missed writes are queued as sequence-stamped intentions and replayed by an
+//! epoch-stamped resync before the replica serves reads again, and fail-over
+//! reads repair stale copies they detect.  The per-shard commit keeps the
+//! durability-at-commit rule below, so crashing or partitioning any minority
+//! of a shard's replicas loses no committed data and surfaces no client
+//! errors.  [`FileStore::io_stats`] on a sharded store is the *sum*
 //! over shards; [`FileStore::shard_io_stats`] exposes the per-shard figures.
 //!
 //! ## Naming: directories are ordinary files
@@ -114,7 +119,13 @@
 //! ([`PageIoStats::block_write_calls`] vs [`PageIoStats::page_writes`] is the
 //! realised batching factor), and over replicated storage the batch travels to
 //! each replica as one call — one `WriteBlocks` RPC per replica when the disks
-//! are behind RPC.  Aborted versions never touch the disk at all, and crash
+//! are behind RPC.  Under quorum commits the two-step ordering holds
+//! *per acknowledged quorum*: each replica receives the data batch and the
+//! version page in order through its FIFO stream, the version-page write is
+//! issued only after the data batch was quorum-acked, and a replica that
+//! missed either gets both as ordered intentions at resync — so any replica
+//! that serves reads saw the version page only after every page it
+//! references.  Aborted versions never touch the disk at all, and crash
 //! recovery treats an unflushed uncommitted version as aborted, which is the
 //! paper's redo rule.  Set [`ServiceConfig::write_back`] to `false` to restore
 //! write-through page I/O, and [`ServiceConfig::batch_flush`] to `false` to

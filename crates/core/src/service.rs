@@ -48,6 +48,15 @@ pub struct ServiceConfig {
     /// by itself).  When `false` the flush issues one write call per page —
     /// the pre-batching behaviour, kept so the `perf-smoke` benchmark can
     /// measure the before/after physical-write-call delta.
+    ///
+    /// The analogous toggle one layer down is the *commit rule* of the
+    /// replica set the service flushes to: replicated storage acknowledges
+    /// each of these calls at a majority of the current membership epoch by
+    /// default (`amoeba_block::CommitRule::Quorum`); constructing the store
+    /// with `ReplicatedBlockStore::with_rule(…, CommitRule::WriteAll)`
+    /// restores the wait-for-every-replica behaviour for experiments — the
+    /// `perf-smoke` benchmark compares the two under a deliberately slow
+    /// replica.
     pub batch_flush: bool,
     /// How many committed versions of each file the garbage collector retains.
     pub history_retention: usize,

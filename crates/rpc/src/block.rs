@@ -38,9 +38,12 @@ pub enum BlockOp {
     /// Write one block.  Payload: u32 + data.
     Write = 7,
     /// Write a batch of blocks in one scatter-gather call, applied in entry
-    /// order.  Payload: u32 count, then per entry u32 block + u32 len + data.
-    /// This is the op a commit flush rides: one request per replica carries
-    /// every dirty page of the committing version.
+    /// order.  Payload: u64 membership epoch (0 = unstamped), u32 count, then
+    /// per entry u32 block + u32 len + data.  This is the op a commit flush
+    /// rides: one request per replica carries every dirty page of the
+    /// committing version, stamped with the coordinator's view of the replica
+    /// set so a server that has seen a newer configuration can reject a stale
+    /// coordinator (retriable epoch mismatch).
     WriteBlocks = 8,
     /// Is the block allocated?  Payload: u32.  Reply: one byte.
     IsAllocated = 9,
@@ -101,11 +104,13 @@ pub fn decode_block_write(mut payload: Bytes) -> Option<(u32, Bytes)> {
     Some((nr, payload))
 }
 
-/// Encodes the `WriteBlocks` payload: entry count, then `block + len + data`
-/// per entry, in application order.
-pub fn encode_block_writes(writes: &[(u32, Bytes)]) -> Bytes {
+/// Encodes the `WriteBlocks` payload: the sender's membership epoch (0 when
+/// the sender is not part of a replica set), entry count, then
+/// `block + len + data` per entry, in application order.
+pub fn encode_block_writes(epoch: u64, writes: &[(u32, Bytes)]) -> Bytes {
     let mut buf =
-        BytesMut::with_capacity(4 + writes.iter().map(|(_, d)| 8 + d.len()).sum::<usize>());
+        BytesMut::with_capacity(12 + writes.iter().map(|(_, d)| 8 + d.len()).sum::<usize>());
+    buf.put_u64_le(epoch);
     buf.put_u32_le(writes.len() as u32);
     for (nr, data) in writes {
         buf.put_u32_le(*nr);
@@ -115,11 +120,12 @@ pub fn encode_block_writes(writes: &[(u32, Bytes)]) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes the `WriteBlocks` payload.
-pub fn decode_block_writes(mut payload: Bytes) -> Option<Vec<(u32, Bytes)>> {
-    if payload.remaining() < 4 {
+/// Decodes the `WriteBlocks` payload into `(epoch, writes)`.
+pub fn decode_block_writes(mut payload: Bytes) -> Option<(u64, Vec<(u32, Bytes)>)> {
+    if payload.remaining() < 12 {
         return None;
     }
+    let epoch = payload.get_u64_le();
     let count = payload.get_u32_le() as usize;
     let mut writes = Vec::with_capacity(count.min(1024));
     for _ in 0..count {
@@ -134,7 +140,7 @@ pub fn decode_block_writes(mut payload: Bytes) -> Option<Vec<(u32, Bytes)>> {
         writes.push((nr, payload.slice(..len)));
         payload.advance(len);
     }
-    Some(writes)
+    Some((epoch, writes))
 }
 
 /// Bytes one entry occupies in a `WriteBlocks` payload.
@@ -229,12 +235,19 @@ mod tests {
             (0x0fff_ffff, Bytes::from_static(b"max block")),
         ];
         assert_eq!(
-            decode_block_writes(encode_block_writes(&writes)).unwrap(),
-            writes
+            decode_block_writes(encode_block_writes(42, &writes)).unwrap(),
+            (42, writes.clone())
         );
-        let truncated = encode_block_writes(&writes);
+        // Epoch 0 = unstamped, still round-trips.
+        assert_eq!(
+            decode_block_writes(encode_block_writes(0, &writes)).unwrap(),
+            (0, writes.clone())
+        );
+        let truncated = encode_block_writes(42, &writes);
         let truncated = truncated.slice(..truncated.len() - 2);
         assert_eq!(decode_block_writes(truncated), None);
+        // A frame too short to even hold the epoch + count header is rejected.
+        assert_eq!(decode_block_writes(Bytes::from_static(&[0u8; 8])), None);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod block;
 pub mod codec;
 pub mod dir;
@@ -39,6 +40,7 @@ mod local;
 mod message;
 pub mod tcp;
 
+pub use backoff::Backoff;
 pub use error::RpcError;
 pub use local::{LocalNetwork, NetworkFaults};
 pub use message::{Reply, Request, Status, MAX_PAYLOAD};

@@ -144,6 +144,7 @@ fn serve_connection(
 pub struct TcpClient {
     server: SocketAddr,
     timeout: Duration,
+    retries: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl TcpClient {
@@ -152,6 +153,7 @@ impl TcpClient {
         TcpClient {
             server,
             timeout: Duration::from_secs(5),
+            retries: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -160,12 +162,43 @@ impl TcpClient {
         self.timeout = timeout;
         self
     }
+
+    /// How many backed-off connect retries this client (and its clones) have
+    /// performed.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// `connect_timeout` with a short, jittered, backed-off retry: connecting
+    /// is free of side effects on the server, so retrying past a refused or
+    /// timed-out connection (a server mid-restart) is always safe.  Requests
+    /// are NOT retried here — a request that reached the wire may have
+    /// executed; that ambiguity belongs to the caller's failover policy.
+    fn connect(&self) -> Result<TcpStream> {
+        let mut backoff = crate::Backoff::with_seed(
+            Duration::from_millis(10),
+            Duration::from_millis(80),
+            3,
+            self.server.port().into(),
+        );
+        loop {
+            match TcpStream::connect_timeout(&self.server, self.timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(_) => {
+                    if !backoff.sleep_next() {
+                        return Err(RpcError::Timeout);
+                    }
+                    self.retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }
 
 impl Transport for TcpClient {
     fn transact(&self, port: Port, request: Request) -> Result<Reply> {
-        let mut stream = TcpStream::connect_timeout(&self.server, self.timeout)
-            .map_err(|_| RpcError::Timeout)?;
+        let mut stream = self.connect()?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         stream.set_nodelay(true).ok();

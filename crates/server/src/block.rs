@@ -50,6 +50,7 @@ const ERR_CORRUPTED: u8 = 8;
 const ERR_WRITE_COLLISION: u8 = 9;
 const ERR_PERMISSION: u8 = 10;
 const ERR_UNSUPPORTED: u8 = 11;
+const ERR_EPOCH_MISMATCH: u8 = 12;
 
 /// Encodes a [`BlockError`] into an error-reply payload.
 pub fn encode_block_error(err: &BlockError) -> Bytes {
@@ -95,6 +96,11 @@ pub fn encode_block_error(err: &BlockError) -> Bytes {
             buf.put_u8(ERR_IO);
             buf.put_slice(msg.as_bytes());
         }
+        BlockError::EpochMismatch { sent, current } => {
+            buf.put_u8(ERR_EPOCH_MISMATCH);
+            buf.put_u64_le(*sent);
+            buf.put_u64_le(*current);
+        }
     }
     buf.freeze()
 }
@@ -136,6 +142,16 @@ pub fn decode_block_error(mut payload: Bytes) -> BlockError {
             "unsupported: {}",
             String::from_utf8_lossy(&payload)
         )),
+        ERR_EPOCH_MISMATCH => {
+            if payload.remaining() >= 16 {
+                BlockError::EpochMismatch {
+                    sent: payload.get_u64_le(),
+                    current: payload.get_u64_le(),
+                }
+            } else {
+                BlockError::Io("truncated EpochMismatch detail".into())
+            }
+        }
         _ => BlockError::Io(String::from_utf8_lossy(&payload).into_owned()),
     }
 }
@@ -193,10 +209,13 @@ impl BlockServerHandler {
                 Ok(Bytes::new())
             }
             BlockOp::WriteBlocks => {
-                let writes = decode_block_writes(request.payload).ok_or_else(bad_args)?;
+                let (epoch, writes) = decode_block_writes(request.payload).ok_or_else(bad_args)?;
                 // One scatter-gather call into the store: the whole frame's
-                // worth of blocks costs one physical write call.
-                self.server.write_batch(&request.cap, &writes)?;
+                // worth of blocks costs one physical write call.  The sender's
+                // membership-epoch stamp is checked first, so a coordinator
+                // with a stale view of the replica set is rejected whole.
+                self.server
+                    .write_batch_epoch(&request.cap, epoch, &writes)?;
                 Ok(Bytes::new())
             }
             BlockOp::IsAllocated => {
@@ -282,6 +301,13 @@ pub struct RemoteBlockStore<T: Transport> {
     port: Port,
     account: Capability,
     block_size: usize,
+    /// The replica set's current membership epoch, pushed down by
+    /// `ReplicatedBlockStore` via [`BlockStore::set_epoch`] and stamped into
+    /// every `WriteBlocks` request (0 = not part of a replica set).
+    epoch: std::sync::atomic::AtomicU64,
+    /// Backed-off retries of idempotent requests (reads and queries) that hit
+    /// a transport failure.
+    retries: std::sync::atomic::AtomicU64,
 }
 
 impl<T: Transport> RemoteBlockStore<T> {
@@ -312,7 +338,15 @@ impl<T: Transport> RemoteBlockStore<T> {
             port,
             account,
             block_size,
+            epoch: std::sync::atomic::AtomicU64::new(0),
+            retries: std::sync::atomic::AtomicU64::new(0),
         })
+    }
+
+    /// How many backed-off retries of idempotent requests this connection has
+    /// performed.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn transact_raw(transport: &T, port: Port, request: Request) -> amoeba_block::Result<Bytes> {
@@ -335,6 +369,30 @@ impl<T: Transport> RemoteBlockStore<T> {
             self.port,
             Request::new(op as u32, self.account, payload),
         )
+    }
+
+    /// `call` with a short backed-off retry around transport failures.  Only
+    /// for *idempotent* requests (reads and queries): replaying one past an
+    /// ambiguous failure cannot double-apply anything.  Mutations are never
+    /// routed through here — the replica layer above owns their failure
+    /// handling (auto-down, intentions, resync), and it wants to see a dead
+    /// disk promptly, not after a retry schedule.
+    fn call_idempotent(&self, op: BlockOp, payload: Bytes) -> amoeba_block::Result<Bytes> {
+        let mut backoff = amoeba_rpc::Backoff::with_seed(
+            std::time::Duration::from_millis(1),
+            std::time::Duration::from_millis(4),
+            2,
+            self.port.raw(),
+        );
+        loop {
+            match self.call(op, payload.clone()) {
+                Err(BlockError::Crashed) if backoff.sleep_next() => {
+                    self.retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                other => return other,
+            }
+        }
     }
 }
 
@@ -359,7 +417,7 @@ impl<T: Transport> BlockStore for RemoteBlockStore<T> {
     }
 
     fn read(&self, nr: BlockNr) -> amoeba_block::Result<Bytes> {
-        self.call(BlockOp::Read, encode_block_nr(nr))
+        self.call_idempotent(BlockOp::Read, encode_block_nr(nr))
     }
 
     fn write(&self, nr: BlockNr, data: Bytes) -> amoeba_block::Result<()> {
@@ -369,22 +427,24 @@ impl<T: Transport> BlockStore for RemoteBlockStore<T> {
 
     fn write_batch(&self, writes: &[(BlockNr, Bytes)]) -> amoeba_block::Result<()> {
         // One WriteBlocks request per frame's worth of blocks: the k-page
-        // commit flush of the common case rides a single RPC.
+        // commit flush of the common case rides a single RPC, stamped with the
+        // newest membership epoch this connection has been told about.
+        let epoch = self.epoch.load(std::sync::atomic::Ordering::SeqCst);
         for chunk in chunk_block_writes(writes) {
-            self.call(BlockOp::WriteBlocks, encode_block_writes(chunk))?;
+            self.call(BlockOp::WriteBlocks, encode_block_writes(epoch, chunk))?;
         }
         Ok(())
     }
 
     fn is_allocated(&self, nr: BlockNr) -> bool {
-        match self.call(BlockOp::IsAllocated, encode_block_nr(nr)) {
+        match self.call_idempotent(BlockOp::IsAllocated, encode_block_nr(nr)) {
             Ok(payload) => payload.first().is_some_and(|&b| b != 0),
             Err(_) => false,
         }
     }
 
     fn allocated_count(&self) -> usize {
-        match self.call(BlockOp::AllocatedCount, Bytes::new()) {
+        match self.call_idempotent(BlockOp::AllocatedCount, Bytes::new()) {
             Ok(payload) => decode_block_nr(payload).unwrap_or(0) as usize,
             Err(_) => 0,
         }
@@ -397,10 +457,18 @@ impl<T: Transport> BlockStore for RemoteBlockStore<T> {
     }
 
     fn allocated_blocks(&self) -> Vec<BlockNr> {
-        match self.call(BlockOp::AllocatedBlocks, Bytes::new()) {
+        match self.call_idempotent(BlockOp::AllocatedBlocks, Bytes::new()) {
             Ok(payload) => decode_block_list(payload).unwrap_or_default(),
             Err(_) => Vec::new(),
         }
+    }
+
+    fn set_epoch(&self, epoch: u64) {
+        // Monotonic: the replica layer re-propagates on every bump, and an
+        // out-of-order arrival must never regress the stamp (a regressed stamp
+        // would make this coordinator look stale to its own servers).
+        self.epoch
+            .fetch_max(epoch, std::sync::atomic::Ordering::SeqCst);
     }
 }
 
@@ -508,9 +576,45 @@ mod tests {
             BlockError::WriteCollision(4),
             BlockError::PermissionDenied,
             BlockError::Io("boom".into()),
+            BlockError::EpochMismatch {
+                sent: 4,
+                current: 9,
+            },
         ] {
             assert_eq!(decode_block_error(encode_block_error(&err)), err);
         }
+    }
+
+    #[test]
+    fn a_stale_coordinator_is_rejected_over_the_wire() {
+        let (network, process, store) = remote();
+        let nr = store.allocate().unwrap();
+        // A coordinator at epoch 5 writes: the server adopts the stamp.
+        store.set_epoch(5);
+        store
+            .write_batch(&[(nr, Bytes::from_static(b"fresh"))])
+            .unwrap();
+        assert_eq!(process.server().epoch(), 5);
+        // A second connection still at an older view is turned away whole.
+        let stale = RemoteBlockStore::connect(Arc::clone(&network), process.port()).unwrap();
+        let theirs = stale.allocate().unwrap();
+        stale.set_epoch(3);
+        assert_eq!(
+            stale.write_batch(&[(theirs, Bytes::from_static(b"stale"))]),
+            Err(BlockError::EpochMismatch {
+                sent: 3,
+                current: 5
+            })
+        );
+        // The stamp is monotonic client-side too: catching up heals it.
+        stale.set_epoch(5);
+        stale
+            .write_batch(&[(theirs, Bytes::from_static(b"caught up"))])
+            .unwrap();
+        assert_eq!(
+            stale.read(theirs).unwrap(),
+            Bytes::from_static(b"caught up")
+        );
     }
 
     #[test]
@@ -547,8 +651,8 @@ mod tests {
         let (replicas, processes) = remote_replica_set(&network, 3);
         let nr = replicas.allocate().unwrap();
         replicas.write(nr, Bytes::from_static(b"v1")).unwrap();
-        // Kill one block-server process; the write-all fan-out auto-downs it
-        // and queues the missed batch.
+        // Kill one block-server process; the quorum fan-out acks on the two
+        // survivors while the corpse is auto-downed with the batch queued.
         processes[1].crash();
         let blocks: Vec<BlockNr> = (0..4).map(|_| replicas.allocate().unwrap()).collect();
         let writes: Vec<(BlockNr, Bytes)> = blocks
@@ -556,6 +660,9 @@ mod tests {
             .map(|&b| (b, Bytes::from_static(b"v2")))
             .collect();
         replicas.write_batch(&writes).unwrap();
+        // The ack needed only the surviving majority: drain the corpse's
+        // worker before asserting it was deposed.
+        replicas.quiesce();
         assert!(replicas.is_down(1));
         assert!(replicas.replica_stats().intentions_recorded >= 4);
 

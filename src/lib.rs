@@ -49,8 +49,8 @@
 //!         /      \       /      \       /      \        any one suffices)
 //!       FileService    FileService    FileService      (OCC, versions, GC)
 //!            |              |              |
-//!     ReplicatedBlock  ReplicatedBlock  ReplicatedBlock  (read-one/write-all,
-//!      [disk] [disk]    [disk] [disk]    [disk] [disk]    intentions, resync)
+//!     ReplicatedBlock  ReplicatedBlock  ReplicatedBlock  (quorum commits,
+//!      [disk] [disk]    [disk] [disk]    [disk] [disk]    epochs, resync)
 //! ```
 //!
 //! *Placement* is a pure function of the capability: shard `i` of `n` mints
@@ -65,12 +65,19 @@
 //! page strictly last — so a k-page commit costs a constant number of physical
 //! write calls, and over remote block servers one `WriteBlocks` RPC per replica
 //! ([`amoeba_rpc::block`], `afs_server::RemoteBlockStore`).  *Availability*
-//! comes from the replica set, which fans every put out to its replicas on
-//! parallel scoped threads (wall-clock of one replica, not the sum; any single
-//! replica crash loses nothing: survivors queue the whole missed batch as an
-//! intention, and [`amoeba_block::ReplicatedBlockStore::resync`] replays it on
-//! recovery) and from the server group (a crashed process is simply failed
-//! over).
+//! comes from the replica set, which streams every put through per-replica
+//! FIFO workers and acknowledges once a **majority of the current membership
+//! epoch** has durably applied it ([`amoeba_block::CommitRule::Quorum`], the
+//! default — one slow or partitioned replica no longer gates commit latency;
+//! `WriteAll` remains as a compatibility toggle).  Membership is epoch-managed
+//! ([`amoeba_block::Membership`]): a failed or partitioned replica is deposed
+//! (epoch bump), its missed writes are queued as sequence-stamped intentions,
+//! and [`amoeba_block::ReplicatedBlockStore::resync`] replays them before the
+//! replica may serve reads again — the epoch rides every `WriteBlocks` RPC so
+//! a stale coordinator is rejected by the block servers.  Reads fail over
+//! across replicas and repair stale copies they detect.  The server group
+//! adds process-level failover on top (a crashed server process is simply
+//! routed around, with jittered bounded backoff in the client retry loops).
 //!
 //! See `examples/sharded_service.rs` for the whole topology in motion.
 //!

@@ -501,6 +501,217 @@ fn replica_killed_mid_commit_stream_resyncs_without_losing_data() {
     );
 }
 
+/// The quorum-commit acceptance test: *partition* (not crash) one replica of a
+/// three-replica shard in the middle of a commit stream.  A partitioned disk
+/// is nastier than a dead one — it still holds its data and will answer again
+/// later, so a protocol without membership epochs would happily let it serve
+/// stale reads or accept writes from a stale coordinator after it comes back.
+/// The commit stream must proceed on the majority with **no client-visible
+/// errors**, the partitioned replica must be deposed (epoch bump), and healing
+/// must readmit it only through an epoch-stamped resync, after which the
+/// replicas agree byte-for-byte.
+#[test]
+fn fault_partitioned_replica_rejoins_via_epoch_stamped_resync() {
+    use afs_core::ServiceConfig;
+    use amoeba_block::{BlockStore, FaultyStore, MemStore, ReplicatedBlockStore};
+
+    // Three replica disks behind fault injectors, so one can be partitioned
+    // while its state stays intact underneath.
+    let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..3)
+        .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+        .collect();
+    let replicas = ReplicatedBlockStore::new(
+        disks
+            .iter()
+            .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+            .collect(),
+    );
+    // No page cache: the final read must provably come from a replica disk.
+    let store = FileService::with_config(
+        Arc::new(afs_core::BlockServer::new(
+            Arc::clone(&replicas) as Arc<dyn BlockStore>
+        )),
+        ServiceConfig {
+            flag_cache_capacity: None,
+            ..ServiceConfig::default()
+        },
+    );
+    let epoch_at_start = replicas.epoch();
+
+    let file = store.create_file().unwrap();
+    let page = store
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from(0u32.to_le_bytes().to_vec()))
+        })
+        .unwrap();
+
+    let increments = |rounds: usize| {
+        let store = &store;
+        let page = &page;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        store
+                            .update_with(&file, RetryPolicy::with_max_attempts(10_000), |tx| {
+                                let old = tx.read(page)?;
+                                let value = u32::from_le_bytes(old[..4].try_into().unwrap()) + 1;
+                                tx.write(page, Bytes::from(value.to_le_bytes().to_vec()))
+                            })
+                            .expect("commits must not surface errors to clients");
+                    }
+                });
+            }
+        });
+    };
+
+    // A healthy prefix of the commit stream, then the partition drops replica
+    // 1 off the network mid-stream, then the stream continues: every commit
+    // must succeed throughout.
+    increments(3);
+    disks[1].partition();
+    increments(3);
+
+    replicas.quiesce();
+    assert!(
+        replicas.is_down(1),
+        "a partitioned replica must be deposed from the write quorum"
+    );
+    assert!(
+        replicas.epoch() > epoch_at_start,
+        "deposing a replica must advance the membership epoch"
+    );
+    assert!(
+        disks[1].rejected_while_partitioned() > 0,
+        "the commit stream must actually have hit the partition"
+    );
+    let stats = replicas.replica_stats();
+    assert!(
+        stats.intentions_recorded > 0,
+        "commits during the partition must queue intentions for the absentee"
+    );
+
+    // Heal the partition and readmit the replica through resync.  The replay
+    // is epoch-stamped: the resynced replica re-enters at a *newer* epoch, so
+    // a coordinator still holding the pre-partition view would be rejected.
+    let epoch_while_deposed = replicas.epoch();
+    disks[1].heal();
+    let applied = replicas.resync(1).expect("resync after heal");
+    assert!(applied > 0, "the rejoin must replay the missed intentions");
+    assert!(
+        !replicas.is_down(1),
+        "a healed, resynced replica re-enters the quorum"
+    );
+    assert!(replicas.epoch() > epoch_while_deposed);
+    assert!(
+        replicas.divergent_blocks().is_empty(),
+        "after resync the replicas must agree byte-for-byte"
+    );
+
+    // The acid test: depose both replicas that stayed up, so the next read can
+    // only be served by the rejoined one — it must hold every committed
+    // increment.
+    replicas.crash(0);
+    replicas.crash(2);
+    let current = store.current_version(&file).unwrap();
+    let raw = store.read_committed_page(&current, &page).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(raw[..4].try_into().unwrap()),
+        24,
+        "the rejoined replica must serve every commit, including those it missed"
+    );
+}
+
+/// Satellite regression at the service level: a resync racing a live commit
+/// stream must be idempotent and lose nothing — replayed intentions are
+/// ordered by sequence number against the concurrent commits, and a second
+/// racing resync of the same replica is harmless.
+#[test]
+fn fault_resync_races_a_live_commit_stream() {
+    use afs_core::ServiceConfig;
+    use amoeba_block::{BlockStore, FaultyStore, MemStore, ReplicatedBlockStore};
+
+    let disks: Vec<Arc<FaultyStore<MemStore>>> = (0..3)
+        .map(|_| Arc::new(FaultyStore::new(MemStore::new())))
+        .collect();
+    let replicas = ReplicatedBlockStore::new(
+        disks
+            .iter()
+            .map(|d| Arc::clone(d) as Arc<dyn BlockStore>)
+            .collect(),
+    );
+    let store = FileService::with_config(
+        Arc::new(afs_core::BlockServer::new(
+            Arc::clone(&replicas) as Arc<dyn BlockStore>
+        )),
+        ServiceConfig {
+            flag_cache_capacity: None,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let file = store.create_file().unwrap();
+    let page = store
+        .update(&file, |tx| {
+            tx.append(&PagePath::root(), Bytes::from(0u32.to_le_bytes().to_vec()))
+        })
+        .unwrap();
+
+    // Knock replica 2 out with a partition and let commits accumulate
+    // intentions for it.
+    disks[2].partition();
+    for _ in 0..4 {
+        store
+            .update_with(&file, RetryPolicy::with_max_attempts(10_000), |tx| {
+                let old = tx.read(&page)?;
+                let value = u32::from_le_bytes(old[..4].try_into().unwrap()) + 1;
+                tx.write(&page, Bytes::from(value.to_le_bytes().to_vec()))
+            })
+            .unwrap();
+    }
+    disks[2].heal();
+
+    // Two racing resyncs of the healed replica while four writers keep the
+    // commit stream hot.
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let replicas = &replicas;
+            scope.spawn(move || {
+                let _ = replicas.resync(2);
+            });
+        }
+        for _ in 0..4 {
+            let store = &store;
+            let page = &page;
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    store
+                        .update_with(&file, RetryPolicy::with_max_attempts(10_000), |tx| {
+                            let old = tx.read(page)?;
+                            let value = u32::from_le_bytes(old[..4].try_into().unwrap()) + 1;
+                            tx.write(page, Bytes::from(value.to_le_bytes().to_vec()))
+                        })
+                        .expect("commits racing a resync must not fail");
+                }
+            });
+        }
+    });
+
+    // The replica may have been re-deposed mid-race; settle it before judging.
+    if replicas.is_down(2) {
+        replicas.resync(2).expect("final resync");
+    }
+    assert!(
+        replicas.divergent_blocks().is_empty(),
+        "resync racing live commits must still converge byte-for-byte"
+    );
+    replicas.crash(0);
+    replicas.crash(1);
+    let current = store.current_version(&file).unwrap();
+    let raw = store.read_committed_page(&current, &page).unwrap();
+    assert_eq!(u32::from_le_bytes(raw[..4].try_into().unwrap()), 24);
+}
+
 /// The block-level half of the O(1)-RPC discipline: with the replica disks
 /// behind RPC, a commit's dirty pages must reach each replica as one
 /// `WriteBlocks` scatter-gather request (plus the version-page write and the
