@@ -93,6 +93,13 @@ pub trait ConcurrencyControl: Send + Sync {
     fn shard_io_stats(&self) -> Option<Vec<afs_core::PageIoStats>> {
         self.io_stats().map(|stats| vec![stats])
     }
+
+    /// RPC-client statistics (backed-off retry rounds, reconnects, in-flight
+    /// high-water mark), when the mechanism runs over a remote connection.
+    /// Local mechanisms and the baselines return `None`.
+    fn client_stats(&self) -> Option<amoeba_rpc::ClientStats> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -106,6 +113,9 @@ pub struct StoreAdapter<S: FileStore> {
     name: &'static str,
     files: parking_lot::RwLock<std::collections::HashMap<u64, afs_core::Capability>>,
     next: std::sync::atomic::AtomicU64,
+    /// Probe for the RPC-client statistics of the wrapped store, when it is a
+    /// remote connection ([`FileStore`] itself has no transport to ask).
+    client_stats: Option<Box<dyn Fn() -> amoeba_rpc::ClientStats + Send + Sync>>,
 }
 
 /// The local Amoeba file service behind the uniform interface.
@@ -119,7 +129,19 @@ impl<S: FileStore> StoreAdapter<S> {
             name,
             files: parking_lot::RwLock::new(std::collections::HashMap::new()),
             next: std::sync::atomic::AtomicU64::new(1),
+            client_stats: None,
         }
+    }
+
+    /// Attaches a probe that reads the wrapped store's RPC-client statistics
+    /// (e.g. `|| remote.stats()` or `|| sharded.client_stats()`), surfacing
+    /// them through [`ConcurrencyControl::client_stats`].
+    pub fn with_client_stats(
+        mut self,
+        probe: impl Fn() -> amoeba_rpc::ClientStats + Send + Sync + 'static,
+    ) -> Self {
+        self.client_stats = Some(Box::new(probe));
+        self
     }
 
     /// The wrapped store.
@@ -236,6 +258,10 @@ impl<S: FileStore> ConcurrencyControl for StoreAdapter<S> {
 
     fn shard_io_stats(&self) -> Option<Vec<afs_core::PageIoStats>> {
         self.store.shard_io_stats()
+    }
+
+    fn client_stats(&self) -> Option<amoeba_rpc::ClientStats> {
+        self.client_stats.as_ref().map(|probe| probe())
     }
 }
 

@@ -1,8 +1,18 @@
 //! Perf smoke: short, deterministic workload slices that run in seconds and
-//! write machine-readable throughput and I/O counters to `BENCH_7.json`, so CI
+//! write machine-readable throughput and I/O counters to `BENCH_8.json`, so CI
 //! can track the performance trajectory without a full Criterion run.
 //!
-//! Schema v7 adds the quorum-commit layer: a `quorum_commit` block comparing
+//! Schema v8 adds the multiplexed transport: a `high_concurrency` block
+//! driving one shard over real TCP sockets with 8, 64 and 256 concurrent
+//! simulated clients multiplexed onto 8 connections.  Requests pipeline on the
+//! shared connections and the (concurrent-mode) delayed disk serves
+//! overlapping requests independently, so per-shard throughput keeps growing
+//! with client count well past the connection count — the scaling the
+//! readiness-driven reactor and id-tagged frames exist to produce — and the
+//! client's in-flight high-water mark (from the uniform `ClientStats`) shows
+//! the multiplexing is real.
+//!
+//! Schema v7 added the quorum-commit layer: a `quorum_commit` block comparing
 //! commit-flush latency under `CommitRule::WriteAll` vs the default
 //! `CommitRule::Quorum` over a 3-replica set whose third disk carries a
 //! scripted extra stall per call.  Write-all is gated by the straggler on
@@ -48,16 +58,19 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use afs_baselines::AmoebaAdapter;
-use afs_client::{NamedStore, ShardedStore};
+use afs_client::{NamedStore, RemoteFs, ShardedStore};
 use afs_core::shard_of;
 use afs_core::{
     BlockServer, FileService, FileStore, MemStore, PageIoStats, PagePath, RetryPolicy, Rights,
     ServiceConfig,
 };
 use afs_dir::DirStore;
+use afs_server::FileServerHandler;
 use afs_sim::{run_dir_churn, run_workload, DirChurnRun, RunConfig};
 use afs_workload::MixConfig;
 use amoeba_block::{BlockStore, CommitRule, DelayStore, ReplicatedBlockStore};
+use amoeba_capability::Port;
+use amoeba_rpc::tcp::{TcpClient, TcpServer};
 
 /// Shard count of the "many servers" rows.
 const SHARDS: usize = 3;
@@ -74,6 +87,16 @@ const WRITES_PER_TX: usize = 8;
 const DISK_PER_CALL: Duration = Duration::from_micros(100);
 /// Transfer cost charged per block moved.
 const DISK_PER_BLOCK: Duration = Duration::from_micros(2);
+/// TCP connections pooled by the high-concurrency sweep's shared client.
+const HC_CONNECTIONS: usize = 8;
+/// Transactions each simulated client commits per high-concurrency row.
+const HC_TX_PER_CLIENT: usize = 8;
+/// Client counts of the high-concurrency sweep, in row order.
+const HC_CLIENTS: [usize; 3] = [8, 64, 256];
+/// Scripted per-call disk stall during the high-concurrency timed windows:
+/// large against the RPC cost, so each row's throughput is bounded by how
+/// much disk latency its clients can overlap, not by CPU.
+const HC_STALL: Duration = Duration::from_millis(2);
 
 /// One workload's headline numbers.
 struct Row {
@@ -468,6 +491,99 @@ fn dir_churn_delta() -> (afs_sim::DirChurnResult, usize, usize) {
     (result, CLIENTS, OPS_PER_CLIENT)
 }
 
+/// One client-count step of the high-concurrency sweep.
+struct ConcurrencyRow {
+    clients: usize,
+    ops_per_sec: f64,
+    inflight_high_water: u64,
+}
+
+/// The multiplexed-transport scaling sweep: one shard (a `FileService` over a
+/// *concurrent-mode* delayed disk) served over real TCP sockets, driven by 8,
+/// 64 and 256 concurrent simulated clients that all share one `RemoteFs`
+/// whose `TcpClient` pools `HC_CONNECTIONS` connections.  Each simulated
+/// client commits `HC_TX_PER_CLIENT` small write transactions against its own
+/// file (no OCC conflicts), so the rows measure transport and server
+/// pipelining: with requests id-tagged and pipelined, throughput keeps
+/// growing with the number of outstanding transactions even though the
+/// connection count stays fixed.
+///
+/// The disk charges a scripted [`HC_STALL`] per call inside the timed windows
+/// only (file setup runs against an instantaneous disk): a transaction's
+/// latency is then dominated by disk stalls that *concurrent* requests
+/// overlap, so each row's throughput is bounded by its multiplexing depth —
+/// which is exactly the quantity under test.  Returns one row per client
+/// count.
+fn high_concurrency() -> Vec<ConcurrencyRow> {
+    const HC_PAGES: usize = 4;
+    let disk =
+        Arc::new(DelayStore::new(MemStore::new(), Duration::ZERO, Duration::ZERO).concurrent());
+    let service = FileService::new(Arc::new(BlockServer::new(
+        Arc::clone(&disk) as Arc<dyn BlockStore>
+    )));
+    let mut server = TcpServer::bind("127.0.0.1:0").expect("bind high-concurrency server");
+    let port = Port::random();
+    server.register(port, Arc::new(FileServerHandler::new(Arc::clone(&service))));
+    let remote = Arc::new(RemoteFs::new(
+        TcpClient::new(server.local_addr()).with_connections(HC_CONNECTIONS),
+        vec![port],
+    ));
+
+    let mut rows = Vec::new();
+    for &clients in &HC_CLIENTS {
+        // One small file per simulated client, set up outside the timed window
+        // against the un-stalled disk.
+        disk.set_slow(Duration::ZERO);
+        let files: Vec<_> = (0..clients)
+            .map(|_| {
+                let file = remote.create_file().expect("create file");
+                let setup = remote.create_version(&file).expect("setup version");
+                for i in 0..HC_PAGES {
+                    remote
+                        .append_page(&setup, &PagePath::root(), Bytes::from(vec![i as u8; 64]))
+                        .expect("append");
+                }
+                remote.commit(&setup).expect("commit setup");
+                file
+            })
+            .collect();
+
+        disk.set_slow(HC_STALL);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for file in &files {
+                let remote = Arc::clone(&remote);
+                scope.spawn(move || {
+                    for round in 0..HC_TX_PER_CLIENT {
+                        let v = remote.create_version(file).expect("create version");
+                        let writes: Vec<(PagePath, Bytes)> = (0..HC_PAGES)
+                            .map(|i| {
+                                (
+                                    PagePath::new(vec![i as u16]),
+                                    Bytes::from(vec![round as u8; 128]),
+                                )
+                            })
+                            .collect();
+                        remote.write_pages(&v, &writes).expect("write pages");
+                        remote.commit(&v).expect("commit");
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64().max(f64::EPSILON);
+        // The high-water mark is monotone over the connection pool's life, so
+        // each row reports the deepest pipelining seen so far — which is the
+        // row's own, since concurrency only goes up the sweep.
+        rows.push(ConcurrencyRow {
+            clients,
+            ops_per_sec: (clients * HC_TX_PER_CLIENT) as f64 / elapsed,
+            inflight_high_water: remote.stats().inflight_high_water,
+        });
+    }
+    server.shutdown();
+    rows
+}
+
 fn find<'a>(rows: &'a [Row], name: &str) -> Option<&'a Row> {
     rows.iter().find(|r| r.name == name)
 }
@@ -475,7 +591,7 @@ fn find<'a>(rows: &'a [Row], name: &str) -> Option<&'a Row> {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
 
     let rows = [
         occ_mixed(),
@@ -490,6 +606,7 @@ fn main() {
     let (quorum_replicas, slow_extra_ms, write_all_ms, quorum_ms) = quorum_latency_delta();
     let (resolution_paths, resolution_cold, resolution_warm) = path_resolution();
     let (churn, churn_clients, churn_ops_per_client) = dir_churn_delta();
+    let concurrency = high_concurrency();
 
     let wt = find(&rows, "cow_repeated_write_writethrough").unwrap();
     let wb = find(&rows, "cow_repeated_write_writeback").unwrap();
@@ -500,10 +617,19 @@ fn main() {
 
     let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+    let concurrency_body: Vec<String> = concurrency
+        .iter()
+        .map(|row| {
+            format!(
+                "      {{\"clients\": {}, \"ops_per_sec\": {:.1}, \"inflight_high_water\": {}}}",
+                row.clients, row.ops_per_sec, row.inflight_high_water
+            )
+        })
+        .collect();
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"afs-perf-smoke-v7\",\n",
+            "  \"schema\": \"afs-perf-smoke-v8\",\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"write_back_delta\": {{\n",
             "    \"cow_page_writes_before\": {},\n",
@@ -552,6 +678,12 @@ fn main() {
             "    \"ops_per_sec\": {:.1},\n",
             "    \"retries\": {},\n",
             "    \"retry_rate\": {:.3}\n",
+            "  }},\n",
+            "  \"high_concurrency\": {{\n",
+            "    \"connections\": {},\n",
+            "    \"tx_per_client\": {},\n",
+            "    \"rows\": [\n{}\n    ],\n",
+            "    \"scaling_min_to_max_clients\": {:.2}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -593,6 +725,13 @@ fn main() {
         churn.throughput(),
         churn.retries,
         churn.retry_rate(),
+        HC_CONNECTIONS,
+        HC_TX_PER_CLIENT,
+        concurrency_body.join(",\n"),
+        ratio(
+            concurrency.last().map(|r| r.ops_per_sec).unwrap_or(0.0),
+            concurrency.first().map(|r| r.ops_per_sec).unwrap_or(0.0),
+        ),
     );
 
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

@@ -10,12 +10,21 @@
 //!   or the seek), paid once per `read`/`write`/`write_batch` call, and
 //! * a **per-block** cost (transfer), paid once per block moved.
 //!
-//! The device serves **one request at a time**: the delay is spent while an
-//! internal mutex is held, like a single disk head.  That is what lets the
-//! benchmarks show the two effects this model exists for — a k-block
+//! By default the device serves **one request at a time**: the delay is spent
+//! while an internal mutex is held, like a single disk head.  That is what
+//! lets the benchmarks show the two effects this model exists for — a k-block
 //! `write_batch` costs `per_call + k·per_block` instead of
 //! `k·(per_call + per_block)`, and a shard whose disks are saturated stops
 //! scaling until more shards (more disks) are added.
+//!
+//! [`DelayStore::concurrent`] switches the wrapper to a **concurrent** cost
+//! model: every request still pays its full latency, but overlapping requests
+//! sleep independently instead of queueing on the head.  That models a device
+//! whose latency is dominated by the round trip rather than a serial actuator
+//! (an SSD with internal parallelism, or a network disk), and it is the mode
+//! the high-concurrency benchmarks use — with a serial head, client-side
+//! multiplexing would be invisible because the device itself flattens every
+//! pipeline back to one-at-a-time.
 //!
 //! Allocation and bookkeeping calls are free: they model in-memory metadata,
 //! and charging them would only blur what the experiments measure.
@@ -38,8 +47,12 @@ pub struct DelayStore<S> {
     /// "slow replica" fault mode (a partitioned-but-alive disk that answers,
     /// eventually).  [`Duration::ZERO`] means off.
     slow: Mutex<Duration>,
-    /// The "disk head": held for the whole duration of a charged request.
+    /// The "disk head": held for the whole duration of a charged request in
+    /// serial mode; bypassed in concurrent mode.
     busy: Mutex<()>,
+    /// `false` = serial (one request at a time, the default); `true` =
+    /// concurrent (overlapping requests sleep independently).
+    concurrent: bool,
 }
 
 impl<S: BlockStore> DelayStore<S> {
@@ -52,7 +65,22 @@ impl<S: BlockStore> DelayStore<S> {
             per_block,
             slow: Mutex::new(Duration::ZERO),
             busy: Mutex::new(()),
+            concurrent: false,
         }
+    }
+
+    /// Switches to the concurrent cost model: every request still pays its
+    /// full latency, but overlapping requests no longer queue on the single
+    /// disk head — they sleep independently.
+    pub fn concurrent(mut self) -> Self {
+        self.concurrent = true;
+        self
+    }
+
+    /// Whether this store serves overlapping requests concurrently (`false`
+    /// is the serial single-head default).
+    pub fn is_concurrent(&self) -> bool {
+        self.concurrent
     }
 
     /// Returns a reference to the wrapped store.
@@ -79,8 +107,12 @@ impl<S: BlockStore> DelayStore<S> {
         if cost.is_zero() {
             return;
         }
-        let _head = self.busy.lock();
-        std::thread::sleep(cost);
+        if self.concurrent {
+            std::thread::sleep(cost);
+        } else {
+            let _head = self.busy.lock();
+            std::thread::sleep(cost);
+        }
     }
 }
 
@@ -181,6 +213,41 @@ mod tests {
         let start = Instant::now();
         store.write(nr, Bytes::from_static(b"fast")).unwrap();
         assert!(start.elapsed() < Duration::from_millis(30));
+    }
+
+    #[test]
+    fn concurrent_mode_overlaps_requests_serial_mode_queues_them() {
+        let per_call = Duration::from_millis(20);
+        let threads = 4;
+
+        let run = |store: &DelayStore<MemStore>| {
+            let nr = store.allocate().unwrap();
+            store.write(nr, Bytes::from_static(b"seed")).unwrap();
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        store.read(nr).unwrap();
+                    });
+                }
+            });
+            start.elapsed()
+        };
+
+        // Serial head: pays the initial write too, so 4 reads queue behind it.
+        let serial = run(&DelayStore::new(MemStore::new(), per_call, Duration::ZERO));
+        // Concurrent: the 4 reads sleep at the same time.
+        let concurrent =
+            run(&DelayStore::new(MemStore::new(), per_call, Duration::ZERO).concurrent());
+
+        assert!(
+            serial >= per_call * threads,
+            "serial mode must queue {threads} reads one after another (took {serial:?})"
+        );
+        assert!(
+            concurrent < per_call * threads,
+            "concurrent mode must overlap the sleeps (took {concurrent:?} for {threads} reads)"
+        );
     }
 
     #[test]

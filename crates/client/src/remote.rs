@@ -6,6 +6,12 @@
 //! [`FileStore::read_pages`]/[`FileStore::write_pages`] methods are overridden
 //! to ship one request per transport frame, so a k-page update costs O(1) round
 //! trips instead of O(k).
+//!
+//! All connect/failover/retry plumbing lives in the generic
+//! [`MuxClient`]; this stub only marshals payloads and picks the failover
+//! policy.  Every file-service operation uses [`FailoverPolicy::Always`]:
+//! reads are idempotent, and mutations are version-directed writes to
+//! *uncommitted* state, so re-executing one on a replica is harmless.
 
 use bytes::{Bytes, BytesMut};
 
@@ -16,68 +22,44 @@ use afs_server::ops::{
     encode_writes, encoded_path_len, encoded_write_len, FsOp,
 };
 use amoeba_capability::{Capability, Port};
-use amoeba_rpc::{Backoff, Reply, Request, RpcError, Transport, MAX_PAYLOAD};
+use amoeba_rpc::{ClientStats, FailoverPolicy, MuxClient, Reply, Request, Transport, MAX_PAYLOAD};
 
-/// A connection to the file service: a transport plus the ports of the server
-/// processes, in preference order.
+/// A connection to the file service: a [`MuxClient`] over the ports of the
+/// server processes, in preference order.
 pub struct RemoteFs<T: Transport> {
-    transport: T,
-    servers: Vec<Port>,
-    retries: std::sync::atomic::AtomicU64,
+    client: MuxClient<T>,
 }
 
 impl<T: Transport> RemoteFs<T> {
     /// Creates a client that talks to the given server ports (first is preferred).
     pub fn new(transport: T, servers: Vec<Port>) -> Self {
-        assert!(!servers.is_empty(), "need at least one server port");
         RemoteFs {
-            transport,
-            servers,
-            retries: std::sync::atomic::AtomicU64::new(0),
+            client: MuxClient::new(transport, servers),
         }
     }
 
     /// The underlying transport (for instrumentation, e.g. round-trip counting).
     pub fn transport(&self) -> &T {
-        &self.transport
+        self.client.transport()
     }
 
-    /// How many backed-off retry rounds this client has performed — a whole
-    /// pass over the server list found nobody answering, and the client slept
-    /// and swept again rather than giving up.
-    pub fn retries(&self) -> u64 {
-        self.retries.load(std::sync::atomic::Ordering::Relaxed)
+    /// Uniform client statistics: backed-off retry rounds, transport
+    /// reconnects, and the in-flight high-water mark.
+    pub fn stats(&self) -> ClientStats {
+        self.client.stats()
     }
 
-    /// Performs one transaction, failing over to the next server when a server
-    /// does not answer.  A pass over the whole list with no answer does not
-    /// fail immediately: the client sleeps a capped, jittered, exponentially
-    /// growing delay and sweeps again, so a transient outage (a server
-    /// restarting, a partition healing) is ridden out rather than surfaced.
+    /// Performs one transaction through the generic engine: fail over to the
+    /// next server on any transient transport error, sleep a capped jittered
+    /// backoff after a whole fruitless sweep, and only then surface the
+    /// outage.
     fn transact(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Reply, FsError> {
-        let mut backoff = Backoff::client_default(self.servers[0].raw());
-        loop {
-            let mut last = FsError::Transport("no servers configured".into());
-            for &port in &self.servers {
-                let request = Request::new(op as u32, cap, payload.clone());
-                match self.transport.transact(port, request) {
-                    Ok(reply) => return Ok(reply),
-                    Err(RpcError::ServerCrashed)
-                    | Err(RpcError::NoSuchPort)
-                    | Err(RpcError::Timeout)
-                    | Err(RpcError::Dropped) => {
-                        last = FsError::Transport(format!("server {port} unavailable"));
-                        continue;
-                    }
-                    Err(e) => return Err(FsError::Transport(e.to_string())),
-                }
-            }
-            if !backoff.sleep_next() {
-                return Err(last);
-            }
-            self.retries
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        }
+        self.client
+            .transact(
+                Request::new(op as u32, cap, payload),
+                FailoverPolicy::Always,
+            )
+            .map_err(|e| FsError::Transport(e.to_string()))
     }
 
     fn expect_ok(&self, op: FsOp, cap: Capability, payload: Bytes) -> Result<Bytes, FsError> {
@@ -372,7 +354,7 @@ mod tests {
     fn a_whole_set_outage_is_retried_with_backoff_and_counted() {
         let (network, group, client) = remote();
         let file = client.create_file().unwrap();
-        assert_eq!(client.retries(), 0, "healthy traffic never backs off");
+        assert_eq!(client.stats().retries, 0, "healthy traffic never backs off");
 
         // Total outage that heals while the client is backing off: the
         // transaction rides it out instead of surfacing an error.
@@ -388,7 +370,7 @@ mod tests {
         };
         client.create_version(&file).unwrap();
         healer.join().unwrap();
-        let healed_after = client.retries();
+        let healed_after = client.stats().retries;
         assert!(
             healed_after >= 1,
             "the outage forced at least one retry round"
@@ -398,7 +380,7 @@ mod tests {
         // reports an error rather than spinning forever.
         group.process(1).crash();
         assert!(client.create_version(&file).is_err());
-        assert!(client.retries() > healed_after);
+        assert!(client.stats().retries > healed_after);
     }
 
     #[test]
@@ -565,6 +547,37 @@ mod tests {
                 .read_committed_page(&current, &PagePath::root())
                 .unwrap(),
             Bytes::from_static(b"via replica")
+        );
+    }
+
+    #[test]
+    fn concurrent_transactions_raise_the_inflight_high_water_mark() {
+        use amoeba_rpc::NetworkFaults;
+        // A little injected latency guarantees the threads genuinely overlap.
+        let network = Arc::new(LocalNetwork::with_faults(NetworkFaults {
+            latency: std::time::Duration::from_millis(2),
+            drop_prob: 0.0,
+            seed: 1,
+        }));
+        let service = FileService::in_memory();
+        let group = ServerGroup::start(&network, &service, 1);
+        let client = Arc::new(RemoteFs::new(Arc::clone(&network), group.ports()));
+        let file = client.create_file().unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let client = Arc::clone(&client);
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let v = client.create_version(&file).unwrap();
+                        client.abort(&v).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(
+            client.stats().inflight_high_water >= 2,
+            "4 client threads should overlap at least twice: {:?}",
+            client.stats()
         );
     }
 }

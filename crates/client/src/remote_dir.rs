@@ -17,84 +17,59 @@ use amoeba_rpc::dir::{
     decode_dir_cap, decode_entries, decode_entry, encode_entry, encode_lookup, encode_mkdir,
     encode_rename, encode_unlink, DirOp,
 };
-use amoeba_rpc::{Reply, Request, RpcError, Transport};
+use amoeba_rpc::{ClientStats, FailoverPolicy, MuxClient, Reply, Request, Transport};
 
-/// A connection to a directory service: a transport plus the ports of the
-/// directory-server processes, in preference order.
+/// A connection to a directory service: a [`MuxClient`] over the ports of
+/// the directory-server processes, in preference order.
 pub struct RemoteDir<T: Transport> {
-    transport: T,
-    servers: Vec<Port>,
-    retries: std::sync::atomic::AtomicU64,
+    client: MuxClient<T>,
 }
 
 impl<T: Transport> RemoteDir<T> {
     /// Creates a client that talks to the given directory-server ports (first
     /// is preferred).
     pub fn new(transport: T, servers: Vec<Port>) -> Self {
-        assert!(!servers.is_empty(), "need at least one directory server");
         RemoteDir {
-            transport,
-            servers,
-            retries: std::sync::atomic::AtomicU64::new(0),
+            client: MuxClient::new(transport, servers),
         }
     }
 
     /// The underlying transport (for instrumentation).
     pub fn transport(&self) -> &T {
-        &self.transport
+        self.client.transport()
     }
 
-    /// How many backed-off retry rounds this client has performed (a full
-    /// pass over the server list found nobody it could safely talk to, and
-    /// the client slept and swept again).
-    pub fn retries(&self) -> u64 {
-        self.retries.load(std::sync::atomic::Ordering::Relaxed)
+    /// Uniform client statistics: backed-off retry rounds, transport
+    /// reconnects, and the in-flight high-water mark.
+    pub fn stats(&self) -> ClientStats {
+        self.client.stats()
     }
 
     /// Performs one transaction, failing over to the next server when safe.
     ///
-    /// Reads fail over on every transient transport error.  *Mutations* fail
-    /// over only on errors that prove the request was never executed (the
-    /// server was unreachable); a `Timeout`/`Dropped` after the request went
-    /// out is ambiguous — the server may have committed the mutation and only
-    /// the reply was lost, and blindly replaying e.g. a rename that committed
-    /// would resurface as a spurious `NotFound` (the file layer handles the
-    /// same ambiguity with its `AlreadyCommitted` rule; the directory
-    /// protocol has no equivalent receipt, so the ambiguity is surfaced to
-    /// the caller as a transport error instead of being guessed away).
+    /// Reads fail over on every transient transport error
+    /// ([`FailoverPolicy::Always`]).  *Mutations* fail over only on errors
+    /// that prove the request was never executed
+    /// ([`FailoverPolicy::WhenUnreached`]); a `Timeout`/`Dropped` after the
+    /// request went out is ambiguous — the server may have committed the
+    /// mutation and only the reply was lost, and blindly replaying e.g. a
+    /// rename that committed would resurface as a spurious `NotFound` (the
+    /// file layer handles the same ambiguity with its `AlreadyCommitted`
+    /// rule; the directory protocol has no equivalent receipt, so the
+    /// ambiguity is surfaced to the caller as a transport error instead of
+    /// being guessed away).  The policy is enforced per-error inside the
+    /// engine, so its backed-off retry rounds never replay an ambiguous
+    /// mutation.
     fn transact(&self, op: DirOp, cap: Capability, payload: Bytes) -> Result<Reply, DirError> {
         let read_only = matches!(op, DirOp::Root | DirOp::Lookup | DirOp::ReadDir);
-        // A pass that only skipped servers (every skip is by construction safe
-        // to retry — see the match arms) may be repeated after a backed-off
-        // sleep: the mutation-safety rule is enforced per-error, not
-        // per-round, so the rounds never replay an ambiguous mutation.
-        let mut backoff = amoeba_rpc::Backoff::client_default(self.servers[0].raw());
-        loop {
-            let mut last = FsError::Transport("no servers configured".into());
-            for &port in &self.servers {
-                let request = Request::new(op as u32, cap, payload.clone());
-                match self.transport.transact(port, request) {
-                    Ok(reply) => return Ok(reply),
-                    // The server never saw the request: always safe to fail over.
-                    Err(RpcError::ServerCrashed) | Err(RpcError::NoSuchPort) => {
-                        last = FsError::Transport(format!("directory server {port} unavailable"));
-                        continue;
-                    }
-                    // Ambiguous: the request may have executed and the reply was
-                    // lost.  Safe to retry reads, not mutations.
-                    Err(e @ RpcError::Timeout) | Err(e @ RpcError::Dropped) if read_only => {
-                        last = FsError::Transport(format!("directory server {port}: {e}"));
-                        continue;
-                    }
-                    Err(e) => return Err(DirError::Fs(FsError::Transport(e.to_string()))),
-                }
-            }
-            if !backoff.sleep_next() {
-                return Err(DirError::Fs(last));
-            }
-            self.retries
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        }
+        let policy = if read_only {
+            FailoverPolicy::Always
+        } else {
+            FailoverPolicy::WhenUnreached
+        };
+        self.client
+            .transact(Request::new(op as u32, cap, payload), policy)
+            .map_err(|e| DirError::Fs(FsError::Transport(e.to_string())))
     }
 
     fn expect_ok(&self, op: DirOp, cap: Capability, payload: Bytes) -> Result<Bytes, DirError> {

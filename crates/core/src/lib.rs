@@ -54,7 +54,13 @@
 //! [`Update::write_many`] operations ([`FileStore::read_pages`] /
 //! [`FileStore::write_pages`] on the trait): a local store just loops, while a
 //! remote store ships one request per transport frame, so a k-page update
-//! costs O(1) round trips instead of O(k).
+//! costs O(1) round trips instead of O(k).  The remote stores all sit on the
+//! multiplexed RPC engine (`amoeba_rpc::MuxClient`): frames are tagged with
+//! request ids and replies may return out of order, so many client threads
+//! share a handful of connections with their transactions in flight
+//! concurrently — the trait consumer sees only the blocking
+//! one-request/one-reply discipline of the paper, while the wire underneath
+//! pipelines.
 //!
 //! ## Sharding: many services, one namespace
 //!

@@ -11,16 +11,34 @@
 //! * servers are *passive*: they only ever react to requests.  The cache design of
 //!   §5.4 explicitly rejects XDFS-style "unsolicited messages" from server to client.
 //!
+//! Each *logical* transaction still has exactly that shape — one request, one
+//! blocking wait, one reply.  The *transport* underneath, however, is
+//! multiplexed: a connection carries many logical request streams at once,
+//! every frame is tagged with a request id, replies complete out of order,
+//! and the server pipelines independent requests from the same connection
+//! instead of serving them one at a time.  Concurrency therefore scales with
+//! the number of outstanding client transactions, not with the number of OS
+//! threads or sockets — and the same id-tagged frames give a future
+//! server→client channel (for lease/callback cache coherence) a place to
+//! live without breaking the "one reply per request" contract.
+//!
 //! This crate provides:
 //!
 //! * [`Request`] / [`Reply`] message frames with a binary wire codec (hand-rolled on
-//!   `bytes`, length-prefixed, capability-carrying),
+//!   `bytes`, length-prefixed, capability-carrying), in plain and id-tagged
+//!   multiplexed ([`codec`]) flavours,
 //! * the [`Transport`] trait — `transact(port, request) -> reply`,
-//! * [`LocalNetwork`] — an in-process transport connecting clients to registered
-//!   [`RequestHandler`]s, with configurable latency, message loss and partitions for
-//!   the robustness experiments, and
-//! * [`tcp`] — a real TCP transport (`std::net`, one thread per connection) so the
-//!   same servers can be run across actual machine boundaries, and
+//! * [`mux`] — the multiplexing engine: [`mux::MuxCore`] (request-id
+//!   allocation, the pending-reply table, per-request deadlines, out-of-order
+//!   completion) and the generic [`MuxClient`] (server failover under a
+//!   [`FailoverPolicy`], [`Backoff`]-driven retry, uniform [`ClientStats`])
+//!   that the typed client stubs wrap,
+//! * [`LocalNetwork`] (alias [`LocalTransport`]) — an in-process transport
+//!   connecting clients to registered [`RequestHandler`]s, with configurable
+//!   latency, message loss and partitions for the robustness experiments,
+//! * [`tcp`] — the real TCP transport: a readiness-driven reactor on the
+//!   server (one poll loop over all connections, worker pool pipelining
+//!   requests) and a connection-pooling multiplexed client, and
 //! * [`block`] — the wire protocol of the block service, including the
 //!   [`block::BlockOp::WriteBlocks`] scatter-gather op that carries a commit
 //!   flush to each replica disk as a single request, and
@@ -38,12 +56,18 @@ pub mod dir;
 mod error;
 mod local;
 mod message;
+pub mod mux;
 pub mod tcp;
 
 pub use backoff::Backoff;
 pub use error::RpcError;
 pub use local::{LocalNetwork, NetworkFaults};
-pub use message::{Reply, Request, Status, MAX_PAYLOAD};
+pub use message::{Reply, Request, Status, MAX_FRAME_PAYLOAD, MAX_PAYLOAD};
+pub use mux::{ClientStats, FailoverPolicy, MuxClient, MuxCore};
+
+/// The in-process transport, under the name the transport-generic client
+/// stack uses for it.
+pub type LocalTransport = LocalNetwork;
 
 /// Result alias for RPC operations.
 pub type Result<T> = std::result::Result<T, RpcError>;
@@ -73,10 +97,21 @@ where
 pub trait Transport: Send + Sync {
     /// Performs one transaction.
     fn transact(&self, port: Port, request: Request) -> Result<Reply>;
+
+    /// How many times this transport has re-established an underlying
+    /// connection after its initial connect.  Transports with no connection
+    /// state (in-process, counting wrappers) keep the default `0`.
+    fn reconnects(&self) -> u64 {
+        0
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for std::sync::Arc<T> {
     fn transact(&self, port: Port, request: Request) -> Result<Reply> {
         (**self).transact(port, request)
+    }
+
+    fn reconnects(&self) -> u64 {
+        (**self).reconnects()
     }
 }

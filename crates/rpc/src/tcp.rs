@@ -1,91 +1,267 @@
-//! TCP transport: the same transactions over real sockets.
+//! TCP transport: multiplexed transactions over real sockets.
 //!
-//! A [`TcpServer`] binds a listening socket and dispatches every incoming transaction
-//! to the handlers registered per service port (several logical Amoeba ports can be
-//! served from one socket, like several services hosted in one server process).  A
-//! [`TcpClient`] implements [`Transport`] by opening one connection per transaction —
-//! deliberately simple, matching the paper's model of independent, self-contained
-//! transactions.
+//! One TCP connection carries many logical request streams at once.  Every
+//! frame is tagged with a request id (see the mux frames in [`crate::codec`]),
+//! so:
 //!
-//! Frame layout on the socket: the request frame from [`crate::codec`] prefixed with
-//! the 8-byte destination port.
+//! * a client thread never waits for *other* requests on its connection —
+//!   it writes its frame, parks on its id in the connection's
+//!   [`MuxCore`], and is woken when *its* reply lands,
+//!   whatever order replies arrive in; and
+//! * the server pipelines independent requests from the same connection:
+//!   frames are peeled off by a readiness-driven reactor and handed to a
+//!   worker pool, so a slow transaction (a faulted disk, a long scan) does
+//!   not convoy the requests queued behind it.
+//!
+//! # Server
+//!
+//! [`TcpServer`] runs one *reactor* thread: a level-triggered
+//! [`epoll::Poller`] over the listening socket and every accepted
+//! connection.  The reactor does no service work itself — it accepts,
+//! reads, and slices the byte stream into frames, dispatching each complete
+//! frame to a spawn-on-demand worker pool (idle workers are reused, so the
+//! pool grows exactly as deep as the offered concurrency).  Workers run the
+//! registered [`RequestHandler`] and write the id-tagged reply back under a
+//! per-connection write lock, waiting for writability when the socket's
+//! send buffer is full.
+//!
+//! # Client
+//!
+//! [`TcpClient`] keeps a small pool of persistent connections (round-robin
+//! per transaction, [`TcpClient::with_connections`] sizes it); cloning the
+//! client shares the pool.  Each connection owns a
+//! [`MuxCore`] pending-reply table and a reader thread
+//! that completes whichever request each arriving reply names.  Connections
+//! are (re-)established lazily with a jittered [`Backoff`]; re-establishment
+//! after the initial connect is counted and surfaced through
+//! [`Transport::reconnects`].  Connecting is free of side effects on the
+//! server, so the connect path retries past refused connections (a server
+//! mid-restart); *requests* are never retried here — a request that reached
+//! the wire may have executed, and that ambiguity belongs to the caller's
+//! failover policy (see [`crate::mux::FailoverPolicy`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use bytes::{BufMut, Bytes, BytesMut};
-use parking_lot::RwLock;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use amoeba_capability::Port;
 
-use crate::codec::{decode_reply, decode_request, encode_reply, encode_request};
+use crate::codec::{
+    decode_mux_reply, decode_mux_request, encode_mux_reply, encode_mux_request, MAX_FRAME_BODY,
+};
 use crate::message::{Reply, Request};
-use crate::{RequestHandler, Result, RpcError, Transport};
+use crate::mux::MuxCore;
+use crate::{Backoff, RequestHandler, Result, RpcError, Transport};
 
-fn read_exact_bytes(stream: &mut TcpStream, len: usize) -> Result<Bytes> {
-    let mut buf = vec![0u8; len];
-    stream.read_exact(&mut buf)?;
-    Ok(Bytes::from(buf))
+// ---------------------------------------------------------------------------
+// Worker pool: spawn on demand, reuse idle threads, retire them when quiet.
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Hard ceiling on concurrently live worker threads per pool.  Beyond this,
+/// jobs queue until a worker frees up — spawning yet more threads for a
+/// service that is already saturated only adds scheduler pressure.
+const MAX_WORKERS: usize = 512;
+
+struct PoolInner {
+    queue: VecDeque<Job>,
+    idle: usize,
+    /// Worker threads currently alive (idle or busy).
+    live: usize,
+    shutdown: bool,
 }
 
-fn read_frame(stream: &mut TcpStream) -> Result<Bytes> {
-    let header = read_exact_bytes(stream, 4)?;
-    let len = u32::from_le_bytes(header[..].try_into().unwrap()) as usize;
-    if len > crate::message::MAX_PAYLOAD + 8192 {
+struct WorkerPool {
+    inner: Mutex<PoolInner>,
+    ready: Condvar,
+}
+
+impl WorkerPool {
+    fn new() -> Arc<Self> {
+        Arc::new(WorkerPool {
+            inner: Mutex::new(PoolInner {
+                queue: VecDeque::new(),
+                idle: 0,
+                live: 0,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Queues a job.  An idle worker is woken when one exists; otherwise a
+    /// fresh worker is spawned *only* while the pool is below [`MAX_WORKERS`]
+    /// — in steady state every busy worker loops back for the next queued job
+    /// itself, so saturation does not turn into a thread-spawn per frame on
+    /// the reactor thread.
+    fn execute(self: &Arc<Self>, job: Job) {
+        let spawn = {
+            let mut inner = self.inner.lock();
+            if inner.shutdown {
+                return;
+            }
+            inner.queue.push_back(job);
+            if inner.idle > 0 {
+                self.ready.notify_one();
+                false
+            } else if inner.live < MAX_WORKERS {
+                inner.live += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if spawn {
+            let pool = Arc::clone(self);
+            std::thread::spawn(move || pool.worker_loop());
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut inner = self.inner.lock();
+                loop {
+                    if let Some(job) = inner.queue.pop_front() {
+                        break job;
+                    }
+                    if inner.shutdown {
+                        inner.live -= 1;
+                        return;
+                    }
+                    inner.idle += 1;
+                    let timed_out = self.ready.wait_for(&mut inner, Duration::from_secs(2));
+                    inner.idle -= 1;
+                    if timed_out && inner.queue.is_empty() {
+                        // Quiet for a while: retire instead of idling forever.
+                        inner.live -= 1;
+                        return;
+                    }
+                }
+            };
+            job();
+        }
+    }
+
+    fn shutdown(&self) {
+        self.inner.lock().shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared frame I/O helpers.
+// ---------------------------------------------------------------------------
+
+/// Pops one complete `len | body` frame off the front of `buf`, or returns
+/// `Ok(None)` if more bytes are needed.  An impossible length word poisons
+/// the connection (`Err`): the stream can never resynchronise.
+fn extract_frame(buf: &mut Vec<u8>) -> Result<Option<Bytes>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BODY {
         return Err(RpcError::Decode(format!(
             "frame of {len} bytes is too large"
         )));
     }
-    read_exact_bytes(stream, len)
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let body = Bytes::from(buf[4..4 + len].to_vec());
+    buf.drain(..4 + len);
+    Ok(Some(body))
 }
 
-/// A server hosting one or more Amoeba service ports on a TCP socket.
+/// Writes a whole frame to a possibly non-blocking socket, waiting for
+/// writability whenever the send buffer fills, serialised by `lock` so
+/// concurrent repliers never interleave partial frames.
+fn write_frame_blocking(stream: &TcpStream, lock: &Mutex<()>, frame: &[u8]) -> Result<()> {
+    let _guard = lock.lock();
+    let mut written = 0;
+    let mut stream_ref = stream;
+    while written < frame.len() {
+        match stream_ref.write(&frame[written..]) {
+            Ok(0) => return Err(RpcError::Io("connection closed mid-write".into())),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                epoll::wait_writable(stream.as_raw_fd(), Some(Duration::from_secs(5)))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+const LISTENER_TOKEN: u64 = 0;
+
+/// One accepted connection, shared between the reactor (reads) and the
+/// workers replying on it (writes).
+struct ServerConn {
+    stream: TcpStream,
+    write_lock: Mutex<()>,
+}
+
+/// Reactor-private per-connection state.
+struct ConnState {
+    conn: Arc<ServerConn>,
+    read_buf: Vec<u8>,
+}
+
+struct ServerShared {
+    handlers: RwLock<HashMap<Port, Arc<dyn RequestHandler>>>,
+    pool: Arc<WorkerPool>,
+    shutdown: AtomicBool,
+}
+
+/// A server hosting one or more Amoeba service ports on a TCP socket,
+/// pipelining independent requests per connection.
 pub struct TcpServer {
     addr: SocketAddr,
-    handlers: Arc<RwLock<HashMap<Port, Arc<dyn RequestHandler>>>>,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<ServerShared>,
+    reactor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl TcpServer {
-    /// Binds to `addr` (use port 0 for an ephemeral port) and starts accepting
-    /// connections on a background thread.
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
+    /// reactor on a background thread.
     pub fn bind(addr: &str) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let handlers: Arc<RwLock<HashMap<Port, Arc<dyn RequestHandler>>>> =
-            Arc::new(RwLock::new(HashMap::new()));
-        let shutdown = Arc::new(AtomicBool::new(false));
 
-        let accept_handlers = Arc::clone(&handlers);
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_thread = std::thread::spawn(move || {
-            while !accept_shutdown.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let conn_handlers = Arc::clone(&accept_handlers);
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(stream, conn_handlers);
-                        });
-                    }
-                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => break,
-                }
-            }
+        let shared = Arc::new(ServerShared {
+            handlers: RwLock::new(HashMap::new()),
+            pool: WorkerPool::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let poller = epoll::Poller::new()?;
+        poller.add(listener.as_raw_fd(), LISTENER_TOKEN, epoll::READABLE)?;
+
+        let reactor_shared = Arc::clone(&shared);
+        let reactor = std::thread::spawn(move || {
+            reactor_loop(listener, poller, reactor_shared);
         });
 
         Ok(TcpServer {
             addr: local,
-            handlers,
-            shutdown,
-            accept_thread: Some(accept_thread),
+            shared,
+            reactor: Some(reactor),
         })
     }
 
@@ -96,15 +272,17 @@ impl TcpServer {
 
     /// Registers a handler for a logical service port.
     pub fn register(&self, port: Port, handler: Arc<dyn RequestHandler>) {
-        self.handlers.write().insert(port, handler);
+        self.shared.handlers.write().insert(port, handler);
     }
 
-    /// Stops accepting new connections.
+    /// Stops the reactor and the worker pool.  Established connections are
+    /// closed; in-flight handlers finish but their replies may be lost.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
+        self.shared.pool.shutdown();
     }
 }
 
@@ -114,103 +292,303 @@ impl Drop for TcpServer {
     }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    handlers: Arc<RwLock<HashMap<Port, Arc<dyn RequestHandler>>>>,
-) -> Result<()> {
-    stream.set_nodelay(true).ok();
-    loop {
-        // Destination port, then the request frame.
-        let mut port_buf = [0u8; 8];
-        match stream.read_exact(&mut port_buf) {
-            Ok(()) => {}
-            Err(_) => return Ok(()), // Client closed the connection.
+fn reactor_loop(listener: TcpListener, poller: epoll::Poller, shared: Arc<ServerShared>) {
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut next_token: u64 = LISTENER_TOKEN + 1;
+    let mut events: Vec<epoll::Event> = Vec::new();
+    let mut scratch = [0u8; 64 * 1024];
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // The timeout doubles as the shutdown poll interval.
+        if poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .is_err()
+        {
+            break;
         }
-        let port = Port::from_raw(u64::from_le_bytes(port_buf));
-        let body = read_frame(&mut stream)?;
-        let request = decode_request(body)?;
-        let handler = handlers.read().get(&port).cloned();
-        let reply = match handler {
-            Some(h) => h.handle(request),
-            None => Reply::error(Bytes::from_static(b"no such port")),
-        };
-        let frame = encode_reply(&reply)?;
-        stream.write_all(&frame)?;
-    }
-}
-
-/// A client that performs transactions against a [`TcpServer`].
-#[derive(Debug, Clone)]
-pub struct TcpClient {
-    server: SocketAddr,
-    timeout: Duration,
-    retries: std::sync::Arc<std::sync::atomic::AtomicU64>,
-}
-
-impl TcpClient {
-    /// Creates a client for the server at `server`.
-    pub fn new(server: SocketAddr) -> Self {
-        TcpClient {
-            server,
-            timeout: Duration::from_secs(5),
-            retries: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
-        }
-    }
-
-    /// Sets the per-transaction timeout.
-    pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
-        self
-    }
-
-    /// How many backed-off connect retries this client (and its clones) have
-    /// performed.
-    pub fn retries(&self) -> u64 {
-        self.retries.load(std::sync::atomic::Ordering::Relaxed)
-    }
-
-    /// `connect_timeout` with a short, jittered, backed-off retry: connecting
-    /// is free of side effects on the server, so retrying past a refused or
-    /// timed-out connection (a server mid-restart) is always safe.  Requests
-    /// are NOT retried here — a request that reached the wire may have
-    /// executed; that ambiguity belongs to the caller's failover policy.
-    fn connect(&self) -> Result<TcpStream> {
-        let mut backoff = crate::Backoff::with_seed(
-            Duration::from_millis(10),
-            Duration::from_millis(80),
-            3,
-            self.server.port().into(),
-        );
-        loop {
-            match TcpStream::connect_timeout(&self.server, self.timeout) {
-                Ok(stream) => return Ok(stream),
-                Err(_) => {
-                    if !backoff.sleep_next() {
-                        return Err(RpcError::Timeout);
+        for event in &events {
+            if event.token == LISTENER_TOKEN {
+                // Drain the accept queue (level-triggered, but cheap to loop).
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            stream.set_nodelay(true).ok();
+                            let token = next_token;
+                            next_token += 1;
+                            if poller
+                                .add(stream.as_raw_fd(), token, epoll::READABLE)
+                                .is_ok()
+                            {
+                                conns.insert(
+                                    token,
+                                    ConnState {
+                                        conn: Arc::new(ServerConn {
+                                            stream,
+                                            write_lock: Mutex::new(()),
+                                        }),
+                                        read_buf: Vec::new(),
+                                    },
+                                );
+                            }
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => break,
                     }
-                    self.retries
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            } else if let Some(state) = conns.get_mut(&event.token) {
+                if !pump_connection(state, &mut scratch, &shared) {
+                    let fd = state.conn.stream.as_raw_fd();
+                    poller.delete(fd).ok();
+                    conns.remove(&event.token);
                 }
             }
         }
     }
 }
 
+/// Reads everything currently available on the connection, dispatching each
+/// complete frame to the worker pool.  Returns `false` when the connection
+/// is finished (EOF, error, or an unframeable byte stream).
+fn pump_connection(state: &mut ConnState, scratch: &mut [u8], shared: &Arc<ServerShared>) -> bool {
+    loop {
+        match (&state.conn.stream).read(scratch) {
+            Ok(0) => return false,
+            Ok(n) => {
+                state.read_buf.extend_from_slice(&scratch[..n]);
+                loop {
+                    match extract_frame(&mut state.read_buf) {
+                        Ok(Some(body)) => dispatch_request(body, &state.conn, shared),
+                        Ok(None) => break,
+                        Err(_) => return false,
+                    }
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Hands one request frame to the worker pool: decode, run the handler for
+/// its port, write the id-tagged reply back on the originating connection.
+fn dispatch_request(body: Bytes, conn: &Arc<ServerConn>, shared: &Arc<ServerShared>) {
+    let conn = Arc::clone(conn);
+    let shared_for_job = Arc::clone(shared);
+    shared.pool.execute(Box::new(move || {
+        let (id, port, request) = match decode_mux_request(body) {
+            Ok(parts) => parts,
+            // Without an id there is nothing to tag a reply with; the
+            // client's deadline reports the loss.
+            Err(_) => return,
+        };
+        let handler = shared_for_job.handlers.read().get(&port).cloned();
+        let reply = match handler {
+            Some(h) => h.handle(request),
+            None => Reply::error(Bytes::from_static(b"no such port")),
+        };
+        let frame = match encode_mux_reply(id, &reply) {
+            Ok(frame) => frame,
+            Err(_) => {
+                match encode_mux_reply(id, &Reply::error(Bytes::from_static(b"reply too large"))) {
+                    Ok(frame) => frame,
+                    Err(_) => return,
+                }
+            }
+        };
+        let _ = write_frame_blocking(&conn.stream, &conn.write_lock, &frame);
+    }));
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+/// One established client connection: a blocking socket written under a
+/// lock, demultiplexed by a dedicated reader thread into the `MuxCore`.
+struct ClientConn {
+    stream: TcpStream,
+    write_lock: Mutex<()>,
+    mux: MuxCore,
+    dead: AtomicBool,
+}
+
+impl ClientConn {
+    /// Marks the connection unusable and fails everything in flight.
+    fn kill(&self, err: &RpcError) {
+        self.dead.store(true, Ordering::SeqCst);
+        self.mux.fail_all(err);
+    }
+}
+
+/// A pool slot: the current connection (if any) and whether this slot was
+/// ever connected — re-establishing a previously working slot is a
+/// *reconnect*, establishing it the first time is not.
+#[derive(Default)]
+struct ConnSlot {
+    conn: Option<Arc<ClientConn>>,
+    ever_connected: bool,
+}
+
+struct ClientInner {
+    server: SocketAddr,
+    timeout: Duration,
+    slots: Vec<Mutex<ConnSlot>>,
+    next: AtomicUsize,
+    reconnects: AtomicU64,
+}
+
+/// A multiplexing client for a [`TcpServer`]: a pool of persistent
+/// connections shared by all clones, many concurrent transactions in flight
+/// per connection.
+#[derive(Clone)]
+pub struct TcpClient {
+    inner: Arc<ClientInner>,
+}
+
+impl std::fmt::Debug for TcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClient")
+            .field("server", &self.inner.server)
+            .field("timeout", &self.inner.timeout)
+            .field("connections", &self.inner.slots.len())
+            .finish()
+    }
+}
+
+impl TcpClient {
+    /// Creates a client for the server at `server` with the default
+    /// per-transaction timeout (5 s) and connection pool (2 connections).
+    pub fn new(server: SocketAddr) -> Self {
+        Self::build(server, Duration::from_secs(5), 2)
+    }
+
+    /// Sets the per-transaction timeout.  (A builder: call before issuing
+    /// transactions — the pool is reset.)
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        Self::build(self.inner.server, timeout, self.inner.slots.len())
+    }
+
+    /// Sets the number of pooled connections transactions are spread over.
+    /// (A builder: call before issuing transactions — the pool is reset.)
+    pub fn with_connections(self, connections: usize) -> Self {
+        Self::build(self.inner.server, self.inner.timeout, connections.max(1))
+    }
+
+    fn build(server: SocketAddr, timeout: Duration, connections: usize) -> Self {
+        TcpClient {
+            inner: Arc::new(ClientInner {
+                server,
+                timeout,
+                slots: (0..connections)
+                    .map(|_| Mutex::new(ConnSlot::default()))
+                    .collect(),
+                next: AtomicUsize::new(0),
+                reconnects: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Picks the next pool slot round-robin and returns its live connection,
+    /// (re-)establishing one if needed.  Connect failures are retried on a
+    /// jittered backoff; once the schedule exhausts, `ServerCrashed` is
+    /// returned — a connection that never opened provably executed nothing,
+    /// so every failover policy may redirect it.
+    fn get_conn(&self) -> Result<Arc<ClientConn>> {
+        let inner = &self.inner;
+        let slot_index = inner.next.fetch_add(1, Ordering::Relaxed) % inner.slots.len();
+        let mut slot = inner.slots[slot_index].lock();
+        if let Some(conn) = &slot.conn {
+            if !conn.dead.load(Ordering::SeqCst) {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        let mut backoff = Backoff::with_seed(
+            Duration::from_millis(10),
+            Duration::from_millis(80),
+            3,
+            u64::from(inner.server.port()) ^ slot_index as u64,
+        );
+        loop {
+            match TcpStream::connect_timeout(&inner.server, inner.timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    let reader_stream = stream.try_clone()?;
+                    let conn = Arc::new(ClientConn {
+                        stream,
+                        write_lock: Mutex::new(()),
+                        mux: MuxCore::new(),
+                        dead: AtomicBool::new(false),
+                    });
+                    let reader_conn = Arc::clone(&conn);
+                    std::thread::spawn(move || reader_loop(reader_stream, reader_conn));
+                    if slot.ever_connected {
+                        inner.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    slot.ever_connected = true;
+                    slot.conn = Some(Arc::clone(&conn));
+                    return Ok(conn);
+                }
+                Err(_) => {
+                    if !backoff.sleep_next() {
+                        return Err(RpcError::ServerCrashed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Demultiplexes replies off one connection until it dies, completing each
+/// waiting request by the id its reply carries — in arrival order, which
+/// need not be request order.
+fn reader_loop(mut stream: TcpStream, conn: Arc<ClientConn>) {
+    let died: RpcError = loop {
+        let mut header = [0u8; 4];
+        if stream.read_exact(&mut header).is_err() {
+            break RpcError::Dropped;
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_FRAME_BODY {
+            break RpcError::Decode(format!("reply frame of {len} bytes is too large"));
+        }
+        let mut body = vec![0u8; len];
+        if stream.read_exact(&mut body).is_err() {
+            break RpcError::Dropped;
+        }
+        match decode_mux_reply(Bytes::from(body)) {
+            Ok((id, reply)) => {
+                conn.mux.complete(id, Ok(reply));
+            }
+            // An undecodable reply means the stream is out of sync; nothing
+            // on this connection can be trusted any more.
+            Err(err) => break err,
+        }
+    };
+    conn.kill(&died);
+}
+
 impl Transport for TcpClient {
     fn transact(&self, port: Port, request: Request) -> Result<Reply> {
-        let mut stream = self.connect()?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        stream.set_nodelay(true).ok();
+        let deadline = Instant::now() + self.inner.timeout;
+        let conn = self.get_conn()?;
+        let id = conn.mux.allocate();
+        let frame = encode_mux_request(id, port, &request)?;
+        if write_frame_blocking(&conn.stream, &conn.write_lock, &frame).is_err() {
+            // The write path failed: the connection is gone, and whether any
+            // bytes reached the server is unknowable — poison it and report
+            // the ambiguous outcome.
+            conn.kill(&RpcError::Dropped);
+        }
+        conn.mux.wait(id, deadline)
+    }
 
-        let mut head = BytesMut::with_capacity(8);
-        head.put_u64_le(port.raw());
-        stream.write_all(&head)?;
-        let frame = encode_request(&request)?;
-        stream.write_all(&frame)?;
-
-        let body = read_frame(&mut stream)?;
-        decode_reply(body)
+    fn reconnects(&self) -> u64 {
+        self.inner.reconnects.load(Ordering::Relaxed)
     }
 }
 
@@ -218,6 +596,7 @@ impl Transport for TcpClient {
 mod tests {
     use super::*;
     use amoeba_capability::Capability;
+    use bytes::BytesMut;
 
     #[test]
     fn tcp_round_trip() {
@@ -291,5 +670,134 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    /// Many logical streams interleave on ONE connection, and replies
+    /// complete out of order: the handler sleeps longer for smaller ids, so
+    /// the first requests written are the last answered — yet every thread
+    /// gets its own payload back.
+    #[test]
+    fn interleaved_streams_on_one_connection_complete_out_of_order() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let port = Port::from_raw(9);
+        server.register(
+            port,
+            Arc::new(|req: Request| {
+                let rank = req.payload[0];
+                // Earlier-sent requests sleep longest → reply order is the
+                // reverse of request order.
+                std::thread::sleep(Duration::from_millis(u64::from(16 - rank) * 5));
+                Reply::ok(req.payload)
+            }),
+        );
+        // A single shared connection: all 16 streams multiplex on it.
+        let client = TcpClient::new(server.local_addr()).with_connections(1);
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for rank in 0..16u8 {
+            let client = client.clone();
+            handles.push(std::thread::spawn(move || {
+                let payload = Bytes::from(vec![rank]);
+                let reply = client
+                    .transact(port, Request::new(1, Capability::null(), payload.clone()))
+                    .unwrap();
+                assert_eq!(reply.payload, payload);
+            }));
+            // Stagger the sends a little so write order is deterministic
+            // enough for the sleep schedule to invert it.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Serially the sleeps alone would be 5+10+...+80 = 680 ms; pipelined
+        // on one connection the whole batch bounds at the longest sleep plus
+        // overhead.  A loose factor guards against CI jitter.
+        assert!(
+            start.elapsed() < Duration::from_millis(600),
+            "requests on one connection were serialised: {:?}",
+            start.elapsed()
+        );
+    }
+
+    /// A request that exceeds its deadline times out alone; the connection
+    /// keeps serving the requests pipelined behind it.
+    #[test]
+    fn deadline_expiry_cancels_one_request_without_killing_the_connection() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let port = Port::from_raw(11);
+        server.register(
+            port,
+            Arc::new(|req: Request| {
+                if req.op == 1 {
+                    std::thread::sleep(Duration::from_millis(300));
+                }
+                Reply::ok(req.payload)
+            }),
+        );
+        let client = TcpClient::new(server.local_addr())
+            .with_connections(1)
+            .with_timeout(Duration::from_millis(60));
+        let slow = {
+            let client = client.clone();
+            std::thread::spawn(move || {
+                client.transact(port, Request::new(1, Capability::null(), Bytes::new()))
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        // Pipelined behind the slow one, but fast: completes fine.
+        let fast = client
+            .transact(
+                port,
+                Request::new(0, Capability::null(), Bytes::from_static(b"fast")),
+            )
+            .unwrap();
+        assert_eq!(fast.payload, Bytes::from_static(b"fast"));
+        assert_eq!(slow.join().unwrap().unwrap_err(), RpcError::Timeout);
+        // The connection survived the expiry: later transactions still work.
+        let again = client
+            .transact(
+                port,
+                Request::new(0, Capability::null(), Bytes::from_static(b"again")),
+            )
+            .unwrap();
+        assert_eq!(again.payload, Bytes::from_static(b"again"));
+    }
+
+    /// Killing the server and restarting on the same address exercises the
+    /// reconnect path, which must be counted in `reconnects()`.
+    #[test]
+    fn reconnect_after_server_restart_is_counted() {
+        let mut server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let port = Port::from_raw(13);
+        server.register(port, Arc::new(|req: Request| Reply::ok(req.payload)));
+        let client = TcpClient::new(addr).with_connections(1);
+        client
+            .transact(port, Request::new(0, Capability::null(), Bytes::new()))
+            .unwrap();
+        assert_eq!(client.reconnects(), 0);
+
+        server.shutdown();
+        // The pooled connection is now dead; the first transact after the
+        // restart below must transparently re-establish it.
+        let server = TcpServer::bind(&addr.to_string()).unwrap();
+        server.register(port, Arc::new(|req: Request| Reply::ok(req.payload)));
+
+        // The dead connection may serve one failing transact before the
+        // reader thread notices EOF; retry a few times like a real caller.
+        let mut ok = false;
+        for _ in 0..20 {
+            if client
+                .transact(port, Request::new(0, Capability::null(), Bytes::new()))
+                .is_ok()
+            {
+                ok = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(ok, "client never recovered after server restart");
+        assert_eq!(client.reconnects(), 1);
     }
 }

@@ -32,7 +32,9 @@ use amoeba_rpc::block::{
     decode_block_writes, encode_block_list, encode_block_nr, encode_block_write,
     encode_block_writes, BlockOp,
 };
-use amoeba_rpc::{LocalNetwork, Reply, Request, RequestHandler, Transport};
+use amoeba_rpc::{
+    ClientStats, FailoverPolicy, LocalNetwork, MuxClient, Reply, Request, RequestHandler, Transport,
+};
 
 // ---------------------------------------------------------------------------
 // Error marshalling: one code byte + detail, mirroring the file-service ops.
@@ -297,64 +299,69 @@ impl BlockServerProcess {
 /// remote replica disks, with a commit flush costing one `WriteBlocks` RPC per
 /// replica.
 pub struct RemoteBlockStore<T: Transport> {
-    transport: T,
-    port: Port,
+    client: MuxClient<T>,
     account: Capability,
     block_size: usize,
     /// The replica set's current membership epoch, pushed down by
     /// `ReplicatedBlockStore` via [`BlockStore::set_epoch`] and stamped into
     /// every `WriteBlocks` request (0 = not part of a replica set).
     epoch: std::sync::atomic::AtomicU64,
-    /// Backed-off retries of idempotent requests (reads and queries) that hit
-    /// a transport failure.
-    retries: std::sync::atomic::AtomicU64,
 }
 
 impl<T: Transport> RemoteBlockStore<T> {
     /// Connects to the block server at `port`: creates an account and caches
     /// the block size.
     pub fn connect(transport: T, port: Port) -> amoeba_block::Result<Self> {
+        // A single-server client with a much shorter retry schedule than the
+        // file-service default: the replica layer above wants a dead disk
+        // surfaced promptly.
+        let client = MuxClient::new(transport, vec![port]).with_backoff(
+            std::time::Duration::from_millis(1),
+            std::time::Duration::from_millis(4),
+            2,
+        );
         let account = {
-            let reply = Self::transact_raw(
-                &transport,
-                port,
+            let mut payload = Self::transact(
+                &client,
                 Request::empty(BlockOp::CreateAccount as u32, Capability::null()),
+                FailoverPolicy::Never,
             )?;
-            let mut payload = reply;
             Capability::decode(&mut payload)
                 .ok_or_else(|| BlockError::Io("bad account capability reply".into()))?
         };
         let block_size = {
-            let reply = Self::transact_raw(
-                &transport,
-                port,
+            let reply = Self::transact(
+                &client,
                 Request::empty(BlockOp::BlockSize as u32, account),
+                FailoverPolicy::Always,
             )?;
             decode_block_nr(reply).ok_or_else(|| BlockError::Io("bad block-size reply".into()))?
                 as usize
         };
         Ok(RemoteBlockStore {
-            transport,
-            port,
+            client,
             account,
             block_size,
             epoch: std::sync::atomic::AtomicU64::new(0),
-            retries: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
-    /// How many backed-off retries of idempotent requests this connection has
-    /// performed.
-    pub fn retries(&self) -> u64 {
-        self.retries.load(std::sync::atomic::Ordering::Relaxed)
+    /// Uniform client statistics: backed-off retry rounds of idempotent
+    /// requests, transport reconnects, and the in-flight high-water mark.
+    pub fn stats(&self) -> ClientStats {
+        self.client.stats()
     }
 
-    fn transact_raw(transport: &T, port: Port, request: Request) -> amoeba_block::Result<Bytes> {
+    fn transact(
+        client: &MuxClient<T>,
+        request: Request,
+        policy: FailoverPolicy,
+    ) -> amoeba_block::Result<Bytes> {
         // Any transport failure is indistinguishable from a dead disk, which is
         // precisely the semantics the replica layer wants: auto-down the
         // replica and queue intentions.
-        let reply = transport
-            .transact(port, request)
+        let reply = client
+            .transact(request, policy)
             .map_err(|_| BlockError::Crashed)?;
         if reply.is_ok() {
             Ok(reply.payload)
@@ -363,36 +370,27 @@ impl<T: Transport> RemoteBlockStore<T> {
         }
     }
 
+    /// One mutation attempt, no retry ([`FailoverPolicy::Never`]): the
+    /// replica layer above owns mutation failure handling (auto-down,
+    /// intentions, resync), and it wants to see a dead disk promptly, not
+    /// after a retry schedule.
     fn call(&self, op: BlockOp, payload: Bytes) -> amoeba_block::Result<Bytes> {
-        Self::transact_raw(
-            &self.transport,
-            self.port,
+        Self::transact(
+            &self.client,
             Request::new(op as u32, self.account, payload),
+            FailoverPolicy::Never,
         )
     }
 
-    /// `call` with a short backed-off retry around transport failures.  Only
-    /// for *idempotent* requests (reads and queries): replaying one past an
-    /// ambiguous failure cannot double-apply anything.  Mutations are never
-    /// routed through here — the replica layer above owns their failure
-    /// handling (auto-down, intentions, resync), and it wants to see a dead
-    /// disk promptly, not after a retry schedule.
+    /// `call` with the client's short backed-off retry around transport
+    /// failures.  Only for *idempotent* requests (reads and queries):
+    /// replaying one past an ambiguous failure cannot double-apply anything.
     fn call_idempotent(&self, op: BlockOp, payload: Bytes) -> amoeba_block::Result<Bytes> {
-        let mut backoff = amoeba_rpc::Backoff::with_seed(
-            std::time::Duration::from_millis(1),
-            std::time::Duration::from_millis(4),
-            2,
-            self.port.raw(),
-        );
-        loop {
-            match self.call(op, payload.clone()) {
-                Err(BlockError::Crashed) if backoff.sleep_next() => {
-                    self.retries
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
-                other => return other,
-            }
-        }
+        Self::transact(
+            &self.client,
+            Request::new(op as u32, self.account, payload),
+            FailoverPolicy::Always,
+        )
     }
 }
 

@@ -61,6 +61,10 @@ pub struct RunResult {
     /// mechanism exposes its counters.  An unsharded mechanism reports one
     /// entry; use it to see hot-shard skew that the aggregate hides.
     pub io_per_shard: Option<Vec<afs_core::PageIoStats>>,
+    /// RPC-client statistics for the run (backed-off retry rounds, transport
+    /// reconnects, in-flight high-water mark), when the mechanism runs over a
+    /// remote connection; `None` for local mechanisms and the baselines.
+    pub client_stats: Option<amoeba_rpc::ClientStats>,
 }
 
 impl RunResult {
@@ -101,6 +105,7 @@ where
     let gave_up = AtomicU64::new(0);
     let io_before = cc.io_stats();
     let io_per_shard_before = cc.shard_io_stats();
+    let client_stats_before = cc.client_stats();
     let start = Instant::now();
 
     let latencies: Vec<Duration> = std::thread::scope(|scope| {
@@ -187,6 +192,10 @@ where
             ),
             _ => None,
         },
+        client_stats: match (client_stats_before, cc.client_stats()) {
+            (Some(before), Some(after)) => Some(after.since(&before)),
+            _ => None,
+        },
     }
 }
 
@@ -260,13 +269,20 @@ mod tests {
         let network = Arc::new(LocalNetwork::new());
         let service = FileService::in_memory();
         let group = ServerGroup::start(&network, &service, 2);
-        let remote = RemoteFs::new(Arc::clone(&network), group.ports());
-        let cc = StoreAdapter::over(remote, "amoeba-occ-rpc");
+        let remote = Arc::new(RemoteFs::new(Arc::clone(&network), group.ports()));
+        let probe = Arc::clone(&remote);
+        let cc =
+            StoreAdapter::over(remote, "amoeba-occ-rpc").with_client_stats(move || probe.stats());
 
         let result = run_workload(&cc, &tiny_config());
         assert_eq!(result.mechanism, "amoeba-occ-rpc");
         assert_eq!(result.committed, 60);
         assert_eq!(result.gave_up, 0);
+        // The remote adapter surfaces uniform client statistics; a healthy
+        // in-process network needs no retries and no reconnects.
+        let stats = result.client_stats.expect("remote adapter reports stats");
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.reconnects, 0);
         // Batched page ops keep the wire chatter bounded: per transaction one
         // CreateVersion + at most one ReadPages + one WritePages + one Commit
         // (plus setup and retries).

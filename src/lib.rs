@@ -17,7 +17,11 @@
 //! * [`amoeba_capability`] — ports, capabilities, rights, the
 //!   [`amoeba_capability::shard_of`] placement function, and the
 //!   [`amoeba_capability::DirCap`] directory-capability newtype,
-//! * [`amoeba_rpc`] — transaction-style RPC (in-process and TCP transports),
+//! * [`amoeba_rpc`] — transaction-style RPC: the generic multiplexing
+//!   [`amoeba_rpc::MuxClient`] (request-id tagged frames, out-of-order replies,
+//!   per-request deadlines, backoff-driven failover) over pluggable
+//!   [`amoeba_rpc::Transport`]s — in-process [`amoeba_rpc::LocalNetwork`] and a
+//!   readiness-driven TCP reactor ([`amoeba_rpc::tcp`]),
 //! * [`afs_dir`] — the **directory service**: a capability-named hierarchy
 //!   whose directories are ordinary files of the file service, every mutation
 //!   an OCC transaction ([`afs_dir::DirStore`]; served over RPC by
@@ -80,6 +84,30 @@
 //! routed around, with jittered bounded backoff in the client retry loops).
 //!
 //! See `examples/sharded_service.rs` for the whole topology in motion.
+//!
+//! ## Transport: one multiplexed RPC engine
+//!
+//! All three remote clients — [`afs_client::RemoteFs`] (files),
+//! [`afs_client::RemoteDir`] (directories) and `afs_server::RemoteBlockStore`
+//! (blocks) — are thin typed wrappers over a single generic
+//! [`amoeba_rpc::MuxClient`].  The paper's transaction discipline is kept at
+//! the *logical* level (one request, one reply, at-most-once effect per
+//! attempt), but the wire no longer serialises: every frame carries a request
+//! id, so one connection interleaves many outstanding transactions and replies
+//! return in whatever order the server finishes them.  `MuxClient` owns the
+//! id allocation, the pending-reply table, per-request deadlines, and the
+//! jittered-backoff failover sweep across server ports; the wrappers only
+//! encode operations and pick a [`amoeba_rpc::FailoverPolicy`] per call
+//! (idempotent reads retry anywhere, mutations never blind-retry).  The TCP
+//! transport ([`amoeba_rpc::tcp`]) runs a readiness-driven reactor —
+//! non-blocking sockets polled through the vendored epoll shim, one reactor
+//! thread per client multiplexing all connections — and the server pipelines
+//! requests per connection through a bounded worker pool, so slow calls do
+//! not convoy fast ones.  Because [`amoeba_rpc::LocalNetwork`] implements the
+//! same [`amoeba_rpc::Transport`] trait, every test and experiment runs
+//! unchanged in-process or over real sockets, and uniform
+//! [`amoeba_rpc::ClientStats`] (retry rounds, reconnects, in-flight
+//! high-water mark) surface through [`afs_sim::RunResult`] either way.
 //!
 //! ## Naming: the directory service over ordinary files
 //!
