@@ -1,8 +1,16 @@
 //! Perf smoke: short, deterministic workload slices that run in seconds and
-//! write machine-readable throughput and I/O counters to `BENCH_8.json`, so CI
+//! write machine-readable throughput and I/O counters to `BENCH_9.json`, so CI
 //! can track the performance trajectory without a full Criterion run.
 //!
-//! Schema v8 adds the multiplexed transport: a `high_concurrency` block
+//! Schema v9 adds lease coherence: a `lease_coherence` block measuring the
+//! warm-read RPC count of a hot working set with leasing off (the pre-lease
+//! behaviour: every revalidate is one `ValidateCache` round trip) against
+//! leasing on (warm revalidates answer from the client lease table — zero
+//! RPCs), plus a lease-break storm where writers churn the same files the
+//! readers hold leases on, reporting grants, callback breaks, and the
+//! zero-RPC hit rate the readers still achieve between breaks.
+//!
+//! Schema v8 added the multiplexed transport: a `high_concurrency` block
 //! driving one shard over real TCP sockets with 8, 64 and 256 concurrent
 //! simulated clients multiplexed onto 8 connections.  Requests pipeline on the
 //! shared connections and the (concurrent-mode) delayed disk serves
@@ -58,19 +66,20 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use afs_baselines::AmoebaAdapter;
-use afs_client::{NamedStore, RemoteFs, ShardedStore};
+use afs_client::{ClientCache, NamedStore, RemoteFs, ShardedStore};
 use afs_core::shard_of;
 use afs_core::{
     BlockServer, FileService, FileStore, MemStore, PageIoStats, PagePath, RetryPolicy, Rights,
     ServiceConfig,
 };
 use afs_dir::DirStore;
-use afs_server::FileServerHandler;
+use afs_server::{FileServerHandler, LeaseManager, ServerProcess, DEFAULT_LEASE_TTL};
 use afs_sim::{run_dir_churn, run_workload, DirChurnRun, RunConfig};
 use afs_workload::MixConfig;
 use amoeba_block::{BlockStore, CommitRule, DelayStore, ReplicatedBlockStore};
-use amoeba_capability::Port;
+use amoeba_capability::{Capability, Port};
 use amoeba_rpc::tcp::{TcpClient, TcpServer};
+use amoeba_rpc::LocalNetwork;
 
 /// Shard count of the "many servers" rows.
 const SHARDS: usize = 3;
@@ -491,6 +500,164 @@ fn dir_churn_delta() -> (afs_sim::DirChurnResult, usize, usize) {
     (result, CLIENTS, OPS_PER_CLIENT)
 }
 
+/// The lease-coherence numbers of the PR 9 tentpole.
+struct LeaseCoherence {
+    hot_files: usize,
+    warm_cycles: usize,
+    /// Warm-path RPCs with leasing disabled (one `ValidateCache` per cycle —
+    /// the pre-lease behaviour).
+    unleased_rpcs: u64,
+    /// Warm-path RPCs with leases on (the tentpole claim: zero).
+    leased_rpcs: u64,
+    /// Fraction of warm validations answered from the lease table.
+    zero_rpc_hit_rate: f64,
+    storm_commits: usize,
+    storm_grants: u64,
+    storm_breaks: u64,
+    storm_hit_rate: f64,
+}
+
+/// The warm-read RPC delta and the lease-break storm.
+///
+/// Phase 1 — the before/after: a connected client revalidate+reads a hot
+/// working set of committed files, once against a server whose lease manager
+/// is disabled (ttl zero: every warm cycle pays one `ValidateCache` round
+/// trip) and once against the default manager (warm cycles answer from the
+/// client lease table: zero RPCs).  The RPC counts come from the network's
+/// own transaction counter, so the "zero" is measured, not inferred.
+///
+/// Phase 2 — the storm: two connected readers keep revalidating the hot set
+/// while a writer client commits updates to the same files, write-heavy
+/// churn that breaks leases as fast as they are re-granted.  Each commit
+/// pushes callback breaks and waits for the acks, so the row demonstrates
+/// the revocation path under contention; the readers' hit rate shows warm
+/// reads stay mostly free *between* breaks even then.
+fn lease_coherence() -> LeaseCoherence {
+    const HOT_FILES: usize = 8;
+    const WARM_CYCLES: usize = 50;
+    const STORM_COMMITS_PER_FILE: usize = 5;
+    const STORM_READER_PASSES: usize = 100;
+
+    let launch = |ttl: Duration| {
+        let network = Arc::new(LocalNetwork::new());
+        let service = FileService::in_memory();
+        let process = ServerProcess::start_with_lease_manager(
+            Arc::clone(&network),
+            service,
+            Arc::new(LeaseManager::with_ttl(ttl)),
+        );
+        (network, process)
+    };
+    let hot_set = |remote: &RemoteFs<amoeba_rpc::LocalConn>| -> Vec<(Capability, PagePath)> {
+        (0..HOT_FILES)
+            .map(|i| {
+                let file = remote.create_file().expect("create hot file");
+                let v = remote.create_version(&file).expect("setup version");
+                let page = remote
+                    .append_page(&v, &PagePath::root(), Bytes::from(vec![i as u8; 128]))
+                    .expect("append");
+                remote.commit(&v).expect("commit setup");
+                (file, page)
+            })
+            .collect()
+    };
+    let warm_rpcs = |ttl: Duration| -> (u64, u64) {
+        let (network, process) = launch(ttl);
+        let remote = RemoteFs::new(network.connect(), vec![process.port()]);
+        let files = hot_set(&remote);
+        let mut cache = ClientCache::new(&remote);
+        for (file, page) in &files {
+            cache.revalidate(file).expect("prime validate");
+            cache.read(file, page).expect("prime read");
+        }
+        let before = network.transaction_count();
+        for _ in 0..WARM_CYCLES {
+            for (file, page) in &files {
+                cache.revalidate(file).expect("warm validate");
+                cache.read(file, page).expect("warm read");
+            }
+        }
+        (
+            network.transaction_count() - before,
+            remote.stats().zero_rpc_hits,
+        )
+    };
+
+    let (unleased_rpcs, _) = warm_rpcs(Duration::ZERO);
+    let (leased_rpcs, warm_hits) = warm_rpcs(DEFAULT_LEASE_TTL);
+    let zero_rpc_hit_rate = warm_hits as f64 / (HOT_FILES * WARM_CYCLES) as f64;
+
+    // Phase 2: the break storm.  The readers keep revalidating for as long
+    // as the writer churns (plus a floor of passes), so every commit lands
+    // on freshly re-granted leases and actually exercises the break path.
+    let (network, process) = launch(DEFAULT_LEASE_TTL);
+    let writer = RemoteFs::new(network.connect(), vec![process.port()]);
+    let files = Arc::new(hot_set(&writer));
+    let churning = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let mut reader_validations = 0u64;
+    let mut reader_hits = 0u64;
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let network = Arc::clone(&network);
+                let files = Arc::clone(&files);
+                let churning = Arc::clone(&churning);
+                let port = process.port();
+                scope.spawn(move || {
+                    let remote = RemoteFs::new(network.connect(), vec![port]);
+                    let mut cache = ClientCache::new(&remote);
+                    let mut passes = 0usize;
+                    while passes < STORM_READER_PASSES
+                        || churning.load(std::sync::atomic::Ordering::Relaxed)
+                    {
+                        for (file, page) in files.iter() {
+                            cache.revalidate(file).expect("storm validate");
+                            cache.read(file, page).expect("storm read");
+                        }
+                        passes += 1;
+                    }
+                    (cache.stats().validations, remote.stats().zero_rpc_hits)
+                })
+            })
+            .collect();
+        for round in 0..STORM_COMMITS_PER_FILE {
+            for (file, page) in files.iter() {
+                let v = writer.create_version(file).expect("storm version");
+                writer
+                    .write_page(&v, page, Bytes::from(vec![round as u8; 128]))
+                    .expect("storm write");
+                writer.commit(&v).expect("storm commit");
+                // Let the readers re-lease between commits; without the gap
+                // the whole churn finishes before they revalidate once and
+                // most commits find no live grant to break.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        churning.store(false, std::sync::atomic::Ordering::Relaxed);
+        for reader in readers {
+            let (validations, hits) = reader.join().expect("storm reader");
+            reader_validations += validations;
+            reader_hits += hits;
+        }
+    });
+    let manager = process.lease_manager();
+    LeaseCoherence {
+        hot_files: HOT_FILES,
+        warm_cycles: WARM_CYCLES,
+        unleased_rpcs,
+        leased_rpcs,
+        zero_rpc_hit_rate,
+        storm_commits: HOT_FILES * STORM_COMMITS_PER_FILE,
+        storm_grants: manager.granted_total(),
+        storm_breaks: manager.broken_total(),
+        storm_hit_rate: if reader_validations > 0 {
+            reader_hits as f64 / reader_validations as f64
+        } else {
+            0.0
+        },
+    }
+}
+
 /// One client-count step of the high-concurrency sweep.
 struct ConcurrencyRow {
     clients: usize,
@@ -591,7 +758,7 @@ fn find<'a>(rows: &'a [Row], name: &str) -> Option<&'a Row> {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
 
     let rows = [
         occ_mixed(),
@@ -606,6 +773,7 @@ fn main() {
     let (quorum_replicas, slow_extra_ms, write_all_ms, quorum_ms) = quorum_latency_delta();
     let (resolution_paths, resolution_cold, resolution_warm) = path_resolution();
     let (churn, churn_clients, churn_ops_per_client) = dir_churn_delta();
+    let leases = lease_coherence();
     let concurrency = high_concurrency();
 
     let wt = find(&rows, "cow_repeated_write_writethrough").unwrap();
@@ -629,7 +797,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"afs-perf-smoke-v8\",\n",
+            "  \"schema\": \"afs-perf-smoke-v9\",\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"write_back_delta\": {{\n",
             "    \"cow_page_writes_before\": {},\n",
@@ -679,6 +847,17 @@ fn main() {
             "    \"retries\": {},\n",
             "    \"retry_rate\": {:.3}\n",
             "  }},\n",
+            "  \"lease_coherence\": {{\n",
+            "    \"hot_files\": {},\n",
+            "    \"warm_cycles_per_file\": {},\n",
+            "    \"warm_read_rpcs_unleased\": {},\n",
+            "    \"warm_read_rpcs_leased\": {},\n",
+            "    \"zero_rpc_hit_rate\": {:.3},\n",
+            "    \"break_storm_commits\": {},\n",
+            "    \"break_storm_leases_granted\": {},\n",
+            "    \"break_storm_leases_broken\": {},\n",
+            "    \"break_storm_hit_rate\": {:.3}\n",
+            "  }},\n",
             "  \"high_concurrency\": {{\n",
             "    \"connections\": {},\n",
             "    \"tx_per_client\": {},\n",
@@ -725,6 +904,15 @@ fn main() {
         churn.throughput(),
         churn.retries,
         churn.retry_rate(),
+        leases.hot_files,
+        leases.warm_cycles,
+        leases.unleased_rpcs,
+        leases.leased_rpcs,
+        leases.zero_rpc_hit_rate,
+        leases.storm_commits,
+        leases.storm_grants,
+        leases.storm_breaks,
+        leases.storm_hit_rate,
         HC_CONNECTIONS,
         HC_TX_PER_CLIENT,
         concurrency_body.join(",\n"),

@@ -4,8 +4,16 @@
 //! client has seen.  Before the cached pages are used again, the client runs one
 //! `ValidateCache` transaction; the server answers with the list of paths that
 //! changed since, and only those entries are dropped.  For an unshared file the
-//! answer is "up to date" and the whole cache survives — with no unsolicited server
-//! messages in either case.
+//! answer is "up to date" and the whole cache survives.
+//!
+//! Validate-on-use is the *fallback* discipline, correct over any transport.
+//! Over a connected transport the validation reply also carries a time-bounded
+//! lease (see `crate::RemoteFs` and `afs_server::LeaseManager`): while the
+//! lease lives, the store answers `validate_cache` from a local lease table
+//! without touching the wire, so the revalidation this cache performs on every
+//! reopen costs zero RPCs on the warm path.  The cache itself is oblivious to
+//! this — it always asks, and the layer below decides whether asking needs a
+//! round trip.
 //!
 //! The cache is generic over [`FileStore`], so the same code caches pages of a
 //! remote [`crate::RemoteFs`] connection or of a local

@@ -1,0 +1,245 @@
+//! Client-side lease tracking: the table that turns warm revalidations into
+//! zero-RPC cache hits.
+//!
+//! The server grants a time-bounded lease on every `ValidateCache` reply sent
+//! to a connected (callback-capable) client: a promise that the file's
+//! current version will not change without a break frame arriving first.
+//! [`LeaseTable`] records those grants; while one is live,
+//! [`crate::RemoteFs::validate_cache`] answers "up to date" from the table —
+//! no request, no frame, no round trip.
+//!
+//! # Why trusting the table is safe
+//!
+//! * **Clock drift cannot widen the window.**  The wire carries a *relative*
+//!   ttl; the client starts its countdown from an instant taken *before the
+//!   request was sent* (and keeps only [`TTL_TRUST_NUM`]/[`TTL_TRUST_DEN`] of
+//!   the granted time).  The server's own countdown starts strictly later, so
+//!   the client always stops trusting first — a committing writer that waits
+//!   out a grant on the server's clock has, by then, outlived the client's.
+//! * **Breaks beat replies.**  A break for an object with no recorded lease
+//!   means the break overtook the granting reply (pushed frames and replies
+//!   share the connection, but worker threads race).  The table leaves a
+//!   tombstone; when the grant finally lands, [`LeaseTable::record`] discards
+//!   it.  Losing a lease we were entitled to costs one future revalidation —
+//!   trusting a broken one would serve stale data.
+//! * **A dead connection holds nothing.**  On connection loss the transport
+//!   fires [`amoeba_rpc::CallbackSink::on_connection_lost`] and the table
+//!   drops every lease; the first use after reconnect revalidates.
+//!
+//! The sink runs on the transport's reader thread and only mutates this
+//! table — it never transacts, so it can never deadlock the connection it is
+//! fed by.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use afs_server::ops::decode_lease_break;
+use amoeba_capability::Port;
+use amoeba_rpc::CallbackSink;
+
+/// Numerator of the fraction of the granted ttl the client actually trusts.
+pub const TTL_TRUST_NUM: u32 = 3;
+/// Denominator of the trusted-ttl fraction.
+pub const TTL_TRUST_DEN: u32 = 4;
+
+/// How long a break-before-grant tombstone suppresses recording.  Generous:
+/// it only needs to outlive the in-flight reply the break overtook.
+const TOMBSTONE_TTL: Duration = Duration::from_secs(30);
+
+enum Slot {
+    /// A live lease: the current block we may keep serving until `expiry`.
+    Live { current_block: u32, expiry: Instant },
+    /// A break arrived for a grant we have not recorded yet; discard that
+    /// grant when its reply lands.
+    BreakPending { until: Instant },
+}
+
+/// The client's lease table: per-file grants, break tombstones, and the
+/// counters surfaced through [`amoeba_rpc::ClientStats`].
+#[derive(Default)]
+pub(crate) struct LeaseTable {
+    slots: Mutex<HashMap<u64, Slot>>,
+    granted: AtomicU64,
+    broken: AtomicU64,
+    zero_rpc_hits: AtomicU64,
+}
+
+impl LeaseTable {
+    /// True if a live lease covers `object` at `cached_block` — the caller
+    /// may answer "up to date" without any wire traffic.  Counts the hit.
+    pub fn covers(&self, object: u64, cached_block: u32) -> bool {
+        let slots = self.slots.lock();
+        match slots.get(&object) {
+            Some(Slot::Live {
+                current_block,
+                expiry,
+            }) if *current_block == cached_block && Instant::now() < *expiry => {
+                drop(slots);
+                self.zero_rpc_hits.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records a grant that arrived on a validation reply.  `started` must be
+    /// the instant taken *before* the request was sent; the lease is trusted
+    /// for only [`TTL_TRUST_NUM`]/[`TTL_TRUST_DEN`] of the granted ttl from
+    /// that point, so the client's countdown always ends before the server's.
+    /// A pending break tombstone swallows the grant instead.
+    pub fn record(&self, object: u64, current_block: u32, ttl_ms: u32, started: Instant) {
+        if ttl_ms == 0 {
+            return;
+        }
+        let trusted = Duration::from_millis(u64::from(ttl_ms)) * TTL_TRUST_NUM / TTL_TRUST_DEN;
+        let expiry = started + trusted;
+        if Instant::now() >= expiry {
+            return; // the reply took longer than the trusted window
+        }
+        let mut slots = self.slots.lock();
+        match slots.get(&object) {
+            Some(Slot::BreakPending { until }) if Instant::now() < *until => {
+                // The break overtook this grant's reply: the grant is void.
+                slots.remove(&object);
+                return;
+            }
+            _ => {}
+        }
+        slots.insert(
+            object,
+            Slot::Live {
+                current_block,
+                expiry,
+            },
+        );
+        drop(slots);
+        self.granted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handles a break frame for `object`: drop the lease, or leave a
+    /// tombstone if the granting reply has not landed yet.
+    pub fn break_lease(&self, object: u64) {
+        let mut slots = self.slots.lock();
+        match slots.remove(&object) {
+            Some(Slot::Live { .. }) => {}
+            _ => {
+                slots.insert(
+                    object,
+                    Slot::BreakPending {
+                        until: Instant::now() + TOMBSTONE_TTL,
+                    },
+                );
+            }
+        }
+        drop(slots);
+        self.broken.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every lease (connection lost: nothing granted over it survives).
+    pub fn clear(&self) {
+        self.slots.lock().clear();
+    }
+
+    /// Total leases recorded.
+    pub fn granted(&self) -> u64 {
+        self.granted.load(Ordering::Relaxed)
+    }
+
+    /// Total break frames processed.
+    pub fn broken(&self) -> u64 {
+        self.broken.load(Ordering::Relaxed)
+    }
+
+    /// Total validations answered from the table with zero RPCs.
+    pub fn zero_rpc_hits(&self) -> u64 {
+        self.zero_rpc_hits.load(Ordering::Relaxed)
+    }
+}
+
+/// The [`CallbackSink`] a [`crate::RemoteFs`] registers on its transport:
+/// routes break frames into the shared [`LeaseTable`].
+pub(crate) struct LeaseSink(pub(crate) std::sync::Arc<LeaseTable>);
+
+impl CallbackSink for LeaseSink {
+    fn on_callback(&self, _port: Port, payload: Bytes) {
+        // Unknown callback payloads are ignored: this sink only understands
+        // lease breaks, and tolerating new frame kinds keeps old clients
+        // compatible with newer servers.
+        if let Some(object) = decode_lease_break(payload) {
+            self.0.break_lease(object);
+        }
+    }
+
+    fn on_connection_lost(&self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_leases_cover_only_the_recorded_block() {
+        let table = LeaseTable::default();
+        let started = Instant::now();
+        table.record(7, 42, 2_000, started);
+        assert!(table.covers(7, 42));
+        assert!(!table.covers(7, 41), "a different block never hits");
+        assert!(!table.covers(8, 42), "a different object never hits");
+        assert_eq!(table.zero_rpc_hits(), 1);
+        assert_eq!(table.granted(), 1);
+    }
+
+    #[test]
+    fn breaks_drop_the_lease_and_tombstone_late_grants() {
+        let table = LeaseTable::default();
+        table.record(7, 42, 2_000, Instant::now());
+        table.break_lease(7);
+        assert!(!table.covers(7, 42), "broken lease must not serve");
+        assert_eq!(table.broken(), 1);
+
+        // Break for an unrecorded grant: the reply is still in flight.  When
+        // it lands, the tombstone swallows it.
+        table.break_lease(9);
+        table.record(9, 5, 2_000, Instant::now());
+        assert!(!table.covers(9, 5), "tombstoned grant must be discarded");
+
+        // The tombstone is consumed: the next grant is a fresh one.
+        table.record(9, 6, 2_000, Instant::now());
+        assert!(table.covers(9, 6));
+    }
+
+    #[test]
+    fn the_trusted_window_is_a_fraction_counted_from_before_send() {
+        let table = LeaseTable::default();
+        // The reply "took" longer than the trusted 3/4 of the ttl: the grant
+        // is already expired from the pre-send instant and is not recorded.
+        let long_ago = Instant::now() - Duration::from_millis(80);
+        table.record(7, 42, 100, long_ago);
+        assert!(!table.covers(7, 42));
+        assert_eq!(table.granted(), 0);
+    }
+
+    #[test]
+    fn connection_loss_clears_everything() {
+        let table = LeaseTable::default();
+        table.record(1, 10, 2_000, Instant::now());
+        table.record(2, 20, 2_000, Instant::now());
+        table.clear();
+        assert!(!table.covers(1, 10));
+        assert!(!table.covers(2, 20));
+    }
+
+    #[test]
+    fn zero_ttl_grants_nothing() {
+        let table = LeaseTable::default();
+        table.record(7, 42, 0, Instant::now());
+        assert!(!table.covers(7, 42));
+        assert_eq!(table.granted(), 0);
+    }
+}

@@ -7,8 +7,12 @@
 //!   make a k-page update cost O(1) round trips.
 //! * [`ClientCache`] — the §5.4 page cache over any [`afs_core::FileStore`]:
 //!   pages of the most recently used version of each file, revalidated with one
-//!   `ValidateCache` transaction when the file is opened again; no unsolicited
-//!   messages ever arrive.
+//!   `ValidateCache` transaction when the file is opened again.  Validate-on-use
+//!   is the baseline discipline; over a connected transport the server upgrades
+//!   it with a time-bounded **lease** piggybacked on the validation reply, and
+//!   while the lease lives [`RemoteFs`] answers revalidation locally — the warm
+//!   path costs zero RPCs, and a committing writer breaks conflicting leases
+//!   with a callback frame pushed down the same multiplexed connection.
 //! * [`ShardedStore`] — the client-side shard router: one [`afs_core::FileStore`]
 //!   over N independent shards (local services or remote connections), routed by
 //!   capability-based placement (`amoeba_capability::shard_of`) with per-shard
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod lease;
 mod named;
 mod remote;
 mod remote_dir;

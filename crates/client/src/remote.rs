@@ -12,6 +12,15 @@
 //! policy.  Every file-service operation uses [`FailoverPolicy::Always`]:
 //! reads are idempotent, and mutations are version-directed writes to
 //! *uncommitted* state, so re-executing one on a replica is harmless.
+//!
+//! The stub also owns the client half of the lease protocol (see
+//! [`crate::lease`]): a [`CallbackSink`] registered on the transport feeds
+//! server-pushed break frames into a lease table, and
+//! [`RemoteFs::validate_cache`] answers from that table — zero RPCs — while
+//! a lease is live.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
 
@@ -24,18 +33,27 @@ use afs_server::ops::{
 use amoeba_capability::{Capability, Port};
 use amoeba_rpc::{ClientStats, FailoverPolicy, MuxClient, Reply, Request, Transport, MAX_PAYLOAD};
 
+use crate::lease::{LeaseSink, LeaseTable};
+
 /// A connection to the file service: a [`MuxClient`] over the ports of the
 /// server processes, in preference order.
 pub struct RemoteFs<T: Transport> {
     client: MuxClient<T>,
+    lease: Arc<LeaseTable>,
 }
 
 impl<T: Transport> RemoteFs<T> {
     /// Creates a client that talks to the given server ports (first is preferred).
+    ///
+    /// If the transport supports server-pushed callbacks, a lease sink is
+    /// registered so `ValidateCache` grants can be trusted locally; over a
+    /// plain request/reply transport the server never grants and every
+    /// validation stays a round trip.
     pub fn new(transport: T, servers: Vec<Port>) -> Self {
-        RemoteFs {
-            client: MuxClient::new(transport, servers),
-        }
+        let client = MuxClient::new(transport, servers);
+        let lease = Arc::new(LeaseTable::default());
+        client.register_callback_sink(Arc::new(LeaseSink(Arc::clone(&lease))));
+        RemoteFs { client, lease }
     }
 
     /// The underlying transport (for instrumentation, e.g. round-trip counting).
@@ -44,9 +62,16 @@ impl<T: Transport> RemoteFs<T> {
     }
 
     /// Uniform client statistics: backed-off retry rounds, transport
-    /// reconnects, and the in-flight high-water mark.
+    /// reconnects, the in-flight high-water mark, and the lease counters
+    /// (grants recorded, breaks processed, validations answered with zero
+    /// RPCs).
     pub fn stats(&self) -> ClientStats {
-        self.client.stats()
+        ClientStats {
+            leases_granted: self.lease.granted(),
+            leases_broken: self.lease.broken(),
+            zero_rpc_hits: self.lease.zero_rpc_hits(),
+            ..self.client.stats()
+        }
     }
 
     /// Performs one transaction through the generic engine: fail over to the
@@ -230,16 +255,33 @@ impl<T: Transport> RemoteFs<T> {
     }
 
     /// Validates a cache entry filled from the version page at `cached_block`.
+    ///
+    /// Warm path: while a server-granted lease covers `(file, cached_block)`,
+    /// the answer is "up to date" straight from the lease table — **zero
+    /// RPCs**.  Otherwise one `ValidateCache` round trip runs; if its reply
+    /// carries a lease ttl, the grant is recorded (with the countdown
+    /// started from *before* the request was sent, so the client's trust
+    /// always lapses before the server's).
     pub fn validate_cache(
         &self,
         file: &Capability,
         cached_block: u32,
     ) -> Result<CacheValidation, FsError> {
+        if self.lease.covers(file.object, cached_block) {
+            return Ok(CacheValidation {
+                up_to_date: true,
+                current_block: cached_block,
+                discard: Vec::new(),
+            });
+        }
+        let started = Instant::now();
         let mut buf = BytesMut::new();
         buf.extend_from_slice(&cached_block.to_le_bytes());
         let payload = self.expect_ok(FsOp::ValidateCache, *file, buf.freeze())?;
-        let (up_to_date, current_block, discard) = decode_validation(payload)
+        let (up_to_date, current_block, discard, lease_ttl_ms) = decode_validation(payload)
             .ok_or_else(|| FsError::Protocol("bad validation reply".into()))?;
+        self.lease
+            .record(file.object, current_block, lease_ttl_ms, started);
         Ok(CacheValidation {
             up_to_date,
             current_block,

@@ -9,10 +9,16 @@
 //! test is made between the cache entry and the current version in order to find out
 //! which blocks of the cache are still valid."
 //!
-//! The crucial property is that no server→client "unsolicited messages" are needed:
-//! the cache holder asks, at the moment it needs the data, which of its pages are
-//! stale.  For a file that is not shared the test is "a null operation, and all pages
-//! in the cache will always be valid".
+//! The paper's crucial property is that correctness never *depends* on
+//! server→client "unsolicited messages": the cache holder asks, at the moment it
+//! needs the data, which of its pages are stale.  For a file that is not shared the
+//! test is "a null operation, and all pages in the cache will always be valid".
+//! The reproduction keeps validate-on-use as the universal fallback and layers an
+//! optional lease protocol on top (`afs_server::LeaseManager`): a validation reply
+//! over a connected transport grants a time-bounded lease that lets the client skip
+//! the ask entirely, and a committing writer breaks conflicting leases with a
+//! callback before its commit completes — so leases are a pure round-trip
+//! optimisation, never a correctness dependency.
 //!
 //! This module contains the *server-side* primitive, [`FileService::validate_cache`];
 //! the client-side cache object itself lives in the `afs-client` crate, and the

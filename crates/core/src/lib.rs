@@ -14,7 +14,9 @@
 //! other traffic (§5.2).  Super-file updates use the **top/inner locking** scheme of
 //! §5.3, which needs no special crash recovery; a **garbage collector** reclaims
 //! read-path shadow pages and old versions (§5.1); caches are kept consistent with
-//! the same serialisability test and no unsolicited messages (§5.4).
+//! the same serialisability test (§5.4) — validate-on-use as the universal
+//! fallback, optionally upgraded by time-bounded leases with callback breaks so
+//! the warm path costs no round trips at all (see [`mod@crate::cache`]).
 //!
 //! ## Quick start
 //!

@@ -548,6 +548,16 @@ impl FileService {
         let state = meta.lock().state;
         Ok(state)
     }
+
+    /// Returns the id of the file a version belongs to.  The commit path's
+    /// lease settling uses this: leases are granted per *file* (that is what
+    /// clients cache), while a commit arrives holding a *version*
+    /// capability, so the conflicting leases are found under the file id.
+    pub fn file_of_version(&self, version_cap: &Capability) -> Result<FileId> {
+        let meta = self.resolve_version(version_cap, Rights::NONE)?;
+        let file = meta.lock().file;
+        Ok(file)
+    }
 }
 
 #[cfg(test)]

@@ -92,7 +92,9 @@ pub trait FileStore: Send + Sync {
 
     /// Validates a cache entry filled from the committed version page at
     /// `cached_block`: reports whether the cache is current and which page
-    /// paths changed since (§5.4 — the client asks; no unsolicited messages).
+    /// paths changed since (§5.4 — the client asks).  Remote stores may answer
+    /// from a live server-granted lease without a round trip; a local store
+    /// always runs the serialisability test.
     fn validate_cache(&self, file: &Capability, cached_block: BlockNr) -> Result<CacheValidation>;
 
     /// Reads several pages of an uncommitted version, in `paths` order.

@@ -20,6 +20,18 @@
 //! mux reply   := u32 total_len | u64 request_id | u8 status               | payload
 //! ```
 //!
+//! One more mux frame kind flows *against* the usual direction.  A server
+//! may push an unsolicited *callback* down a connection (today: lease
+//! breaks for cache coherence), and the client acknowledges it with an
+//! *ack* frame.  Both are distinguished from ordinary traffic by a
+//! reserved id word, [`CALLBACK_MARKER`], which
+//! [`MuxCore`](crate::mux::MuxCore) never allocates for a request:
+//!
+//! ```text
+//! mux callback := u32 total_len | u64 CALLBACK_MARKER | u64 ticket | u64 port | payload
+//! mux ack      := u32 total_len | u64 CALLBACK_MARKER | u64 ticket
+//! ```
+//!
 //! In every case the `total_len` word counts the bytes *after* itself, and
 //! the `decode_*` functions take the frame body with that word already
 //! stripped by the transport.
@@ -38,6 +50,72 @@ const CAP_SIZE: usize = 25;
 /// produce: the largest payload plus the largest fixed header (mux request).
 /// Transports reject bigger length words before allocating.
 pub const MAX_FRAME_BODY: usize = MAX_FRAME_PAYLOAD + 8 + 8 + 4 + CAP_SIZE;
+
+/// Reserved request-id word marking a server-initiated callback frame (or
+/// the client's ack for one).  [`MuxCore`](crate::mux::MuxCore) allocates
+/// request ids from 0 upward, so real traffic can never collide with it.
+pub const CALLBACK_MARKER: u64 = u64::MAX;
+
+/// Encodes a server→client callback frame: an unsolicited notification tagged
+/// with a server-chosen `ticket` (echoed back in the ack) and the service
+/// `port` it concerns.
+pub fn encode_mux_callback(ticket: u64, port: Port, payload: &Bytes) -> Result<Bytes, RpcError> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(RpcError::TooLarge(payload.len()));
+    }
+    let body_len = 8 + 8 + 8 + payload.len();
+    let mut buf = BytesMut::with_capacity(4 + body_len);
+    buf.put_u32_le(body_len as u32);
+    buf.put_u64_le(CALLBACK_MARKER);
+    buf.put_u64_le(ticket);
+    buf.put_u64_le(port.raw());
+    buf.put_slice(payload);
+    Ok(buf.freeze())
+}
+
+/// Decodes a callback frame body (without the leading length word, with the
+/// [`CALLBACK_MARKER`] id still in place), returning `(ticket, port, payload)`.
+pub fn decode_mux_callback(mut body: Bytes) -> Result<(u64, Port, Bytes), RpcError> {
+    if body.len() < 8 + 8 + 8 {
+        return Err(RpcError::Decode("callback frame too short".into()));
+    }
+    let marker = body.get_u64_le();
+    if marker != CALLBACK_MARKER {
+        return Err(RpcError::Decode("callback frame missing marker".into()));
+    }
+    let ticket = body.get_u64_le();
+    let port = Port::from_raw(body.get_u64_le());
+    Ok((ticket, port, body))
+}
+
+/// Encodes a client→server ack for the callback carrying `ticket`.
+pub fn encode_mux_callback_ack(ticket: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 16);
+    buf.put_u32_le(16);
+    buf.put_u64_le(CALLBACK_MARKER);
+    buf.put_u64_le(ticket);
+    buf.freeze()
+}
+
+/// Decodes a callback-ack frame body (without the leading length word, with
+/// the [`CALLBACK_MARKER`] id still in place), returning the ticket.
+pub fn decode_mux_callback_ack(mut body: Bytes) -> Result<u64, RpcError> {
+    if body.len() != 16 {
+        return Err(RpcError::Decode("callback ack frame malformed".into()));
+    }
+    let marker = body.get_u64_le();
+    if marker != CALLBACK_MARKER {
+        return Err(RpcError::Decode("callback ack missing marker".into()));
+    }
+    Ok(body.get_u64_le())
+}
+
+/// True if a mux frame body starts with the [`CALLBACK_MARKER`] id, i.e. it
+/// is a callback (server→client) or callback-ack (client→server) frame
+/// rather than an ordinary request or reply.
+pub fn is_callback_frame(body: &[u8]) -> bool {
+    body.len() >= 8 && body[0..8] == CALLBACK_MARKER.to_le_bytes()
+}
 
 /// Encodes a request into a self-delimiting frame.
 pub fn encode_request(req: &Request) -> Result<Bytes, RpcError> {
@@ -238,10 +316,50 @@ mod tests {
     #[test]
     fn mux_reply_round_trip() {
         let reply = Reply::error(Bytes::from_static(b"nope"));
-        let frame = encode_mux_reply(u64::MAX, &reply).unwrap();
+        let frame = encode_mux_reply(u64::MAX - 1, &reply).unwrap();
         let (id, decoded) = decode_mux_reply(frame.slice(4..)).unwrap();
-        assert_eq!(id, u64::MAX);
+        assert_eq!(id, u64::MAX - 1);
         assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn callback_and_ack_round_trip() {
+        let payload = Bytes::from_static(b"break object 9");
+        let frame = encode_mux_callback(42, Port::from_raw(0xfeed), &payload).unwrap();
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let body = frame.slice(4..);
+        assert!(is_callback_frame(&body));
+        let (ticket, port, decoded) = decode_mux_callback(body).unwrap();
+        assert_eq!(ticket, 42);
+        assert_eq!(port, Port::from_raw(0xfeed));
+        assert_eq!(decoded, payload);
+
+        let ack = encode_mux_callback_ack(42);
+        let len = u32::from_le_bytes(ack[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, ack.len() - 4);
+        let body = ack.slice(4..);
+        assert!(is_callback_frame(&body));
+        assert_eq!(decode_mux_callback_ack(body).unwrap(), 42);
+    }
+
+    #[test]
+    fn callback_frames_are_distinguishable_from_replies() {
+        // An ordinary reply never starts with the marker because MuxCore
+        // allocates ids from 0 upward; a frame that does start with it must
+        // fail ordinary decoding paths that require more structure.
+        let reply = Reply::ok(Bytes::from_static(b"data"));
+        let frame = encode_mux_reply(7, &reply).unwrap();
+        assert!(!is_callback_frame(&frame.slice(4..)));
+
+        assert!(decode_mux_callback(Bytes::from_static(b"short")).is_err());
+        assert!(decode_mux_callback_ack(Bytes::from_static(b"0123456789")).is_err());
+        // Wrong marker word is rejected even with plausible lengths.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(5);
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        assert!(decode_mux_callback(buf.freeze()).is_err());
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //!   a page is determined by the maximum length of a message in a transaction: 32K
 //!   bytes", §5), which is what makes a page read or write a single atomic
 //!   transaction; and
-//! * servers are *passive*: they only ever react to requests.  The cache design of
-//!   §5.4 explicitly rejects XDFS-style "unsolicited messages" from server to client.
+//! * servers are mostly *passive*: they react to requests.  The cache design
+//!   of §5.4 rejected XDFS-style "unsolicited messages" from server to client
+//!   because in 1985 they meant extra datagrams and per-client server state
+//!   of unbounded lifetime.
 //!
 //! Each *logical* transaction still has exactly that shape — one request, one
 //! blocking wait, one reply.  The *transport* underneath, however, is
@@ -18,9 +20,17 @@
 //! and the server pipelines independent requests from the same connection
 //! instead of serving them one at a time.  Concurrency therefore scales with
 //! the number of outstanding client transactions, not with the number of OS
-//! threads or sockets — and the same id-tagged frames give a future
-//! server→client channel (for lease/callback cache coherence) a place to
-//! live without breaking the "one reply per request" contract.
+//! threads or sockets.
+//!
+//! The multiplexed connection also revisits the §5.4 trade-off: a
+//! server→client *callback* is now just one more id-tagged frame on an
+//! already-open connection ([`codec::CALLBACK_MARKER`]), and its state is
+//! bounded by the connection's lifetime.  A server reaches that channel
+//! through the [`CallbackChannel`] handed to
+//! [`RequestHandler::handle_from`]; a client observes pushes by registering
+//! a [`CallbackSink`] with [`Transport::register_callback_sink`].  The file
+//! service uses this for time-bounded lease grants and lease breaks — the
+//! coherence design the paper priced out, affordable on today's transport.
 //!
 //! This crate provides:
 //!
@@ -61,7 +71,7 @@ pub mod tcp;
 
 pub use backoff::Backoff;
 pub use error::RpcError;
-pub use local::{LocalNetwork, NetworkFaults};
+pub use local::{LocalConn, LocalNetwork, NetworkFaults};
 pub use message::{Reply, Request, Status, MAX_FRAME_PAYLOAD, MAX_PAYLOAD};
 pub use mux::{ClientStats, FailoverPolicy, MuxClient, MuxCore};
 
@@ -74,6 +84,54 @@ pub type Result<T> = std::result::Result<T, RpcError>;
 
 use amoeba_capability::Port;
 
+/// The server's half of the server→client callback channel: one live client
+/// connection, seen from a request handler.
+///
+/// A handler receives it through [`RequestHandler::handle_from`] and may hold
+/// on to it (it is `Arc`-shared) to push unsolicited frames at the peer
+/// later — the lease manager does exactly that, granting leases against the
+/// connection and breaking them through it when a writer commits.  All state
+/// reachable through a channel dies with the connection: [`is_closed`]
+/// flips, pushes fail, and [`wait_acked`] returns immediately.
+///
+/// [`is_closed`]: CallbackChannel::is_closed
+/// [`wait_acked`]: CallbackChannel::wait_acked
+pub trait CallbackChannel: Send + Sync {
+    /// Pushes a callback frame at the client, returning the ticket that the
+    /// client's ack will echo, or `None` if the connection is already gone.
+    fn push(&self, port: Port, payload: bytes::Bytes) -> Option<u64>;
+
+    /// Blocks until the client acks `ticket`, the `deadline` passes, or the
+    /// connection dies.  Returns whether the ack arrived.
+    fn wait_acked(&self, ticket: u64, deadline: std::time::Instant) -> bool;
+
+    /// A key identifying the peer connection, stable for its lifetime and
+    /// unique among live connections of one server.  Grant tables key on it.
+    fn peer_key(&self) -> u64;
+
+    /// Whether the underlying connection has been torn down.
+    fn is_closed(&self) -> bool;
+}
+
+/// The client's half of the callback channel: a listener the transport
+/// invokes for every unsolicited server frame.
+///
+/// Implementations must be fast and non-blocking — sinks run on the
+/// transport's reader thread, and **must not** issue transactions of their
+/// own (the reader cannot pump the reply they would wait for).  The
+/// transport acks the callback to the server after every registered sink has
+/// seen it, so "sink returned" means "state updated": dropping a lease from
+/// a table is in-budget, re-fetching data is not.
+pub trait CallbackSink: Send + Sync {
+    /// Called for each callback frame the server pushes.
+    fn on_callback(&self, port: Port, payload: bytes::Bytes);
+
+    /// Called when the connection carrying the callbacks dies; any state
+    /// that was only valid while the server could reach us (leases!) must
+    /// be dropped.  Default: nothing.
+    fn on_connection_lost(&self) {}
+}
+
 /// A service-side handler: receives a request, returns a reply.
 ///
 /// Handlers must be callable from many threads at once; Amoeba servers are free to
@@ -81,6 +139,19 @@ use amoeba_capability::Port;
 pub trait RequestHandler: Send + Sync {
     /// Handles one transaction.
     fn handle(&self, request: Request) -> Reply;
+
+    /// Handles one transaction with the originating connection's callback
+    /// channel attached, when the transport has one.  Handlers that grant
+    /// leases override this; the default ignores the channel, so plain
+    /// request/reply handlers (and closures) are unaffected.
+    fn handle_from(
+        &self,
+        request: Request,
+        peer: Option<&std::sync::Arc<dyn CallbackChannel>>,
+    ) -> Reply {
+        let _ = peer;
+        self.handle(request)
+    }
 }
 
 impl<F> RequestHandler for F
@@ -104,6 +175,16 @@ pub trait Transport: Send + Sync {
     fn reconnects(&self) -> u64 {
         0
     }
+
+    /// Registers a listener for unsolicited server→client callback frames.
+    /// Returns whether this transport supports the channel; the default is a
+    /// plain request/reply transport that does not (`false`), in which case
+    /// servers see no channel and grant no leases — everything degrades to
+    /// validate-on-use.
+    fn register_callback_sink(&self, sink: std::sync::Arc<dyn CallbackSink>) -> bool {
+        let _ = sink;
+        false
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for std::sync::Arc<T> {
@@ -113,5 +194,9 @@ impl<T: Transport + ?Sized> Transport for std::sync::Arc<T> {
 
     fn reconnects(&self) -> u64 {
         (**self).reconnects()
+    }
+
+    fn register_callback_sink(&self, sink: std::sync::Arc<dyn CallbackSink>) -> bool {
+        (**self).register_callback_sink(sink)
     }
 }

@@ -4,12 +4,24 @@
 //! routes transactions directly to registered handlers, optionally injecting the
 //! network pathologies the robustness experiments need (latency, loss, crashed or
 //! partitioned servers).
+//!
+//! Used directly as a [`Transport`], the network is *connectionless*: handlers
+//! see no peer identity and can push nothing back, so lease-granting servers
+//! degrade to plain validate-on-use.  [`LocalNetwork::connect`] upgrades that:
+//! it mints a [`LocalConn`] — an in-process stand-in for one multiplexed TCP
+//! connection — whose transactions reach handlers through
+//! [`RequestHandler::handle_from`] with a live [`CallbackChannel`], and whose
+//! registered [`CallbackSink`]s receive server pushes synchronously on the
+//! pushing thread (delivery-is-processing, so every push is immediately
+//! acked, like the TCP transport's automatic ack after sink dispatch).
+//! [`LocalConn::kill`] severs the connection for crash experiments.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,7 +29,7 @@ use rand::{Rng, SeedableRng};
 use amoeba_capability::Port;
 
 use crate::message::{Reply, Request};
-use crate::{RequestHandler, Result, RpcError, Transport};
+use crate::{CallbackChannel, CallbackSink, RequestHandler, Result, RpcError, Transport};
 
 /// Network fault configuration for a [`LocalNetwork`].
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +61,7 @@ pub struct LocalNetwork {
     rng: Mutex<StdRng>,
     transactions: AtomicU64,
     dropped: AtomicU64,
+    next_peer: AtomicU64,
 }
 
 impl Default for LocalNetwork {
@@ -72,6 +85,55 @@ impl LocalNetwork {
             faults: Mutex::new(faults),
             transactions: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            next_peer: AtomicU64::new(1),
+        }
+    }
+
+    /// Mints an in-process "connection" to this network: a cloneable
+    /// [`Transport`] whose transactions carry a peer identity and a live
+    /// callback channel to the handlers, mirroring one multiplexed TCP
+    /// connection.  Callers that need server-granted leases connect; callers
+    /// that use the network directly stay anonymous and lease-free.
+    pub fn connect(self: &Arc<Self>) -> LocalConn {
+        LocalConn {
+            net: Arc::clone(self),
+            channel: Arc::new(LocalChannel {
+                key: self.next_peer.fetch_add(1, Ordering::Relaxed),
+                state: Mutex::new(LocalChannelState::default()),
+                next_ticket: AtomicU64::new(1),
+                acked: Mutex::new(HashSet::new()),
+            }),
+        }
+    }
+
+    fn transact_from(
+        &self,
+        peer: Option<&Arc<dyn CallbackChannel>>,
+        port: Port,
+        request: Request,
+    ) -> Result<Reply> {
+        self.transactions.fetch_add(1, Ordering::Relaxed);
+        let (latency, drop_prob) = {
+            let f = self.faults.lock();
+            (f.latency, f.drop_prob)
+        };
+        if drop_prob > 0.0 && self.rng.lock().gen_bool(drop_prob.min(1.0)) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(RpcError::Dropped);
+        }
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        if self.unreachable.read().contains(&port) {
+            return Err(RpcError::ServerCrashed);
+        }
+        let handler = {
+            let handlers = self.handlers.read();
+            handlers.get(&port).cloned()
+        };
+        match handler {
+            Some(h) => Ok(h.handle_from(request, peer)),
+            None => Err(RpcError::NoSuchPort),
         }
     }
 
@@ -123,29 +185,114 @@ impl LocalNetwork {
 
 impl Transport for LocalNetwork {
     fn transact(&self, port: Port, request: Request) -> Result<Reply> {
-        self.transactions.fetch_add(1, Ordering::Relaxed);
-        let (latency, drop_prob) = {
-            let f = self.faults.lock();
-            (f.latency, f.drop_prob)
+        self.transact_from(None, port, request)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LocalConn: a connection-shaped view of the network.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct LocalChannelState {
+    sinks: Vec<Arc<dyn CallbackSink>>,
+    closed: bool,
+}
+
+/// The shared state behind one [`LocalConn`]: the server-visible
+/// [`CallbackChannel`] and the client-registered [`CallbackSink`]s, fused
+/// (there is no wire in between).
+struct LocalChannel {
+    key: u64,
+    state: Mutex<LocalChannelState>,
+    next_ticket: AtomicU64,
+    acked: Mutex<HashSet<u64>>,
+}
+
+impl CallbackChannel for LocalChannel {
+    fn push(&self, port: Port, payload: Bytes) -> Option<u64> {
+        let sinks = {
+            let state = self.state.lock();
+            if state.closed {
+                return None;
+            }
+            state.sinks.clone()
         };
-        if drop_prob > 0.0 && self.rng.lock().gen_bool(drop_prob.min(1.0)) {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-            return Err(RpcError::Dropped);
+        // Deliver synchronously on the pushing thread — the in-process
+        // equivalent of the TCP reader dispatching the frame — then self-ack:
+        // once every sink has returned, the callback is processed by
+        // definition, exactly the moment the TCP client writes its ack.
+        for sink in &sinks {
+            sink.on_callback(port, payload.clone());
         }
-        if !latency.is_zero() {
-            std::thread::sleep(latency);
-        }
-        if self.unreachable.read().contains(&port) {
-            return Err(RpcError::ServerCrashed);
-        }
-        let handler = {
-            let handlers = self.handlers.read();
-            handlers.get(&port).cloned()
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.acked.lock().insert(ticket);
+        Some(ticket)
+    }
+
+    fn wait_acked(&self, ticket: u64, _deadline: Instant) -> bool {
+        self.acked.lock().remove(&ticket)
+    }
+
+    fn peer_key(&self) -> u64 {
+        self.key
+    }
+
+    fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+/// One in-process "connection": a [`Transport`] over a [`LocalNetwork`] that
+/// gives handlers a peer identity and a callback channel, like one
+/// multiplexed TCP connection does.  Cloning shares the connection (as
+/// cloning a pooled TCP client shares its sockets); [`LocalNetwork::connect`]
+/// mints an independent one.
+#[derive(Clone)]
+pub struct LocalConn {
+    net: Arc<LocalNetwork>,
+    channel: Arc<LocalChannel>,
+}
+
+impl LocalConn {
+    /// The network this connection transacts over.
+    pub fn network(&self) -> &Arc<LocalNetwork> {
+        &self.net
+    }
+
+    /// Severs the connection: handlers holding its [`CallbackChannel`] see it
+    /// closed (pushes fail, grants die with it) and every registered sink
+    /// gets [`CallbackSink::on_connection_lost`].  Transactions keep working
+    /// — this models losing the *connection* state (and with it all leases),
+    /// not the network: a real client would reconnect and must revalidate.
+    pub fn kill(&self) {
+        let sinks = {
+            let mut state = self.channel.state.lock();
+            if state.closed {
+                return;
+            }
+            state.closed = true;
+            std::mem::take(&mut state.sinks)
         };
-        match handler {
-            Some(h) => Ok(h.handle(request)),
-            None => Err(RpcError::NoSuchPort),
+        for sink in &sinks {
+            sink.on_connection_lost();
         }
+    }
+}
+
+impl Transport for LocalConn {
+    fn transact(&self, port: Port, request: Request) -> Result<Reply> {
+        let channel: Arc<dyn CallbackChannel> = Arc::clone(&self.channel) as _;
+        self.net.transact_from(Some(&channel), port, request)
+    }
+
+    fn register_callback_sink(&self, sink: Arc<dyn CallbackSink>) -> bool {
+        let mut state = self.channel.state.lock();
+        if state.closed {
+            return false;
+        }
+        state.sinks.push(sink);
+        true
     }
 }
 
@@ -225,6 +372,91 @@ mod tests {
             Err(RpcError::Dropped)
         );
         assert_eq!(net.dropped_count(), 1);
+    }
+
+    #[test]
+    fn connected_transact_exposes_a_live_channel_to_the_handler() {
+        use std::sync::atomic::AtomicBool;
+
+        let net = Arc::new(LocalNetwork::new());
+        let port = Port::from_raw(21);
+        let seen_peer = Arc::new(AtomicBool::new(false));
+
+        struct PeerProbe {
+            seen: Arc<AtomicBool>,
+        }
+        impl RequestHandler for PeerProbe {
+            fn handle(&self, req: Request) -> Reply {
+                Reply::ok(req.payload)
+            }
+            fn handle_from(&self, req: Request, peer: Option<&Arc<dyn CallbackChannel>>) -> Reply {
+                if let Some(chan) = peer {
+                    if !chan.is_closed() {
+                        self.seen.store(true, Ordering::SeqCst);
+                        // Push a callback and observe the synchronous ack.
+                        let ticket = chan
+                            .push(Port::from_raw(21), Bytes::from_static(b"cb"))
+                            .unwrap();
+                        assert!(chan.wait_acked(ticket, Instant::now()));
+                    }
+                }
+                self.handle(req)
+            }
+        }
+
+        net.register(
+            port,
+            Arc::new(PeerProbe {
+                seen: Arc::clone(&seen_peer),
+            }),
+        );
+
+        struct Recorder {
+            callbacks: AtomicU64,
+            lost: AtomicU64,
+        }
+        impl CallbackSink for Recorder {
+            fn on_callback(&self, _port: Port, _payload: Bytes) {
+                self.callbacks.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_connection_lost(&self) {
+                self.lost.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let recorder = Arc::new(Recorder {
+            callbacks: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+        });
+
+        // Anonymous use: handler sees no peer.
+        net.transact(port, Request::empty(0, Capability::null()))
+            .unwrap();
+        assert!(!seen_peer.load(Ordering::SeqCst));
+
+        // Connected use: handler sees the channel, the sink sees the push.
+        let conn = net.connect();
+        assert!(conn.register_callback_sink(Arc::clone(&recorder) as _));
+        conn.transact(port, Request::empty(0, Capability::null()))
+            .unwrap();
+        assert!(seen_peer.load(Ordering::SeqCst));
+        assert_eq!(recorder.callbacks.load(Ordering::SeqCst), 1);
+
+        // Killing the connection notifies sinks and closes the channel, but
+        // transactions still flow (the "reconnected without leases" state).
+        conn.kill();
+        assert_eq!(recorder.lost.load(Ordering::SeqCst), 1);
+        seen_peer.store(false, Ordering::SeqCst);
+        conn.transact(port, Request::empty(0, Capability::null()))
+            .unwrap();
+        assert!(!seen_peer.load(Ordering::SeqCst)); // closed channel grants nothing
+        assert_eq!(recorder.callbacks.load(Ordering::SeqCst), 1);
+
+        // Distinct connections get distinct peer keys.
+        let other = net.connect();
+        assert_ne!(
+            Arc::clone(&conn.channel).peer_key(),
+            Arc::clone(&other.channel).peer_key()
+        );
     }
 
     #[test]

@@ -255,6 +255,15 @@ pub struct ClientStats {
     /// High-water mark of concurrently in-flight `transact` calls — the
     /// deepest pipelining this client actually reached.
     pub inflight_high_water: u64,
+    /// Leases the servers granted this client (piggybacked on validation
+    /// replies).
+    pub leases_granted: u64,
+    /// Leases revoked under this client: callback breaks from committing
+    /// writers plus local expiries and connection losses.
+    pub leases_broken: u64,
+    /// Cache validations answered from a live lease without any wire
+    /// traffic — the round trips leasing saved.
+    pub zero_rpc_hits: u64,
 }
 
 impl ClientStats {
@@ -265,6 +274,9 @@ impl ClientStats {
             retries: self.retries.saturating_sub(before.retries),
             reconnects: self.reconnects.saturating_sub(before.reconnects),
             inflight_high_water: self.inflight_high_water,
+            leases_granted: self.leases_granted.saturating_sub(before.leases_granted),
+            leases_broken: self.leases_broken.saturating_sub(before.leases_broken),
+            zero_rpc_hits: self.zero_rpc_hits.saturating_sub(before.zero_rpc_hits),
         }
     }
 
@@ -275,6 +287,9 @@ impl ClientStats {
             retries: self.retries + other.retries,
             reconnects: self.reconnects + other.reconnects,
             inflight_high_water: self.inflight_high_water.max(other.inflight_high_water),
+            leases_granted: self.leases_granted + other.leases_granted,
+            leases_broken: self.leases_broken + other.leases_broken,
+            zero_rpc_hits: self.zero_rpc_hits + other.zero_rpc_hits,
         }
     }
 }
@@ -399,13 +414,22 @@ impl<T: Transport> MuxClient<T> {
         &self.transport
     }
 
-    /// Snapshot of this client's statistics.
+    /// Snapshot of this client's statistics.  The lease counters are zero
+    /// here: they live with the lease table in the stub that owns it
+    /// (`RemoteFs` merges them in).
     pub fn stats(&self) -> ClientStats {
         ClientStats {
             retries: self.stats.retries.load(Ordering::SeqCst),
             reconnects: self.transport.reconnects(),
             inflight_high_water: self.stats.inflight_high_water.load(Ordering::SeqCst),
+            ..ClientStats::default()
         }
+    }
+
+    /// Registers a listener for server→client callback frames on the
+    /// underlying transport.  Returns whether the transport supports them.
+    pub fn register_callback_sink(&self, sink: Arc<dyn crate::CallbackSink>) -> bool {
+        self.transport.register_callback_sink(sink)
     }
 
     /// Performs one logical transaction under the given failover policy.
@@ -561,24 +585,39 @@ mod tests {
             retries: 2,
             reconnects: 1,
             inflight_high_water: 4,
+            leases_granted: 10,
+            leases_broken: 3,
+            zero_rpc_hits: 100,
         };
         let after = ClientStats {
             retries: 5,
             reconnects: 1,
             inflight_high_water: 9,
+            leases_granted: 16,
+            leases_broken: 5,
+            zero_rpc_hits: 140,
         };
         let delta = after.since(&before);
         assert_eq!(delta.retries, 3);
         assert_eq!(delta.reconnects, 0);
         assert_eq!(delta.inflight_high_water, 9);
+        assert_eq!(delta.leases_granted, 6);
+        assert_eq!(delta.leases_broken, 2);
+        assert_eq!(delta.zero_rpc_hits, 40);
 
         let merged = delta.merged(&ClientStats {
             retries: 1,
             reconnects: 7,
             inflight_high_water: 2,
+            leases_granted: 4,
+            leases_broken: 1,
+            zero_rpc_hits: 60,
         });
         assert_eq!(merged.retries, 4);
         assert_eq!(merged.reconnects, 7);
         assert_eq!(merged.inflight_high_water, 9);
+        assert_eq!(merged.leases_granted, 10);
+        assert_eq!(merged.leases_broken, 3);
+        assert_eq!(merged.zero_rpc_hits, 100);
     }
 }

@@ -54,11 +54,13 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use amoeba_capability::Port;
 
 use crate::codec::{
-    decode_mux_reply, decode_mux_request, encode_mux_reply, encode_mux_request, MAX_FRAME_BODY,
+    decode_mux_callback, decode_mux_callback_ack, decode_mux_reply, decode_mux_request,
+    encode_mux_callback, encode_mux_callback_ack, encode_mux_reply, encode_mux_request,
+    is_callback_frame, MAX_FRAME_BODY,
 };
 use crate::message::{Reply, Request};
 use crate::mux::MuxCore;
-use crate::{Backoff, RequestHandler, Result, RpcError, Transport};
+use crate::{Backoff, CallbackChannel, CallbackSink, RequestHandler, Result, RpcError, Transport};
 
 // ---------------------------------------------------------------------------
 // Worker pool: spawn on demand, reuse idle threads, retire them when quiet.
@@ -209,11 +211,86 @@ fn write_frame_blocking(stream: &TcpStream, lock: &Mutex<()>, frame: &[u8]) -> R
 
 const LISTENER_TOKEN: u64 = 0;
 
-/// One accepted connection, shared between the reactor (reads) and the
-/// workers replying on it (writes).
+/// One accepted connection, shared between the reactor (reads), the workers
+/// replying on it, and any handler holding it as a [`CallbackChannel`].
+///
+/// All outbound traffic — replies *and* callback pushes — leaves through the
+/// one [`ServerConn::send_frame`] path, serialised by the per-connection
+/// write lock, so there is exactly one writer discipline per connection.
 struct ServerConn {
     stream: TcpStream,
     write_lock: Mutex<()>,
+    /// The reactor token: unique among this server's live connections, which
+    /// makes it the natural grant-table key.
+    peer_key: u64,
+    /// Tickets for callback pushes, echoed back by the client's acks.
+    next_ticket: AtomicU64,
+    closed: AtomicBool,
+    /// Acks that have arrived but not yet been collected by a waiter.
+    acks: Mutex<std::collections::HashSet<u64>>,
+    ack_ready: Condvar,
+}
+
+impl ServerConn {
+    /// The single outbound frame path: every reply and every callback goes
+    /// through here, taking the connection's write lock so concurrent
+    /// senders never interleave partial frames.
+    fn send_frame(&self, frame: &[u8]) -> Result<()> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(RpcError::Dropped);
+        }
+        write_frame_blocking(&self.stream, &self.write_lock, frame)
+    }
+
+    /// Records a callback ack from the peer and wakes waiters.
+    fn record_ack(&self, ticket: u64) {
+        self.acks.lock().insert(ticket);
+        self.ack_ready.notify_all();
+    }
+
+    /// Marks the connection dead: pushes start failing and every
+    /// [`CallbackChannel::wait_acked`] parked on it returns.
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.ack_ready.notify_all();
+    }
+}
+
+impl CallbackChannel for ServerConn {
+    fn push(&self, port: Port, payload: Bytes) -> Option<u64> {
+        if self.closed.load(Ordering::SeqCst) {
+            return None;
+        }
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let frame = encode_mux_callback(ticket, port, &payload).ok()?;
+        self.send_frame(&frame).ok()?;
+        Some(ticket)
+    }
+
+    fn wait_acked(&self, ticket: u64, deadline: Instant) -> bool {
+        let mut acks = self.acks.lock();
+        loop {
+            if acks.remove(&ticket) {
+                return true;
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.ack_ready.wait_for(&mut acks, deadline - now);
+        }
+    }
+
+    fn peer_key(&self) -> u64 {
+        self.peer_key
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
 }
 
 /// Reactor-private per-connection state.
@@ -328,6 +405,11 @@ fn reactor_loop(listener: TcpListener, poller: epoll::Poller, shared: Arc<Server
                                         conn: Arc::new(ServerConn {
                                             stream,
                                             write_lock: Mutex::new(()),
+                                            peer_key: token,
+                                            next_ticket: AtomicU64::new(1),
+                                            closed: AtomicBool::new(false),
+                                            acks: Mutex::new(std::collections::HashSet::new()),
+                                            ack_ready: Condvar::new(),
                                         }),
                                         read_buf: Vec::new(),
                                     },
@@ -343,10 +425,18 @@ fn reactor_loop(listener: TcpListener, poller: epoll::Poller, shared: Arc<Server
                 if !pump_connection(state, &mut scratch, &shared) {
                     let fd = state.conn.stream.as_raw_fd();
                     poller.delete(fd).ok();
+                    // Closing the channel wakes lease managers parked on
+                    // acks and lets grant tables drop this peer's leases —
+                    // a dead connection holds no leases.
+                    state.conn.close();
                     conns.remove(&event.token);
                 }
             }
         }
+    }
+    // Reactor exit: every surviving channel dies with its connection.
+    for state in conns.values() {
+        state.conn.close();
     }
 }
 
@@ -361,6 +451,15 @@ fn pump_connection(state: &mut ConnState, scratch: &mut [u8], shared: &Arc<Serve
                 state.read_buf.extend_from_slice(&scratch[..n]);
                 loop {
                     match extract_frame(&mut state.read_buf) {
+                        Ok(Some(body)) if is_callback_frame(&body) => {
+                            // A callback ack from the peer: record it on the
+                            // reactor thread (a set insert — no service work)
+                            // so the committing writer parked on it wakes.
+                            match decode_mux_callback_ack(body) {
+                                Ok(ticket) => state.conn.record_ack(ticket),
+                                Err(_) => return false,
+                            }
+                        }
                         Ok(Some(body)) => dispatch_request(body, &state.conn, shared),
                         Ok(None) => break,
                         Err(_) => return false,
@@ -375,7 +474,9 @@ fn pump_connection(state: &mut ConnState, scratch: &mut [u8], shared: &Arc<Serve
 }
 
 /// Hands one request frame to the worker pool: decode, run the handler for
-/// its port, write the id-tagged reply back on the originating connection.
+/// its port with the originating connection attached as a callback channel,
+/// write the id-tagged reply back through the connection's one outbound
+/// frame path.
 fn dispatch_request(body: Bytes, conn: &Arc<ServerConn>, shared: &Arc<ServerShared>) {
     let conn = Arc::clone(conn);
     let shared_for_job = Arc::clone(shared);
@@ -388,7 +489,10 @@ fn dispatch_request(body: Bytes, conn: &Arc<ServerConn>, shared: &Arc<ServerShar
         };
         let handler = shared_for_job.handlers.read().get(&port).cloned();
         let reply = match handler {
-            Some(h) => h.handle(request),
+            Some(h) => {
+                let channel: Arc<dyn CallbackChannel> = Arc::clone(&conn) as _;
+                h.handle_from(request, Some(&channel))
+            }
             None => Reply::error(Bytes::from_static(b"no such port")),
         };
         let frame = match encode_mux_reply(id, &reply) {
@@ -400,7 +504,7 @@ fn dispatch_request(body: Bytes, conn: &Arc<ServerConn>, shared: &Arc<ServerShar
                 }
             }
         };
-        let _ = write_frame_blocking(&conn.stream, &conn.write_lock, &frame);
+        let _ = conn.send_frame(&frame);
     }));
 }
 
@@ -434,12 +538,19 @@ struct ConnSlot {
     ever_connected: bool,
 }
 
+/// Callback listeners shared by every connection of one pooled client: the
+/// server may grant a lease on one connection and (with per-connection grant
+/// tables) break it on the same one, but the client-side tables are
+/// connection-agnostic, so every reader dispatches into the same sink list.
+type SinkList = Arc<Mutex<Vec<Arc<dyn CallbackSink>>>>;
+
 struct ClientInner {
     server: SocketAddr,
     timeout: Duration,
     slots: Vec<Mutex<ConnSlot>>,
     next: AtomicUsize,
     reconnects: AtomicU64,
+    sinks: SinkList,
 }
 
 /// A multiplexing client for a [`TcpServer`]: a pool of persistent
@@ -489,6 +600,7 @@ impl TcpClient {
                     .collect(),
                 next: AtomicUsize::new(0),
                 reconnects: AtomicU64::new(0),
+                sinks: Arc::new(Mutex::new(Vec::new())),
             }),
         }
     }
@@ -525,7 +637,10 @@ impl TcpClient {
                         dead: AtomicBool::new(false),
                     });
                     let reader_conn = Arc::clone(&conn);
-                    std::thread::spawn(move || reader_loop(reader_stream, reader_conn));
+                    let reader_sinks = Arc::clone(&inner.sinks);
+                    std::thread::spawn(move || {
+                        reader_loop(reader_stream, reader_conn, reader_sinks)
+                    });
                     if slot.ever_connected {
                         inner.reconnects.fetch_add(1, Ordering::Relaxed);
                     }
@@ -543,10 +658,15 @@ impl TcpClient {
     }
 }
 
-/// Demultiplexes replies off one connection until it dies, completing each
-/// waiting request by the id its reply carries — in arrival order, which
-/// need not be request order.
-fn reader_loop(mut stream: TcpStream, conn: Arc<ClientConn>) {
+/// Demultiplexes inbound frames off one connection until it dies.  Replies
+/// complete whichever request their id names — in arrival order, which need
+/// not be request order.  Server-pushed callback frames (the reserved
+/// [`crate::codec::CALLBACK_MARKER`] id) are dispatched to every registered
+/// [`CallbackSink`] and then acked back to the server: sinks only mutate
+/// local state (drop a lease), so "every sink returned" is the moment the
+/// callback is honoured, and the ack write happens here on the reader thread
+/// through the same serialised frame writer the requesters use.
+fn reader_loop(mut stream: TcpStream, conn: Arc<ClientConn>, sinks: SinkList) {
     let died: RpcError = loop {
         let mut header = [0u8; 4];
         if stream.read_exact(&mut header).is_err() {
@@ -560,7 +680,26 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<ClientConn>) {
         if stream.read_exact(&mut body).is_err() {
             break RpcError::Dropped;
         }
-        match decode_mux_reply(Bytes::from(body)) {
+        let body = Bytes::from(body);
+        if is_callback_frame(&body) {
+            match decode_mux_callback(body) {
+                Ok((ticket, port, payload)) => {
+                    let listeners: Vec<Arc<dyn CallbackSink>> = sinks.lock().clone();
+                    for sink in &listeners {
+                        sink.on_callback(port, payload.clone());
+                    }
+                    let ack = encode_mux_callback_ack(ticket);
+                    if write_frame_blocking(&conn.stream, &conn.write_lock, &ack).is_err() {
+                        // Can't ack on a dying connection; the server's
+                        // wait falls back to the grant's own expiry.
+                        break RpcError::Dropped;
+                    }
+                }
+                Err(err) => break err,
+            }
+            continue;
+        }
+        match decode_mux_reply(body) {
             Ok((id, reply)) => {
                 conn.mux.complete(id, Ok(reply));
             }
@@ -570,6 +709,12 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<ClientConn>) {
         }
     };
     conn.kill(&died);
+    // Leases live and die with the connection that could break them: tell
+    // every sink its server can no longer reach it.
+    let listeners: Vec<Arc<dyn CallbackSink>> = sinks.lock().clone();
+    for sink in &listeners {
+        sink.on_connection_lost();
+    }
 }
 
 impl Transport for TcpClient {
@@ -589,6 +734,11 @@ impl Transport for TcpClient {
 
     fn reconnects(&self) -> u64 {
         self.inner.reconnects.load(Ordering::Relaxed)
+    }
+
+    fn register_callback_sink(&self, sink: Arc<dyn CallbackSink>) -> bool {
+        self.inner.sinks.lock().push(sink);
+        true
     }
 }
 
@@ -762,6 +912,77 @@ mod tests {
             )
             .unwrap();
         assert_eq!(again.payload, Bytes::from_static(b"again"));
+    }
+
+    /// A handler that captures its peer channel on op 1 and, on op 2, pushes
+    /// a callback through it and reports whether the client acked in time —
+    /// the exact shape of a lease grant followed by a lease break.
+    #[test]
+    fn callbacks_are_pushed_dispatched_and_acked() {
+        struct Breaker {
+            chan: Mutex<Option<Arc<dyn CallbackChannel>>>,
+        }
+        impl RequestHandler for Breaker {
+            fn handle(&self, req: Request) -> Reply {
+                Reply::ok(req.payload)
+            }
+            fn handle_from(&self, req: Request, peer: Option<&Arc<dyn CallbackChannel>>) -> Reply {
+                match req.op {
+                    1 => {
+                        *self.chan.lock() = peer.cloned();
+                        Reply::ok(Bytes::new())
+                    }
+                    _ => {
+                        let chan = self.chan.lock().clone().expect("op 1 first");
+                        let ticket = chan
+                            .push(Port::from_raw(15), Bytes::from_static(b"break"))
+                            .expect("push on live connection");
+                        let acked =
+                            chan.wait_acked(ticket, Instant::now() + Duration::from_secs(2));
+                        Reply::ok(Bytes::from(vec![u8::from(acked)]))
+                    }
+                }
+            }
+        }
+
+        struct Recorder {
+            seen: Mutex<Vec<(Port, Bytes)>>,
+        }
+        impl CallbackSink for Recorder {
+            fn on_callback(&self, port: Port, payload: Bytes) {
+                self.seen.lock().push((port, payload));
+            }
+        }
+
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let port = Port::from_raw(15);
+        server.register(
+            port,
+            Arc::new(Breaker {
+                chan: Mutex::new(None),
+            }),
+        );
+        let client = TcpClient::new(server.local_addr()).with_connections(1);
+        let recorder = Arc::new(Recorder {
+            seen: Mutex::new(Vec::new()),
+        });
+        assert!(client.register_callback_sink(Arc::clone(&recorder) as _));
+
+        client
+            .transact(port, Request::new(1, Capability::null(), Bytes::new()))
+            .unwrap();
+        let reply = client
+            .transact(port, Request::new(2, Capability::null(), Bytes::new()))
+            .unwrap();
+        assert_eq!(
+            reply.payload.as_ref(),
+            &[1],
+            "server never saw the client's ack"
+        );
+        let seen = recorder.seen.lock();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, Port::from_raw(15));
+        assert_eq!(seen[0].1.as_ref(), b"break");
     }
 
     /// Killing the server and restarting on the same address exercises the

@@ -1,12 +1,25 @@
 //! Request dispatch: one incoming transaction → one file-service call.
+//!
+//! The handler is also where the lease protocol touches the request path,
+//! in exactly two places:
+//!
+//! * `ValidateCache` from a connected client (one with a
+//!   [`CallbackChannel`]) registers a lease *before* reading the current
+//!   version and puts the ttl on the reply — grant-then-read means a commit
+//!   racing the validation either blocks the grant (settling) or breaks it,
+//!   never leaves a lease covering a stale answer;
+//! * `Commit` settles the file's leases (break + await acks) before the
+//!   service commits, so no client can still be serving the old value under
+//!   a lease once the commit is acknowledged.
 
 use std::sync::Arc;
 
 use bytes::{Buf, Bytes, BytesMut};
 
 use afs_core::{FileService, FsError};
-use amoeba_rpc::{Reply, Request, RequestHandler};
+use amoeba_rpc::{CallbackChannel, Reply, Request, RequestHandler};
 
+use crate::lease::LeaseManager;
 use crate::ops::{
     decode_insert, decode_path, decode_path_and_data, decode_paths, decode_writes,
     encode_capability, encode_error, encode_pages_reply, encode_receipt, encode_validation,
@@ -14,19 +27,38 @@ use crate::ops::{
 };
 
 /// The service-side handler: decodes requests, calls the file service, encodes
-/// replies.  Stateless apart from the shared `Arc<FileService>`, so any number of
-/// handler instances (server processes) can serve the same file service.
+/// replies.  Stateless apart from the shared `Arc<FileService>` and the shared
+/// [`LeaseManager`], so any number of handler instances (server processes) can
+/// serve the same file service — they MUST then share one lease manager, or a
+/// commit through one port would not see leases granted through another.
 pub struct FileServerHandler {
     service: Arc<FileService>,
+    lease: Arc<LeaseManager>,
 }
 
 impl FileServerHandler {
-    /// Creates a handler over the shared file-service state.
+    /// Creates a handler over the shared file-service state with its own
+    /// default lease manager.
     pub fn new(service: Arc<FileService>) -> Self {
-        FileServerHandler { service }
+        Self::with_lease_manager(service, Arc::new(LeaseManager::new()))
     }
 
-    fn dispatch(&self, request: Request) -> Result<Bytes, Reply> {
+    /// Creates a handler sharing an existing lease manager — what a server
+    /// group does so every replica process settles the same grant table.
+    pub fn with_lease_manager(service: Arc<FileService>, lease: Arc<LeaseManager>) -> Self {
+        FileServerHandler { service, lease }
+    }
+
+    /// The lease manager this handler grants from.
+    pub fn lease_manager(&self) -> &Arc<LeaseManager> {
+        &self.lease
+    }
+
+    fn dispatch(
+        &self,
+        request: Request,
+        peer: Option<&Arc<dyn CallbackChannel>>,
+    ) -> Result<Bytes, Reply> {
         let op = FsOp::from_u32(request.op)
             .ok_or_else(|| Reply::error(protocol_error("unknown operation")))?;
         let fs_err = |e: FsError| Reply::error(encode_error(&e));
@@ -101,6 +133,16 @@ impl FileServerHandler {
                 Ok(Bytes::new())
             }
             FsOp::Commit => {
+                // Settle the file's leases BEFORE committing: every holder
+                // acks the break (or its grant expires) first, so once the
+                // commit returns no lease anywhere still covers the old
+                // current version.  The settling mark stays up until after
+                // the commit (guard drop), refusing new grants meanwhile.
+                let _settle = self
+                    .service
+                    .file_of_version(&request.cap)
+                    .ok()
+                    .map(|object| self.lease.settle(object, request.cap.port));
                 let receipt = self.service.commit(&request.cap).map_err(fs_err)?;
                 Ok(encode_receipt(&receipt))
             }
@@ -127,6 +169,14 @@ impl FileServerHandler {
                     return Err(bad_args());
                 }
                 let cached_block = payload.get_u32_le();
+                // Grant BEFORE reading the current version: if a commit
+                // settles in between, it finds (and breaks) this grant, so
+                // the client can never end up holding an unbroken lease on
+                // an answer the commit obsoleted.  Granting after the read
+                // would leave exactly that window.
+                let ttl_ms = peer
+                    .and_then(|channel| self.lease.grant(request.cap.object, channel))
+                    .unwrap_or(0);
                 let validation = self
                     .service
                     .validate_cache(&request.cap, cached_block)
@@ -135,6 +185,7 @@ impl FileServerHandler {
                     validation.up_to_date,
                     validation.current_block,
                     &validation.discard,
+                    ttl_ms,
                 ))
             }
         }
@@ -143,7 +194,14 @@ impl FileServerHandler {
 
 impl RequestHandler for FileServerHandler {
     fn handle(&self, request: Request) -> Reply {
-        match self.dispatch(request) {
+        match self.dispatch(request, None) {
+            Ok(payload) => Reply::ok(payload),
+            Err(error_reply) => error_reply,
+        }
+    }
+
+    fn handle_from(&self, request: Request, peer: Option<&Arc<dyn CallbackChannel>>) -> Reply {
+        match self.dispatch(request, peer) {
             Ok(payload) => Reply::ok(payload),
             Err(error_reply) => error_reply,
         }

@@ -10,6 +10,9 @@
 //! * [`ops`] — the wire protocol: operation codes and argument marshalling,
 //! * [`handler`] — a [`FileServerHandler`] that turns incoming transactions into
 //!   calls on an `Arc<FileService>`,
+//! * [`lease`] — the [`LeaseManager`]: time-bounded read leases granted on
+//!   `ValidateCache` replies and settled (callback break + ack, or waited
+//!   out) by committing writers, shared across a server group's processes,
 //! * [`process`] — [`ServerProcess`] (one registered port that can crash and restart),
 //!   [`ServerGroup`] (several replicated processes sharing the same file service
 //!   state, the paper's "replicated server processes"), and [`ShardedCluster`]
@@ -32,6 +35,7 @@
 pub mod block;
 pub mod dir;
 pub mod handler;
+pub mod lease;
 pub mod ops;
 pub mod process;
 
@@ -39,5 +43,6 @@ pub use afs_core::FsError;
 pub use block::{remote_replica_set, BlockServerHandler, BlockServerProcess, RemoteBlockStore};
 pub use dir::{DirServerHandler, DirServerProcess};
 pub use handler::FileServerHandler;
+pub use lease::{LeaseManager, DEFAULT_LEASE_TTL};
 pub use ops::{FsOp, ServerError};
 pub use process::{ClusterShard, ServerGroup, ServerProcess, ShardedCluster};

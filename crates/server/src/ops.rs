@@ -398,8 +398,18 @@ pub fn decode_receipt(mut payload: Bytes) -> Option<CommitReceipt> {
     })
 }
 
-/// Encodes a cache-validation result.
-pub fn encode_validation(up_to_date: bool, current_block: u32, changed: &[PagePath]) -> Bytes {
+/// Encodes a cache-validation result.  `lease_ttl_ms` is the duration of the
+/// lease granted on this reply (0 = no lease): the wire deliberately carries
+/// a *relative* ttl, never an absolute expiry, so client and server clocks
+/// only need bounded drift, not synchronisation — each side starts its own
+/// countdown, and the client's starts earlier (before the request was sent)
+/// so it always gives up trusting the lease first.
+pub fn encode_validation(
+    up_to_date: bool,
+    current_block: u32,
+    changed: &[PagePath],
+    lease_ttl_ms: u32,
+) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u8(u8::from(up_to_date));
     buf.put_u32_le(current_block);
@@ -407,11 +417,14 @@ pub fn encode_validation(up_to_date: bool, current_block: u32, changed: &[PagePa
     for path in changed {
         encode_path(&mut buf, path);
     }
+    buf.put_u32_le(lease_ttl_ms);
     buf.freeze()
 }
 
-/// Decodes a cache-validation result: (up-to-date, current block, changed paths).
-pub fn decode_validation(mut payload: Bytes) -> Option<(bool, u32, Vec<PagePath>)> {
+/// Decodes a cache-validation result: (up-to-date, current block, changed
+/// paths, lease ttl in ms).  The trailing ttl word is optional on the wire
+/// (pre-lease servers end after the paths), decoding as "no lease".
+pub fn decode_validation(mut payload: Bytes) -> Option<(bool, u32, Vec<PagePath>, u32)> {
     if payload.remaining() < 9 {
         return None;
     }
@@ -422,7 +435,29 @@ pub fn decode_validation(mut payload: Bytes) -> Option<(bool, u32, Vec<PagePath>
     for _ in 0..count {
         paths.push(decode_path(&mut payload)?);
     }
-    Some((up_to_date, current, paths))
+    let ttl = if payload.remaining() >= 4 {
+        payload.get_u32_le()
+    } else {
+        0
+    };
+    Some((up_to_date, current, paths, ttl))
+}
+
+/// Encodes a lease-break callback payload: the file object id whose leases
+/// are void.  Pushed server→client in a callback frame when a writer commits
+/// under live leases.
+pub fn encode_lease_break(object: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8);
+    buf.put_u64_le(object);
+    buf.freeze()
+}
+
+/// Decodes a lease-break callback payload.
+pub fn decode_lease_break(mut payload: Bytes) -> Option<u64> {
+    if payload.remaining() < 8 {
+        return None;
+    }
+    Some(payload.get_u64_le())
 }
 
 #[cfg(test)]
@@ -525,11 +560,30 @@ mod tests {
     #[test]
     fn validation_round_trip() {
         let changed = vec![PagePath::root(), PagePath::new(vec![7])];
-        let encoded = encode_validation(false, 42, &changed);
-        let (up, block, paths) = decode_validation(encoded).unwrap();
+        let encoded = encode_validation(false, 42, &changed, 250);
+        let (up, block, paths, ttl) = decode_validation(encoded).unwrap();
         assert!(!up);
         assert_eq!(block, 42);
         assert_eq!(paths, changed);
+        assert_eq!(ttl, 250);
+    }
+
+    #[test]
+    fn validation_without_ttl_word_decodes_as_no_lease() {
+        // A pre-lease reply ends right after the changed paths.
+        let encoded = encode_validation(true, 7, &[], 99);
+        let legacy = encoded.slice(..encoded.len() - 4);
+        let (up, block, paths, ttl) = decode_validation(legacy).unwrap();
+        assert!(up);
+        assert_eq!(block, 7);
+        assert!(paths.is_empty());
+        assert_eq!(ttl, 0);
+    }
+
+    #[test]
+    fn lease_break_round_trip() {
+        assert_eq!(decode_lease_break(encode_lease_break(0xdead)), Some(0xdead));
+        assert_eq!(decode_lease_break(Bytes::from_static(b"short")), None);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use amoeba_capability::Port;
 use amoeba_rpc::LocalNetwork;
 
 use crate::handler::FileServerHandler;
+use crate::lease::LeaseManager;
 
 /// One file-server process: a port on the network behind which a handler serves the
 /// shared file-service state.  Crashing the process makes the port unreachable; the
@@ -16,17 +17,37 @@ pub struct ServerProcess {
     port: Port,
     network: Arc<LocalNetwork>,
     service: Arc<FileService>,
+    lease: Arc<LeaseManager>,
 }
 
 impl ServerProcess {
-    /// Starts a server process on a fresh port of `network`.
+    /// Starts a server process on a fresh port of `network`, with its own
+    /// lease manager (a standalone process is its own one-member group).
     pub fn start(network: Arc<LocalNetwork>, service: Arc<FileService>) -> Self {
+        Self::start_with_lease_manager(network, service, Arc::new(LeaseManager::new()))
+    }
+
+    /// Starts a server process sharing the group-wide lease manager: a
+    /// commit arriving at any process of a group must settle leases granted
+    /// through every other, so the grant table cannot be per-process.
+    pub fn start_with_lease_manager(
+        network: Arc<LocalNetwork>,
+        service: Arc<FileService>,
+        lease: Arc<LeaseManager>,
+    ) -> Self {
         let port = Port::random();
-        network.register(port, Arc::new(FileServerHandler::new(Arc::clone(&service))));
+        network.register(
+            port,
+            Arc::new(FileServerHandler::with_lease_manager(
+                Arc::clone(&service),
+                Arc::clone(&lease),
+            )),
+        );
         ServerProcess {
             port,
             network,
             service,
+            lease,
         }
     }
 
@@ -51,22 +72,42 @@ impl ServerProcess {
     pub fn service(&self) -> &Arc<FileService> {
         &self.service
     }
+
+    /// The lease manager this process grants from (shared across its group).
+    pub fn lease_manager(&self) -> &Arc<LeaseManager> {
+        &self.lease
+    }
 }
 
 /// A group of replicated server processes serving the same file service, as in
 /// §5.4.1: "version access and file access can be guaranteed as long as one or more
-/// servers are operational".
+/// servers are operational".  The group shares one [`LeaseManager`]: leases
+/// granted through any member are settled by commits through any other.
 pub struct ServerGroup {
     processes: Vec<ServerProcess>,
+    lease: Arc<LeaseManager>,
 }
 
 impl ServerGroup {
-    /// Starts `replicas` processes over one shared file service.
+    /// Starts `replicas` processes over one shared file service and one
+    /// shared lease manager.
     pub fn start(network: &Arc<LocalNetwork>, service: &Arc<FileService>, replicas: usize) -> Self {
+        let lease = Arc::new(LeaseManager::new());
         let processes = (0..replicas)
-            .map(|_| ServerProcess::start(Arc::clone(network), Arc::clone(service)))
+            .map(|_| {
+                ServerProcess::start_with_lease_manager(
+                    Arc::clone(network),
+                    Arc::clone(service),
+                    Arc::clone(&lease),
+                )
+            })
             .collect();
-        ServerGroup { processes }
+        ServerGroup { processes, lease }
+    }
+
+    /// The group-wide lease manager.
+    pub fn lease_manager(&self) -> &Arc<LeaseManager> {
+        &self.lease
     }
 
     /// The ports of all replicas, in preference order.

@@ -107,7 +107,31 @@
 //! same [`amoeba_rpc::Transport`] trait, every test and experiment runs
 //! unchanged in-process or over real sockets, and uniform
 //! [`amoeba_rpc::ClientStats`] (retry rounds, reconnects, in-flight
-//! high-water mark) surface through [`afs_sim::RunResult`] either way.
+//! high-water mark, lease grants/breaks and zero-RPC cache hits) surface
+//! through [`afs_sim::RunResult`] either way.
+//!
+//! ## Cache coherence: leases over the callback channel
+//!
+//! The paper's cache discipline is validate-on-use (§5.4): the client asks,
+//! with one `ValidateCache` transaction, which of its cached pages are still
+//! valid.  That stays the universal fallback — correct over any transport,
+//! including ones that cannot deliver server-initiated frames.  Over a
+//! *connected* transport the server upgrades it: a validation reply carries a
+//! time-bounded **lease** ([`afs_server::LeaseManager`]), and while the lease
+//! lives [`afs_client::RemoteFs`] answers revalidation from a local lease
+//! table, so a warm re-read — and, because directories are ordinary files, a
+//! warm path resolution through [`afs_client::NamedStore`] — costs **zero
+//! RPCs**.  A committing writer settles conflicting leases first: the server
+//! pushes a break frame down the holder's multiplexed connection (a reserved
+//! request id marks server-initiated frames) and waits for the ack, bounded
+//! by the lease's own expiry, before the commit proceeds — so a lease never
+//! lets a client observe newer-than-committed data, and after a break is
+//! acked the client cannot serve the stale value.  Clients trust only a
+//! fraction of the granted TTL measured from *before* the request was sent,
+//! so clock drift and transit delay make clients stop trusting before the
+//! server stops waiting, and a dead connection holds no leases on either
+//! side.  See the lease-coherence section of `tests/conformance.rs` for the
+//! invariants as executable tests.
 //!
 //! ## Naming: the directory service over ordinary files
 //!

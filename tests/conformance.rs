@@ -50,6 +50,11 @@ impl<T: Transport> Transport for CountingTransport<T> {
         self.round_trips.fetch_add(1, Ordering::Relaxed);
         self.inner.transact(port, request)
     }
+
+    fn register_callback_sink(&self, sink: Arc<dyn amoeba_rpc::CallbackSink>) -> bool {
+        // Callbacks are server pushes, not round trips: forward without counting.
+        self.inner.register_callback_sink(sink)
+    }
 }
 
 /// A transport wrapper that counts round trips per `(port, op)`, for the
@@ -81,6 +86,10 @@ impl<T: Transport> Transport for OpCountingTransport<T> {
             .entry((port, request.op))
             .or_insert(0) += 1;
         self.inner.transact(port, request)
+    }
+
+    fn register_callback_sink(&self, sink: Arc<dyn amoeba_rpc::CallbackSink>) -> bool {
+        self.inner.register_callback_sink(sink)
     }
 }
 
@@ -1224,4 +1233,263 @@ fn named_paths_survive_any_single_replica_kill_and_resync_over_tcp() {
             replicas.resync(other).expect("restore the other replica");
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Lease coherence: zero-RPC warm reads over the callback channel.
+// ---------------------------------------------------------------------------
+
+use afs_client::ClientCache;
+use afs_server::{LeaseManager, ServerProcess};
+use std::time::{Duration, Instant};
+
+/// The tentpole's accounting proof: with a live lease, a warm revalidate+read
+/// cycle on a hot file and a warm revalidated `resolve` cost exactly **zero**
+/// RPCs, and a foreign commit's break costs exactly **one** re-validation
+/// before the warm path is free again.
+#[test]
+fn leased_warm_reads_and_resolves_cost_exactly_zero_rpcs() {
+    let network = Arc::new(LocalNetwork::new());
+    let service = FileService::in_memory();
+    let group = ServerGroup::start(&network, &service, 2);
+    let counting = Arc::new(CountingTransport::new(network.connect()));
+    let remote = RemoteFs::new(Arc::clone(&counting), group.ports());
+
+    // A hot file with one committed page.
+    let file = remote.create_file().unwrap();
+    let v = remote.create_version(&file).unwrap();
+    let page = remote
+        .append_page(&v, &PagePath::root(), Bytes::from_static(b"hot"))
+        .unwrap();
+    remote.commit(&v).unwrap();
+
+    let mut cache = ClientCache::new(&remote);
+    cache.revalidate(&file).unwrap(); // cold: one RPC, grants the lease
+    cache.read(&file, &page).unwrap(); // fills the page cache
+
+    let before = counting.round_trips();
+    for _ in 0..16 {
+        cache.revalidate(&file).unwrap();
+        assert_eq!(
+            cache.read(&file, &page).unwrap(),
+            Bytes::from_static(b"hot")
+        );
+    }
+    assert_eq!(
+        counting.round_trips() - before,
+        0,
+        "16 warm revalidate+read cycles under a live lease must cost zero RPCs"
+    );
+    let stats = remote.stats();
+    assert!(stats.leases_granted >= 1, "{stats:?}");
+    assert!(stats.zero_rpc_hits >= 16, "{stats:?}");
+
+    // A foreign commit breaks the lease: the *first* revalidation goes back
+    // to the wire (exactly one RPC), re-leases, and the path is free again.
+    let other = RemoteFs::new(network.connect(), group.ports());
+    let w = other.create_version(&file).unwrap();
+    other
+        .write_page(&w, &page, Bytes::from_static(b"updated"))
+        .unwrap();
+    other.commit(&w).unwrap();
+
+    let before = counting.round_trips();
+    cache.revalidate(&file).unwrap();
+    assert_eq!(
+        counting.round_trips() - before,
+        1,
+        "exactly one re-validation RPC after a break"
+    );
+    assert_eq!(
+        cache.read(&file, &page).unwrap(),
+        Bytes::from_static(b"updated"),
+        "the re-validation discarded the stale page"
+    );
+    assert!(remote.stats().leases_broken >= 1);
+    let before = counting.round_trips();
+    for _ in 0..8 {
+        cache.revalidate(&file).unwrap();
+        cache.read(&file, &page).unwrap();
+    }
+    assert_eq!(
+        counting.round_trips() - before,
+        0,
+        "the re-validation re-leased the file"
+    );
+
+    // Warm *path resolution* rides the same leases: directories are ordinary
+    // files, so a revalidated resolve of a 3-deep path costs zero RPCs too.
+    let ns = NamedStore::create(&remote).unwrap();
+    ns.mkdir_all("/a/b", Rights::ALL).unwrap();
+    let cap = ns.create_file("/a/b/c", Rights::ALL).unwrap();
+    assert_eq!(ns.resolve("/a/b/c").unwrap().cap, cap); // cold table fetches
+    ns.revalidate("/a/b/c").unwrap(); // validates (and leases) every prefix
+
+    let before = counting.round_trips();
+    for _ in 0..16 {
+        ns.revalidate("/a/b/c").unwrap();
+        assert_eq!(ns.resolve("/a/b/c").unwrap().cap, cap);
+    }
+    assert_eq!(
+        counting.round_trips() - before,
+        0,
+        "16 warm revalidated resolves under live leases must cost zero RPCs"
+    );
+}
+
+/// The tentpole's hard invariant: a lease never lets a client observe
+/// newer-than-committed data, and once a committing writer's break has been
+/// acked, the holder never serves the stale value again.
+#[test]
+fn leases_never_serve_uncommitted_or_post_break_stale_data() {
+    let network = Arc::new(LocalNetwork::new());
+    let service = FileService::in_memory();
+    let group = ServerGroup::start(&network, &service, 1);
+    let reader = RemoteFs::new(network.connect(), group.ports());
+    let writer = RemoteFs::new(network.connect(), group.ports());
+
+    let file = writer.create_file().unwrap();
+    let v = writer.create_version(&file).unwrap();
+    let page = writer
+        .append_page(&v, &PagePath::root(), Bytes::from_static(b"committed"))
+        .unwrap();
+    writer.commit(&v).unwrap();
+
+    let mut cache = ClientCache::new(&reader);
+    cache.revalidate(&file).unwrap(); // leases the committed state
+    assert_eq!(
+        cache.read(&file, &page).unwrap(),
+        Bytes::from_static(b"committed")
+    );
+
+    // An in-flight (uncommitted) update must stay invisible: under the lease
+    // the reader keeps serving the *committed* state.
+    let w = writer.create_version(&file).unwrap();
+    writer
+        .write_page(&w, &page, Bytes::from_static(b"uncommitted"))
+        .unwrap();
+    cache.revalidate(&file).unwrap();
+    assert_eq!(
+        cache.read(&file, &page).unwrap(),
+        Bytes::from_static(b"committed"),
+        "a lease must never surface newer-than-committed data"
+    );
+
+    // The commit breaks the reader's lease and waits for the ack *before*
+    // it completes; once it has returned, the reader must not serve the
+    // stale value from any cache layer.
+    writer.commit(&w).unwrap();
+    assert!(
+        reader.stats().leases_broken >= 1,
+        "the commit must have broken the reader's lease: {:?}",
+        reader.stats()
+    );
+    cache.revalidate(&file).unwrap();
+    assert_eq!(
+        cache.read(&file, &page).unwrap(),
+        Bytes::from_static(b"uncommitted"), // now the committed state
+        "after the acked break the stale value must be gone"
+    );
+}
+
+/// After the granted ttl lapses the client stops trusting its table on its
+/// own — no break, no message — and spends exactly one RPC to re-lease.
+#[test]
+fn expired_leases_fall_back_to_exactly_one_revalidation() {
+    let network = Arc::new(LocalNetwork::new());
+    let service = FileService::in_memory();
+    let lease = Arc::new(LeaseManager::with_ttl(Duration::from_millis(250)));
+    let process = ServerProcess::start_with_lease_manager(Arc::clone(&network), service, lease);
+    let counting = Arc::new(CountingTransport::new(network.connect()));
+    let remote = RemoteFs::new(Arc::clone(&counting), vec![process.port()]);
+
+    let file = remote.create_file().unwrap();
+    let mut cache = ClientCache::new(&remote);
+    cache.revalidate(&file).unwrap();
+
+    let before = counting.round_trips();
+    cache.revalidate(&file).unwrap();
+    assert_eq!(
+        counting.round_trips() - before,
+        0,
+        "a live lease validates for free"
+    );
+
+    // The client trusts only a fraction of the granted ttl, counted from
+    // before its request was sent: past the full ttl the table must have
+    // stopped answering, strictly before the server's own deadline.
+    std::thread::sleep(Duration::from_millis(320));
+    let before = counting.round_trips();
+    cache.revalidate(&file).unwrap();
+    assert_eq!(
+        counting.round_trips() - before,
+        1,
+        "an expired lease costs exactly one re-validation"
+    );
+    let before = counting.round_trips();
+    cache.revalidate(&file).unwrap();
+    assert_eq!(
+        counting.round_trips() - before,
+        0,
+        "the re-validation re-leased"
+    );
+}
+
+/// Lease-vs-crash: a dying connection revokes leases on *both* sides.  The
+/// server drops the dead peer's grants without waiting for acks that can
+/// never come (a committing writer is not delayed by a corpse), and the
+/// client, having lost the channel its leases were promised over, drops its
+/// whole table and revalidates over the wire.
+#[test]
+fn fault_connection_death_revokes_leases_on_both_sides() {
+    let network = Arc::new(LocalNetwork::new());
+    let service = FileService::in_memory();
+    let group = ServerGroup::start(&network, &service, 1);
+    let conn = network.connect();
+    let counting = Arc::new(CountingTransport::new(conn.clone()));
+    let reader = RemoteFs::new(Arc::clone(&counting), group.ports());
+    let writer = RemoteFs::new(network.connect(), group.ports());
+
+    let file = writer.create_file().unwrap();
+    let v = writer.create_version(&file).unwrap();
+    let page = writer
+        .append_page(&v, &PagePath::root(), Bytes::from_static(b"v1"))
+        .unwrap();
+    writer.commit(&v).unwrap();
+
+    let mut cache = ClientCache::new(&reader);
+    cache.revalidate(&file).unwrap();
+    cache.read(&file, &page).unwrap();
+    let before = counting.round_trips();
+    cache.revalidate(&file).unwrap();
+    assert_eq!(counting.round_trips() - before, 0, "leased while alive");
+
+    // The reader's connection dies: its channel can deliver nothing and
+    // will never ack a break.
+    conn.kill();
+    let start = Instant::now();
+    let w = writer.create_version(&file).unwrap();
+    writer
+        .write_page(&w, &page, Bytes::from_static(b"v2"))
+        .unwrap();
+    writer.commit(&w).unwrap();
+    assert!(
+        start.elapsed() < afs_server::DEFAULT_LEASE_TTL / 2,
+        "a dead lease holder must not delay the committing writer"
+    );
+
+    // The reader reconnects (same stub, channel state lost): its table was
+    // cleared on connection loss, so it revalidates over the wire, sees the
+    // new data — and, with no live channel, is granted no further leases.
+    let before = counting.round_trips();
+    cache.revalidate(&file).unwrap();
+    assert_eq!(counting.round_trips() - before, 1);
+    assert_eq!(cache.read(&file, &page).unwrap(), Bytes::from_static(b"v2"));
+    let before = counting.round_trips();
+    cache.revalidate(&file).unwrap();
+    assert_eq!(
+        counting.round_trips() - before,
+        1,
+        "no lease is trusted without a live callback channel"
+    );
 }
