@@ -16,12 +16,14 @@
 //!   the granted time).  The server's own countdown starts strictly later, so
 //!   the client always stops trusting first — a committing writer that waits
 //!   out a grant on the server's clock has, by then, outlived the client's.
-//! * **Breaks beat replies.**  A break for an object with no recorded lease
-//!   means the break overtook the granting reply (pushed frames and replies
-//!   share the connection, but worker threads race).  The table leaves a
-//!   tombstone; when the grant finally lands, [`LeaseTable::record`] discards
-//!   it.  Losing a lease we were entitled to costs one future revalidation —
-//!   trusting a broken one would serve stale data.
+//! * **Breaks beat replies.**  A break may overtake the granting reply it
+//!   obsoletes (pushed frames and replies share the connection, but worker
+//!   threads race), and the table cannot tell from its own state whether
+//!   such a reply is in flight — a stale `Live` slot looks the same as none.
+//!   So every break leaves a tombstone stamped with its arrival time;
+//!   [`LeaseTable::record`] discards any grant whose request was sent at or
+//!   before that stamp.  Losing a lease we were entitled to costs one future
+//!   revalidation — trusting a broken one would serve stale data.
 //! * **A dead connection holds nothing.**  On connection loss the transport
 //!   fires [`amoeba_rpc::CallbackSink::on_connection_lost`] and the table
 //!   drops every lease; the first use after reconnect revalidates.
@@ -46,16 +48,23 @@ pub const TTL_TRUST_NUM: u32 = 3;
 /// Denominator of the trusted-ttl fraction.
 pub const TTL_TRUST_DEN: u32 = 4;
 
-/// How long a break-before-grant tombstone suppresses recording.  Generous:
-/// it only needs to outlive the in-flight reply the break overtook.
+/// How long a break tombstone suppresses recording of grants whose request
+/// predates the break.  Generous: it only needs to outlive the in-flight
+/// reply the break overtook.
 const TOMBSTONE_TTL: Duration = Duration::from_secs(30);
+
+/// Every Nth mutation of the table sweeps out expired slots and tombstones,
+/// so a long-lived client touching many distinct files does not grow the
+/// table without bound.
+const SWEEP_EVERY: u64 = 64;
 
 enum Slot {
     /// A live lease: the current block we may keep serving until `expiry`.
     Live { current_block: u32, expiry: Instant },
-    /// A break arrived for a grant we have not recorded yet; discard that
-    /// grant when its reply lands.
-    BreakPending { until: Instant },
+    /// A break arrived; discard any grant whose request was already in
+    /// flight when it did (`started <= broken_at`) — that grant may cover
+    /// the value the break obsoleted.
+    BreakPending { broken_at: Instant, until: Instant },
 }
 
 /// The client's lease table: per-file grants, break tombstones, and the
@@ -66,6 +75,7 @@ pub(crate) struct LeaseTable {
     granted: AtomicU64,
     broken: AtomicU64,
     zero_rpc_hits: AtomicU64,
+    mutations: AtomicU64,
 }
 
 impl LeaseTable {
@@ -90,7 +100,8 @@ impl LeaseTable {
     /// the instant taken *before* the request was sent; the lease is trusted
     /// for only [`TTL_TRUST_NUM`]/[`TTL_TRUST_DEN`] of the granted ttl from
     /// that point, so the client's countdown always ends before the server's.
-    /// A pending break tombstone swallows the grant instead.
+    /// A break tombstone swallows the grant instead if the request was
+    /// already in flight when the break arrived.
     pub fn record(&self, object: u64, current_block: u32, ttl_ms: u32, started: Instant) {
         if ttl_ms == 0 {
             return;
@@ -101,10 +112,15 @@ impl LeaseTable {
             return; // the reply took longer than the trusted window
         }
         let mut slots = self.slots.lock();
+        self.maybe_sweep(&mut slots);
         match slots.get(&object) {
-            Some(Slot::BreakPending { until }) if Instant::now() < *until => {
+            Some(Slot::BreakPending { broken_at, until })
+                if Instant::now() < *until && started <= *broken_at =>
+            {
                 // The break overtook this grant's reply: the grant is void.
-                slots.remove(&object);
+                // The tombstone stays up — another, even older reply may
+                // still be in flight.  A grant whose request was *sent*
+                // after the break is fresh and falls through to be recorded.
                 return;
             }
             _ => {}
@@ -120,23 +136,38 @@ impl LeaseTable {
         self.granted.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Handles a break frame for `object`: drop the lease, or leave a
-    /// tombstone if the granting reply has not landed yet.
+    /// Handles a break frame for `object`: drop any lease and always leave a
+    /// tombstone.  Unconditional because whatever slot is present — a live
+    /// lease, an expired one, or nothing — a validation reply the break
+    /// overtook may still be in flight, and recording that late grant would
+    /// serve the value the break just obsoleted.
     pub fn break_lease(&self, object: u64) {
+        let now = Instant::now();
         let mut slots = self.slots.lock();
-        match slots.remove(&object) {
-            Some(Slot::Live { .. }) => {}
-            _ => {
-                slots.insert(
-                    object,
-                    Slot::BreakPending {
-                        until: Instant::now() + TOMBSTONE_TTL,
-                    },
-                );
-            }
-        }
+        self.maybe_sweep(&mut slots);
+        slots.insert(
+            object,
+            Slot::BreakPending {
+                broken_at: now,
+                until: now + TOMBSTONE_TTL,
+            },
+        );
         drop(slots);
         self.broken.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Every [`SWEEP_EVERY`]th call drops expired slots and tombstones, so
+    /// the table stays bounded by the live working set.  Called with the
+    /// table lock held.
+    fn maybe_sweep(&self, slots: &mut HashMap<u64, Slot>) {
+        if self.mutations.fetch_add(1, Ordering::Relaxed) % SWEEP_EVERY != SWEEP_EVERY - 1 {
+            return;
+        }
+        let now = Instant::now();
+        slots.retain(|_, slot| match slot {
+            Slot::Live { expiry, .. } => now < *expiry,
+            Slot::BreakPending { until, .. } => now < *until,
+        });
     }
 
     /// Drops every lease (connection lost: nothing granted over it survives).
@@ -203,15 +234,58 @@ mod tests {
         assert!(!table.covers(7, 42), "broken lease must not serve");
         assert_eq!(table.broken(), 1);
 
-        // Break for an unrecorded grant: the reply is still in flight.  When
-        // it lands, the tombstone swallows it.
+        // Break for an unrecorded grant: the reply is still in flight (its
+        // request was sent before the break).  When it lands, the tombstone
+        // swallows it.
+        let in_flight = Instant::now();
         table.break_lease(9);
-        table.record(9, 5, 2_000, Instant::now());
+        table.record(9, 5, 2_000, in_flight);
         assert!(!table.covers(9, 5), "tombstoned grant must be discarded");
 
-        // The tombstone is consumed: the next grant is a fresh one.
+        // A grant whose request was sent after the break is fresh: it
+        // replaces the tombstone.
+        std::thread::sleep(Duration::from_millis(2));
         table.record(9, 6, 2_000, Instant::now());
         assert!(table.covers(9, 6));
+    }
+
+    #[test]
+    fn breaks_tombstone_even_over_a_stale_live_slot() {
+        let table = LeaseTable::default();
+        // A lease that has since expired still occupies its slot.
+        table.record(4, 1, 100, Instant::now());
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(!table.covers(4, 1), "expired lease must not serve");
+
+        // The client re-validates (request in flight), a writer's break
+        // overtakes the reply, then the reply lands: the grant covers the
+        // pre-commit block and MUST be swallowed — consuming the stale slot
+        // without a tombstone would record it as live.
+        let in_flight = Instant::now();
+        table.break_lease(4);
+        table.record(4, 1, 2_000, in_flight);
+        assert!(
+            !table.covers(4, 1),
+            "a grant the break overtook must not survive a stale slot"
+        );
+    }
+
+    #[test]
+    fn sweeping_bounds_the_table() {
+        let table = LeaseTable::default();
+        // Fill the table with grants that expire almost immediately, across
+        // more objects than one sweep period.
+        for object in 0..(2 * SWEEP_EVERY) {
+            table.record(object, 1, 8, Instant::now());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        // Keep mutating past the next sweep threshold: expired slots for
+        // untouched objects must be dropped, not retained forever.
+        for _ in 0..SWEEP_EVERY {
+            table.record(u64::MAX, 1, 2_000, Instant::now());
+        }
+        let len = table.slots.lock().len();
+        assert!(len <= 2, "expired slots must be swept, {len} left");
     }
 
     #[test]

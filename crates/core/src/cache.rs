@@ -57,6 +57,15 @@ impl CacheValidation {
 }
 
 impl FileService {
+    /// Checks that `file_cap` is a valid READ capability for an existing file,
+    /// without touching any version state.  The server calls this before side
+    /// effects tied to a validation — registering a lease grant, say — so a
+    /// forged or unauthorized capability cannot plant server-side state on an
+    /// arbitrary object id.
+    pub fn check_read_capability(&self, file_cap: &Capability) -> Result<()> {
+        self.resolve_file(file_cap, Rights::READ).map(|_| ())
+    }
+
     /// Validates a cache entry: given the block of the committed version the cache
     /// was filled from, returns which page paths have changed since.
     ///

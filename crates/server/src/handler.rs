@@ -169,6 +169,14 @@ impl FileServerHandler {
                     return Err(bad_args());
                 }
                 let cached_block = payload.get_u32_le();
+                // The capability must resolve before any side effect: an
+                // invalid or unauthorized cap must not plant a grant on an
+                // arbitrary object id that later committing writers would
+                // have to break and wait on (the client never records such
+                // a lease — its reply is an error).
+                self.service
+                    .check_read_capability(&request.cap)
+                    .map_err(fs_err)?;
                 // Grant BEFORE reading the current version: if a commit
                 // settles in between, it finds (and breaks) this grant, so
                 // the client can never end up holding an unbroken lease on
@@ -247,6 +255,54 @@ mod tests {
         assert!(reply.is_ok());
         let receipt = decode_receipt(reply.payload).unwrap();
         assert!(receipt.fast_path);
+    }
+
+    #[test]
+    fn invalid_caps_plant_no_lease_grant() {
+        use amoeba_capability::Port;
+        use bytes::BufMut;
+
+        struct NullChannel;
+        impl CallbackChannel for NullChannel {
+            fn push(&self, _port: Port, _payload: Bytes) -> Option<u64> {
+                Some(1)
+            }
+            fn wait_acked(&self, _ticket: u64, _deadline: std::time::Instant) -> bool {
+                true
+            }
+            fn peer_key(&self) -> u64 {
+                1
+            }
+            fn is_closed(&self) -> bool {
+                false
+            }
+        }
+
+        let service = FileService::in_memory();
+        let handler = FileServerHandler::new(Arc::clone(&service));
+        let channel: Arc<dyn CallbackChannel> = Arc::new(NullChannel);
+        let validate = |cap: Capability| {
+            let mut payload = BytesMut::new();
+            payload.put_u32_le(0);
+            handler.handle_from(
+                Request::new(FsOp::ValidateCache as u32, cap, payload.freeze()),
+                Some(&channel),
+            )
+        };
+
+        // A forged capability is refused before any grant is registered: no
+        // committing writer must ever break or wait on it.
+        let bogus = Capability::null();
+        let reply = validate(bogus.clone());
+        assert!(!reply.is_ok());
+        assert_eq!(handler.lease_manager().granted_total(), 0);
+        assert_eq!(handler.lease_manager().live_grants(bogus.object), 0);
+
+        // A genuine capability still grants.
+        let file = service.create_file().unwrap();
+        assert!(validate(file.clone()).is_ok());
+        assert_eq!(handler.lease_manager().granted_total(), 1);
+        assert_eq!(handler.lease_manager().live_grants(file.object), 1);
     }
 
     #[test]

@@ -64,14 +64,25 @@ struct Grant {
     expiry: Instant,
 }
 
+/// Every Nth grant sweeps the whole table for expired/dead entries, so
+/// objects that are validated once and never touched again do not pin a
+/// grants entry forever.
+const SWEEP_EVERY: u64 = 64;
+
 #[derive(Default)]
 struct LeaseInner {
     /// `file object → (peer key → grant)`.  Keyed by connection so a dying
     /// connection implicitly voids everything it held.
     grants: HashMap<u64, HashMap<u64, Grant>>,
-    /// Objects currently being settled by a committing writer: no new
-    /// grants until the commit finishes.
-    settling: std::collections::HashSet<u64>,
+    /// Objects currently being settled by committing writers, with the
+    /// number of commits in flight: no new grants until the count drops to
+    /// zero.  A counter, not a set — two concurrent commits on one file
+    /// must each hold the grant window closed until *both* finish, or a
+    /// lease granted after the first commit's guard drops would cover the
+    /// value the second commit is about to replace.
+    settling: HashMap<u64, usize>,
+    /// Grant calls since the last full-table sweep.
+    grants_since_sweep: u64,
 }
 
 /// The grant table and settle logic, shared by every server process of a
@@ -116,11 +127,19 @@ impl LeaseManager {
         }
         let ttl_ms = u32::try_from(self.ttl.as_millis()).unwrap_or(u32::MAX);
         let mut inner = self.inner.lock();
-        if inner.settling.contains(&object) {
+        if inner.settling.contains_key(&object) {
             // A writer is at the table; honoring its age keeps it livelock-free.
             return None;
         }
         let now = Instant::now();
+        inner.grants_since_sweep += 1;
+        if inner.grants_since_sweep >= SWEEP_EVERY {
+            inner.grants_since_sweep = 0;
+            inner.grants.retain(|_, holders| {
+                holders.retain(|_, g| now < g.expiry && !g.channel.is_closed());
+                !holders.is_empty()
+            });
+        }
         let holders = inner.grants.entry(object).or_default();
         holders.retain(|_, g| now < g.expiry && !g.channel.is_closed());
         holders.insert(
@@ -147,7 +166,7 @@ impl LeaseManager {
     pub fn settle(&self, object: u64, port: Port) -> SettleGuard<'_> {
         let holders: Vec<Grant> = {
             let mut inner = self.inner.lock();
-            inner.settling.insert(object);
+            *inner.settling.entry(object).or_insert(0) += 1;
             inner
                 .grants
                 .remove(&object)
@@ -183,13 +202,17 @@ impl LeaseManager {
     pub fn live_grants(&self, object: u64) -> usize {
         let now = Instant::now();
         let mut inner = self.inner.lock();
-        match inner.grants.get_mut(&object) {
+        let live = match inner.grants.get_mut(&object) {
             Some(holders) => {
                 holders.retain(|_, g| now < g.expiry && !g.channel.is_closed());
                 holders.len()
             }
-            None => 0,
+            None => return 0,
+        };
+        if live == 0 {
+            inner.grants.remove(&object);
         }
+        live
     }
 
     /// Total leases granted over this manager's lifetime.
@@ -219,7 +242,13 @@ pub struct SettleGuard<'a> {
 
 impl Drop for SettleGuard<'_> {
     fn drop(&mut self) {
-        self.manager.inner.lock().settling.remove(&self.object);
+        let mut inner = self.manager.inner.lock();
+        if let Some(count) = inner.settling.get_mut(&self.object) {
+            *count -= 1;
+            if *count == 0 {
+                inner.settling.remove(&self.object);
+            }
+        }
     }
 }
 
@@ -357,6 +386,45 @@ mod tests {
             "waited {waited:?}"
         );
         assert_eq!(mute.pushes.lock().len(), 1);
+    }
+
+    #[test]
+    fn overlapping_settles_keep_the_grant_window_closed_until_both_finish() {
+        let mgr = LeaseManager::with_ttl(Duration::from_secs(5));
+        let c = FakeChannel::new(1, true);
+
+        // Two commits on the same file are in flight at once.
+        let first = mgr.settle(7, Port::from_raw(1));
+        let second = mgr.settle(7, Port::from_raw(1));
+
+        // The first commit finishing must NOT re-open granting: a lease
+        // granted now would cover the value the second commit replaces.
+        drop(first);
+        assert!(
+            mgr.grant(7, &as_dyn(&c)).is_none(),
+            "grant window re-opened while a commit was still settling"
+        );
+
+        drop(second);
+        assert!(mgr.grant(7, &as_dyn(&c)).is_some());
+    }
+
+    #[test]
+    fn sweeping_drops_entries_for_objects_never_touched_again() {
+        let ttl = Duration::from_millis(10);
+        let mgr = LeaseManager::with_ttl(ttl);
+        let c = FakeChannel::new(1, true);
+        // Grant on many distinct objects, then let everything expire.
+        for object in 0..SWEEP_EVERY {
+            assert!(mgr.grant(object, &as_dyn(&c)).is_some());
+        }
+        std::thread::sleep(ttl + Duration::from_millis(5));
+        // Further grants on ONE hot object must sweep out the cold ones.
+        for _ in 0..SWEEP_EVERY {
+            assert!(mgr.grant(u64::MAX, &as_dyn(&c)).is_some());
+        }
+        let tracked = mgr.inner.lock().grants.len();
+        assert!(tracked <= 2, "cold grant entries must be swept, {tracked} left");
     }
 
     #[test]
